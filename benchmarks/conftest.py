@@ -1,0 +1,66 @@
+"""Shared fixtures for the table/figure reproduction benchmarks.
+
+Heavy artifacts (the 18-cluster dataset, trained selectors) are built
+once per session; the dataset is additionally cached on disk by
+``collect_dataset``, so only the first-ever benchmark run pays the
+collection cost.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import collect_dataset, offline_train, split_dataset
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The full Table I dataset (~20k records, disk-cached)."""
+    return collect_dataset()
+
+
+@pytest.fixture(scope="session")
+def heldout_selector(dataset):
+    """PML selector trained with Frontera and MRI excluded — the
+    cluster-based evaluation protocol of Figs. 8-11."""
+    train = dataset.filter(
+        clusters=set(dataset.clusters()) - {"Frontera", "MRI"})
+    return offline_train(train)
+
+
+@pytest.fixture(scope="session")
+def frontera_node_selector(dataset):
+    """Selector trained on Frontera data with nodes <= 8 (plus every
+    other cluster) — the node-based protocol of Fig. 12 on Frontera."""
+    sub = dataset.filter(max_nodes=8)
+    return offline_train(sub)
+
+
+@pytest.fixture(scope="session")
+def mri_node_selector(dataset):
+    """Fig. 12 on MRI: trained with nodes <= 4."""
+    sub = dataset.filter(max_nodes=4)
+    return offline_train(sub)
+
+
+@pytest.fixture(scope="session")
+def random_split_sets(dataset):
+    return split_dataset(dataset, "random", seed=0)
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Print a reproduction table to the live terminal and persist it
+    under benchmarks/reports/ for EXPERIMENTS.md."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def _report(title: str, lines: list[str]) -> None:
+        text = "\n".join([f"=== {title} ===", *lines, ""])
+        with capsys.disabled():
+            print("\n" + text)
+        name = request.node.name.replace("/", "_")
+        (REPORT_DIR / f"{name}.txt").write_text(text)
+
+    return _report

@@ -1,0 +1,38 @@
+"""Shared helpers for the selector-comparison figure benchmarks."""
+
+from repro.apps import compare_selectors, speedup_summary
+from repro.hwmodel import get_cluster
+from repro.smpi import AlgorithmSelector
+
+
+def run_panels(cluster: str, baseline_name: str,
+               baseline: AlgorithmSelector, pml: AlgorithmSelector,
+               panels: list[tuple[str, int, int]]):
+    """Run the PML-vs-baseline sweep for each (collective, nodes, ppn)
+    panel; returns {panel_key: (results, summary)}."""
+    spec = get_cluster(cluster)
+    out = {}
+    for coll, nodes, ppn in panels:
+        res = compare_selectors(spec, coll, nodes, ppn,
+                                {"pml": pml, baseline_name: baseline})
+        summary = speedup_summary(res[baseline_name], res["pml"])
+        out[f"{coll} {nodes}x{ppn}"] = (res, summary)
+    return out
+
+
+def panel_lines(key: str, res: dict, baseline_name: str,
+                summary: dict) -> list[str]:
+    lines = [f"-- {key} --"]
+    base = res[baseline_name]
+    pml = res["pml"]
+    for pb, pp in zip(base.points, pml.points):
+        ratio = pb.avg_time_s / pp.avg_time_s
+        marker = ""
+        if pb.algorithm != pp.algorithm:
+            marker = f"  [{baseline_name}={pb.algorithm} " \
+                     f"pml={pp.algorithm}]"
+        lines.append(f"  m={pb.msg_size:>8} speedup={ratio:6.3f}x{marker}")
+    lines.append(f"  total-time speedup: "
+                 f"{summary['total_time_speedup']:.3f}x "
+                 f"(max per-size {summary['max_speedup']:.2f}x)")
+    return lines

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Beyond the paper: Allreduce/Bcast selection and two-level algorithms.
+
+The paper's Section IX proposes extending the framework to further
+collectives and to hierarchical algorithms.  This example:
+
+1. collects an Allreduce+Bcast dataset on three clusters and trains the
+   same PML pipeline on it,
+2. shows the selector's choices on an unseen cluster,
+3. compares two-level (leader-based) algorithms against the best flat
+   algorithm at full subscription — where hierarchy pays off and where
+   it does not.
+
+Run:  python examples/future_work_collectives.py
+"""
+
+from repro.core import collect_dataset, offline_train
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+from repro.smpi import algorithms, measured_time
+from repro.smpi.collectives.twolevel import two_level_variants
+
+
+def ml_on_new_collectives() -> None:
+    clusters = [get_cluster(n) for n in ("RI", "Ray", "Frontera RTX")]
+    dataset = collect_dataset(clusters=clusters,
+                              collectives=("allreduce", "bcast"))
+    print(f"dataset: {len(dataset)} records, "
+          f"labels {dataset.label_distribution()}")
+    selector = offline_train(dataset, collectives=("allreduce", "bcast"))
+
+    machine = Machine(get_cluster("Sierra"), 4, 16)
+    print(f"\nselections on unseen Sierra (4x16):")
+    for coll in ("allreduce", "bcast"):
+        for msg in (8, 8192, 1 << 20):
+            algo = selector.select(coll, machine, msg)
+            t = measured_time(machine, coll, algo, msg)
+            print(f"  {coll:<10} m={msg:>8} -> {algo:<22} "
+                  f"{t * 1e6:9.1f}us")
+
+
+def two_level_vs_flat() -> None:
+    machine = Machine(get_cluster("Frontera"), 16, 56)
+    print(f"\ntwo-level vs best flat on Frontera 16x56:")
+    for coll, variants in two_level_variants().items():
+        for msg in (8, 4096, 1 << 20):
+            flat_t, flat_n = min(
+                (a.estimate(machine, msg), n)
+                for n, a in algorithms(coll).items())
+            two_t, two_n = min((a.estimate(machine, msg), a.name)
+                               for a in variants)
+            winner = "two-level" if two_t < flat_t else "flat"
+            print(f"  {coll:<10} m={msg:>8} flat[{flat_n}]="
+                  f"{flat_t * 1e6:10.1f}us  "
+                  f"2lvl[{two_n}]={two_t * 1e6:10.1f}us  -> {winner}")
+
+
+if __name__ == "__main__":
+    ml_on_new_collectives()
+    two_level_vs_flat()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: train a PML-MPI selector and pick collective algorithms.
+
+Collects a small benchmark dataset on three of the paper's clusters
+(simulated), trains the pre-trained Random-Forest selector, and asks it
+for algorithm choices on a cluster it has never seen.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import collect_dataset, offline_train
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+from repro.smpi import measured_time
+
+
+def main() -> None:
+    # 1. Offline stage: benchmark three small clusters and train.
+    #    (The full 18-cluster campaign is collect_dataset() with no
+    #    arguments; it is cached on disk after the first run.)
+    clusters = [get_cluster(n) for n in ("RI", "Ray", "Frontera RTX")]
+    print("collecting benchmark dataset (simulated clusters)...")
+    dataset = collect_dataset(clusters=clusters)
+    print(f"  {len(dataset)} records, labels: "
+          f"{dataset.label_distribution()}")
+
+    selector = offline_train(dataset)
+    for coll, model in selector.models.items():
+        print(f"  {coll}: top features {model.feature_names}")
+
+    # 2. Online stage: constant-time selection on an unseen cluster.
+    spec = get_cluster("Sierra")
+    machine = Machine(spec, nodes=4, ppn=16)
+    print(f"\nalgorithm choices on unseen cluster {spec.name} "
+          f"({machine.nodes} nodes x {machine.ppn} ppn):")
+    print(f"{'collective':<10} {'msg size':>9} {'chosen':>20} "
+          f"{'runtime':>12}")
+    for coll in ("allgather", "alltoall"):
+        for msg in (16, 4096, 1 << 20):
+            algo = selector.select(coll, machine, msg)
+            t = measured_time(machine, coll, algo, msg)
+            print(f"{coll:<10} {msg:>9} {algo:>20} {t * 1e6:>10.1f}us")
+
+
+if __name__ == "__main__":
+    main()

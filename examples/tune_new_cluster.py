@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compile-time tuning of a brand-new cluster (the paper's Fig. 4 flow).
+
+Trains the shipped model with MRI held out, then plays the part of an
+MPI library being compiled on MRI for the first time:
+
+1. no tuning table exists -> hardware features are extracted from the
+   (synthetic) ``lscpu``/``ibstat``/``lspci`` output, the pre-trained
+   model is batch-inferred, and a JSON tuning table is written;
+2. a second compilation finds the table and skips the ML path;
+3. the resulting selector is compared against MVAPICH defaults and the
+   exhaustive-benchmarking oracle on MRI.
+
+Run:  python examples/tune_new_cluster.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import PmlMpiFramework, collect_dataset, offline_train
+from repro.hwmodel import cluster_features, get_cluster
+from repro.apps import run_sweep, speedup_summary
+from repro.smpi import MvapichDefaultSelector, OracleSelector
+
+
+def main() -> None:
+    print("offline stage: training with MRI held out...")
+    dataset = collect_dataset()  # full 18-cluster campaign (cached)
+    train = dataset.filter(clusters=set(dataset.clusters()) - {"MRI"})
+    selector = offline_train(train)
+
+    mri = get_cluster("MRI")
+    feats = cluster_features(mri)
+    print(f"\nextracted hardware features of {mri.name}:")
+    print(f"  clock={feats.cpu_max_clock_ghz} GHz, "
+          f"L3={feats.l3_cache_mib} MiB, "
+          f"membw={feats.memory_bandwidth_gbs} GB/s, "
+          f"link={feats.link_speed_gbps} Gb/s x{feats.link_width}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fw = PmlMpiFramework(selector, Path(tmp))
+
+        t0 = time.perf_counter()
+        table_selector = fw.setup_cluster(mri)
+        first = time.perf_counter() - t0
+        print(f"\nfirst compilation: generated tuning table in "
+              f"{first * 1e3:.1f} ms -> {fw.table_path('MRI').name}")
+
+        t0 = time.perf_counter()
+        fw.setup_cluster(mri)
+        second = time.perf_counter() - t0
+        print(f"second compilation: loaded existing table in "
+              f"{second * 1e3:.1f} ms (ML path bypassed)")
+
+        print("\nruntime comparison on MRI (8 nodes x 64 ppn):")
+        for coll in ("allgather", "alltoall"):
+            ours = run_sweep(mri, coll, 8, 64, table_selector)
+            default = run_sweep(mri, coll, 8, 64,
+                                MvapichDefaultSelector())
+            oracle = run_sweep(mri, coll, 8, 64, OracleSelector())
+            vs_def = speedup_summary(default, ours)
+            vs_orc = speedup_summary(oracle, ours)
+            print(f"  {coll:<10} vs MVAPICH default: "
+                  f"{vs_def['total_time_speedup']:.3f}x | "
+                  f"slowdown vs oracle: "
+                  f"{(1 / vs_orc['total_time_speedup'] - 1) * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

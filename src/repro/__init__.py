@@ -1,0 +1,33 @@
+"""repro — a full reproduction of *PML-MPI: A Pre-Trained ML Framework for
+Efficient Collective Algorithm Selection in MPI* (Han et al., IPDPS 2024).
+
+Subpackages
+-----------
+hwmodel
+    Hardware specs for the paper's 18 clusters, synthetic system probes,
+    and the hardware feature-extraction script.
+simcluster
+    Discrete-event cluster/network simulator (the stand-in for physical
+    testbeds).
+smpi
+    Simulated MPI library: communicators, point-to-point messaging, and
+    the nine flat collective algorithms of MVAPICH, plus the
+    MVAPICH/Open MPI default heuristics and tuning-table machinery.
+ml
+    From-scratch NumPy machine-learning library (CART, Random Forest,
+    Gradient Boosting, KNN, SVM, metrics, model selection).
+core
+    PML-MPI itself: dataset collection, train/test splits, the offline
+    training pipeline, constant-time online inference, and the
+    startup-overhead models.
+apps
+    OSU-microbenchmark-style driver and Gromacs/MiniFE application
+    proxies.
+"""
+
+__version__ = "1.0.0"
+
+from . import apps, core, hwmodel, ml, simcluster, smpi  # noqa: F401
+
+__all__ = ["apps", "core", "hwmodel", "ml", "simcluster", "smpi",
+           "__version__"]

@@ -1,0 +1,26 @@
+"""Applications: the OMB-style microbenchmark driver and the
+Gromacs/MiniFE proxies of the paper's evaluation."""
+
+from .base import ApplicationProxy, AppResult, strong_scaling
+from .gromacs import GromacsProxy
+from .microbench import (
+    SweepPoint,
+    SweepResult,
+    compare_selectors,
+    run_sweep,
+    speedup_summary,
+)
+from .minife import MiniFEProxy
+
+__all__ = [
+    "AppResult",
+    "ApplicationProxy",
+    "GromacsProxy",
+    "MiniFEProxy",
+    "SweepPoint",
+    "SweepResult",
+    "compare_selectors",
+    "run_sweep",
+    "speedup_summary",
+    "strong_scaling",
+]

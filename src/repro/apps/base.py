@@ -1,0 +1,97 @@
+"""Shared machinery for application proxies (paper Section VI-B).
+
+An application proxy models one timestep/iteration as a mix of
+
+* **compute** — scaled by the problem size, process count, and the
+  node's clock (a simple flop-rate model; compute is selector-invariant
+  and only sets the communication-to-computation ratio),
+* **collectives** — the MPI_Allgather/MPI_Alltoall calls the real
+  application issues, priced through the same measurement path as the
+  microbenchmarks and *dependent on the algorithm selector*,
+* **point-to-point** — halo exchanges etc., selector-invariant.
+
+This isolates exactly what the paper's Fig. 13 measures: how much of an
+application's runtime a better collective-algorithm selection recovers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..hwmodel.specs import ClusterSpec
+from ..simcluster.machine import Machine
+from ..smpi.heuristics import AlgorithmSelector
+from ..smpi.tuning import measured_time
+
+
+@dataclass
+class AppResult:
+    """Runtime breakdown of one proxy run."""
+
+    app: str
+    cluster: str
+    nodes: int
+    ppn: int
+    selector: str
+    steps: int
+    compute_s: float = 0.0
+    collective_s: float = 0.0
+    p2p_s: float = 0.0
+    collective_calls: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.collective_s + self.p2p_s
+
+    @property
+    def comm_fraction(self) -> float:
+        total = self.total_s
+        return (self.collective_s + self.p2p_s) / total if total else 0.0
+
+
+class ApplicationProxy(abc.ABC):
+    """Base class: subclasses describe one timestep's work."""
+
+    name: str
+
+    @abc.abstractmethod
+    def step_compute_seconds(self, machine: Machine) -> float:
+        """Selector-invariant compute per step, already divided by p."""
+
+    @abc.abstractmethod
+    def step_collectives(self, machine: Machine
+                         ) -> list[tuple[str, int, float]]:
+        """(collective, msg_size, calls_per_step) issued each step."""
+
+    def step_p2p_seconds(self, machine: Machine) -> float:
+        """Selector-invariant point-to-point time per step (default 0)."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def run(self, spec: ClusterSpec, nodes: int, ppn: int,
+            selector: AlgorithmSelector, steps: int = 100) -> AppResult:
+        """Price *steps* timesteps under *selector*."""
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        machine = Machine(spec, nodes, ppn)
+        result = AppResult(app=self.name, cluster=spec.name, nodes=nodes,
+                           ppn=ppn, selector=selector.describe(),
+                           steps=steps)
+        result.compute_s = self.step_compute_seconds(machine) * steps
+        result.p2p_s = self.step_p2p_seconds(machine) * steps
+        for collective, msg, calls in self.step_collectives(machine):
+            algo = selector.select(collective, machine, msg)
+            t = measured_time(machine, collective, algo, msg)
+            result.collective_s += t * calls * steps
+            result.collective_calls[f"{collective}@{msg}"] = algo
+        return result
+
+
+def strong_scaling(app: ApplicationProxy, spec: ClusterSpec,
+                   process_counts: list[tuple[int, int]],
+                   selector: AlgorithmSelector,
+                   steps: int = 100) -> list[AppResult]:
+    """Run the proxy over a list of (nodes, ppn) allocations."""
+    return [app.run(spec, nodes, ppn, selector, steps)
+            for nodes, ppn in process_counts]

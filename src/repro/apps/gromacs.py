@@ -1,0 +1,67 @@
+"""Gromacs BenchMEM proxy (paper Section VI-B, Fig. 13).
+
+Models the communication structure of Gromacs' MD step with PME
+electrostatics on the BenchMEM benchmark system (~82k atoms,
+Kutzner et al. benchmark set):
+
+* short-range force computation — O(atoms / p) flops,
+* PME 3D-FFT — two grid transposes per step, each an MPI_Alltoall of
+  ``grid_bytes / p^2`` per pair (the canonical pencil-decomposition
+  volume),
+* global energy/virial reduction — one tiny MPI_Allgather per step
+  (allreduce built on allgather in our flat-collective library).
+
+The per-pair Alltoall message shrinks quadratically with p while the
+latency terms grow, which is exactly why BenchMEM stops strong-scaling
+around two hundred processes (paper Fig. 13) — and why algorithm
+selection matters most near that knee.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..simcluster.machine import Machine
+from .base import ApplicationProxy
+
+
+class GromacsProxy(ApplicationProxy):
+    """BenchMEM-like MD step cost model."""
+
+    name = "gromacs"
+
+    #: Interaction cost per atom per step (flops) — calibrated so the
+    #: strong-scaling knee lands near ~224 processes on Frontera, as in
+    #: the paper's BenchMEM runs.
+    FLOPS_PER_ATOM = 15_000.0
+    #: Sustained flop rate per core per GHz of max clock.
+    FLOPS_PER_GHZ = 4.0e9
+
+    def __init__(self, atoms: int = 81_743, fft_grid: int = 96) -> None:
+        if atoms < 1 or fft_grid < 2:
+            raise ValueError("atoms and fft_grid must be positive")
+        self.atoms = atoms
+        self.fft_grid = fft_grid
+
+    @property
+    def grid_bytes(self) -> float:
+        """Total PME grid size (complex doubles)."""
+        return float(self.fft_grid**3 * 16)
+
+    def step_compute_seconds(self, machine: Machine) -> float:
+        rate = self.FLOPS_PER_GHZ * machine.spec.node.cpu.max_clock_ghz
+        force = self.atoms * self.FLOPS_PER_ATOM / (machine.p * rate)
+        # FFT compute: 5 V log2 V flops over the grid, spread over p.
+        v = self.fft_grid**3
+        fft = 5.0 * v * math.log2(v) * 2 / (machine.p * rate)
+        return force + fft
+
+    def step_collectives(self, machine: Machine
+                         ) -> list[tuple[str, int, float]]:
+        # Two FFT transposes per step (forward + inverse), each an
+        # alltoall of grid_bytes / p^2 per pair (min 16 B).
+        per_pair = max(16, int(self.grid_bytes / machine.p**2))
+        return [
+            ("alltoall", per_pair, 2.0),
+            ("allgather", 8, 1.0),  # energy/virial reduction
+        ]

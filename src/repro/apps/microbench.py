@@ -1,0 +1,105 @@
+"""OSU-Micro-Benchmark-style collective benchmark driver.
+
+Mirrors ``osu_allgather`` / ``osu_alltoall``: a message-size sweep where
+each point is the average of timed iterations after warmup, run under a
+pluggable algorithm selector.  This is the measurement layer behind the
+paper's Figs. 8-12: the same sweep is executed once per selector
+(proposed / MVAPICH default / Open MPI default / random / oracle) and
+the per-size runtimes are compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hwmodel.specs import ClusterSpec
+from ..simcluster.machine import Machine
+from ..smpi.heuristics import AlgorithmSelector
+from ..smpi.tuning import DEFAULT_ITERATIONS, measured_time
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (message size, runtime) measurement."""
+
+    msg_size: int
+    algorithm: str
+    avg_time_s: float
+
+
+@dataclass
+class SweepResult:
+    """A full message-size sweep under one selector."""
+
+    cluster: str
+    collective: str
+    nodes: int
+    ppn: int
+    selector: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def times(self) -> np.ndarray:
+        return np.array([p.avg_time_s for p in self.points])
+
+    def msg_sizes(self) -> np.ndarray:
+        return np.array([p.msg_size for p in self.points])
+
+    def total_time(self) -> float:
+        return float(self.times().sum())
+
+    def algorithm_at(self, msg_size: int) -> str:
+        for p in self.points:
+            if p.msg_size == msg_size:
+                return p.algorithm
+        raise KeyError(f"message size {msg_size} not in sweep")
+
+
+def run_sweep(spec: ClusterSpec, collective: str, nodes: int, ppn: int,
+              selector: AlgorithmSelector,
+              msg_sizes: tuple[int, ...] | None = None,
+              iterations: int = DEFAULT_ITERATIONS) -> SweepResult:
+    """osu_<collective> under *selector*: per size, ask the selector for
+    an algorithm, run the timed loop, report the average."""
+    machine = Machine(spec, nodes, ppn)
+    msg_sizes = msg_sizes or spec.msg_sizes
+    result = SweepResult(cluster=spec.name, collective=collective,
+                         nodes=nodes, ppn=ppn,
+                         selector=selector.describe())
+    for msg in msg_sizes:
+        algo = selector.select(collective, machine, msg)
+        t = measured_time(machine, collective, algo, msg, iterations)
+        result.points.append(SweepPoint(msg, algo, t))
+    return result
+
+
+def compare_selectors(spec: ClusterSpec, collective: str, nodes: int,
+                      ppn: int, selectors: dict[str, AlgorithmSelector],
+                      msg_sizes: tuple[int, ...] | None = None
+                      ) -> dict[str, SweepResult]:
+    """Run the same sweep under several selectors (one Fig. 9/10 panel)."""
+    return {name: run_sweep(spec, collective, nodes, ppn, sel, msg_sizes)
+            for name, sel in selectors.items()}
+
+
+def speedup_summary(baseline: SweepResult, proposed: SweepResult
+                    ) -> dict[str, float]:
+    """Aggregate comparison of two sweeps over the same sizes.
+
+    Returns mean/max per-size speedup of *proposed* over *baseline* and
+    the total-time speedup (the "average speedup" numbers quoted in the
+    paper's Section VII-C).
+    """
+    if [p.msg_size for p in baseline.points] != \
+            [p.msg_size for p in proposed.points]:
+        raise ValueError("sweeps cover different message sizes")
+    base = baseline.times()
+    prop = proposed.times()
+    per_size = base / prop
+    return {
+        "mean_speedup": float(per_size.mean()),
+        "max_speedup": float(per_size.max()),
+        "min_speedup": float(per_size.min()),
+        "total_time_speedup": float(base.sum() / prop.sum()),
+    }

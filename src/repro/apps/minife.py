@@ -1,0 +1,70 @@
+"""MiniFE proxy (paper Section VI-B, Fig. 13).
+
+Models the conjugate-gradient solve of the Mini Finite-Element proxy
+app on an ``nx^3`` hexahedral mesh (27-point stencil):
+
+* SpMV + vector updates — memory-bandwidth-bound compute, O(rows / p),
+* two dot products per CG iteration — tiny MPI_Allgather-based
+  allreduces (8 B per rank), the latency-sensitive collective that
+  dominates MiniFE's communication at scale,
+* one residual-norm check per iteration — another 8 B allgather,
+* face halo exchanges — neighbour point-to-point, selector-invariant,
+  priced from the machine's network parameters.
+"""
+
+from __future__ import annotations
+
+from ..simcluster.machine import Machine
+from .base import ApplicationProxy
+
+
+class MiniFEProxy(ApplicationProxy):
+    """CG iteration cost model for miniFE."""
+
+    name = "minife"
+
+    #: 27-point stencil: nonzeros per row.
+    NNZ_PER_ROW = 27
+    #: Bytes of matrix data streamed per nonzero (value + index).
+    BYTES_PER_NNZ = 12.0
+    #: Fraction of STREAM bandwidth a single core sustains on SpMV.
+    SPMV_EFFICIENCY = 0.35
+
+    def __init__(self, nx: int = 128) -> None:
+        if nx < 2:
+            raise ValueError("nx must be >= 2")
+        self.nx = nx
+
+    @property
+    def rows(self) -> int:
+        return self.nx**3
+
+    def step_compute_seconds(self, machine: Machine) -> float:
+        """One CG iteration's local compute: SpMV + 3 AXPY-like sweeps,
+        all memory-bound against the rank's share of node bandwidth."""
+        mem = machine.spec.node.memory
+        per_rank_bw = (mem.bandwidth_gbs * 1e9 * self.SPMV_EFFICIENCY
+                       / machine.ppn)
+        local_rows = self.rows / machine.p
+        spmv_bytes = local_rows * self.NNZ_PER_ROW * self.BYTES_PER_NNZ
+        vector_bytes = 3 * 3 * 8 * local_rows  # 3 AXPYs, 3 streams each
+        return (spmv_bytes + vector_bytes) / per_rank_bw
+
+    def step_collectives(self, machine: Machine
+                         ) -> list[tuple[str, int, float]]:
+        # Two dot products + one norm per CG iteration, each an 8-byte
+        # allgather-based allreduce.
+        return [("allgather", 8, 3.0)]
+
+    def step_p2p_seconds(self, machine: Machine) -> float:
+        """Six face halo exchanges per iteration (selector-invariant)."""
+        face_points = (self.rows / machine.p) ** (2.0 / 3.0)
+        face_bytes = face_points * 8.0
+        prm = machine.params
+        # Faces alternate intra/inter under block placement; charge the
+        # worst case (inter) for half of them when the job spans nodes.
+        if machine.nodes > 1:
+            inter = prm.inter_point_time(face_bytes)
+            intra = prm.intra_pair_time(face_bytes, machine.ppn)
+            return 3.0 * inter + 3.0 * intra
+        return 6.0 * prm.intra_pair_time(face_bytes, machine.ppn)

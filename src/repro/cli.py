@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+Mirrors how the paper's tooling would be driven in an MPI-library
+build system:
+
+``pml-mpi collect``
+    Run the benchmark campaign and cache the dataset.
+``pml-mpi train``
+    Train the shipped per-collective models and write the bundle.
+``pml-mpi tune``
+    Compile-time flow on one cluster: load bundle, emit JSON tuning
+    table (or reuse an existing one).
+``pml-mpi select``
+    One-off query: which algorithm for this collective/job/size?
+``pml-mpi sweep``
+    OSU-style sweep under a chosen selector, printed as a table.
+``pml-mpi info``
+    Show the cluster registry / extracted hardware features.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .apps.microbench import run_sweep
+from .core.bundle import load_selector, save_selector
+from .core.dataset import collect_dataset
+from .core.framework import PmlMpiFramework, offline_train
+from .hwmodel.extract import cluster_features
+from .hwmodel.registry import CLUSTER_NAMES, all_clusters, get_cluster
+from .simcluster.machine import Machine
+from .smpi.collectives.base import ALL_COLLECTIVES, COLLECTIVES
+from .smpi.heuristics import (
+    MvapichDefaultSelector,
+    OpenMpiDefaultSelector,
+    RandomSelector,
+)
+from .smpi.tuning import OracleSelector
+
+
+def _clusters_arg(names: list[str] | None):
+    if not names:
+        return None
+    return [get_cluster(n) for n in names]
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    dataset = collect_dataset(
+        clusters=_clusters_arg(args.clusters),
+        collectives=tuple(args.collectives),
+        progress=not args.quiet,
+        workers=args.workers,
+    )
+    print(f"collected {len(dataset)} records over "
+          f"{len(dataset.clusters())} clusters")
+    for label, count in dataset.label_distribution().items():
+        print(f"  {label:<22} {count}")
+    if args.output:
+        path = dataset.save(args.output)
+        print(f"saved to {path}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    dataset = collect_dataset(clusters=_clusters_arg(args.clusters),
+                              collectives=tuple(args.collectives))
+    if args.exclude:
+        keep = set(dataset.clusters()) - set(args.exclude)
+        dataset = dataset.filter(clusters=keep)
+        print(f"training with {sorted(args.exclude)} held out "
+              f"({len(dataset)} records)")
+    selector = offline_train(dataset, family=args.family,
+                             collectives=tuple(args.collectives),
+                             tune=args.tune)
+    for coll, model in selector.models.items():
+        print(f"{coll}: family={model.family} "
+              f"features={model.feature_names}")
+    path = save_selector(selector, args.bundle)
+    print(f"bundle written to {path}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    selector = load_selector(args.bundle)
+    framework = PmlMpiFramework(selector, args.table_dir)
+    spec = get_cluster(args.cluster)
+    existed = framework.has_table(spec.name)
+    framework.setup_cluster(spec, force_regenerate=args.force)
+    path = framework.table_path(spec.name)
+    verb = "reused" if existed and not args.force else "generated"
+    print(f"{verb} tuning table: {path}")
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    selector = load_selector(args.bundle)
+    machine = Machine(get_cluster(args.cluster), args.nodes, args.ppn)
+    algo = selector.select(args.collective, machine, args.msg_size)
+    print(algo)
+    return 0
+
+
+_SELECTORS = {
+    "mvapich": MvapichDefaultSelector,
+    "ompi": OpenMpiDefaultSelector,
+    "random": RandomSelector,
+    "oracle": OracleSelector,
+}
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.selector == "pml":
+        if not args.bundle:
+            print("--bundle is required with --selector pml",
+                  file=sys.stderr)
+            return 2
+        selector = load_selector(args.bundle)
+    else:
+        selector = _SELECTORS[args.selector]()
+    spec = get_cluster(args.cluster)
+    result = run_sweep(spec, args.collective, args.nodes, args.ppn,
+                       selector)
+    print(f"# {args.collective} on {spec.name} "
+          f"({args.nodes} nodes x {args.ppn} ppn), "
+          f"selector={result.selector}")
+    print(f"{'size':>10} {'avg_time_us':>14} {'algorithm':>22}")
+    for point in result.points:
+        print(f"{point.msg_size:>10} {point.avg_time_s * 1e6:>14.2f} "
+              f"{point.algorithm:>22}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    if args.cluster:
+        spec = get_cluster(args.cluster)
+        feats = cluster_features(spec)
+        print(spec.describe())
+        for name in type(feats).__dataclass_fields__:
+            print(f"  {name:<24} {getattr(feats, name)}")
+    else:
+        for spec in all_clusters():
+            print(spec.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pml-mpi",
+        description="PML-MPI: pre-trained collective algorithm "
+                    "selection (paper reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("collect", help="run the benchmark campaign")
+    p.add_argument("--clusters", nargs="*", choices=CLUSTER_NAMES,
+                   metavar="NAME")
+    p.add_argument("--collectives", nargs="*", default=list(COLLECTIVES),
+                   choices=ALL_COLLECTIVES)
+    p.add_argument("--output", type=Path,
+                   help="also save the dataset to this path")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel collection processes")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_collect)
+
+    p = sub.add_parser("train", help="train and write the model bundle")
+    p.add_argument("bundle", type=Path, help="output bundle path")
+    p.add_argument("--clusters", nargs="*", choices=CLUSTER_NAMES,
+                   metavar="NAME")
+    p.add_argument("--exclude", nargs="*", default=[],
+                   choices=CLUSTER_NAMES, metavar="NAME",
+                   help="clusters to hold out of training")
+    p.add_argument("--collectives", nargs="*", default=list(COLLECTIVES),
+                   choices=ALL_COLLECTIVES)
+    p.add_argument("--family", default="rf",
+                   choices=("rf", "gradientboost", "knn", "svm"))
+    p.add_argument("--tune", action="store_true",
+                   help="grid-search hyperparameters (slow)")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("tune", help="emit a cluster's tuning table")
+    p.add_argument("cluster", choices=CLUSTER_NAMES)
+    p.add_argument("--bundle", type=Path, required=True)
+    p.add_argument("--table-dir", type=Path, default=Path("tuning_tables"))
+    p.add_argument("--force", action="store_true",
+                   help="regenerate even if a table exists")
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("select", help="query one algorithm choice")
+    p.add_argument("cluster", choices=CLUSTER_NAMES)
+    p.add_argument("collective", choices=ALL_COLLECTIVES)
+    p.add_argument("nodes", type=int)
+    p.add_argument("ppn", type=int)
+    p.add_argument("msg_size", type=int)
+    p.add_argument("--bundle", type=Path, required=True)
+    p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser("sweep", help="OSU-style message-size sweep")
+    p.add_argument("cluster", choices=CLUSTER_NAMES)
+    p.add_argument("collective", choices=ALL_COLLECTIVES)
+    p.add_argument("nodes", type=int)
+    p.add_argument("ppn", type=int)
+    p.add_argument("--selector", default="oracle",
+                   choices=("pml", *_SELECTORS))
+    p.add_argument("--bundle", type=Path)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("info", help="cluster registry / features")
+    p.add_argument("cluster", nargs="?", choices=CLUSTER_NAMES)
+    p.set_defaults(func=cmd_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""PML-MPI core: dataset collection, splits, offline training, online
+inference, the compile-time framework, and startup-overhead models."""
+
+from .bundle import (
+    dump_trained_model,
+    load_selector,
+    load_trained_model,
+    save_selector,
+)
+from .dataset import (
+    CollectiveRecord,
+    TuningDataset,
+    benchmark_config,
+    collect_dataset,
+    feasible_configs,
+)
+from .features import (
+    ALL_FEATURE_NAMES,
+    DEFAULT_TOP_K,
+    MPI_FEATURE_NAMES,
+    feature_matrix,
+    feature_vector,
+    select_top_k,
+)
+from .framework import PmlMpiFramework, offline_train
+from .inference import (
+    InferenceReport,
+    PretrainedSelector,
+    generate_tuning_table,
+    inference_latency,
+)
+from .overhead import (
+    acclaim_core_hours,
+    microbenchmark_core_hours,
+    overhead_curves,
+    pml_core_hours,
+)
+from .splits import (
+    DEFAULT_HELDOUT_CLUSTERS,
+    cluster_split,
+    node_split,
+    random_split,
+    split_dataset,
+)
+from .training import (
+    MODEL_FAMILIES,
+    TrainedModel,
+    compare_models,
+    feature_importance_report,
+    rank_features,
+    train_model,
+)
+
+__all__ = [
+    "ALL_FEATURE_NAMES",
+    "DEFAULT_HELDOUT_CLUSTERS",
+    "DEFAULT_TOP_K",
+    "MODEL_FAMILIES",
+    "MPI_FEATURE_NAMES",
+    "CollectiveRecord",
+    "InferenceReport",
+    "PmlMpiFramework",
+    "PretrainedSelector",
+    "TrainedModel",
+    "TuningDataset",
+    "acclaim_core_hours",
+    "benchmark_config",
+    "cluster_split",
+    "collect_dataset",
+    "compare_models",
+    "dump_trained_model",
+    "load_selector",
+    "load_trained_model",
+    "save_selector",
+    "feasible_configs",
+    "feature_importance_report",
+    "feature_matrix",
+    "feature_vector",
+    "generate_tuning_table",
+    "inference_latency",
+    "microbenchmark_core_hours",
+    "node_split",
+    "offline_train",
+    "overhead_curves",
+    "pml_core_hours",
+    "random_split",
+    "rank_features",
+    "select_top_k",
+    "split_dataset",
+    "train_model",
+]

@@ -1,0 +1,81 @@
+"""Pre-trained model bundles — the artifact shipped with the MPI library.
+
+The paper's deployment story is that the vendor trains once and ships
+the model inside the MVAPICH release; end users never train.  A
+*bundle* is that shippable artifact: one JSON file holding the fitted
+per-collective models, their selected features, scalers, and training
+metadata.  ``save_selector`` / ``load_selector`` round-trip a
+:class:`~repro.core.inference.PretrainedSelector` through it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..ml.serialize import FORMAT_VERSION, dump_model, load_model
+from .inference import PretrainedSelector
+from .training import TrainedModel
+
+BUNDLE_VERSION = 1
+
+
+def dump_trained_model(model: TrainedModel) -> dict[str, Any]:
+    """Serialize one TrainedModel to a JSON-compatible dict."""
+    return {
+        "collective": model.collective,
+        "family": model.family,
+        "feature_names": list(model.feature_names),
+        "model": dump_model(model.model),
+        "scaler": (dump_model(model.scaler)
+                   if model.scaler is not None else None),
+        "importances_full": (list(map(float, model.importances_full))
+                             if model.importances_full is not None
+                             else None),
+        "metadata": model.metadata,
+    }
+
+
+def load_trained_model(data: dict[str, Any]) -> TrainedModel:
+    """Inverse of :func:`dump_trained_model`."""
+    import numpy as np
+
+    return TrainedModel(
+        collective=data["collective"],
+        family=data["family"],
+        model=load_model(data["model"]),
+        feature_names=tuple(data["feature_names"]),
+        scaler=(load_model(data["scaler"])
+                if data["scaler"] is not None else None),
+        importances_full=(np.asarray(data["importances_full"])
+                          if data["importances_full"] is not None
+                          else None),
+        metadata=dict(data["metadata"]),
+    )
+
+
+def save_selector(selector: PretrainedSelector,
+                  path: str | Path) -> Path:
+    """Write the shippable model bundle."""
+    payload = {
+        "bundle_version": BUNDLE_VERSION,
+        "model_format_version": FORMAT_VERSION,
+        "models": {coll: dump_trained_model(m)
+                   for coll, m in selector.models.items()},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_selector(path: str | Path) -> PretrainedSelector:
+    """Load a bundle written by :func:`save_selector`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("bundle_version")
+    if version != BUNDLE_VERSION:
+        raise ValueError(f"unsupported bundle version {version}")
+    models = {coll: load_trained_model(d)
+              for coll, d in payload["models"].items()}
+    return PretrainedSelector(models)

@@ -1,0 +1,249 @@
+"""Dataset collection: the paper's Table I benchmark campaign, run on
+the simulator.
+
+For every cluster in the registry and every (collective, #nodes, PPN,
+message size) in its sampled grid, all candidate algorithms are measured
+(OMB-style averaged iterations, :func:`repro.smpi.tuning.measured_time`)
+and the fastest becomes the record's label.  Configurations with fewer
+than two ranks, or whose buffers do not fit node memory, are dropped —
+the same holes that keep the paper's per-cluster sample counts slightly
+below the full grid.
+
+Collection over 18 clusters takes a couple of minutes, so results are
+cached as gzipped JSON-lines under ``~/.cache/pml_mpi`` (override with
+``PML_MPI_CACHE`` or the ``cache_dir`` argument).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..hwmodel.registry import all_clusters, get_cluster
+from ..hwmodel.specs import ClusterSpec
+from ..simcluster.machine import Machine
+from ..smpi.collectives import base
+from ..smpi.collectives.base import COLLECTIVES
+from ..smpi.tuning import measured_time
+from .features import ALL_FEATURE_NAMES, feature_vector
+
+#: Bump when the cost model or grids change incompatibly.
+DATASET_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """One benchmarked configuration with per-algorithm timings."""
+
+    cluster: str
+    collective: str
+    nodes: int
+    ppn: int
+    msg_size: int
+    times: dict[str, float]  # algorithm -> measured seconds
+
+    @property
+    def label(self) -> str:
+        """The fastest algorithm (the classification target)."""
+        return min(self.times, key=self.times.__getitem__)
+
+    @property
+    def best_time(self) -> float:
+        return min(self.times.values())
+
+
+@dataclass
+class TuningDataset:
+    """A list of records plus feature-matrix assembly."""
+
+    records: list[CollectiveRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- filtering -------------------------------------------------------
+    def filter(self, collective: str | None = None,
+               clusters: set[str] | None = None,
+               max_nodes: int | None = None,
+               min_nodes: int | None = None) -> "TuningDataset":
+        """Subset by collective, cluster membership, or node range."""
+        out = []
+        for r in self.records:
+            if collective is not None and r.collective != collective:
+                continue
+            if clusters is not None and r.cluster not in clusters:
+                continue
+            if max_nodes is not None and r.nodes > max_nodes:
+                continue
+            if min_nodes is not None and r.nodes < min_nodes:
+                continue
+            out.append(r)
+        return TuningDataset(out)
+
+    def clusters(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.cluster, None)
+        return tuple(seen)
+
+    def counts_by_cluster(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.cluster] = out.get(r.cluster, 0) + 1
+        return out
+
+    def label_distribution(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.label] = out.get(r.label, 0) + 1
+        return dict(sorted(out.items()))
+
+    # -- matrix form -------------------------------------------------------
+    def feature_matrix(self) -> np.ndarray:
+        """(n, 14) matrix in :data:`ALL_FEATURE_NAMES` order."""
+        cache: dict[str, np.ndarray] = {}
+        out = np.empty((len(self.records), len(ALL_FEATURE_NAMES)))
+        for i, r in enumerate(self.records):
+            if r.cluster not in cache:
+                cache[r.cluster] = feature_vector(
+                    get_cluster(r.cluster), 1, 1, 0)[3:]
+            out[i, :3] = (float(r.nodes), float(r.ppn), float(r.msg_size))
+            out[i, 3:] = cache[r.cluster]
+        return out
+
+    def labels(self) -> np.ndarray:
+        return np.array([r.label for r in self.records])
+
+    # -- (de)serialization -------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with gzip.open(path, "wt") as fh:
+            for r in self.records:
+                fh.write(json.dumps({
+                    "cluster": r.cluster, "collective": r.collective,
+                    "nodes": r.nodes, "ppn": r.ppn,
+                    "msg_size": r.msg_size, "times": r.times,
+                }) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningDataset":
+        records = []
+        with gzip.open(Path(path), "rt") as fh:
+            for line in fh:
+                d = json.loads(line)
+                records.append(CollectiveRecord(
+                    cluster=d["cluster"], collective=d["collective"],
+                    nodes=int(d["nodes"]), ppn=int(d["ppn"]),
+                    msg_size=int(d["msg_size"]),
+                    times={k: float(v) for k, v in d["times"].items()}))
+        return cls(records)
+
+
+def feasible_configs(spec: ClusterSpec, collective: str
+                     ) -> list[tuple[int, int, int]]:
+    """The (nodes, ppn, msg) grid of one cluster after feasibility
+    filtering (>= 2 ranks; buffers fit memory for every algorithm)."""
+    out = []
+    algos = list(base.algorithms(collective).values())
+    for nodes in spec.node_counts:
+        for ppn in spec.ppn_values:
+            p = nodes * ppn
+            if p < 2:
+                continue
+            machine = Machine(spec, nodes, ppn)
+            for msg in spec.msg_sizes:
+                need = max(a.buffer_bytes(p, msg) for a in algos)
+                if machine.fits_memory(need):
+                    out.append((nodes, ppn, msg))
+    return out
+
+
+def benchmark_config(spec: ClusterSpec, collective: str, nodes: int,
+                     ppn: int, msg_size: int) -> CollectiveRecord:
+    """Measure every algorithm of *collective* at one configuration."""
+    machine = Machine(spec, nodes, ppn)
+    times = {
+        name: measured_time(machine, collective, name, msg_size)
+        for name in base.algorithm_names(collective)
+    }
+    return CollectiveRecord(spec.name, collective, nodes, ppn,
+                            msg_size, times)
+
+
+def _cache_dir(cache_dir: str | Path | None) -> Path:
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get("PML_MPI_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "pml_mpi"
+
+
+def _collect_chunk(spec: ClusterSpec,
+                   collective: str) -> list[CollectiveRecord]:
+    """Benchmark one (cluster, collective) — the unit of parallelism.
+
+    Top-level so it pickles into worker processes; measurements are
+    pure functions of the configuration, so parallel collection is
+    bit-identical to serial.
+    """
+    return [benchmark_config(spec, collective, nodes, ppn, msg)
+            for nodes, ppn, msg in feasible_configs(spec, collective)]
+
+
+def collect_dataset(clusters: list[ClusterSpec] | None = None,
+                    collectives: tuple[str, ...] = COLLECTIVES,
+                    cache_dir: str | Path | None = None,
+                    use_cache: bool = True,
+                    progress: bool = False,
+                    workers: int | None = None) -> TuningDataset:
+    """The full Table I campaign (cached after the first run).
+
+    ``workers`` > 1 fans the (cluster, collective) chunks out over a
+    process pool; results are concatenated in deterministic chunk order
+    regardless of completion order.
+    """
+    if clusters is None:
+        clusters = all_clusters()
+    key = "-".join(sorted(c.name.replace(" ", "_") for c in clusters)) \
+        + "-" + "-".join(collectives)
+    digest = zlib.crc32(key.encode())
+    cache = _cache_dir(cache_dir) / \
+        f"dataset_v{DATASET_VERSION}_{digest:08x}.jsonl.gz"
+    if use_cache and cache.exists():
+        return TuningDataset.load(cache)
+
+    chunks = [(spec, collective) for spec in clusters
+              for collective in collectives]
+    records: list[CollectiveRecord] = []
+    if workers is not None and workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_collect_chunk, spec, coll)
+                       for spec, coll in chunks]
+            for (spec, coll), future in zip(chunks, futures):
+                chunk = future.result()
+                if progress:
+                    print(f"[collect] {spec.name}: {coll} "
+                          f"({len(chunk)} configs)")
+                records.extend(chunk)
+    else:
+        for spec, coll in chunks:
+            chunk = _collect_chunk(spec, coll)
+            if progress:
+                print(f"[collect] {spec.name}: {coll} "
+                      f"({len(chunk)} configs)")
+            records.extend(chunk)
+    dataset = TuningDataset(records)
+    if use_cache:
+        dataset.save(cache)
+    return dataset

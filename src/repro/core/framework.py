@@ -1,0 +1,74 @@
+"""The end-to-end PML-MPI framework (paper Figs. 3 and 4).
+
+Offline (done once, by the library vendor)::
+
+    dataset  = collect_dataset()              # Table I campaign
+    selector = offline_train(dataset)         # pre-trained models
+
+Online (at MPI-library compile time on each new cluster)::
+
+    framework = PmlMpiFramework(selector, table_dir="/etc/mpi/tuning")
+    runtime_selector = framework.setup_cluster(spec)
+
+``setup_cluster`` implements Fig. 4 exactly: if a tuning table for the
+cluster already exists it is loaded and the ML path is bypassed;
+otherwise hardware features are extracted, the pre-trained model is
+batch-inferred over the configuration grid, and the resulting JSON
+table is stored for every subsequent compilation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..hwmodel.specs import ClusterSpec
+from ..smpi.collectives.base import COLLECTIVES
+from ..smpi.tuning import TableSelector, TuningTable
+from .dataset import TuningDataset
+from .inference import PretrainedSelector, generate_tuning_table
+from .training import TrainedModel, train_model
+
+
+def offline_train(dataset: TuningDataset, family: str = "rf",
+                  collectives: tuple[str, ...] = COLLECTIVES,
+                  tune: bool = False, seed: int = 0) -> PretrainedSelector:
+    """Train the shipped per-collective models (offline stage, Fig. 3)."""
+    models: dict[str, TrainedModel] = {}
+    for collective in collectives:
+        models[collective] = train_model(dataset, collective,
+                                         family=family, tune=tune,
+                                         seed=seed)
+    return PretrainedSelector(models)
+
+
+class PmlMpiFramework:
+    """Compile-time tuning-table management (online stage, Fig. 4)."""
+
+    def __init__(self, selector: PretrainedSelector,
+                 table_dir: str | Path) -> None:
+        self.selector = selector
+        self.table_dir = Path(table_dir)
+        self.table_dir.mkdir(parents=True, exist_ok=True)
+
+    def table_path(self, cluster_name: str) -> Path:
+        safe = cluster_name.replace(" ", "_").replace("/", "_")
+        return self.table_dir / f"{safe}.tuning.json"
+
+    def has_table(self, cluster_name: str) -> bool:
+        return self.table_path(cluster_name).exists()
+
+    def setup_cluster(self, spec: ClusterSpec,
+                      force_regenerate: bool = False) -> TableSelector:
+        """Fig. 4: existing table -> load it; otherwise extract features,
+        infer, persist, and return the constant-time table selector."""
+        path = self.table_path(spec.name)
+        if path.exists() and not force_regenerate:
+            table = TuningTable.load(path)
+            if table.cluster != spec.name:
+                raise ValueError(
+                    f"table at {path} belongs to {table.cluster!r}, "
+                    f"expected {spec.name!r}")
+            return TableSelector(table)
+        report = generate_tuning_table(self.selector, spec)
+        report.table.save(path)
+        return TableSelector(report.table)

@@ -1,0 +1,112 @@
+"""Online inference (paper Fig. 4): constant-time tuning-table
+generation for a new cluster from the pre-trained model.
+
+``PretrainedSelector`` answers per-call queries (one model inference);
+``generate_tuning_table`` runs the compile-time flow — extract the new
+cluster's hardware features, batch-infer the full (nodes, ppn, msg)
+grid in one ``predict`` call, and emit the JSON tuning table the MPI
+runtime will look up in O(1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hwmodel.specs import ClusterSpec
+from ..simcluster.machine import Machine
+from ..smpi.heuristics import AlgorithmSelector
+from ..smpi.tuning import TuningTable
+from .features import feature_matrix, feature_vector
+from .training import TrainedModel
+
+
+class PretrainedSelector(AlgorithmSelector):
+    """Algorithm selector backed by pre-trained per-collective models."""
+
+    def __init__(self, models: dict[str, TrainedModel]) -> None:
+        for collective, model in models.items():
+            if model.collective != collective:
+                raise ValueError(
+                    f"model for {model.collective} registered under "
+                    f"{collective}")
+        self.models = dict(models)
+
+    def select(self, collective: str, machine: Machine,
+               msg_size: int) -> str:
+        try:
+            model = self.models[collective]
+        except KeyError:
+            raise KeyError(
+                f"no pre-trained model for {collective}; have "
+                f"{', '.join(self.models)}") from None
+        X = feature_vector(machine.spec, machine.nodes, machine.ppn,
+                           msg_size)[None, :]
+        return str(model.predict(X)[0])
+
+    def describe(self) -> str:
+        families = {c: m.family for c, m in self.models.items()}
+        return f"PretrainedSelector({families})"
+
+
+@dataclass
+class InferenceReport:
+    """Outcome of one compile-time tuning-table generation."""
+
+    table: TuningTable
+    n_configs: int
+    wall_seconds: float
+
+
+def generate_tuning_table(selector: PretrainedSelector, spec: ClusterSpec,
+                          collectives: tuple[str, ...] | None = None,
+                          node_counts: tuple[int, ...] | None = None,
+                          ppn_values: tuple[int, ...] | None = None,
+                          msg_sizes: tuple[int, ...] | None = None
+                          ) -> InferenceReport:
+    """Batch inference over a cluster's configuration grid.
+
+    Defaults to the cluster's own sampled grid (Table I), which is also
+    what the paper's framework enumerates at MPI compile time.  The
+    wall-clock time of this call is the *entire* per-cluster startup
+    overhead of PML-MPI (Fig. 7's flat line).
+    """
+    if collectives is None:
+        collectives = tuple(selector.models)
+    node_counts = node_counts or spec.node_counts
+    ppn_values = ppn_values or spec.ppn_values
+    msg_sizes = msg_sizes or spec.msg_sizes
+
+    t0 = time.perf_counter()
+    table = TuningTable(cluster=spec.name)
+    n_configs = 0
+    configs = [(nodes, ppn, msg)
+               for nodes in node_counts
+               for ppn in ppn_values if nodes * ppn >= 2
+               for msg in msg_sizes]
+    if not configs:
+        raise ValueError(f"no valid configurations for {spec.name}")
+    rows = [(spec, nodes, ppn, msg) for nodes, ppn, msg in configs]
+    X = feature_matrix(rows)
+    for collective in collectives:
+        model = selector.models[collective]
+        predictions = model.predict(X)
+        for (nodes, ppn, msg), algo in zip(configs, predictions):
+            table.add(collective, nodes, ppn, msg, str(algo))
+        n_configs += len(configs)
+    wall = time.perf_counter() - t0
+    return InferenceReport(table=table, n_configs=n_configs,
+                           wall_seconds=wall)
+
+
+def inference_latency(selector: PretrainedSelector, spec: ClusterSpec,
+                      repeats: int = 5) -> float:
+    """Median wall time of a full tuning-table generation (seconds) —
+    the quantity plotted for the proposed framework in Figs. 1/7."""
+    times = []
+    for _ in range(repeats):
+        report = generate_tuning_table(selector, spec)
+        times.append(report.wall_seconds)
+    return float(np.median(times))

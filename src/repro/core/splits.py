@@ -1,0 +1,84 @@
+"""The paper's three train/test split methodologies (Section V-D).
+
+* **random** — conventional 70/30 random split (Table III col 1),
+* **cluster** — hold out whole clusters, so test hardware was never
+  seen during training (col 2; also the protocol behind Figs. 9-11),
+* **node** — train on small node counts, test on larger ones (col 3;
+  the protocol behind Fig. 12).
+
+Each splitter returns (train_indices, test_indices) into a
+:class:`~repro.core.dataset.TuningDataset`'s record list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import TuningDataset
+
+#: Default held-out clusters for the cluster split: ~30% of the records,
+#: spread over CPU vendors and interconnects (the paper selects clusters
+#: "not exposed to the model", including its two eval systems).
+DEFAULT_HELDOUT_CLUSTERS = ("Frontera", "MRI", "Bebop", "Mayer", "LLNL")
+
+
+def random_split(dataset: TuningDataset, test_size: float = 0.3,
+                 seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """70/30 random split, stratified by label."""
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    labels = dataset.labels()
+    rng = np.random.default_rng(seed)
+    train_parts, test_parts = [], []
+    for label in np.unique(labels):
+        idx = rng.permutation(np.flatnonzero(labels == label))
+        n_test = int(round(len(idx) * test_size))
+        test_parts.append(idx[:n_test])
+        train_parts.append(idx[n_test:])
+    return (np.sort(np.concatenate(train_parts)),
+            np.sort(np.concatenate(test_parts)))
+
+
+def cluster_split(dataset: TuningDataset,
+                  test_clusters: tuple[str, ...] = DEFAULT_HELDOUT_CLUSTERS
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Hold out whole clusters; the model never sees their hardware."""
+    known = set(dataset.clusters())
+    missing = [c for c in test_clusters if c not in known]
+    if missing:
+        raise ValueError(f"test clusters absent from dataset: {missing}")
+    test_set = set(test_clusters)
+    is_test = np.array([r.cluster in test_set for r in dataset.records])
+    if is_test.all() or not is_test.any():
+        raise ValueError("cluster split left one side empty")
+    return np.flatnonzero(~is_test), np.flatnonzero(is_test)
+
+
+def node_split(dataset: TuningDataset, max_train_nodes: int = 8
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Train on records with ``nodes <= max_train_nodes``; test on the
+    rest (scaling generalization, paper Fig. 12)."""
+    nodes = np.array([r.nodes for r in dataset.records])
+    train = np.flatnonzero(nodes <= max_train_nodes)
+    test = np.flatnonzero(nodes > max_train_nodes)
+    if len(train) == 0 or len(test) == 0:
+        raise ValueError(
+            f"node split at {max_train_nodes} left one side empty "
+            f"(node counts: {sorted(set(nodes.tolist()))})")
+    return train, test
+
+
+def split_dataset(dataset: TuningDataset, method: str, **kwargs
+                  ) -> tuple[TuningDataset, TuningDataset]:
+    """Convenience wrapper returning two sub-datasets."""
+    if method == "random":
+        train_idx, test_idx = random_split(dataset, **kwargs)
+    elif method == "cluster":
+        train_idx, test_idx = cluster_split(dataset, **kwargs)
+    elif method == "node":
+        train_idx, test_idx = node_split(dataset, **kwargs)
+    else:
+        raise ValueError(f"unknown split method {method!r}")
+    records = dataset.records
+    return (TuningDataset([records[i] for i in train_idx]),
+            TuningDataset([records[i] for i in test_idx]))

@@ -1,0 +1,175 @@
+"""The offline training pipeline (paper Fig. 3, Sections V-A to V-D).
+
+Steps, per collective:
+
+1. rank all 14 features by Random-Forest Gini importance,
+2. keep the top 5,
+3. (optionally) grid-search hyperparameters with AUC-scored stratified
+   cross-validation,
+4. fit the final model.
+
+``compare_models`` reproduces Table II (RF vs GradientBoost vs KNN vs
+SVM after tuning); ``feature_importance_report`` reproduces Figs. 5-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..ml import (
+    SVC,
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    RandomForestClassifier,
+    StandardScaler,
+    accuracy_score,
+)
+from ..ml.model_selection import GridSearchCV
+from .dataset import TuningDataset
+from .features import (
+    ALL_FEATURE_NAMES,
+    DEFAULT_TOP_K,
+    feature_indices,
+    select_top_k,
+)
+
+#: Model families of Table II with their hyperparameter grids.  Grids
+#: are compact so tuned comparisons stay tractable; RF defaults below
+#: are already near-optimal for this dataset size.
+MODEL_FAMILIES: dict[str, tuple[type, dict[str, Any], dict[str, list]]] = {
+    "rf": (RandomForestClassifier,
+           {"n_estimators": 100, "random_state": 0},
+           {"max_depth": [None, 12], "max_features": [None, "sqrt"]}),
+    "gradientboost": (GradientBoostingClassifier,
+                      {"n_estimators": 80, "random_state": 0},
+                      {"max_depth": [2, 3], "learning_rate": [0.1, 0.3]}),
+    "knn": (KNeighborsClassifier, {},
+            {"n_neighbors": [3, 5, 9], "weights": ["uniform", "distance"]}),
+    "svm": (SVC, {"random_state": 0, "max_samples": 1500},
+            {"C": [1.0, 10.0], "gamma": ["scale", 0.5]}),
+}
+
+#: Families whose features must be standardized.
+SCALED_FAMILIES = frozenset({"knn", "svm"})
+
+
+@dataclass
+class TrainedModel:
+    """A fitted selector model plus everything inference needs."""
+
+    collective: str
+    family: str
+    model: Any
+    feature_names: tuple[str, ...]
+    scaler: StandardScaler | None = None
+    importances_full: np.ndarray | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def feature_idx(self) -> np.ndarray:
+        return feature_indices(self.feature_names)
+
+    def _prepare(self, X_full: np.ndarray) -> np.ndarray:
+        X = np.asarray(X_full)[:, self.feature_idx]
+        if self.scaler is not None:
+            X = self.scaler.transform(X)
+        return X
+
+    def predict(self, X_full: np.ndarray) -> np.ndarray:
+        """Predict algorithm names from full 14-column feature rows."""
+        return self.model.predict(self._prepare(X_full))
+
+    def predict_proba(self, X_full: np.ndarray) -> np.ndarray:
+        return self.model.predict_proba(self._prepare(X_full))
+
+    def accuracy(self, dataset: TuningDataset) -> float:
+        return accuracy_score(dataset.labels(),
+                              self.predict(dataset.feature_matrix()))
+
+
+def rank_features(dataset: TuningDataset, collective: str,
+                  n_estimators: int = 100, seed: int = 0) -> np.ndarray:
+    """Gini importances of all 14 features for one collective
+    (Figs. 5-6), from a full-feature Random Forest."""
+    sub = dataset.filter(collective=collective)
+    if len(sub) == 0:
+        raise ValueError(f"no {collective} records in dataset")
+    rf = RandomForestClassifier(n_estimators=n_estimators, random_state=seed)
+    rf.fit(sub.feature_matrix(), sub.labels())
+    return rf.feature_importances_
+
+
+def feature_importance_report(dataset: TuningDataset, collective: str,
+                              seed: int = 0) -> list[tuple[str, float]]:
+    """(feature, importance) pairs sorted by importance descending."""
+    imp = rank_features(dataset, collective, seed=seed)
+    order = np.argsort(-imp, kind="stable")
+    return [(ALL_FEATURE_NAMES[i], float(imp[i])) for i in order]
+
+
+def train_model(dataset: TuningDataset, collective: str,
+                family: str = "rf", top_k: int = DEFAULT_TOP_K,
+                tune: bool = False, cv: int = 3,
+                feature_names: tuple[str, ...] | None = None,
+                seed: int = 0) -> TrainedModel:
+    """Fit one selector model on the training dataset.
+
+    ``feature_names=None`` runs the paper's top-k selection; pass an
+    explicit tuple to bypass it (used by the ablation benchmarks).
+    """
+    if family not in MODEL_FAMILIES:
+        raise ValueError(
+            f"unknown family {family!r}; known: "
+            f"{', '.join(MODEL_FAMILIES)}")
+    sub = dataset.filter(collective=collective)
+    if len(sub) == 0:
+        raise ValueError(f"no {collective} records in dataset")
+    X_full = sub.feature_matrix()
+    y = sub.labels()
+
+    importances = None
+    if feature_names is None:
+        importances = rank_features(dataset, collective, seed=seed)
+        feature_names = select_top_k(importances, top_k)
+    idx = feature_indices(feature_names)
+    X = X_full[:, idx]
+
+    scaler = None
+    if family in SCALED_FAMILIES:
+        scaler = StandardScaler().fit(X)
+        X = scaler.transform(X)
+
+    cls, defaults, grid = MODEL_FAMILIES[family]
+    if tune:
+        search = GridSearchCV(cls(**defaults), grid, scoring="auc",
+                              cv=cv, random_state=seed)
+        search.fit(X, y)
+        model = search.best_estimator_
+        meta = {"tuned": True, "best_params": search.best_params_,
+                "cv_auc": search.best_score_}
+    else:
+        model = cls(**defaults)
+        model.fit(X, y)
+        meta = {"tuned": False}
+
+    return TrainedModel(collective=collective, family=family, model=model,
+                        feature_names=tuple(feature_names), scaler=scaler,
+                        importances_full=importances, metadata=meta)
+
+
+def compare_models(train: TuningDataset, test: TuningDataset,
+                   collective: str, families: tuple[str, ...] | None = None,
+                   tune: bool = True, seed: int = 0
+                   ) -> dict[str, float]:
+    """Test accuracy per model family after tuning — Table II."""
+    if families is None:
+        families = tuple(MODEL_FAMILIES)
+    out: dict[str, float] = {}
+    for family in families:
+        model = train_model(train, collective, family=family, tune=tune,
+                            seed=seed)
+        out[family] = model.accuracy(test)
+    return out

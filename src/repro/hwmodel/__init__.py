@@ -1,0 +1,55 @@
+"""Hardware substrate: cluster specifications, synthetic system probes,
+and the feature-extraction script of PML-MPI's offline/online stages."""
+
+from .extract import (
+    HARDWARE_FEATURE_NAMES,
+    ExtractionError,
+    HardwareFeatures,
+    cluster_features,
+    extract_features,
+)
+from .probe import ProbeOutput, probe_cluster
+from .registry import (
+    CLUSTER_NAMES,
+    all_clusters,
+    get_cluster,
+    register_cluster,
+    training_clusters,
+    unregister_cluster,
+)
+from .specs import (
+    ClusterSpec,
+    CpuSpec,
+    CpuVendor,
+    InfinibandGeneration,
+    InterconnectFamily,
+    InterconnectSpec,
+    MemorySpec,
+    NodeSpec,
+    PcieSpec,
+)
+
+__all__ = [
+    "CLUSTER_NAMES",
+    "HARDWARE_FEATURE_NAMES",
+    "ClusterSpec",
+    "CpuSpec",
+    "CpuVendor",
+    "ExtractionError",
+    "HardwareFeatures",
+    "InfinibandGeneration",
+    "InterconnectFamily",
+    "InterconnectSpec",
+    "MemorySpec",
+    "NodeSpec",
+    "PcieSpec",
+    "ProbeOutput",
+    "all_clusters",
+    "cluster_features",
+    "extract_features",
+    "get_cluster",
+    "probe_cluster",
+    "register_cluster",
+    "training_clusters",
+    "unregister_cluster",
+]

@@ -1,0 +1,165 @@
+"""Hardware feature extraction (the paper's Fig. 3 extraction script).
+
+Parses the text output of the system probes (``lscpu``, ``ibstat``,
+``lspci``, ``/proc/meminfo``, STREAM) into the 11 hardware features the
+paper feeds to its ML model:
+
+    CPU max clock, L3 cache size, memory bandwidth, core count, thread
+    count, sockets, NUMA nodes, PCIe lanes, PCIe version, HCA link speed
+    and HCA link width.
+
+The parsers are deliberately written against the *text* formats, not the
+spec objects, so they exercise the same code path the paper runs on live
+clusters; :func:`extract_features` composes them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields
+
+from .probe import ProbeOutput, probe_cluster
+from .specs import ClusterSpec
+
+
+class ExtractionError(ValueError):
+    """A probe output did not contain an expected field."""
+
+
+@dataclass(frozen=True)
+class HardwareFeatures:
+    """The 11 hardware features of the paper, in a fixed order.
+
+    ``as_vector()`` yields them in declaration order; the feature-name
+    list used for importance plots is :data:`HARDWARE_FEATURE_NAMES`.
+    """
+
+    cpu_max_clock_ghz: float
+    l3_cache_mib: float
+    memory_bandwidth_gbs: float
+    core_count: int
+    thread_count: int
+    sockets: int
+    numa_nodes: int
+    pcie_lanes: int
+    pcie_version: float
+    link_speed_gbps: float  # per-lane effective data rate
+    link_width: int
+
+    def as_vector(self) -> list[float]:
+        """Feature values in canonical order."""
+        return [float(getattr(self, f.name)) for f in fields(self)]
+
+
+#: Canonical hardware feature names (order matches ``as_vector``).
+HARDWARE_FEATURE_NAMES: tuple[str, ...] = tuple(
+    f.name for f in fields(HardwareFeatures)
+)
+
+
+def _search(pattern: str, text: str, what: str) -> re.Match:
+    m = re.search(pattern, text, re.MULTILINE)
+    if m is None:
+        raise ExtractionError(f"could not find {what} (pattern {pattern!r})")
+    return m
+
+
+def parse_lscpu(text: str) -> dict[str, float]:
+    """Parse the CPU-related features out of ``lscpu`` output."""
+    max_mhz = float(_search(r"^CPU max MHz:\s+([\d.]+)", text,
+                            "CPU max MHz").group(1))
+    threads = int(_search(r"^CPU\(s\):\s+(\d+)", text, "CPU(s)").group(1))
+    tpc = int(_search(r"^Thread\(s\) per core:\s+(\d+)", text,
+                      "threads per core").group(1))
+    cps = int(_search(r"^Core\(s\) per socket:\s+(\d+)", text,
+                      "cores per socket").group(1))
+    sockets = int(_search(r"^Socket\(s\):\s+(\d+)", text,
+                          "sockets").group(1))
+    numa = int(_search(r"^NUMA node\(s\):\s+(\d+)", text,
+                       "NUMA nodes").group(1))
+    l3_match = _search(r"^L3 cache:\s+([\d.]+)([KMG])i?B?", text, "L3 cache")
+    l3_val = float(l3_match.group(1))
+    l3_mib = l3_val * {"K": 1 / 1024, "M": 1.0, "G": 1024.0}[l3_match.group(2)]
+    if threads != cps * sockets * tpc:
+        raise ExtractionError(
+            f"inconsistent lscpu topology: CPU(s)={threads} != "
+            f"{cps} cores x {sockets} sockets x {tpc} threads"
+        )
+    return {
+        "cpu_max_clock_ghz": max_mhz / 1000.0,
+        "l3_cache_mib": l3_mib * sockets,  # lscpu reports per-socket L3
+        "core_count": cps * sockets,
+        "thread_count": threads,
+        "sockets": sockets,
+        "numa_nodes": numa,
+    }
+
+
+def parse_ibstat(text: str) -> dict[str, float]:
+    """Parse per-lane link speed and link width out of ``ibstat``."""
+    width = int(_search(r"Active width:\s+(\d+)X", text,
+                        "active width").group(1))
+    speed = float(_search(r"Active speed:\s+([\d.]+)\s*Gbps", text,
+                          "active speed").group(1))
+    return {"link_speed_gbps": speed, "link_width": width}
+
+
+# GT/s -> PCIe version (LnkSta reports transfer rate, not version).
+_GTS_TO_VERSION = {2.5: 1.0, 5.0: 2.0, 8.0: 3.0, 16.0: 4.0, 32.0: 5.0}
+
+
+def parse_lspci(text: str) -> dict[str, float]:
+    """Parse the HCA's PCIe link width and version out of ``lspci -vv``."""
+    m = _search(r"LnkSta:\s*Speed\s+([\d.]+)GT/s.*Width x(\d+)", text,
+                "PCIe link status")
+    gts = float(m.group(1))
+    if gts not in _GTS_TO_VERSION:
+        raise ExtractionError(f"unknown PCIe transfer rate {gts} GT/s")
+    return {"pcie_version": _GTS_TO_VERSION[gts],
+            "pcie_lanes": int(m.group(2))}
+
+
+def parse_stream(text: str) -> dict[str, float]:
+    """Parse STREAM triad bandwidth (MB/s -> GB/s)."""
+    mbs = float(_search(r"^Triad:\s+([\d.]+)", text,
+                        "STREAM triad rate").group(1))
+    return {"memory_bandwidth_gbs": mbs / 1000.0}
+
+
+def parse_meminfo(text: str) -> dict[str, float]:
+    """Parse node memory capacity (GiB) — used for feasibility checks,
+    not as an ML feature."""
+    kib = float(_search(r"^MemTotal:\s+(\d+)\s*kB", text,
+                        "MemTotal").group(1))
+    return {"memory_capacity_gib": kib / (1024.0 * 1024.0)}
+
+
+def extract_features(probe: ProbeOutput) -> HardwareFeatures:
+    """Assemble :class:`HardwareFeatures` from one node's probe output."""
+    vals: dict[str, float] = {}
+    vals.update(parse_lscpu(probe.lscpu))
+    vals.update(parse_ibstat(probe.ibstat))
+    vals.update(parse_lspci(probe.lspci))
+    vals.update(parse_stream(probe.stream))
+    return HardwareFeatures(
+        cpu_max_clock_ghz=vals["cpu_max_clock_ghz"],
+        l3_cache_mib=vals["l3_cache_mib"],
+        memory_bandwidth_gbs=vals["memory_bandwidth_gbs"],
+        core_count=int(vals["core_count"]),
+        thread_count=int(vals["thread_count"]),
+        sockets=int(vals["sockets"]),
+        numa_nodes=int(vals["numa_nodes"]),
+        pcie_lanes=int(vals["pcie_lanes"]),
+        pcie_version=vals["pcie_version"],
+        link_speed_gbps=vals["link_speed_gbps"],
+        link_width=int(vals["link_width"]),
+    )
+
+
+def cluster_features(spec: ClusterSpec) -> HardwareFeatures:
+    """Probe one node of *spec* and extract its hardware features.
+
+    This is the full production path: spec -> rendered command output ->
+    text parsers -> feature vector.
+    """
+    return extract_features(probe_cluster(spec))

@@ -1,0 +1,123 @@
+"""Synthetic system-probe output.
+
+The paper's feature-extraction script shells out to built-in Linux
+commands (``lscpu``, ``ibstat``, ``lspci``, and a STREAM-style memory
+probe) and parses their text output.  We cannot run those commands on the
+paper's clusters, so this module renders *faithful* command output from a
+:class:`~repro.hwmodel.specs.ClusterSpec`.  The extraction code in
+:mod:`repro.hwmodel.extract` then parses this text exactly as it would
+parse real command output — the substitution keeps the production code
+path intact end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import ClusterSpec, InterconnectFamily
+
+
+@dataclass(frozen=True)
+class ProbeOutput:
+    """Raw text of every probe command run on one node."""
+
+    lscpu: str
+    ibstat: str
+    lspci: str
+    meminfo: str
+    stream: str
+
+
+def render_lscpu(spec: ClusterSpec) -> str:
+    """Render ``lscpu`` output for one node of *spec*."""
+    cpu = spec.node.cpu
+    lines = [
+        "Architecture:        x86_64"
+        if cpu.vendor.name in ("INTEL", "AMD") else
+        "Architecture:        aarch64"
+        if cpu.vendor.name in ("ARM", "FUJITSU") else
+        "Architecture:        ppc64le",
+        f"CPU(s):              {cpu.threads_per_node}",
+        f"Thread(s) per core:  {cpu.threads_per_core}",
+        f"Core(s) per socket:  {cpu.cores_per_socket}",
+        f"Socket(s):           {cpu.sockets}",
+        f"NUMA node(s):        {cpu.numa_nodes}",
+        f"Vendor ID:           {cpu.vendor.value}",
+        f"Model name:          {cpu.model_name}",
+        f"CPU MHz:             {cpu.base_clock_ghz * 1000:.3f}",
+        f"CPU max MHz:         {cpu.max_clock_ghz * 1000:.4f}",
+        f"CPU min MHz:         {cpu.base_clock_ghz * 1000 / 2:.4f}",
+        # lscpu reports the per-socket L3 size.
+        f"L3 cache:            {cpu.l3_cache_mib / cpu.sockets * 1024:.0f}K",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+_IB_RATE_NAME = {
+    8.0: "QDR", 13.64: "FDR", 25.0: "EDR", 50.0: "HDR", 25.0781: "OPA",
+}
+
+
+def render_ibstat(spec: ClusterSpec) -> str:
+    """Render ``ibstat`` output (one active port)."""
+    ic = spec.node.interconnect
+    rate_name = _IB_RATE_NAME[ic.generation.value]
+    # ibstat reports the *aggregate* link rate rounded to the marketing
+    # number (e.g. 100 for EDR x4).
+    marketing_rate = {
+        "QDR": 40, "FDR": 56, "EDR": 100, "HDR": 200, "OPA": 100,
+    }[rate_name] * ic.link_width // 4
+    ca_type = ("hfi1" if ic.family is InterconnectFamily.OMNIPATH
+               else ic.hca_model.replace(" ", "_"))
+    return (
+        f"CA '{ca_type}'\n"
+        f"\tCA type: {ic.hca_model}\n"
+        f"\tNumber of ports: 1\n"
+        f"\tPort 1:\n"
+        f"\t\tState: Active\n"
+        f"\t\tPhysical state: LinkUp\n"
+        f"\t\tRate: {marketing_rate}\n"
+        f"\t\tLink layer: "
+        f"{'InfiniBand' if ic.family is InterconnectFamily.INFINIBAND else 'Omni-Path'}\n"
+        f"\t\tActive width: {ic.link_width}X\n"
+        f"\t\tActive speed: {ic.generation.lane_gbps:.2f} Gbps\n"
+    )
+
+
+def render_lspci(spec: ClusterSpec) -> str:
+    """Render the ``lspci -vv`` stanza for the HCA's PCIe link."""
+    ic = spec.node.interconnect
+    pcie = spec.node.pcie
+    gts = {2.0: 5.0, 3.0: 8.0, 4.0: 16.0, 5.0: 32.0}[pcie.version]
+    return (
+        f"81:00.0 Infiniband controller: {ic.hca_model}\n"
+        f"\tLnkCap:\tPort #0, Speed {gts}GT/s, Width x{pcie.lanes}\n"
+        f"\tLnkSta:\tSpeed {gts}GT/s (ok), Width x{pcie.lanes} (ok)\n"
+    )
+
+
+def render_meminfo(spec: ClusterSpec) -> str:
+    """Render the ``MemTotal`` line of ``/proc/meminfo``."""
+    kib = int(spec.node.memory.capacity_gib * 1024 * 1024)
+    return f"MemTotal:       {kib} kB\n"
+
+
+def render_stream(spec: ClusterSpec) -> str:
+    """Render a STREAM triad summary line (the paper's memory-bandwidth
+    probe).  Best-rate is reported in MB/s as STREAM does."""
+    mbs = spec.node.memory.bandwidth_gbs * 1000.0
+    return (
+        "Function    Best Rate MB/s  Avg time     Min time     Max time\n"
+        f"Triad:      {mbs:14.1f}  0.011277     0.011154     0.011477\n"
+    )
+
+
+def probe_cluster(spec: ClusterSpec) -> ProbeOutput:
+    """Run every synthetic probe on one node of *spec*."""
+    return ProbeOutput(
+        lscpu=render_lscpu(spec),
+        ibstat=render_ibstat(spec),
+        lspci=render_lspci(spec),
+        meminfo=render_meminfo(spec),
+        stream=render_stream(spec),
+    )

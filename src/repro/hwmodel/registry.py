@@ -1,0 +1,457 @@
+"""The 18-cluster registry reproducing the paper's Table I.
+
+Each entry pairs the Table I row (processor, interconnect, and the counts
+of node/PPN/message-size settings sampled there) with concrete hardware
+parameters taken from public vendor datasheets.  The paper's feature
+extractor reads these quantities from ``lscpu``/``ibstat``/``lspci``; our
+probe generator (:mod:`repro.hwmodel.probe`) renders the same text from
+these specs so the extraction code path is identical.
+
+Message-size grids are powers of two: 21 sizes = 1 B .. 1 MiB for every
+cluster except MRI, which the paper samples at 16 sizes (1 B .. 32 KiB).
+"""
+
+from __future__ import annotations
+
+from .specs import (
+    ClusterSpec,
+    CpuSpec,
+    CpuVendor,
+    InfinibandGeneration,
+    InterconnectFamily,
+    InterconnectSpec,
+    MemorySpec,
+    NodeSpec,
+    PcieSpec,
+)
+
+_MSG_21 = tuple(2**k for k in range(21))  # 1 B .. 1 MiB
+_MSG_16 = tuple(2**k for k in range(16))  # 1 B .. 32 KiB
+
+
+def _ib(gen: InfinibandGeneration, hca: str, latency_us: float,
+        width: int = 4) -> InterconnectSpec:
+    return InterconnectSpec(
+        family=InterconnectFamily.INFINIBAND,
+        generation=gen,
+        link_width=width,
+        hca_model=hca,
+        base_latency_us=latency_us,
+    )
+
+
+def _opa(latency_us: float = 1.1) -> InterconnectSpec:
+    return InterconnectSpec(
+        family=InterconnectFamily.OMNIPATH,
+        generation=InfinibandGeneration.OPA100,
+        link_width=4,
+        hca_model="Intel Omni-Path HFI Silicon 100",
+        base_latency_us=latency_us,
+    )
+
+
+def _build_registry() -> dict[str, ClusterSpec]:
+    reg: dict[str, ClusterSpec] = {}
+
+    def add(spec: ClusterSpec) -> None:
+        if spec.name in reg:
+            raise ValueError(f"duplicate cluster {spec.name}")
+        reg[spec.name] = spec
+
+    # ----------------------------------------------------------------- RI2
+    add(ClusterSpec(
+        name="RI2",
+        node=NodeSpec(
+            cpu=CpuSpec("Intel Xeon CPU E5-2680 v4 @ 2.40GHz",
+                        CpuVendor.INTEL, 2.40, 3.30,
+                        cores_per_socket=14, threads_per_core=2, sockets=2,
+                        numa_nodes=2, l3_cache_mib=70.0),
+            memory=MemorySpec(128, 76.8),
+            interconnect=_ib(InfinibandGeneration.EDR,
+                             "Mellanox ConnectX-4 VPI", 1.00),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=16,
+        node_counts=(1, 2, 4, 8, 16),
+        ppn_values=(1, 2, 4, 8, 16, 28),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ------------------------------------------------------------------ RI
+    add(ClusterSpec(
+        name="RI",
+        node=NodeSpec(
+            cpu=CpuSpec("Intel Xeon CPU E5630 @ 2.53GHz",
+                        CpuVendor.INTEL, 2.53, 2.80,
+                        cores_per_socket=4, threads_per_core=2, sockets=2,
+                        numa_nodes=2, l3_cache_mib=24.0),
+            memory=MemorySpec(24, 25.6),
+            interconnect=_ib(InfinibandGeneration.QDR,
+                             "Mellanox ConnectX-2 VPI", 1.70),
+            pcie=PcieSpec(2.0, 8),
+        ),
+        max_nodes=2,
+        node_counts=(2,),
+        ppn_values=(4, 8),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ------------------------------------------------------------- Haswell
+    add(ClusterSpec(
+        name="Haswell",
+        node=NodeSpec(
+            cpu=CpuSpec("Intel Xeon CPU E5-2687W v3 @ 3.10GHz",
+                        CpuVendor.INTEL, 3.10, 3.50,
+                        cores_per_socket=10, threads_per_core=2, sockets=2,
+                        numa_nodes=2, l3_cache_mib=50.0),
+            memory=MemorySpec(64, 68.0),
+            interconnect=_ib(InfinibandGeneration.HDR,
+                             "Mellanox ConnectX-6 VPI", 0.80),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=8,
+        node_counts=(2, 4, 8),
+        ppn_values=(1, 2, 4, 8, 16, 20),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ------------------------------------------------------------ Catalyst
+    add(ClusterSpec(
+        name="Catalyst",
+        node=NodeSpec(
+            cpu=CpuSpec("FUJITSU A64FX", CpuVendor.FUJITSU, 1.80, 2.20,
+                        cores_per_socket=48, threads_per_core=1, sockets=1,
+                        numa_nodes=4, l3_cache_mib=32.0),
+            memory=MemorySpec(32, 1024.0),  # HBM2
+            interconnect=_ib(InfinibandGeneration.EDR,
+                             "Mellanox ConnectX-5 VPI", 1.00),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=8,
+        node_counts=(1, 2, 4, 8),
+        ppn_values=(1, 2, 4, 12, 24, 48),
+        msg_sizes=_MSG_21,
+    ))
+
+    # --------------------------------------------------------------- Spock
+    add(ClusterSpec(
+        name="Spock",
+        node=NodeSpec(
+            cpu=CpuSpec("AMD EPYC 7763 64-Core Processor",
+                        CpuVendor.AMD, 2.45, 3.50,
+                        cores_per_socket=64, threads_per_core=2, sockets=1,
+                        numa_nodes=4, l3_cache_mib=256.0),
+            memory=MemorySpec(256, 204.8),
+            interconnect=_ib(InfinibandGeneration.HDR,
+                             "Mellanox ConnectX-6 VPI", 0.75),
+            pcie=PcieSpec(4.0, 16),
+        ),
+        max_nodes=16,
+        node_counts=(1, 2, 4, 8, 16),
+        ppn_values=(1, 2, 4, 8, 16, 32, 48, 64),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ---------------------------------------------------------------- Rome
+    add(ClusterSpec(
+        name="Rome",
+        node=NodeSpec(
+            cpu=CpuSpec("AMD EPYC 7601 32-Core Processor",
+                        CpuVendor.AMD, 2.20, 3.20,
+                        cores_per_socket=32, threads_per_core=2, sockets=2,
+                        numa_nodes=8, l3_cache_mib=128.0),
+            memory=MemorySpec(256, 170.7),
+            interconnect=_ib(InfinibandGeneration.EDR,
+                             "Mellanox ConnectX-4 VPI", 1.00),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=8,
+        node_counts=(1, 2, 4, 8),
+        ppn_values=(1, 2, 4, 8, 12, 16, 24, 32, 48, 64),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ------------------------------------------------------------ Frontera
+    add(ClusterSpec(
+        name="Frontera",
+        node=NodeSpec(
+            cpu=CpuSpec("Intel Xeon Platinum 8280 CPU @ 2.70GHz",
+                        CpuVendor.INTEL, 2.70, 4.00,
+                        cores_per_socket=28, threads_per_core=1, sockets=2,
+                        numa_nodes=2, l3_cache_mib=77.0),
+            memory=MemorySpec(192, 140.8),
+            interconnect=_ib(InfinibandGeneration.EDR,
+                             "Mellanox ConnectX-6 VPI", 0.90),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=8192,
+        node_counts=(1, 2, 4, 8, 16),
+        ppn_values=(1, 2, 4, 8, 16, 28, 32, 56),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ---------------------------------------------------------------- LLNL
+    add(ClusterSpec(
+        name="LLNL",
+        node=NodeSpec(
+            cpu=CpuSpec("AMD EPYC 7401 24-Core Processor",
+                        CpuVendor.AMD, 2.00, 3.00,
+                        cores_per_socket=24, threads_per_core=2, sockets=2,
+                        numa_nodes=8, l3_cache_mib=128.0),
+            memory=MemorySpec(128, 170.7),
+            interconnect=_ib(InfinibandGeneration.EDR,
+                             "Mellanox ConnectX-4 VPI", 1.00),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=16,
+        node_counts=(1, 2, 4, 8, 16),
+        ppn_values=(1, 2, 4, 8, 24, 48),
+        msg_sizes=_MSG_21,
+    ))
+
+    # -------------------------------------------------------- Frontera RTX
+    add(ClusterSpec(
+        name="Frontera RTX",
+        node=NodeSpec(
+            cpu=CpuSpec("Intel Xeon CPU E5-2620 v4 @ 2.10GHz",
+                        CpuVendor.INTEL, 2.10, 3.00,
+                        cores_per_socket=8, threads_per_core=2, sockets=2,
+                        numa_nodes=2, l3_cache_mib=40.0),
+            memory=MemorySpec(128, 68.3),
+            interconnect=_ib(InfinibandGeneration.FDR,
+                             "Mellanox ConnectX-3 VPI", 1.30),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=16,
+        node_counts=(1, 2, 4, 8, 16),
+        ppn_values=(1, 2, 4, 8, 16),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ------------------------------------------------------------- Hartree
+    add(ClusterSpec(
+        name="Hartree",
+        node=NodeSpec(
+            cpu=CpuSpec("Cavium ThunderX2 CN9975",
+                        CpuVendor.ARM, 2.00, 2.50,
+                        cores_per_socket=28, threads_per_core=4, sockets=2,
+                        numa_nodes=2, l3_cache_mib=64.0),
+            memory=MemorySpec(128, 249.6),
+            interconnect=_ib(InfinibandGeneration.FDR,
+                             "Mellanox ConnectX-3 VPI", 1.30),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=8,
+        node_counts=(2, 4, 8),
+        ppn_values=(1, 4, 8, 16, 28),
+        msg_sizes=_MSG_21,
+    ))
+
+    # --------------------------------------------------------------- Mayer
+    add(ClusterSpec(
+        name="Mayer",
+        node=NodeSpec(
+            cpu=CpuSpec("Cavium ThunderX2 CN9975",
+                        CpuVendor.ARM, 2.00, 2.50,
+                        cores_per_socket=28, threads_per_core=4, sockets=2,
+                        numa_nodes=2, l3_cache_mib=64.0),
+            memory=MemorySpec(128, 249.6),
+            interconnect=_ib(InfinibandGeneration.EDR,
+                             "Mellanox ConnectX-5 VPI", 1.00),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=8,
+        node_counts=(1, 2, 4, 8),
+        ppn_values=(1, 2, 4, 8, 16, 28, 56),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ----------------------------------------------------------------- Ray
+    add(ClusterSpec(
+        name="Ray",
+        node=NodeSpec(
+            cpu=CpuSpec("IBM POWER8 S822LC", CpuVendor.IBM, 2.92, 4.02,
+                        cores_per_socket=10, threads_per_core=8, sockets=2,
+                        numa_nodes=2, l3_cache_mib=160.0),
+            memory=MemorySpec(256, 230.0),
+            interconnect=_ib(InfinibandGeneration.EDR,
+                             "Mellanox ConnectX-4 VPI", 1.00),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=8,
+        node_counts=(1, 2, 4, 8),
+        ppn_values=(4, 8, 16),
+        msg_sizes=_MSG_21,
+    ))
+
+    # -------------------------------------------------------------- Sierra
+    add(ClusterSpec(
+        name="Sierra",
+        node=NodeSpec(
+            cpu=CpuSpec("IBM POWER9 AC922", CpuVendor.IBM, 2.30, 3.80,
+                        cores_per_socket=22, threads_per_core=4, sockets=2,
+                        numa_nodes=2, l3_cache_mib=240.0),
+            memory=MemorySpec(256, 340.0),
+            interconnect=_ib(InfinibandGeneration.EDR,
+                             "Mellanox ConnectX-5 VPI", 0.95),
+            pcie=PcieSpec(4.0, 16),
+        ),
+        max_nodes=16,
+        node_counts=(1, 2, 4, 8, 16),
+        ppn_values=(1, 2, 4, 8, 16, 22, 32, 44),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ------------------------------------------------------------- Bridges
+    add(ClusterSpec(
+        name="Bridges",
+        node=NodeSpec(
+            cpu=CpuSpec("Intel Xeon CPU E5-2695 v3 @ 2.30GHz",
+                        CpuVendor.INTEL, 2.30, 3.30,
+                        cores_per_socket=14, threads_per_core=2, sockets=2,
+                        numa_nodes=2, l3_cache_mib=70.0),
+            memory=MemorySpec(128, 68.3),
+            interconnect=_opa(1.10),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=16,
+        node_counts=(1, 2, 4, 8, 16),
+        ppn_values=(1, 2, 4, 8, 16, 28),
+        msg_sizes=_MSG_21,
+    ))
+
+    # --------------------------------------------------------------- Bebop
+    add(ClusterSpec(
+        name="Bebop",
+        node=NodeSpec(
+            cpu=CpuSpec("Intel Xeon CPU E5-2695 v4 @ 2.10GHz",
+                        CpuVendor.INTEL, 2.10, 3.30,
+                        cores_per_socket=18, threads_per_core=2, sockets=2,
+                        numa_nodes=2, l3_cache_mib=90.0),
+            memory=MemorySpec(128, 76.8),
+            interconnect=_opa(1.10),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=16,
+        node_counts=(1, 2, 4, 8, 12, 16),
+        ppn_values=(1, 4, 8, 16, 36),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ------------------------------------------------------------ TACC KNL
+    add(ClusterSpec(
+        name="TACC KNL",
+        node=NodeSpec(
+            cpu=CpuSpec("Intel Xeon Phi CPU 7250 @ 1.40GHz",
+                        CpuVendor.INTEL, 1.40, 1.60,
+                        cores_per_socket=68, threads_per_core=4, sockets=1,
+                        numa_nodes=2, l3_cache_mib=34.0),
+            memory=MemorySpec(112, 380.0),  # MCDRAM-dominated
+            interconnect=_opa(1.20),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=16,
+        node_counts=(1, 2, 4, 8, 12, 16),
+        ppn_values=(1, 4, 8, 16, 32, 64),
+        msg_sizes=_MSG_21,
+    ))
+
+    # -------------------------------------------------------- TACC Skylake
+    add(ClusterSpec(
+        name="TACC Skylake",
+        node=NodeSpec(
+            cpu=CpuSpec("Intel Xeon Platinum 8170", CpuVendor.INTEL,
+                        2.10, 3.70,
+                        cores_per_socket=26, threads_per_core=2, sockets=2,
+                        numa_nodes=2, l3_cache_mib=71.5),
+            memory=MemorySpec(192, 119.2),
+            interconnect=_opa(1.00),
+            pcie=PcieSpec(3.0, 16),
+        ),
+        max_nodes=16,
+        node_counts=(1, 2, 4, 8, 16),
+        ppn_values=(1, 2, 4, 8, 16, 24, 48, 52),
+        msg_sizes=_MSG_21,
+    ))
+
+    # ----------------------------------------------------------------- MRI
+    add(ClusterSpec(
+        name="MRI",
+        node=NodeSpec(
+            cpu=CpuSpec("AMD EPYC 7713 64-Core Processor",
+                        CpuVendor.AMD, 2.00, 3.675,
+                        cores_per_socket=64, threads_per_core=2, sockets=2,
+                        numa_nodes=8, l3_cache_mib=512.0),
+            memory=MemorySpec(256, 409.6),
+            interconnect=_ib(InfinibandGeneration.HDR,
+                             "Mellanox ConnectX-6 VPI", 0.70),
+            pcie=PcieSpec(4.0, 16),
+        ),
+        max_nodes=8,
+        node_counts=(1, 2, 4, 8),
+        ppn_values=(1, 2, 4, 8, 16, 32, 64, 128),
+        msg_sizes=_MSG_16,
+    ))
+
+    return reg
+
+
+_REGISTRY = _build_registry()
+_CUSTOM: dict[str, ClusterSpec] = {}
+
+#: Cluster names in Table I order (custom registrations excluded).
+CLUSTER_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def get_cluster(name: str) -> ClusterSpec:
+    """Look up a cluster by its Table I name or a custom registration
+    (case-insensitive)."""
+    for table in (_REGISTRY, _CUSTOM):
+        try:
+            return table[name]
+        except KeyError:
+            for key, spec in table.items():
+                if key.lower() == name.lower():
+                    return spec
+    raise KeyError(
+        f"unknown cluster {name!r}; known: "
+        f"{', '.join((*_REGISTRY, *_CUSTOM))}")
+
+
+def register_cluster(spec: ClusterSpec,
+                     replace: bool = False) -> ClusterSpec:
+    """Add a user-defined cluster so datasets, feature extraction and
+    tuning tables can reference it by name.
+
+    Table I names cannot be shadowed.  Registrations are
+    process-lifetime only (they are configuration, not data).
+    """
+    if spec.name in _REGISTRY:
+        raise ValueError(
+            f"{spec.name!r} is a Table I cluster and cannot be replaced")
+    if spec.name in _CUSTOM and not replace:
+        raise ValueError(
+            f"custom cluster {spec.name!r} already registered "
+            f"(pass replace=True to overwrite)")
+    _CUSTOM[spec.name] = spec
+    return spec
+
+
+def unregister_cluster(name: str) -> None:
+    """Remove a custom registration (no-op semantics are an error)."""
+    try:
+        del _CUSTOM[name]
+    except KeyError:
+        raise KeyError(f"no custom cluster {name!r} registered") from None
+
+
+def all_clusters() -> list[ClusterSpec]:
+    """All 18 Table I clusters (custom registrations excluded — the
+    paper's dataset is fixed; pass custom specs explicitly)."""
+    return list(_REGISTRY.values())
+
+
+def training_clusters(exclude: tuple[str, ...] = ()) -> list[ClusterSpec]:
+    """All clusters except the named ones (e.g. held-out eval clusters)."""
+    drop = {e.lower() for e in exclude}
+    return [c for c in _REGISTRY.values() if c.name.lower() not in drop]

@@ -1,0 +1,218 @@
+"""Hardware specification dataclasses.
+
+These are the static descriptions of the machines in the paper's Table I.
+Every quantity that the PML-MPI feature-extraction script reads from a live
+system (``lscpu``, ``ibstat``, ``lspci``, ``/proc/meminfo`` and friends) has
+a corresponding field here, so the rest of the stack — the network cost
+model, the synthetic probe-output generator, and the feature extractor —
+can all be driven from one source of truth.
+
+Units are SI unless the field name says otherwise: clocks in GHz, cache in
+MiB, bandwidth in GB/s (decimal), link speed in Gb/s *per lane*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CpuVendor(enum.Enum):
+    """CPU vendor, as reported in the ``Vendor ID`` row of ``lscpu``."""
+
+    INTEL = "GenuineIntel"
+    AMD = "AuthenticAMD"
+    ARM = "ARM"
+    IBM = "IBM"
+    FUJITSU = "Fujitsu"
+
+
+class InterconnectFamily(enum.Enum):
+    """High-speed interconnect family."""
+
+    INFINIBAND = "InfiniBand"
+    OMNIPATH = "Omni-Path"
+
+
+class InfinibandGeneration(enum.Enum):
+    """InfiniBand signalling generations with per-lane *effective* data
+    rate in Gb/s (after line coding).
+
+    QDR uses 8b/10b coding (10 Gb/s signalling -> 8 Gb/s data); FDR uses
+    64b/66b at 14.0625 Gb/s -> ~13.64 Gb/s; EDR and HDR are 64b/66b at
+    25 and 50 Gb/s nominal data rate respectively.  Omni-Path is carried
+    here as a pseudo-generation with 25 Gb/s lanes (OPA 100 = 4x25).
+    """
+
+    QDR = 8.0
+    FDR = 13.64
+    EDR = 25.0
+    HDR = 50.0
+    OPA100 = 25.0781  # distinct value so enum members stay unique
+
+    @property
+    def lane_gbps(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A processor model as seen by ``lscpu``."""
+
+    model_name: str
+    vendor: CpuVendor
+    base_clock_ghz: float
+    max_clock_ghz: float
+    cores_per_socket: int
+    threads_per_core: int
+    sockets: int
+    numa_nodes: int
+    l3_cache_mib: float  # total L3 per node (all sockets)
+
+    @property
+    def cores_per_node(self) -> int:
+        """Physical cores in one node."""
+        return self.cores_per_socket * self.sockets
+
+    @property
+    def threads_per_node(self) -> int:
+        """Hardware threads in one node."""
+        return self.cores_per_node * self.threads_per_core
+
+    def __post_init__(self) -> None:
+        if self.max_clock_ghz < self.base_clock_ghz:
+            raise ValueError(
+                f"{self.model_name}: max clock {self.max_clock_ghz} GHz below "
+                f"base clock {self.base_clock_ghz} GHz"
+            )
+        if min(self.cores_per_socket, self.threads_per_core, self.sockets,
+               self.numa_nodes) < 1:
+            raise ValueError(f"{self.model_name}: counts must be >= 1")
+        if self.l3_cache_mib <= 0:
+            raise ValueError(f"{self.model_name}: L3 cache must be positive")
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Node-level memory subsystem."""
+
+    capacity_gib: float
+    bandwidth_gbs: float  # peak STREAM-like bandwidth per node
+
+    def __post_init__(self) -> None:
+        if self.capacity_gib <= 0 or self.bandwidth_gbs <= 0:
+            raise ValueError("memory capacity/bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Host Channel Adapter + fabric description.
+
+    ``link_width`` is the lane count (the ``x4`` in "EDR x4"); the usable
+    node injection bandwidth is ``lane_gbps * link_width / 8`` GB/s times
+    an efficiency factor applied by the network model.
+    """
+
+    family: InterconnectFamily
+    generation: InfinibandGeneration
+    link_width: int
+    hca_model: str
+    base_latency_us: float  # one-way small-message latency, switch included
+
+    @property
+    def link_speed_gbps(self) -> float:
+        """Aggregate link data rate in Gb/s."""
+        return self.generation.lane_gbps * self.link_width
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Raw unidirectional link bandwidth in bytes/second."""
+        return self.link_speed_gbps * 1e9 / 8.0
+
+    def __post_init__(self) -> None:
+        if self.link_width < 1:
+            raise ValueError("link width must be >= 1")
+        if self.base_latency_us <= 0:
+            raise ValueError("base latency must be positive")
+
+
+@dataclass(frozen=True)
+class PcieSpec:
+    """PCIe connection between CPU and HCA."""
+
+    version: float  # 3.0, 4.0, ...
+    lanes: int
+
+    # Per-lane data rates in GB/s (after encoding) indexed by version.
+    _RATES = {2.0: 0.5, 3.0: 0.985, 4.0: 1.969, 5.0: 3.938}
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        """Usable PCIe bandwidth in GB/s."""
+        return self._RATES[self.version] * self.lanes
+
+    def __post_init__(self) -> None:
+        if self.version not in self._RATES:
+            raise ValueError(f"unsupported PCIe version {self.version}")
+        if self.lanes not in (1, 2, 4, 8, 16, 32):
+            raise ValueError(f"invalid PCIe lane count {self.lanes}")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: CPU + memory + NIC + PCIe."""
+
+    cpu: CpuSpec
+    memory: MemorySpec
+    interconnect: InterconnectSpec
+    pcie: PcieSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A named cluster: homogeneous nodes plus the benchmark grid the
+    paper sampled on it (Table I's #nodes/#ppn/#msg-size columns are the
+    *counts* of distinct settings, reproduced here as explicit lists)."""
+
+    name: str
+    node: NodeSpec
+    max_nodes: int
+    node_counts: tuple[int, ...] = field(default=())
+    ppn_values: tuple[int, ...] = field(default=())
+    msg_sizes: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+        for n in self.node_counts:
+            if n > self.max_nodes:
+                raise ValueError(
+                    f"{self.name}: node count {n} exceeds max_nodes "
+                    f"{self.max_nodes}"
+                )
+        for ppn in self.ppn_values:
+            if ppn > self.node.cpu.threads_per_node:
+                raise ValueError(
+                    f"{self.name}: PPN {ppn} exceeds hardware threads "
+                    f"{self.node.cpu.threads_per_node}"
+                )
+
+    @property
+    def full_subscription_ppn(self) -> int:
+        """PPN that uses every physical core."""
+        return self.node.cpu.cores_per_node
+
+    @property
+    def half_subscription_ppn(self) -> int:
+        """PPN that uses half the physical cores."""
+        return max(1, self.node.cpu.cores_per_node // 2)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (Table I row)."""
+        ic = self.node.interconnect
+        return (
+            f"{self.name}: {self.node.cpu.model_name} | "
+            f"{ic.family.value} ({ic.generation.name}) | "
+            f"{len(self.node_counts)} node settings x "
+            f"{len(self.ppn_values)} ppn x {len(self.msg_sizes)} msg sizes"
+        )

@@ -1,0 +1,53 @@
+"""From-scratch NumPy machine-learning library.
+
+Implements the four model families the paper evaluates (Random Forest,
+Gradient Boosting, KNN, SVM — Table II), the CART trees underneath, the
+Gini feature-importance computation (Figs. 5-6), and the AUC-scored
+cross-validation / grid-search machinery used for hyperparameter tuning
+(Section V-C).  API mirrors scikit-learn where practical.
+"""
+
+from .boosting import GradientBoostingClassifier
+from .forest import RandomForestClassifier
+from .knn import KNeighborsClassifier
+from .metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    roc_auc_score,
+)
+from .model_selection import (
+    GridSearchCV,
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+from .preprocessing import LabelEncoder, StandardScaler
+from .serialize import dump_model, load_model, load_model_file, save_model
+from .svm import SVC
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "SVC",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "GridSearchCV",
+    "KFold",
+    "KNeighborsClassifier",
+    "LabelEncoder",
+    "RandomForestClassifier",
+    "StandardScaler",
+    "StratifiedKFold",
+    "accuracy_score",
+    "classification_report",
+    "confusion_matrix",
+    "cross_val_score",
+    "dump_model",
+    "load_model",
+    "load_model_file",
+    "roc_auc_score",
+    "save_model",
+    "train_test_split",
+]

@@ -1,0 +1,124 @@
+"""Gradient boosting classifier (multinomial deviance, CART regressors).
+
+Friedman's gradient boosting machine: per boosting round, one shallow
+regression tree per class is fitted to the softmax residuals, and leaf
+values are set by a one-step Newton update.  Matches the behaviour of
+scikit-learn's ``GradientBoostingClassifier`` closely enough for the
+paper's Table II model comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+
+def _softmax(F: np.ndarray) -> np.ndarray:
+    z = F - F.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class GradientBoostingClassifier:
+    """K-class gradient boosting with multinomial deviance loss."""
+
+    def __init__(self, n_estimators: int = 100, learning_rate: float = 0.1,
+                 max_depth: int = 3, min_samples_leaf: int = 1,
+                 subsample: float = 1.0,
+                 random_state: int | None = None) -> None:
+        if not 0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.random_state = random_state
+
+    def get_params(self) -> dict:
+        return {
+            "n_estimators": self.n_estimators,
+            "learning_rate": self.learning_rate,
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "subsample": self.subsample,
+            "random_state": self.random_state,
+        }
+
+    def fit(self, X: np.ndarray,
+            y: np.ndarray) -> "GradientBoostingClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be 2-D with one label per row")
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        n, _ = X.shape
+        K = len(self.classes_)
+        rng = np.random.default_rng(self.random_state)
+
+        onehot = np.zeros((n, K))
+        onehot[np.arange(n), y_enc] = 1.0
+        # Initial scores: log class priors.
+        priors = np.clip(onehot.mean(axis=0), 1e-12, None)
+        self.init_score_ = np.log(priors)
+        F = np.tile(self.init_score_, (n, 1))
+
+        self.estimators_: list[list[DecisionTreeRegressor]] = []
+        for _ in range(self.n_estimators):
+            proba = _softmax(F)
+            residual = onehot - proba
+            if self.subsample < 1.0:
+                sub = rng.random(n) < self.subsample
+                if not np.any(sub):
+                    sub[rng.integers(n)] = True
+            else:
+                sub = np.ones(n, dtype=bool)
+            stage: list[DecisionTreeRegressor] = []
+            for k in range(K):
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    random_state=int(rng.integers(2**31)),
+                )
+                tree.fit(X[sub], residual[sub, k])
+                # Newton leaf update on the full sample: gamma =
+                # (K-1)/K * sum(r) / sum(|r|(1-|r|)) per leaf.
+                leaves = tree.apply(X)
+                r = residual[:, k]
+                hess_term = np.abs(r) * (1.0 - np.abs(r))
+                num = np.bincount(leaves, weights=r,
+                                  minlength=tree.node_count)
+                den = np.bincount(leaves, weights=hess_term,
+                                  minlength=tree.node_count)
+                gamma = np.zeros(tree.node_count)
+                nz = den > 1e-12
+                gamma[nz] = (K - 1) / K * num[nz] / den[nz]
+                tree.values_ = gamma[:, None]
+                F[:, k] += self.learning_rate * gamma[leaves]
+                stage.append(tree)
+            self.estimators_.append(stage)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "estimators_"):
+            raise RuntimeError("GradientBoostingClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        F = np.tile(self.init_score_, (len(X), 1))
+        for stage in self.estimators_:
+            for k, tree in enumerate(stage):
+                F[:, k] += self.learning_rate * tree.predict(X)
+        return F
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return _softmax(self.decision_function(X))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))

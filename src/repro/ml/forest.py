@@ -1,0 +1,99 @@
+"""Random Forest classifier with Gini feature importances.
+
+Bootstrap-sampled CART trees with per-node random feature subsets
+(``max_features="sqrt"`` by default).  ``feature_importances_`` is the
+mean of the per-tree normalized accumulated Gini decreases — exactly the
+definition the paper uses to rank hardware and MPI features (Section
+V-A, Figs. 5-6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bagged CART ensemble (majority vote / averaged probabilities)."""
+
+    def __init__(self, n_estimators: int = 100,
+                 max_depth: int | None = None,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 max_features: int | str | None = "sqrt",
+                 bootstrap: bool = True,
+                 random_state: int | None = None) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def get_params(self) -> dict:
+        return {
+            "n_estimators": self.n_estimators,
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "bootstrap": self.bootstrap,
+            "random_state": self.random_state,
+        }
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be 2-D with one label per row")
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        rng = np.random.default_rng(self.random_state)
+        n = len(X)
+        self.estimators_: list[DecisionTreeClassifier] = []
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_estimators):
+            idx = (rng.integers(0, n, size=n) if self.bootstrap
+                   else np.arange(n))
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(2**31)),
+            )
+            # Fit on encoded labels so every tree shares the class axis.
+            tree.fit(X[idx], y_enc[idx])
+            # Re-map tree classes onto the full class set: trees see the
+            # encoded labels present in their bootstrap sample only.
+            if len(tree.classes_) != len(self.classes_):
+                full = np.zeros((tree.values_.shape[0],
+                                 len(self.classes_)))
+                full[:, tree.classes_] = tree.values_
+                tree.values_ = full
+                tree.classes_ = np.arange(len(self.classes_))
+            self.estimators_.append(tree)
+            importances += tree.feature_importances_
+        self.feature_importances_ = importances / self.n_estimators
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ = self.feature_importances_ / total
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "estimators_"):
+            raise RuntimeError("RandomForestClassifier is not fitted")
+        proba = np.zeros((len(X), len(self.classes_)))
+        for tree in self.estimators_:
+            proba += tree.predict_proba(X)
+        return proba / self.n_estimators
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -1,0 +1,82 @@
+"""K-nearest-neighbours classifier (brute-force, chunked distances)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KNeighborsClassifier:
+    """Majority vote among the k nearest training points (Euclidean or
+    Manhattan metric).  Distances are computed in chunks to bound peak
+    memory on large test sets."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform",
+                 metric: str = "euclidean", chunk_size: int = 2048) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights {weights!r}")
+        if metric not in ("euclidean", "manhattan"):
+            raise ValueError(f"unknown metric {metric!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.metric = metric
+        self.chunk_size = chunk_size
+
+    def get_params(self) -> dict:
+        return {"n_neighbors": self.n_neighbors, "weights": self.weights,
+                "metric": self.metric, "chunk_size": self.chunk_size}
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be 2-D with one label per row")
+        if self.n_neighbors > len(X):
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds training size "
+                f"{len(X)}")
+        self.classes_, self._y = np.unique(y, return_inverse=True)
+        self._X = X
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _distances(self, chunk: np.ndarray) -> np.ndarray:
+        if self.metric == "euclidean":
+            # (a-b)^2 = a^2 - 2ab + b^2; no sqrt needed for ranking,
+            # but 'distance' weights want true distances.
+            d2 = (np.sum(chunk**2, axis=1)[:, None]
+                  - 2.0 * chunk @ self._X.T
+                  + np.sum(self._X**2, axis=1)[None, :])
+            return np.sqrt(np.maximum(d2, 0.0))
+        return np.abs(chunk[:, None, :] - self._X[None, :, :]).sum(axis=2)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "_X"):
+            raise RuntimeError("KNeighborsClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        k = self.n_neighbors
+        K = len(self.classes_)
+        out = np.zeros((len(X), K))
+        for start in range(0, len(X), self.chunk_size):
+            chunk = X[start:start + self.chunk_size]
+            dist = self._distances(chunk)
+            nn = np.argpartition(dist, k - 1, axis=1)[:, :k]
+            labels = self._y[nn]
+            if self.weights == "uniform":
+                w = np.ones_like(labels, dtype=float)
+            else:
+                d = np.take_along_axis(dist, nn, axis=1)
+                w = 1.0 / np.maximum(d, 1e-12)
+            for c in range(K):
+                out[start:start + len(chunk), c] = \
+                    np.sum(w * (labels == c), axis=1)
+        out /= np.maximum(out.sum(axis=1, keepdims=True), 1e-12)
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -1,0 +1,117 @@
+"""Classification metrics: accuracy, confusion matrix, and the
+one-vs-rest macro AUC the paper uses for imbalance-robust model
+selection (Section V-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if len(y_true) == 0:
+        raise ValueError("empty input")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     labels: np.ndarray | None = None) -> np.ndarray:
+    """Rows = true classes, columns = predicted classes."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    mat = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        mat[index[t], index[p]] += 1
+    return mat
+
+
+def _binary_auc(y: np.ndarray, score: np.ndarray) -> float:
+    """Mann-Whitney AUC with midrank tie handling.
+
+    ``y`` is boolean (positive class); ``score`` the classifier score.
+    """
+    n_pos = int(y.sum())
+    n_neg = len(y) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("binary AUC needs both classes present")
+    order = np.argsort(score, kind="stable")
+    ranks = np.empty(len(score))
+    sorted_scores = score[order]
+    # Midranks for ties.
+    i = 0
+    pos = 1.0
+    while i < len(score):
+        j = i
+        while j + 1 < len(score) and sorted_scores[j + 1] == \
+                sorted_scores[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (pos + pos + (j - i))
+        pos += j - i + 1
+        i = j + 1
+    rank_sum = ranks[y].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray,
+                  labels: np.ndarray | None = None) -> float:
+    """Macro-averaged one-vs-rest AUC for multiclass problems.
+
+    ``y_score`` has one column per class in ``labels`` order (defaults
+    to the sorted unique labels of ``y_true``).  Classes absent from
+    ``y_true`` are skipped, which keeps cross-validation folds with
+    missing rare classes well-defined — the class-imbalance robustness
+    the paper selects this metric for.
+    """
+    y_true = np.asarray(y_true)
+    y_score = np.asarray(y_score, dtype=np.float64)
+    if y_score.ndim == 1:
+        # Binary convenience form: score of the positive class.
+        classes = np.unique(y_true)
+        if len(classes) != 2:
+            raise ValueError("1-D scores require exactly two classes")
+        return _binary_auc(y_true == classes[1], y_score)
+    if labels is None:
+        labels = np.unique(y_true)
+        if y_score.shape[1] != len(labels):
+            raise ValueError(
+                f"y_score has {y_score.shape[1]} columns but y_true has "
+                f"{len(labels)} classes; pass labels= explicitly")
+    aucs = []
+    for col, label in enumerate(labels):
+        mask = y_true == label
+        if 0 < mask.sum() < len(y_true):
+            aucs.append(_binary_auc(mask, y_score[:, col]))
+    if not aucs:
+        raise ValueError("no class with both positives and negatives")
+    return float(np.mean(aucs))
+
+
+def classification_report(y_true: np.ndarray,
+                          y_pred: np.ndarray) -> dict[str, dict[str, float]]:
+    """Per-class precision/recall/F1 plus accuracy, as a dict."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    report: dict[str, dict[str, float]] = {}
+    for label in labels:
+        tp = int(np.sum((y_true == label) & (y_pred == label)))
+        fp = int(np.sum((y_true != label) & (y_pred == label)))
+        fn = int(np.sum((y_true == label) & (y_pred != label)))
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = (2 * precision * recall / (precision + recall)
+              if precision + recall else 0.0)
+        report[str(label)] = {
+            "precision": precision, "recall": recall, "f1": f1,
+            "support": int(np.sum(y_true == label)),
+        }
+    report["accuracy"] = {"accuracy": accuracy_score(y_true, y_pred),
+                          "support": len(y_true)}
+    return report

@@ -1,0 +1,187 @@
+"""Train/test splitting, cross-validation, and grid search.
+
+``GridSearchCV`` scores with accuracy or one-vs-rest macro AUC — the
+paper tunes hyperparameters with AUC-based cross-validation to guard
+against the dataset's class imbalance (Section V-C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from .metrics import accuracy_score, roc_auc_score
+
+
+def train_test_split(X: np.ndarray, y: np.ndarray, test_size: float = 0.3,
+                     random_state: int | None = None,
+                     stratify: np.ndarray | None = None
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray]:
+    """Random (optionally stratified) split; returns
+    X_train, X_test, y_train, y_test."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y must have the same length")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    n = len(X)
+    if stratify is None:
+        perm = rng.permutation(n)
+        n_test = max(1, int(round(n * test_size)))
+        test_idx, train_idx = perm[:n_test], perm[n_test:]
+    else:
+        stratify = np.asarray(stratify)
+        test_parts, train_parts = [], []
+        for label in np.unique(stratify):
+            idx = rng.permutation(np.flatnonzero(stratify == label))
+            n_test = int(round(len(idx) * test_size))
+            test_parts.append(idx[:n_test])
+            train_parts.append(idx[n_test:])
+        test_idx = np.concatenate(test_parts)
+        train_idx = np.concatenate(train_parts)
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """Plain k-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 random_state: int | None = None) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X: np.ndarray, y: np.ndarray | None = None
+              ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(
+                f"cannot split {n} samples into {self.n_splits} folds")
+        idx = np.arange(n)
+        if self.shuffle:
+            np.random.default_rng(self.random_state).shuffle(idx)
+        for fold in np.array_split(idx, self.n_splits):
+            mask = np.ones(n, dtype=bool)
+            mask[fold] = False
+            yield np.flatnonzero(mask), np.sort(fold)
+
+
+class StratifiedKFold(KFold):
+    """K-fold preserving per-class proportions."""
+
+    def split(self, X: np.ndarray, y: np.ndarray | None = None
+              ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if y is None:
+            raise ValueError("StratifiedKFold requires y")
+        y = np.asarray(y)
+        n = len(y)
+        rng = np.random.default_rng(self.random_state)
+        folds: list[list[int]] = [[] for _ in range(self.n_splits)]
+        for label in np.unique(y):
+            idx = np.flatnonzero(y == label)
+            if self.shuffle:
+                rng.shuffle(idx)
+            for i, chunk in enumerate(np.array_split(idx, self.n_splits)):
+                folds[i].extend(chunk.tolist())
+        for fold in folds:
+            fold_arr = np.asarray(sorted(fold), dtype=np.int64)
+            mask = np.ones(n, dtype=bool)
+            mask[fold_arr] = False
+            yield np.flatnonzero(mask), fold_arr
+
+
+def _clone(estimator: Any, **override: Any) -> Any:
+    params = estimator.get_params()
+    params.update(override)
+    return type(estimator)(**params)
+
+
+def _score(estimator: Any, X: np.ndarray, y: np.ndarray,
+           scoring: str) -> float:
+    if scoring == "accuracy":
+        return accuracy_score(y, estimator.predict(X))
+    if scoring == "auc":
+        proba = estimator.predict_proba(X)
+        return roc_auc_score(y, proba, labels=estimator.classes_)
+    raise ValueError(f"unknown scoring {scoring!r}")
+
+
+def cross_val_score(estimator: Any, X: np.ndarray, y: np.ndarray,
+                    cv: int = 5, scoring: str = "accuracy",
+                    random_state: int | None = 0) -> np.ndarray:
+    """Per-fold scores under stratified k-fold CV."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    splitter = StratifiedKFold(cv, shuffle=True, random_state=random_state)
+    scores = []
+    for train_idx, test_idx in splitter.split(X, y):
+        model = _clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(_score(model, X[test_idx], y[test_idx], scoring))
+    return np.asarray(scores)
+
+
+@dataclass
+class GridSearchResult:
+    params: dict[str, Any]
+    mean_score: float
+    fold_scores: np.ndarray
+
+
+class GridSearchCV:
+    """Exhaustive hyperparameter search with stratified CV.
+
+    After ``fit``, exposes ``best_params_``, ``best_score_``,
+    ``best_estimator_`` (refitted on the full data) and the full
+    ``results_`` list.
+    """
+
+    def __init__(self, estimator: Any, param_grid: dict[str, list],
+                 scoring: str = "auc", cv: int = 5,
+                 random_state: int | None = 0) -> None:
+        if not param_grid:
+            raise ValueError("param_grid must not be empty")
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.scoring = scoring
+        self.cv = cv
+        self.random_state = random_state
+
+    def _candidates(self) -> Iterator[dict[str, Any]]:
+        keys = sorted(self.param_grid)
+        for combo in itertools.product(*(self.param_grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
+        X = np.asarray(X)
+        y = np.asarray(y)
+        self.results_: list[GridSearchResult] = []
+        best: GridSearchResult | None = None
+        for params in self._candidates():
+            scores = cross_val_score(
+                _clone(self.estimator, **params), X, y, cv=self.cv,
+                scoring=self.scoring, random_state=self.random_state)
+            result = GridSearchResult(params, float(scores.mean()), scores)
+            self.results_.append(result)
+            if best is None or result.mean_score > best.mean_score:
+                best = result
+        assert best is not None
+        self.best_params_ = best.params
+        self.best_score_ = best.mean_score
+        self.best_estimator_ = _clone(self.estimator, **best.params)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.best_estimator_.predict(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return _score(self.best_estimator_, X, y, "accuracy")

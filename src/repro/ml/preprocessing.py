@@ -1,0 +1,65 @@
+"""Feature preprocessing: standardization and label encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling (constant features left at 0)."""
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.shape[1] != len(self.mean_):
+            raise ValueError(
+                f"expected {len(self.mean_)} features, got {X.shape[1]}")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted")
+        return np.asarray(X) * self.scale_ + self.mean_
+
+
+class LabelEncoder:
+    """Bidirectional label <-> integer mapping."""
+
+    def fit(self, y: np.ndarray) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder is not fitted")
+        y = np.asarray(y)
+        idx = np.searchsorted(self.classes_, y)
+        bad = (idx >= len(self.classes_)) | (self.classes_[np.minimum(
+            idx, len(self.classes_) - 1)] != y)
+        if np.any(bad):
+            raise ValueError(f"unseen labels: {np.unique(y[bad])}")
+        return idx
+
+    def fit_transform(self, y: np.ndarray) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, idx: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder is not fitted")
+        idx = np.asarray(idx)
+        if np.any((idx < 0) | (idx >= len(self.classes_))):
+            raise ValueError("index out of range")
+        return self.classes_[idx]

@@ -1,0 +1,40 @@
+"""Discrete-event cluster simulator: engine, network cost model, and the
+Machine facade with the analytic round-cost evaluator."""
+
+from .conditions import (
+    CLEAN,
+    NetworkConditions,
+    apply_conditions,
+    machine_with_conditions,
+)
+from .engine import (
+    AllOf,
+    Event,
+    Mailbox,
+    Process,
+    Resource,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .machine import Machine, Round, Schedule
+from .netmodel import NetParams
+
+__all__ = [
+    "CLEAN",
+    "AllOf",
+    "Event",
+    "NetworkConditions",
+    "apply_conditions",
+    "machine_with_conditions",
+    "Machine",
+    "Mailbox",
+    "NetParams",
+    "Process",
+    "Resource",
+    "Round",
+    "Schedule",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]

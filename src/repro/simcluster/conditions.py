@@ -1,0 +1,76 @@
+"""Dynamic network conditions (paper Section III).
+
+The paper acknowledges that "network congestion can also impact
+collective algorithm selection" and that its measurements average over
+dynamic factors.  This module makes those factors explicit so their
+effect on tuning decisions can be studied:
+
+* ``background_load`` — fraction of fabric bandwidth consumed by other
+  jobs (shrinks effective beta and stretches latency tails),
+* ``latency_jitter`` — multiplicative noise floor on alpha,
+* ``degraded_nodes`` — nodes whose HCA renegotiated to a lower width
+  (a real failure mode: a flaky cable drops an x4 link to x1).
+
+``apply_conditions`` derives a degraded :class:`NetParams`;
+``Machine.with_conditions`` returns a machine that prices schedules
+under those conditions.  The failure-injection tests and the noise
+ablation benchmark drive this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from .machine import Machine
+from .netmodel import NetParams
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """A snapshot of dynamic fabric state."""
+
+    background_load: float = 0.0   # 0 = idle fabric, 0.5 = half used
+    latency_jitter: float = 0.0    # fractional alpha inflation
+    link_width_factor: float = 1.0  # 1.0 = full width, 0.25 = x4 -> x1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.background_load < 1.0:
+            raise ValueError("background_load must be in [0, 1)")
+        if self.latency_jitter < 0.0:
+            raise ValueError("latency_jitter must be >= 0")
+        if not 0.0 < self.link_width_factor <= 1.0:
+            raise ValueError("link_width_factor must be in (0, 1]")
+
+    @property
+    def is_clean(self) -> bool:
+        return (self.background_load == 0.0
+                and self.latency_jitter == 0.0
+                and self.link_width_factor == 1.0)
+
+
+#: The idle-fabric baseline.
+CLEAN = NetworkConditions()
+
+
+def apply_conditions(params: NetParams,
+                     conditions: NetworkConditions) -> NetParams:
+    """Derive the effective cost-model parameters under *conditions*."""
+    if conditions.is_clean:
+        return params
+    beta = (params.beta_inter_Bps
+            * (1.0 - conditions.background_load)
+            * conditions.link_width_factor)
+    alpha = params.alpha_inter_s * (1.0 + conditions.latency_jitter
+                                    + conditions.background_load)
+    return dataclasses.replace(params,
+                               beta_inter_Bps=beta,
+                               alpha_inter_s=alpha)
+
+
+def machine_with_conditions(machine: Machine,
+                            conditions: NetworkConditions) -> Machine:
+    """A copy of *machine* whose cost model reflects *conditions*."""
+    degraded = Machine(machine.spec, machine.nodes, machine.ppn)
+    degraded.params = apply_conditions(machine.params, conditions)
+    return degraded

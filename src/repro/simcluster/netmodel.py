@@ -1,0 +1,166 @@
+"""Communication cost model derived from hardware specs.
+
+This converts a :class:`~repro.hwmodel.specs.ClusterSpec` into the
+parameters of an extended Hockney/LogGP-style model:
+
+* ``alpha_inter`` / ``alpha_intra`` — per-message latency (network
+  generation + PCIe version for inter-node; clock-scaled shared-memory
+  latency for intra-node),
+* ``beta_inter`` — NIC injection bandwidth (link rate capped by PCIe),
+* per-message NIC *gap* (message-rate limit of the HCA generation),
+* per-posted-operation CPU overhead (clock-scaled — the software cost of
+  posting isend/irecv, tag matching, requests),
+* copy/packing bandwidth with an L3 cache boost (cache-resident blocks
+  copy faster; this is the mechanism behind the paper's "L3 matters for
+  Allgather" finding),
+* an eager/rendezvous protocol switch (rendezvous pays an extra
+  round-trip handshake),
+* a destination-spread congestion penalty (a NIC blasting many remote
+  nodes in one round loses effective bandwidth to switch/endpoint
+  contention — the mechanism that separates Scatter-Destination from
+  Pairwise at large message sizes).
+
+All times are in **seconds**, sizes in **bytes**, bandwidths in
+**bytes/second**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hwmodel.specs import ClusterSpec, InfinibandGeneration
+
+# Per-message NIC gap (seconds) by interconnect generation: the inverse
+# small-message rate of that HCA era.
+_NIC_GAP_S = {
+    InfinibandGeneration.QDR: 0.15e-6,
+    InfinibandGeneration.FDR: 0.10e-6,
+    InfinibandGeneration.EDR: 0.06e-6,
+    InfinibandGeneration.HDR: 0.04e-6,
+    InfinibandGeneration.OPA100: 0.08e-6,
+}
+
+# Extra one-way latency contributed by the PCIe generation (seconds).
+_PCIE_LATENCY_S = {2.0: 0.45e-6, 3.0: 0.30e-6, 4.0: 0.18e-6, 5.0: 0.12e-6}
+
+#: Reference clock used to scale CPU-side software overheads.
+_REF_CLOCK_GHZ = 2.5
+
+
+@dataclass(frozen=True)
+class NetParams:
+    """Flattened cost-model parameters for one cluster."""
+
+    # latency terms
+    alpha_inter_s: float
+    alpha_intra_s: float
+    # bandwidth terms
+    beta_inter_Bps: float
+    mem_bw_Bps: float
+    per_core_copy_Bps: float
+    # per-message costs
+    nic_gap_s: float
+    cpu_op_overhead_s: float
+    # protocol
+    eager_inter_bytes: int
+    eager_intra_bytes: int
+    # cache model
+    l3_bytes: float
+    cache_copy_boost: float
+    # congestion
+    spread_gamma: float
+    flow_gamma: float
+
+    # ---------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: ClusterSpec) -> "NetParams":
+        node = spec.node
+        ic = node.interconnect
+        clock_scale = _REF_CLOCK_GHZ / node.cpu.max_clock_ghz
+        link_bw = ic.bandwidth_bytes_per_s * 0.92
+        pcie_bw = node.pcie.bandwidth_gbs * 1e9 * 0.95
+        return cls(
+            alpha_inter_s=ic.base_latency_us * 1e-6
+            + _PCIE_LATENCY_S[node.pcie.version],
+            alpha_intra_s=0.35e-6 * clock_scale,
+            beta_inter_Bps=min(link_bw, pcie_bw),
+            mem_bw_Bps=node.memory.bandwidth_gbs * 1e9,
+            per_core_copy_Bps=5.0e9 / clock_scale,
+            nic_gap_s=_NIC_GAP_S[ic.generation],
+            cpu_op_overhead_s=0.25e-6 * clock_scale,
+            eager_inter_bytes=16 * 1024,
+            eager_intra_bytes=64 * 1024,
+            l3_bytes=node.cpu.l3_cache_mib * 1024 * 1024,
+            cache_copy_boost=2.5,
+            spread_gamma=0.03,
+            flow_gamma=0.25,
+        )
+
+    def flow_penalty(self, concurrent_msgs: np.ndarray | float,
+                     ppn: int) -> np.ndarray | float:
+        """Flow-control/queueing slowdown of a NIC's bytes term when it
+        carries more concurrent messages than it has local ranks (one
+        in-flight message per rank is free; blasting beyond that loses
+        effective bandwidth to flow-control stalls and buffer pressure).
+        """
+        excess = np.maximum(0.0, (np.asarray(concurrent_msgs, dtype=float)
+                                  - ppn) / max(ppn, 1))
+        return 1.0 + self.flow_gamma * np.log1p(excess)
+
+    # ---------------------------------------------------------------
+    def copy_bandwidth(self, msg_bytes: float, active_ranks: int) -> float:
+        """Effective single-stream memory-copy bandwidth for a block of
+        *msg_bytes* when *active_ranks* ranks on the node are copying
+        concurrently.
+
+        A block whose working set (source + destination) fits in this
+        rank's share of L3 copies at ``cache_copy_boost`` times the
+        per-core rate; larger blocks stream through DRAM, where the
+        aggregate across ranks is capped by the memory bus.
+        """
+        active = max(1, active_ranks)
+        per_rank_l3 = self.l3_bytes / active
+        bw = self.per_core_copy_Bps
+        if 2.0 * msg_bytes <= per_rank_l3:
+            bw *= self.cache_copy_boost
+        # Aggregate DRAM cap shared across concurrently-copying ranks.
+        dram_share = 0.6 * self.mem_bw_Bps / active
+        return min(bw, max(dram_share, 1.0))
+
+    def copy_bandwidth_vec(self, msg_bytes: np.ndarray,
+                           active_ranks: int) -> np.ndarray:
+        """Vectorized :meth:`copy_bandwidth` over an array of sizes."""
+        active = max(1, active_ranks)
+        sizes = np.asarray(msg_bytes, dtype=np.float64)
+        bw = np.full_like(sizes, self.per_core_copy_Bps)
+        bw[2.0 * sizes <= self.l3_bytes / active] *= self.cache_copy_boost
+        dram_share = max(0.6 * self.mem_bw_Bps / active, 1.0)
+        return np.minimum(bw, dram_share)
+
+    def intra_pair_time(self, msg_bytes: float, active_ranks: int) -> float:
+        """Shared-memory point-to-point time (latency + copy)."""
+        t = self.alpha_intra_s + msg_bytes / self.copy_bandwidth(
+            msg_bytes, active_ranks)
+        if msg_bytes > self.eager_intra_bytes:
+            t += 2.0 * self.alpha_intra_s  # rendezvous handshake
+        return t
+
+    def inter_wire_time(self, msg_bytes: float, spread: int = 1) -> float:
+        """Serialization time of one message on the NIC, with the
+        destination-spread congestion penalty applied."""
+        return self.nic_gap_s + msg_bytes / self.effective_beta(spread)
+
+    def effective_beta(self, spread: int) -> float:
+        """NIC bandwidth when its traffic targets *spread* distinct
+        remote nodes in the same communication round."""
+        return self.beta_inter_Bps / (1.0 + self.spread_gamma
+                                      * max(0, spread - 1))
+
+    def inter_point_time(self, msg_bytes: float) -> float:
+        """End-to-end time of a single isolated inter-node message."""
+        t = self.alpha_inter_s + self.inter_wire_time(msg_bytes)
+        if msg_bytes > self.eager_inter_bytes:
+            t += 2.0 * self.alpha_inter_s
+        return t

@@ -1,0 +1,42 @@
+"""Flat collective algorithms (Allgather x4, Alltoall x5)."""
+
+from . import allgather, allreduce, alltoall, bcast  # noqa: F401
+from . import reduce_scatter  # noqa: F401
+from .base import (
+    ALL_COLLECTIVES,
+    ALLGATHER,
+    ALLREDUCE,
+    ALLTOALL,
+    BCAST,
+    COLLECTIVES,
+    REDUCE_SCATTER,
+    CollectiveAlgorithm,
+    ExecutionResult,
+    algorithm_names,
+    algorithms,
+    execute,
+    get_algorithm,
+    register,
+)
+
+__all__ = [
+    "ALL_COLLECTIVES",
+    "ALLGATHER",
+    "ALLREDUCE",
+    "ALLTOALL",
+    "BCAST",
+    "COLLECTIVES",
+    "REDUCE_SCATTER",
+    "allreduce",
+    "bcast",
+    "reduce_scatter",
+    "CollectiveAlgorithm",
+    "ExecutionResult",
+    "algorithm_names",
+    "algorithms",
+    "allgather",
+    "alltoall",
+    "execute",
+    "get_algorithm",
+    "register",
+]

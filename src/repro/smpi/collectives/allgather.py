@@ -1,0 +1,249 @@
+"""The four flat MPI_Allgather algorithms of the paper (Section III).
+
+* ``recursive_doubling`` — pairwise XOR exchanges doubling the held data
+  each step; non-power-of-two rank counts use the standard three-phase
+  fold (remainder ranks fold into the power-of-two core and get the full
+  result back at the end).
+* ``ring`` — logical ring, p-1 steps of one block each; near-neighbour
+  traffic is mostly intra-node under block placement.
+* ``bruck`` — log-step algorithm for arbitrary p; finishes with a local
+  rotation of the full result.
+* ``rd_communication`` — the paper's "Recursive Doubling Communication"
+  variation: the RD exchange of each step is split into two pipelined
+  half-messages, halving the per-message working set (cache-friendlier at
+  the cost of twice the message count).  See DESIGN.md for the
+  interpretation note.
+
+Every rank contributes one block of ``msg_size`` bytes and must end with
+all ``p`` blocks in rank order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ...simcluster.engine import Event
+from ...simcluster.machine import Machine, Round, Schedule
+from ..comm import Communicator
+from .base import (
+    ALLGATHER,
+    CollectiveAlgorithm,
+    full_copy_round,
+    ranks_array,
+    register,
+)
+
+# Distinct tag ranges per phase so message matching is unambiguous.
+_TAG_FOLD = 1 << 20
+_TAG_UNFOLD = (1 << 20) + 1
+
+
+def _rd_geometry(p: int) -> tuple[int, int]:
+    """(q, r): largest power of two q <= p and the remainder r = p - q."""
+    q = 1
+    while q * 2 <= p:
+        q *= 2
+    return q, p - q
+
+
+class _AllgatherBase(CollectiveAlgorithm):
+    collective = ALLGATHER
+
+    def initial_blocks(self, rank: int) -> list:
+        """The block(s) a rank contributes.  Two-level composition
+        overrides this per leader so the inter-node phase can carry
+        whole node payloads; ``msg_size`` is then the per-block size."""
+        return [rank]
+
+
+class RecursiveDoublingAllgather(_AllgatherBase):
+    """Recursive doubling with the three-phase non-power-of-two fold."""
+
+    name = "recursive_doubling"
+
+    #: Number of half-messages each RD exchange is split into (1 = plain
+    #: RD; the rd_communication subclass overrides this).
+    split = 1
+
+    def _halves(self, blocks: list) -> list[list]:
+        """Split a block list into ``self.split`` contiguous pieces."""
+        if self.split == 1 or len(blocks) < 2:
+            return [blocks]
+        mid = (len(blocks) + 1) // 2
+        return [blocks[:mid], blocks[mid:]]
+
+    # -- data level -----------------------------------------------------
+    def rank_process(self, comm: Communicator, rank: int,
+                     msg_size: int) -> Generator[Event, Any, list]:
+        p = comm.size
+        blocks: list = list(self.initial_blocks(rank))
+        if p == 1:
+            return blocks
+        q, r = _rd_geometry(p)
+
+        if r and rank >= q:  # remainder rank: fold in, wait for result
+            yield from comm.send(rank, rank - q, _TAG_FOLD, blocks,
+                                 msg_size)
+            blocks = yield from comm.recv(rank, rank - q, _TAG_UNFOLD)
+            return sorted(blocks)
+
+        if r and rank < r:  # core rank absorbing a remainder block
+            extra = yield from comm.recv(rank, rank + q, _TAG_FOLD)
+            blocks = blocks + extra
+
+        # Every rank can derive every core rank's block count per step
+        # (it depends only on p), so piece counts are agreed without
+        # extra communication.
+        counts = [2 if i < r else 1 for i in range(q)]
+        for k in range(q.bit_length() - 1):
+            partner = rank ^ (1 << k)
+            pieces = self._halves(blocks)
+            for i, piece in enumerate(pieces):
+                yield from comm.send(rank, partner, k * 4 + i, piece,
+                                     len(piece) * msg_size)
+            n_incoming = 1 if (self.split == 1 or counts[partner] < 2) else 2
+            received: list[int] = []
+            for i in range(n_incoming):
+                got = yield from comm.recv(rank, partner, k * 4 + i)
+                received.extend(got)
+            blocks = blocks + received
+            counts = [c + counts[i ^ (1 << k)]
+                      for i, c in enumerate(counts)]
+
+        if r and rank < r:  # send the full result back out
+            yield from comm.send(rank, rank + q, _TAG_UNFOLD, blocks,
+                                 len(blocks) * msg_size)
+        return sorted(blocks)
+
+    # -- schedule level ---------------------------------------------------
+    def schedule(self, machine: Machine, msg_size: int) -> Schedule:
+        p = machine.p
+        if p == 1:
+            return []
+        q, r = _rd_geometry(p)
+        m = float(msg_size)
+        rounds: Schedule = []
+        counts = np.ones(q)
+
+        if r:
+            rem = np.arange(r, dtype=np.int64)
+            rounds.append(Round(src=rem + q, dst=rem,
+                                size=np.full(r, m)))
+            counts[:r] = 2.0
+
+        core = np.arange(q, dtype=np.int64)
+        for k in range(q.bit_length() - 1):
+            partner = core ^ (1 << k)
+            sizes = counts[core] * m
+            if self.split == 1:
+                rounds.append(Round(src=core, dst=partner, size=sizes))
+            else:
+                hi = np.ceil(counts[core] / 2.0) * m
+                lo = sizes - hi
+                # Single-block exchanges cannot be split.
+                single = counts[core] < 2
+                hi = np.where(single, sizes, hi)
+                lo = np.where(single, 0.0, lo)
+                src2 = np.concatenate([core, core[~single]])
+                dst2 = np.concatenate([partner, partner[~single]])
+                sz2 = np.concatenate([hi, lo[~single]])
+                rounds.append(Round(src=src2, dst=dst2, size=sz2))
+            counts = counts + counts[core ^ (1 << k)]
+
+        if r:
+            rem = np.arange(r, dtype=np.int64)
+            rounds.append(Round(src=rem, dst=rem + q,
+                                size=np.full(r, p * m)))
+        return rounds
+
+
+class RdCommunicationAllgather(RecursiveDoublingAllgather):
+    """RD with each exchange split into two pipelined half-messages."""
+
+    name = "rd_communication"
+    split = 2
+
+
+class RingAllgather(_AllgatherBase):
+    """Logical-ring allgather: p-1 steps of one block to the right."""
+
+    name = "ring"
+
+    def rank_process(self, comm: Communicator, rank: int,
+                     msg_size: int) -> Generator[Event, Any, list]:
+        p = comm.size
+        blocks: list = list(self.initial_blocks(rank))
+        if p == 1:
+            return blocks
+        right = (rank + 1) % p
+        left = (rank - 1) % p
+        outgoing = blocks[0]
+        for k in range(p - 1):
+            yield from comm.send(rank, right, k, [outgoing], msg_size)
+            got = yield from comm.recv(rank, left, k)
+            outgoing = got[0]
+            blocks.append(outgoing)
+        return sorted(blocks)
+
+    def schedule(self, machine: Machine, msg_size: int) -> Schedule:
+        p = machine.p
+        if p == 1:
+            return []
+        ranks = ranks_array(p)
+        return [Round(src=ranks, dst=(ranks + 1) % p,
+                      size=np.full(p, float(msg_size)),
+                      repeat=p - 1)]
+
+
+class BruckAllgather(_AllgatherBase):
+    """Bruck's log-step allgather (any p) + final local rotation."""
+
+    name = "bruck"
+
+    def rank_process(self, comm: Communicator, rank: int,
+                     msg_size: int) -> Generator[Event, Any, list]:
+        p = comm.size
+        blocks: list = list(self.initial_blocks(rank))
+        if p == 1:
+            return blocks
+        k = 0
+        while (1 << k) < p:
+            step = 1 << k
+            cnt = min(step, p - step)
+            dst = (rank - step) % p
+            src = (rank + step) % p
+            yield from comm.send(rank, dst, k, blocks[:cnt],
+                                 cnt * msg_size)
+            got = yield from comm.recv(rank, src, k)
+            blocks.extend(got)
+            k += 1
+        # Local rotation into rank order.
+        yield from comm.local_copy(rank, p * msg_size)
+        return sorted(blocks)
+
+    def schedule(self, machine: Machine, msg_size: int) -> Schedule:
+        p = machine.p
+        if p == 1:
+            return []
+        m = float(msg_size)
+        ranks = ranks_array(p)
+        rounds: Schedule = []
+        k = 0
+        while (1 << k) < p:
+            step = 1 << k
+            cnt = min(step, p - step)
+            rounds.append(Round(src=ranks, dst=(ranks - step) % p,
+                                size=np.full(p, cnt * m)))
+            k += 1
+        rounds.append(full_copy_round(p, p * m))
+        return rounds
+
+
+RECURSIVE_DOUBLING = register(RecursiveDoublingAllgather())
+RING = register(RingAllgather())
+BRUCK = register(BruckAllgather())
+RD_COMMUNICATION = register(RdCommunicationAllgather())
+
+ALL = (RECURSIVE_DOUBLING, RING, BRUCK, RD_COMMUNICATION)

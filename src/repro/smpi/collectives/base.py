@@ -1,0 +1,174 @@
+"""Collective-algorithm framework.
+
+Every algorithm has two faithful implementations of the *same* message
+structure:
+
+``schedule(machine, msg_size)``
+    A vectorized generator of :class:`~repro.simcluster.machine.Round`
+    objects, priced by the analytic evaluator.  This is what dataset
+    collection and the benchmarks use — it scales to thousand-rank jobs.
+
+``rank_process(comm, rank, msg_size)``
+    A data-level generator executed on the discrete-event engine, moving
+    real block identifiers.  This is the ground truth: the test suite
+    validates that every rank ends with exactly the right blocks, and
+    that the message trace matches the vectorized schedule.
+
+Algorithms register themselves in per-collective registries keyed by
+name, which is also the ML classification label.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Generator
+
+import numpy as np
+
+from ...simcluster.engine import Event, Process
+from ...simcluster.machine import Machine, Round, Schedule
+from ..comm import Communicator
+
+ALLGATHER = "allgather"
+ALLTOALL = "alltoall"
+ALLREDUCE = "allreduce"
+BCAST = "bcast"
+REDUCE_SCATTER = "reduce_scatter"
+
+#: The two collectives of the paper's evaluation (dataset default).
+COLLECTIVES = (ALLGATHER, ALLTOALL)
+#: Including the future-work extensions (Section IX).
+ALL_COLLECTIVES = (ALLGATHER, ALLTOALL, ALLREDUCE, BCAST,
+                   REDUCE_SCATTER)
+
+
+class CollectiveAlgorithm(abc.ABC):
+    """Base class for one algorithm of one collective."""
+
+    #: Registry label (e.g. ``"ring"``); also the ML class name.
+    name: str
+    #: Which collective this algorithm implements.
+    collective: str
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def schedule(self, machine: Machine, msg_size: int) -> Schedule:
+        """Vectorized round list for a job of ``machine.p`` ranks with
+        per-block message size *msg_size* bytes."""
+
+    @abc.abstractmethod
+    def rank_process(self, comm: Communicator, rank: int,
+                     msg_size: int) -> Generator[Event, Any, list]:
+        """Data-level process for one rank; returns its final buffer."""
+
+    # ------------------------------------------------------------------
+    def estimate(self, machine: Machine, msg_size: int) -> float:
+        """Analytic runtime estimate in seconds."""
+        return machine.evaluate(self.schedule(machine, msg_size))
+
+    def buffer_bytes(self, p: int, msg_size: int) -> float:
+        """Per-rank buffer footprint (used for feasibility filtering)."""
+        if self.collective == ALLGATHER:
+            return (p + 1.0) * msg_size
+        return 2.0 * p * msg_size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.collective}/{self.name}>"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a data-level run on the discrete-event engine."""
+
+    time_s: float
+    buffers: list[list]
+    trace: list | None
+
+
+_REGISTRY: dict[str, dict[str, CollectiveAlgorithm]] = {
+    name: {} for name in ALL_COLLECTIVES
+}
+
+
+def register(algo: CollectiveAlgorithm) -> CollectiveAlgorithm:
+    """Add an algorithm instance to its collective's registry."""
+    if algo.collective not in _REGISTRY:
+        raise ValueError(f"unknown collective {algo.collective!r}")
+    family = _REGISTRY[algo.collective]
+    if algo.name in family:
+        raise ValueError(
+            f"duplicate {algo.collective} algorithm {algo.name!r}")
+    family[algo.name] = algo
+    return algo
+
+
+def algorithms(collective: str) -> dict[str, CollectiveAlgorithm]:
+    """Name -> algorithm mapping for one collective."""
+    try:
+        return dict(_REGISTRY[collective])
+    except KeyError:
+        raise ValueError(f"unknown collective {collective!r}") from None
+
+
+def algorithm_names(collective: str) -> tuple[str, ...]:
+    """Sorted label space of one collective."""
+    return tuple(sorted(_REGISTRY[collective]))
+
+
+def get_algorithm(collective: str, name: str) -> CollectiveAlgorithm:
+    """Look up one algorithm by collective and name."""
+    family = algorithms(collective)
+    try:
+        return family[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown {collective} algorithm {name!r}; "
+            f"known: {', '.join(sorted(family))}") from None
+
+
+def execute(algo: CollectiveAlgorithm, machine: Machine, msg_size: int,
+            record_trace: bool = False) -> ExecutionResult:
+    """Run the data-level implementation on the DES and return the
+    simulated time plus every rank's final buffer."""
+    comm = Communicator(machine, record_trace=record_trace)
+    procs = [Process(comm.sim, algo.rank_process(comm, r, msg_size))
+             for r in range(machine.p)]
+    comm.sim.run()
+    unfinished = [r for r, pr in enumerate(procs) if not pr.triggered]
+    if unfinished:
+        raise RuntimeError(
+            f"{algo.collective}/{algo.name}: ranks {unfinished[:8]} "
+            f"deadlocked (p={machine.p}, msg={msg_size})")
+    if comm.undelivered_messages:
+        raise RuntimeError(
+            f"{algo.collective}/{algo.name}: "
+            f"{comm.undelivered_messages} unmatched messages")
+    return ExecutionResult(
+        time_s=comm.sim.now,
+        buffers=[pr.value for pr in procs],
+        trace=comm.trace,
+    )
+
+
+# ---------------------------------------------------------------------
+# Shared schedule helpers
+# ---------------------------------------------------------------------
+
+def ranks_array(p: int) -> np.ndarray:
+    return np.arange(p, dtype=np.int64)
+
+
+def full_copy_round(p: int, nbytes: float) -> Round:
+    """A round in which every rank performs a local copy of *nbytes*."""
+    return Round(
+        src=np.empty(0, dtype=np.int64),
+        dst=np.empty(0, dtype=np.int64),
+        size=np.empty(0, dtype=np.float64),
+        copy_ranks=ranks_array(p),
+        copy_bytes=np.full(p, float(nbytes)),
+    )
+
+
+def is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0

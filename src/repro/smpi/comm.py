@@ -1,0 +1,137 @@
+"""Simulated MPI communicator.
+
+Each MPI rank is a generator-based process on the discrete-event engine.
+Message timing is derived from the same :class:`NetParams` that drive the
+analytic schedule evaluator, so the two timing paths agree on small
+configurations:
+
+* intra-node sends copy through shared memory (latency + cache-aware
+  copy bandwidth),
+* inter-node sends serialize on the source node's NIC (a FIFO
+  :class:`Resource`), fly for ``alpha_inter``, and — for eager-size
+  messages — pay a receive-side bounce-buffer copy,
+* rendezvous-size messages pay an extra handshake round trip,
+* every posted send/recv costs the posting rank
+  ``cpu_op_overhead_s`` of simulated CPU time.
+
+The communicator optionally records a message trace, which the test
+suite compares against the vectorized schedule generators message for
+message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..simcluster.engine import Event, Mailbox, Process, Resource, Simulator
+from ..simcluster.machine import Machine
+from .datatypes import TraceRecord
+
+
+class Communicator:
+    """MPI_COMM_WORLD over a simulated :class:`Machine`."""
+
+    def __init__(self, machine: Machine, record_trace: bool = False) -> None:
+        self.machine = machine
+        self.sim = Simulator()
+        self.size = machine.p
+        self._mailboxes = [Mailbox(self.sim) for _ in range(self.size)]
+        self._nic_out = [Resource(self.sim, capacity=1)
+                         for _ in range(machine.nodes)]
+        self.trace: list[TraceRecord] | None = [] if record_trace else None
+        self._barrier_waiting = 0
+        self._barrier_event: Event | None = None
+
+    # -- internals ------------------------------------------------------
+    def _node(self, rank: int) -> int:
+        return rank // self.machine.ppn
+
+    def _delivery(self, src: int, dst: int, tag: int, payload: Any,
+                  nbytes: float) -> Generator[Event, Any, None]:
+        """Transport process for one message (runs concurrently with the
+        sending rank)."""
+        prm = self.machine.params
+        if self._node(src) == self._node(dst):
+            t = prm.alpha_intra_s + nbytes / prm.copy_bandwidth(
+                nbytes, self.machine.ppn)
+            if nbytes > prm.eager_intra_bytes:
+                t += 2.0 * prm.alpha_intra_s
+            yield self.sim.timeout(t)
+        else:
+            nic = self._nic_out[self._node(src)]
+            yield nic.request()
+            try:
+                yield self.sim.timeout(prm.inter_wire_time(nbytes))
+            finally:
+                nic.release()
+            t = prm.alpha_inter_s
+            if nbytes > prm.eager_inter_bytes:
+                t += 2.0 * prm.alpha_inter_s  # rendezvous handshake
+            else:
+                # Bounce-buffer copy-out on the receiving rank.
+                t += nbytes / prm.copy_bandwidth(nbytes, self.machine.ppn)
+            yield self.sim.timeout(t)
+        self._mailboxes[dst].put(src, tag, payload)
+
+    # -- point-to-point ---------------------------------------------------
+    def send(self, src: int, dst: int, tag: int, payload: Any,
+             nbytes: float) -> Generator[Event, Any, None]:
+        """Post a send from rank *src* (non-blocking delivery; the caller
+        pays only the posting overhead).  Use as ``yield from``."""
+        if not 0 <= dst < self.size:
+            raise ValueError(f"invalid destination rank {dst}")
+        if dst == src:
+            raise ValueError("self-sends are modelled as local copies")
+        if self.trace is not None:
+            self.trace.append(TraceRecord(src, dst, nbytes))
+        yield self.sim.timeout(self.machine.params.cpu_op_overhead_s)
+        Process(self.sim, self._delivery(src, dst, tag, payload, nbytes))
+
+    def recv(self, me: int, src: int,
+             tag: int) -> Generator[Event, Any, Any]:
+        """Blocking receive; returns the payload.  Use as
+        ``payload = yield from comm.recv(...)``."""
+        yield self.sim.timeout(self.machine.params.cpu_op_overhead_s)
+        payload = yield self._mailboxes[me].get(src, tag)
+        return payload
+
+    def sendrecv(self, me: int, dst: int, send_payload: Any,
+                 send_bytes: float, src: int,
+                 tag: int) -> Generator[Event, Any, Any]:
+        """Simultaneous send+recv (the workhorse of exchange algorithms)."""
+        yield from self.send(me, dst, tag, send_payload, send_bytes)
+        payload = yield from self.recv(me, src, tag)
+        return payload
+
+    # -- local work ------------------------------------------------------
+    def local_copy(self, rank: int,
+                   nbytes: float) -> Generator[Event, Any, None]:
+        """Charge *rank* for a local memory copy (packing, rotation)."""
+        prm = self.machine.params
+        yield self.sim.timeout(
+            nbytes / prm.copy_bandwidth(nbytes, self.machine.ppn))
+
+    def compute(self, _rank: int,
+                seconds: float) -> Generator[Event, Any, None]:
+        """Charge *rank* for pure computation time."""
+        yield self.sim.timeout(seconds)
+
+    # -- collective sync ---------------------------------------------------
+    def barrier(self, _rank: int) -> Generator[Event, Any, None]:
+        """Central-counter barrier (control-flow only; no network cost —
+        used by application proxies between phases)."""
+        if self._barrier_event is None:
+            self._barrier_event = self.sim.event()
+        event = self._barrier_event
+        self._barrier_waiting += 1
+        if self._barrier_waiting == self.size:
+            self._barrier_waiting = 0
+            self._barrier_event = None
+            event.succeed(None)
+        yield event
+
+    # -- diagnostics -------------------------------------------------------
+    @property
+    def undelivered_messages(self) -> int:
+        """Messages sent but never received (0 after a clean collective)."""
+        return sum(mb.undelivered for mb in self._mailboxes)

@@ -1,0 +1,38 @@
+"""Message and block abstractions for the data-level collective executor.
+
+The data-level executor moves *block identifiers* instead of real bytes:
+an Allgather block is the integer rank that contributed it, an Alltoall
+block is the ``(source, destination)`` pair.  This keeps correctness
+checking exact (every algorithm must deliver precisely the right blocks
+in the right order) while the simulated clock is driven by the byte
+counts carried alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One message as recorded by a tracing communicator — used by the
+    tests that check schedule generators against data-level executions."""
+
+    src: int
+    dst: int
+    nbytes: float
+
+
+def allgather_expected(p: int) -> list[int]:
+    """Expected final Allgather buffer on every rank."""
+    return list(range(p))
+
+
+def alltoall_initial(rank: int, p: int) -> list[tuple[int, int]]:
+    """Initial Alltoall send buffer of *rank*: one block per peer."""
+    return [(rank, dst) for dst in range(p)]
+
+
+def alltoall_expected(rank: int, p: int) -> list[tuple[int, int]]:
+    """Expected final Alltoall receive buffer of *rank*."""
+    return [(src, rank) for src in range(p)]

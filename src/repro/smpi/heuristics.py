@@ -1,0 +1,173 @@
+"""Default algorithm-selection heuristics (the paper's baselines).
+
+These are *hardware-oblivious* threshold rules in the style MPI
+libraries ship:
+
+* :class:`MvapichDefaultSelector` models MVAPICH2-2.3.7's flat-collective
+  defaults, which inherit MPICH's thresholds (Thakur, Rabenseifner &
+  Gropp 2005): message-size and communicator-size cutoffs between the
+  latency-optimal, mid-range and bandwidth-optimal algorithms.
+* :class:`OpenMpiDefaultSelector` models Open MPI's fixed decision rules
+  (``coll_tuned`` defaults), which use different cutoffs and per-message
+  (not total) sizes.
+
+Because the thresholds are constants baked in at release time, they are
+optimal only on hardware resembling the vendors' tuning testbeds — the
+exact failure mode PML-MPI exploits (paper Sections II-III).
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+
+import numpy as np
+
+from ..simcluster.machine import Machine
+from .collectives import base
+from .collectives.base import (
+    ALLGATHER,
+    ALLREDUCE,
+    ALLTOALL,
+    BCAST,
+    REDUCE_SCATTER,
+)
+
+
+class AlgorithmSelector(abc.ABC):
+    """Maps (collective, job shape, message size) to an algorithm name."""
+
+    @abc.abstractmethod
+    def select(self, collective: str, machine: Machine,
+               msg_size: int) -> str:
+        """Return the registry name of the chosen algorithm."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class MvapichDefaultSelector(AlgorithmSelector):
+    """MVAPICH2-2.3.7-style static defaults (MPICH-inherited thresholds)."""
+
+    # Total-result-size cutoffs for Allgather (bytes).
+    ALLGATHER_SHORT_TOTAL = 80 * 1024
+    ALLGATHER_MEDIUM_TOTAL = 512 * 1024
+    # Per-destination cutoffs for Alltoall (bytes).
+    ALLTOALL_SHORT_MSG = 256
+    ALLTOALL_MEDIUM_MSG = 32 * 1024
+    ALLTOALL_BRUCK_MIN_P = 8
+
+    def select(self, collective: str, machine: Machine,
+               msg_size: int) -> str:
+        p = machine.p
+        if collective == ALLGATHER:
+            total = p * msg_size
+            if base.is_power_of_two(p) and total < self.ALLGATHER_MEDIUM_TOTAL:
+                return "recursive_doubling"
+            if total < self.ALLGATHER_SHORT_TOTAL:
+                return "bruck"
+            return "ring"
+        if collective == ALLTOALL:
+            if msg_size <= self.ALLTOALL_SHORT_MSG and \
+                    p >= self.ALLTOALL_BRUCK_MIN_P:
+                return "bruck"
+            if msg_size <= self.ALLTOALL_MEDIUM_MSG:
+                return "scatter_dest"
+            return "pairwise"
+        if collective == ALLREDUCE:
+            # MPICH-inherited: short or non-commutative -> recursive
+            # doubling; long -> Rabenseifner's reduce-scatter/allgather.
+            if msg_size <= 2048 or p < 4:
+                return "recursive_doubling"
+            if base.is_power_of_two(p):
+                return "rabenseifner"
+            return "ring_rsag"
+        if collective == BCAST:
+            if msg_size < 12 * 1024 or p < 8:
+                return "binomial"
+            return "scatter_allgather"
+        if collective == REDUCE_SCATTER:
+            # MPICH: reduce+scatter for short, recursive halving for
+            # long power-of-two, pairwise otherwise.
+            if p * msg_size < 512:
+                return "reduce_scatterv"
+            if base.is_power_of_two(p):
+                return "recursive_halving"
+            return "pairwise"
+        raise ValueError(f"unknown collective {collective!r}")
+
+
+class OpenMpiDefaultSelector(AlgorithmSelector):
+    """Open MPI 5.x-style fixed decision rules (per-message cutoffs)."""
+
+    ALLGATHER_BRUCK_MAX_MSG = 512
+    ALLGATHER_RD_MAX_MSG = 64 * 1024
+    ALLTOALL_BRUCK_MAX_MSG = 128
+    ALLTOALL_LINEAR_MAX_MSG = 16 * 1024
+
+    def select(self, collective: str, machine: Machine,
+               msg_size: int) -> str:
+        p = machine.p
+        if collective == ALLGATHER:
+            if msg_size <= self.ALLGATHER_BRUCK_MAX_MSG:
+                return "bruck"
+            if msg_size <= self.ALLGATHER_RD_MAX_MSG:
+                # Open MPI keeps recursive doubling through mid sizes
+                # (the RD implementation handles non-power-of-two
+                # internally) — a window that is miscalibrated on
+                # clusters unlike its tuning testbed.
+                return "recursive_doubling"
+            return "ring"
+        if collective == ALLTOALL:
+            if msg_size <= self.ALLTOALL_BRUCK_MAX_MSG:
+                return "bruck"
+            if msg_size < self.ALLTOALL_LINEAR_MAX_MSG:
+                return "scatter_dest"
+            return "pairwise"
+        if collective == ALLREDUCE:
+            if msg_size <= 4096:
+                return "recursive_doubling"
+            return "ring_rsag"
+        if collective == BCAST:
+            if msg_size <= 2048:
+                return "binomial"
+            if msg_size <= 128 * 1024:
+                return "scatter_allgather"
+            return "ring_pipelined"
+        if collective == REDUCE_SCATTER:
+            if msg_size <= 1024:
+                return "reduce_scatterv"
+            return "pairwise"
+        raise ValueError(f"unknown collective {collective!r}")
+
+
+class RandomSelector(AlgorithmSelector):
+    """Uniform random choice, deterministic per configuration (the
+    paper's Fig. 8 strawman)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def select(self, collective: str, machine: Machine,
+               msg_size: int) -> str:
+        names = base.algorithm_names(collective)
+        key = (f"{self.seed}|{collective}|{machine.spec.name}|"
+               f"{machine.nodes}|{machine.ppn}|{msg_size}")
+        rng = np.random.default_rng(zlib.crc32(key.encode()))
+        return names[int(rng.integers(len(names)))]
+
+
+class FixedSelector(AlgorithmSelector):
+    """Always returns one algorithm (used for per-algorithm sweeps)."""
+
+    def __init__(self, collective: str, name: str) -> None:
+        base.get_algorithm(collective, name)  # validate
+        self.collective = collective
+        self.name = name
+
+    def select(self, collective: str, machine: Machine,
+               msg_size: int) -> str:
+        if collective != self.collective:
+            raise ValueError(
+                f"selector fixed for {self.collective}, got {collective}")
+        return self.name

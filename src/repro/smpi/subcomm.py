@@ -1,0 +1,81 @@
+"""Sub-communicators: dense-rank views onto a parent communicator.
+
+MPI's two-level collectives run a *flat* algorithm among a subgroup
+(e.g. one leader rank per node).  A :class:`RemappedComm` exposes the
+subgroup as a dense communicator of size ``len(members)`` while
+translating ranks and namespacing tags on the parent — so every flat
+``rank_process`` in the collectives package runs unmodified on any
+subgroup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..simcluster.engine import Event
+from .comm import Communicator
+
+
+class RemappedComm:
+    """A dense view of ``members`` of a parent :class:`Communicator`."""
+
+    def __init__(self, parent: Communicator, members: list[int],
+                 tag_base: int = 1 << 24) -> None:
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate members in subgroup")
+        for m in members:
+            if not 0 <= m < parent.size:
+                raise ValueError(f"member {m} outside parent comm")
+        self.parent = parent
+        self.members = list(members)
+        self.tag_base = tag_base
+        self._to_global = {local: g for local, g in enumerate(members)}
+        self._to_local = {g: local for local, g in enumerate(members)}
+
+    # -- communicator surface used by rank_process ----------------------
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def machine(self):
+        return self.parent.machine
+
+    @property
+    def sim(self):
+        return self.parent.sim
+
+    def local_rank(self, global_rank: int) -> int:
+        try:
+            return self._to_local[global_rank]
+        except KeyError:
+            raise ValueError(
+                f"rank {global_rank} is not in this subgroup") from None
+
+    def send(self, src: int, dst: int, tag: int, payload: Any,
+             nbytes: float) -> Generator[Event, Any, None]:
+        yield from self.parent.send(self._to_global[src],
+                                    self._to_global[dst],
+                                    self.tag_base + tag, payload, nbytes)
+
+    def recv(self, me: int, src: int,
+             tag: int) -> Generator[Event, Any, Any]:
+        payload = yield from self.parent.recv(self._to_global[me],
+                                              self._to_global[src],
+                                              self.tag_base + tag)
+        return payload
+
+    def sendrecv(self, me: int, dst: int, send_payload: Any,
+                 send_bytes: float, src: int,
+                 tag: int) -> Generator[Event, Any, Any]:
+        yield from self.send(me, dst, tag, send_payload, send_bytes)
+        payload = yield from self.recv(me, src, tag)
+        return payload
+
+    def local_copy(self, rank: int,
+                   nbytes: float) -> Generator[Event, Any, None]:
+        yield from self.parent.local_copy(self._to_global[rank], nbytes)
+
+    def compute(self, rank: int,
+                seconds: float) -> Generator[Event, Any, None]:
+        yield from self.parent.compute(self._to_global[rank], seconds)

@@ -1,0 +1,191 @@
+"""Tuning tables, measurement, and the oracle selector.
+
+A *tuning table* is the JSON artifact the paper's framework emits at MPI
+compile time (Fig. 4): for each (collective, #nodes, PPN) it stores a
+list of message-size breakpoints mapping to algorithm names.  Runtime
+lookup is constant-time: exact (nodes, ppn) entry when present, else the
+nearest sampled configuration in log-space.
+
+``measured_time`` is the single source of truth for "running" a
+collective: the analytic schedule estimate of the machine's cost model,
+multiplied by averaged log-normal iteration noise (seeded by the full
+configuration, so measurements are reproducible).  Dataset collection,
+the oracle, and the OMB-style microbenchmark all share it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..hwmodel.registry import get_cluster
+from ..simcluster.machine import Machine
+from .collectives import base
+from .heuristics import AlgorithmSelector
+
+#: Per-iteration relative noise of a simulated measurement.
+NOISE_SIGMA = 0.03
+#: OMB-style averaging iterations.
+DEFAULT_ITERATIONS = 10
+
+
+def _config_seed(*parts: object) -> int:
+    return zlib.crc32("|".join(str(p) for p in parts).encode())
+
+
+def measured_time(machine: Machine, collective: str, algo_name: str,
+                  msg_size: int, iterations: int = DEFAULT_ITERATIONS,
+                  noise: bool = True) -> float:
+    """Average measured runtime (seconds) of one algorithm at one
+    configuration, reproducing an OMB-style timing loop."""
+    algo = base.get_algorithm(collective, algo_name)
+    t = algo.estimate(machine, msg_size)
+    if not noise:
+        return t
+    seed = _config_seed(machine.spec.name, collective, algo_name,
+                        machine.nodes, machine.ppn, msg_size)
+    rng = np.random.default_rng(seed)
+    factors = np.exp(rng.normal(0.0, NOISE_SIGMA, size=iterations))
+    return t * float(factors.mean())
+
+
+class OracleSelector(AlgorithmSelector):
+    """Exhaustive offline micro-benchmarking: measure every algorithm,
+    pick the fastest.  The gold standard the paper bounds itself
+    against (and the generator of dataset labels)."""
+
+    def __init__(self, iterations: int = DEFAULT_ITERATIONS) -> None:
+        self.iterations = iterations
+
+    def select(self, collective: str, machine: Machine,
+               msg_size: int) -> str:
+        times = {
+            name: measured_time(machine, collective, name, msg_size,
+                                self.iterations)
+            for name in base.algorithm_names(collective)
+        }
+        return min(times, key=times.__getitem__)
+
+
+@dataclass
+class TuningTable:
+    """Per-cluster lookup table: (collective, nodes, ppn) -> breakpoints.
+
+    ``entries[collective][(nodes, ppn)]`` is a sorted list of
+    ``(max_msg_size, algorithm)`` pairs; a lookup takes the first
+    breakpoint whose ``max_msg_size`` is >= the requested size (or the
+    last entry for larger messages).
+    """
+
+    cluster: str
+    entries: dict[str, dict[tuple[int, int], list[tuple[int, str]]]] = \
+        field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------
+    def add(self, collective: str, nodes: int, ppn: int,
+            msg_size: int, algorithm: str) -> None:
+        base.get_algorithm(collective, algorithm)  # validate name
+        cfg = self.entries.setdefault(collective, {})
+        bps = cfg.setdefault((nodes, ppn), [])
+        bps.append((int(msg_size), algorithm))
+        bps.sort(key=lambda t: t[0])
+
+    # -- lookup -----------------------------------------------------------
+    def lookup(self, collective: str, nodes: int, ppn: int,
+               msg_size: int) -> str:
+        try:
+            configs = self.entries[collective]
+        except KeyError:
+            raise KeyError(
+                f"tuning table for {self.cluster} has no "
+                f"{collective} entries") from None
+        key = (nodes, ppn)
+        if key not in configs:
+            key = min(configs, key=lambda c: self._config_distance(c, key))
+        bps = configs[key]
+        for max_size, algo in bps:
+            if msg_size <= max_size:
+                return algo
+        return bps[-1][1]
+
+    @staticmethod
+    def _config_distance(a: tuple[int, int], b: tuple[int, int]) -> float:
+        return (math.log2(a[0] / b[0]) ** 2
+                + math.log2(a[1] / b[1]) ** 2)
+
+    # -- (de)serialization (the paper's JSON artifact) -------------------
+    def to_json(self) -> str:
+        payload = {
+            "cluster": self.cluster,
+            "collectives": {
+                coll: {
+                    f"{nodes}x{ppn}": [[s, a] for s, a in bps]
+                    for (nodes, ppn), bps in sorted(configs.items())
+                }
+                for coll, configs in self.entries.items()
+            },
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningTable":
+        payload = json.loads(text)
+        table = cls(cluster=payload["cluster"])
+        for coll, configs in payload["collectives"].items():
+            for key, bps in configs.items():
+                nodes, ppn = (int(x) for x in key.split("x"))
+                for max_size, algo in bps:
+                    table.add(coll, nodes, ppn, int(max_size), algo)
+        return table
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningTable":
+        return cls.from_json(Path(path).read_text())
+
+
+class TableSelector(AlgorithmSelector):
+    """Constant-time selector backed by a :class:`TuningTable` — the
+    artifact PML-MPI's online-inference stage ships to the MPI runtime."""
+
+    def __init__(self, table: TuningTable) -> None:
+        self.table = table
+
+    def select(self, collective: str, machine: Machine,
+               msg_size: int) -> str:
+        if machine.spec.name != self.table.cluster:
+            raise ValueError(
+                f"tuning table built for {self.table.cluster}, "
+                f"job runs on {machine.spec.name}")
+        return self.table.lookup(collective, machine.nodes, machine.ppn,
+                                 msg_size)
+
+
+def build_oracle_table(cluster_name: str, collective: str,
+                       node_counts: tuple[int, ...],
+                       ppn_values: tuple[int, ...],
+                       msg_sizes: tuple[int, ...],
+                       iterations: int = DEFAULT_ITERATIONS) -> TuningTable:
+    """Exhaustive offline micro-benchmarking of one cluster: the
+    time-consuming standard approach the paper's Fig. 1/7 prices."""
+    spec = get_cluster(cluster_name)
+    oracle = OracleSelector(iterations)
+    table = TuningTable(cluster=spec.name)
+    for nodes in node_counts:
+        for ppn in ppn_values:
+            if nodes * ppn < 2:
+                continue
+            machine = Machine(spec, nodes, ppn)
+            for msg in msg_sizes:
+                table.add(collective, nodes, ppn, msg,
+                          oracle.select(collective, machine, msg))
+    return table

@@ -1,0 +1,130 @@
+"""Cross-model validation: analytic evaluator vs discrete-event engine.
+
+The repository prices collectives two ways — the vectorized
+bulk-synchronous round model (used for dataset generation at scale) and
+the discrete-event executor (which really moves every block).  This
+module quantifies their agreement so the simulator's calibration is a
+reported, testable number rather than an assumption:
+
+* per-(algorithm, config, size) timing ratios DES/analytic,
+* Spearman rank correlation of algorithm orderings per configuration,
+* *decision agreement*: how often both timing paths name the same
+  fastest algorithm.
+
+The validation benchmark asserts the calibration envelope recorded in
+EXPERIMENTS.md; `repro.validation.validate` is also part of the public
+API so downstream users can re-check after modifying the cost model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from .hwmodel.registry import get_cluster
+from .simcluster.machine import Machine
+from .smpi.collectives import base
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One compared measurement."""
+
+    cluster: str
+    collective: str
+    nodes: int
+    ppn: int
+    msg_size: int
+    algorithm: str
+    analytic_s: float
+    des_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.des_s / self.analytic_s
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate agreement statistics."""
+
+    cases: list[ValidationCase] = field(default_factory=list)
+    rank_correlations: list[float] = field(default_factory=list)
+    decision_agreements: list[bool] = field(default_factory=list)
+
+    @property
+    def ratios(self) -> np.ndarray:
+        return np.array([c.ratio for c in self.cases])
+
+    @property
+    def median_ratio(self) -> float:
+        return float(np.median(self.ratios))
+
+    @property
+    def ratio_range(self) -> tuple[float, float]:
+        r = self.ratios
+        return float(r.min()), float(r.max())
+
+    @property
+    def mean_rank_correlation(self) -> float:
+        return float(np.mean(self.rank_correlations))
+
+    @property
+    def decision_agreement_rate(self) -> float:
+        return float(np.mean(self.decision_agreements))
+
+    def summary_lines(self) -> list[str]:
+        lo, hi = self.ratio_range
+        return [
+            f"cases: {len(self.cases)}",
+            f"DES/analytic ratio: median {self.median_ratio:.3f}, "
+            f"range [{lo:.3f}, {hi:.3f}]",
+            f"mean per-config rank correlation: "
+            f"{self.mean_rank_correlation:.3f}",
+            f"fastest-algorithm agreement: "
+            f"{self.decision_agreement_rate * 100:.1f}%",
+        ]
+
+
+def validate(clusters: tuple[str, ...] = ("Frontera", "MRI", "RI"),
+             shapes: tuple[tuple[int, int], ...] = ((2, 4), (2, 8),
+                                                    (3, 5), (1, 6)),
+             msg_sizes: tuple[int, ...] = (64, 4096, 65536),
+             collectives: tuple[str, ...] = base.COLLECTIVES
+             ) -> ValidationReport:
+    """Run the DES on every (cluster, shape, size, algorithm) and
+    compare against the analytic model.
+
+    Kept to small rank counts — the DES executes every message as an
+    event, so this is the expensive path by design.
+    """
+    report = ValidationReport()
+    for cname, (nodes, ppn), collective in itertools.product(
+            clusters, shapes, collectives):
+        spec = get_cluster(cname)
+        if nodes > spec.max_nodes or \
+                ppn > spec.node.cpu.threads_per_node:
+            continue  # shape not representable on this cluster
+        machine = Machine(spec, nodes, ppn)
+        for msg in msg_sizes:
+            analytic: dict[str, float] = {}
+            des: dict[str, float] = {}
+            for name, algo in base.algorithms(collective).items():
+                analytic[name] = algo.estimate(machine, msg)
+                des[name] = base.execute(algo, machine, msg).time_s
+                report.cases.append(ValidationCase(
+                    cname, collective, nodes, ppn, msg, name,
+                    analytic[name], des[name]))
+            order = sorted(analytic)
+            a = [analytic[n] for n in order]
+            d = [des[n] for n in order]
+            rho, _ = spearmanr(a, d)
+            if not np.isnan(rho):
+                report.rank_correlations.append(float(rho))
+            report.decision_agreements.append(
+                min(analytic, key=analytic.__getitem__)
+                == min(des, key=des.__getitem__))
+    return report

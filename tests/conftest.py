@@ -1,0 +1,26 @@
+"""Shared fixtures.
+
+``mini_dataset`` collects a small three-cluster dataset once per test
+session (cached on disk under the standard cache directory, so repeat
+test runs are instant).
+"""
+
+import pytest
+
+from repro.core import collect_dataset
+from repro.hwmodel import get_cluster
+
+#: Small clusters -> small rank counts -> fast collection.
+MINI_CLUSTERS = ("RI", "Ray", "Frontera RTX")
+
+
+@pytest.fixture(scope="session")
+def mini_dataset():
+    clusters = [get_cluster(name) for name in MINI_CLUSTERS]
+    return collect_dataset(clusters=clusters)
+
+
+@pytest.fixture(scope="session")
+def full_dataset():
+    """The full 18-cluster dataset (first call collects and caches)."""
+    return collect_dataset()

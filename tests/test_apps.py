@@ -1,0 +1,155 @@
+"""Tests for the microbenchmark driver and application proxies."""
+
+import pytest
+
+from repro.apps import (
+    GromacsProxy,
+    MiniFEProxy,
+    compare_selectors,
+    run_sweep,
+    speedup_summary,
+    strong_scaling,
+)
+from repro.hwmodel import get_cluster
+from repro.smpi import (
+    FixedSelector,
+    MvapichDefaultSelector,
+    OracleSelector,
+    RandomSelector,
+    algorithm_names,
+)
+
+
+@pytest.fixture(scope="module")
+def frontera():
+    return get_cluster("Frontera")
+
+
+class TestSweep:
+    def test_sweep_covers_sizes(self, frontera):
+        sizes = (1, 64, 4096)
+        res = run_sweep(frontera, "allgather", 2, 8,
+                        MvapichDefaultSelector(), msg_sizes=sizes)
+        assert tuple(res.msg_sizes()) == sizes
+        assert all(t > 0 for t in res.times())
+        assert all(p.algorithm in algorithm_names("allgather")
+                   for p in res.points)
+
+    def test_sweep_monotone_at_large_sizes(self, frontera):
+        res = run_sweep(frontera, "alltoall", 2, 8, OracleSelector(),
+                        msg_sizes=(1024, 16384, 262144))
+        t = res.times()
+        assert t[0] < t[1] < t[2]
+
+    def test_algorithm_at(self, frontera):
+        res = run_sweep(frontera, "allgather", 2, 4,
+                        FixedSelector("allgather", "ring"),
+                        msg_sizes=(64,))
+        assert res.algorithm_at(64) == "ring"
+        with pytest.raises(KeyError):
+            res.algorithm_at(128)
+
+    def test_oracle_never_loses(self, frontera):
+        """The oracle lower-bounds every other selector per size."""
+        sizes = (1, 256, 16384, 1 << 20)
+        sels = {"oracle": OracleSelector(),
+                "mvapich": MvapichDefaultSelector(),
+                "random": RandomSelector(0)}
+        out = compare_selectors(frontera, "alltoall", 2, 16, sels,
+                                msg_sizes=sizes)
+        for name in ("mvapich", "random"):
+            assert all(o <= m * 1.0001 for o, m in
+                       zip(out["oracle"].times(), out[name].times()))
+
+    def test_speedup_summary(self, frontera):
+        sizes = (1, 1024)
+        base = run_sweep(frontera, "allgather", 2, 8, RandomSelector(3),
+                         msg_sizes=sizes)
+        prop = run_sweep(frontera, "allgather", 2, 8, OracleSelector(),
+                         msg_sizes=sizes)
+        s = speedup_summary(base, prop)
+        assert s["total_time_speedup"] >= 1.0
+        assert s["max_speedup"] >= s["mean_speedup"] >= s["min_speedup"]
+
+    def test_summary_rejects_mismatched_sweeps(self, frontera):
+        a = run_sweep(frontera, "allgather", 2, 8, OracleSelector(),
+                      msg_sizes=(1,))
+        b = run_sweep(frontera, "allgather", 2, 8, OracleSelector(),
+                      msg_sizes=(2,))
+        with pytest.raises(ValueError):
+            speedup_summary(a, b)
+
+
+class TestGromacs:
+    def test_strong_scaling_has_knee(self, frontera):
+        """Runtime falls with p, then communication wins (paper: the
+        BenchMEM curve flattens/turns around ~224 processes)."""
+        app = GromacsProxy()
+        counts = [(1, 28), (1, 56), (2, 56), (4, 56), (8, 56), (16, 56)]
+        results = strong_scaling(app, frontera, counts,
+                                 MvapichDefaultSelector(), steps=10)
+        totals = [r.total_s for r in results]
+        assert totals[1] < totals[0]  # scales at small p
+        # Communication fraction grows monotonically with p.
+        fracs = [r.comm_fraction for r in results]
+        assert fracs[-1] > fracs[0]
+
+    def test_selector_changes_runtime(self, frontera):
+        app = GromacsProxy()
+        rnd = app.run(frontera, 4, 56, RandomSelector(1), steps=20)
+        orc = app.run(frontera, 4, 56, OracleSelector(), steps=20)
+        assert orc.total_s <= rnd.total_s
+        assert orc.compute_s == pytest.approx(rnd.compute_s)
+
+    def test_breakdown_sums(self, frontera):
+        res = GromacsProxy().run(frontera, 2, 28, OracleSelector(),
+                                 steps=5)
+        assert res.total_s == pytest.approx(
+            res.compute_s + res.collective_s + res.p2p_s)
+        assert res.collective_s > 0
+        assert any(k.startswith("alltoall@") for k in
+                   res.collective_calls)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GromacsProxy(atoms=0)
+        with pytest.raises(ValueError):
+            GromacsProxy().run(get_cluster("RI"), 2, 4,
+                               OracleSelector(), steps=0)
+
+
+class TestMiniFE:
+    def test_allgather_driven(self, frontera):
+        res = MiniFEProxy().run(frontera, 2, 28, OracleSelector(),
+                                steps=5)
+        assert set(res.collective_calls) == {"allgather@8"}
+        assert res.p2p_s > 0
+
+    def test_multi_node_halo_pays_network_latency(self, frontera):
+        from repro.simcluster import Machine
+
+        multi = MiniFEProxy().run(frontera, 2, 28, OracleSelector(),
+                                  steps=5)
+        prm = Machine(frontera, 2, 28).params
+        # Three of six faces cross nodes: at least 3 alpha_inter/step.
+        assert multi.p2p_s >= 5 * 3 * prm.alpha_inter_s
+
+    def test_selector_effect_small_but_real(self, frontera):
+        """Paper Fig. 13: app-level speedups are single-digit percent —
+        collectives are only part of the runtime."""
+        rnd = MiniFEProxy().run(frontera, 8, 28, RandomSelector(7),
+                                steps=50)
+        orc = MiniFEProxy().run(frontera, 8, 28, OracleSelector(),
+                                steps=50)
+        assert orc.total_s <= rnd.total_s
+        speedup = rnd.total_s / orc.total_s
+        assert speedup < 2.0  # far smaller than microbenchmark gaps
+
+    def test_compute_scales_with_mesh(self, frontera):
+        small = MiniFEProxy(nx=64).run(frontera, 2, 28, OracleSelector())
+        large = MiniFEProxy(nx=128).run(frontera, 2, 28, OracleSelector())
+        assert large.compute_s > small.compute_s
+
+    def test_invalid_mesh(self):
+        with pytest.raises(ValueError):
+            MiniFEProxy(nx=1)

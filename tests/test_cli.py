@@ -1,0 +1,104 @@
+"""Tests for the pml-mpi command-line interface (driven in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    """A small trained bundle (RI-only training for speed)."""
+    path = tmp_path_factory.mktemp("bundle") / "pml.json"
+    rc = main(["train", str(path), "--clusters", "RI", "Ray"])
+    assert rc == 0
+    return path
+
+
+class TestInfo:
+    def test_lists_all_clusters(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Frontera" in out and "MRI" in out
+        assert out.count("\n") >= 18
+
+    def test_single_cluster_features(self, capsys):
+        assert main(["info", "Sierra"]) == 0
+        out = capsys.readouterr().out
+        assert "link_speed_gbps" in out
+        assert "IBM POWER9" in out
+
+
+class TestCollect:
+    def test_collect_and_save(self, tmp_path, capsys):
+        out_path = tmp_path / "ds.jsonl.gz"
+        rc = main(["collect", "--clusters", "RI", "--quiet",
+                   "--output", str(out_path)])
+        assert rc == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "collected 84 records" in out
+
+    def test_collect_extension_collectives(self, capsys):
+        rc = main(["collect", "--clusters", "RI", "--quiet",
+                   "--collectives", "bcast"])
+        assert rc == 0
+        assert "binomial" in capsys.readouterr().out
+
+
+class TestTrainSelectTune:
+    def test_bundle_written(self, bundle):
+        assert bundle.exists()
+
+    def test_select_prints_algorithm(self, bundle, capsys):
+        rc = main(["select", "Frontera", "allgather", "2", "8", "1024",
+                   "--bundle", str(bundle)])
+        assert rc == 0
+        out = capsys.readouterr().out.strip()
+        assert out in ("recursive_doubling", "ring", "bruck",
+                       "rd_communication")
+
+    def test_tune_writes_table(self, bundle, tmp_path, capsys):
+        rc = main(["tune", "RI", "--bundle", str(bundle),
+                   "--table-dir", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "RI.tuning.json").exists()
+        assert "generated" in capsys.readouterr().out
+
+    def test_tune_reuses_table(self, bundle, tmp_path, capsys):
+        main(["tune", "RI", "--bundle", str(bundle),
+              "--table-dir", str(tmp_path)])
+        capsys.readouterr()
+        main(["tune", "RI", "--bundle", str(bundle),
+              "--table-dir", str(tmp_path)])
+        assert "reused" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_oracle_sweep(self, capsys):
+        rc = main(["sweep", "RI", "alltoall", "2", "4",
+                   "--selector", "oracle"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "avg_time_us" in out
+        assert out.count("\n") > 20  # 21 sizes + header
+
+    def test_pml_sweep_requires_bundle(self, capsys):
+        rc = main(["sweep", "RI", "alltoall", "2", "4",
+                   "--selector", "pml"])
+        assert rc == 2
+        assert "--bundle is required" in capsys.readouterr().err
+
+    def test_pml_sweep_with_bundle(self, bundle, capsys):
+        rc = main(["sweep", "RI", "allgather", "2", "4",
+                   "--selector", "pml", "--bundle", str(bundle)])
+        assert rc == 0
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_cluster_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "Atlantis"])

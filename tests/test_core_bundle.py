@@ -1,0 +1,66 @@
+"""Tests for the shippable pre-trained model bundle."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    load_selector,
+    offline_train,
+    save_selector,
+)
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+
+
+@pytest.fixture(scope="module")
+def selector(mini_dataset):
+    return offline_train(mini_dataset)
+
+
+class TestBundle:
+    def test_roundtrip_predictions(self, selector, tmp_path):
+        path = save_selector(selector, tmp_path / "pml.bundle.json")
+        loaded = load_selector(path)
+        machine = Machine(get_cluster("Sierra"), 4, 16)
+        for coll in ("allgather", "alltoall"):
+            for msg in (1, 1024, 1 << 18):
+                assert loaded.select(coll, machine, msg) == \
+                    selector.select(coll, machine, msg)
+
+    def test_roundtrip_metadata(self, selector, tmp_path):
+        path = save_selector(selector, tmp_path / "b.json")
+        loaded = load_selector(path)
+        for coll, model in loaded.models.items():
+            orig = selector.models[coll]
+            assert model.feature_names == orig.feature_names
+            assert model.family == orig.family
+            np.testing.assert_allclose(model.importances_full,
+                                       orig.importances_full)
+
+    def test_bundle_is_plain_json(self, selector, tmp_path):
+        path = save_selector(selector, tmp_path / "b.json")
+        payload = json.loads(path.read_text())
+        assert set(payload["models"]) == {"allgather", "alltoall"}
+        assert payload["bundle_version"] == 1
+
+    def test_bad_version_rejected(self, selector, tmp_path):
+        path = save_selector(selector, tmp_path / "b.json")
+        payload = json.loads(path.read_text())
+        payload["bundle_version"] = 42
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="bundle version"):
+            load_selector(path)
+
+    def test_batch_matrix_predictions_survive(self, selector, tmp_path):
+        """The tuning-table generation path (batch predict) must agree
+        after a round trip."""
+        from repro.core.inference import generate_tuning_table
+
+        path = save_selector(selector, tmp_path / "b.json")
+        loaded = load_selector(path)
+        spec = get_cluster("RI")
+        a = generate_tuning_table(selector, spec).table
+        b = generate_tuning_table(loaded, spec).table
+        assert a.to_json() == b.to_json()

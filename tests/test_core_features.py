@@ -1,0 +1,72 @@
+"""Tests for feature assembly and top-k selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    ALL_FEATURE_NAMES,
+    MPI_FEATURE_NAMES,
+    feature_indices,
+    feature_matrix,
+    feature_vector,
+    select_top_k,
+)
+from repro.hwmodel import get_cluster
+
+
+class TestFeatureVector:
+    def test_fourteen_features(self):
+        assert len(ALL_FEATURE_NAMES) == 14
+        assert ALL_FEATURE_NAMES[:3] == MPI_FEATURE_NAMES
+
+    def test_vector_contents(self):
+        spec = get_cluster("Frontera")
+        v = feature_vector(spec, nodes=4, ppn=28, msg_size=1024)
+        assert v.shape == (14,)
+        assert v[0] == 4 and v[1] == 28 and v[2] == 1024
+        idx = ALL_FEATURE_NAMES.index("cpu_max_clock_ghz")
+        assert v[idx] == pytest.approx(4.0)
+
+    def test_matrix_matches_vectors(self):
+        rows = [(get_cluster("RI"), 2, 4, 64),
+                (get_cluster("Sierra"), 8, 16, 4096)]
+        mat = feature_matrix(rows)
+        assert mat.shape == (2, 14)
+        for i, (spec, n, p, m) in enumerate(rows):
+            np.testing.assert_allclose(mat[i], feature_vector(spec, n, p, m))
+
+    def test_feature_indices(self):
+        idx = feature_indices(("msg_size", "l3_cache_mib"))
+        assert ALL_FEATURE_NAMES[idx[0]] == "msg_size"
+        assert ALL_FEATURE_NAMES[idx[1]] == "l3_cache_mib"
+
+    def test_unknown_feature_raises(self):
+        with pytest.raises(KeyError, match="unknown feature"):
+            feature_indices(("bogus",))
+
+
+class TestTopK:
+    def test_selects_highest(self):
+        imp = np.zeros(14)
+        imp[2] = 0.5   # msg_size
+        imp[4] = 0.3   # l3 (index 4 = cpu_max_clock? order check below)
+        imp[0] = 0.2
+        top = select_top_k(imp, k=3)
+        assert top[0] == ALL_FEATURE_NAMES[2]
+        assert top[1] == ALL_FEATURE_NAMES[4]
+        assert top[2] == ALL_FEATURE_NAMES[0]
+
+    def test_tie_break_is_canonical_order(self):
+        imp = np.ones(14)
+        top = select_top_k(imp, k=5)
+        assert top == ALL_FEATURE_NAMES[:5]
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            select_top_k(np.ones(14), k=0)
+        with pytest.raises(ValueError):
+            select_top_k(np.ones(14), k=15)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            select_top_k(np.ones(5))

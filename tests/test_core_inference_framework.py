@@ -1,0 +1,129 @@
+"""Tests for online inference, tuning tables, and the Fig. 4 framework."""
+
+import json
+
+import pytest
+
+from repro.core.framework import PmlMpiFramework, offline_train
+from repro.core.inference import generate_tuning_table, inference_latency
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+from repro.smpi import TableSelector, algorithm_names
+
+
+@pytest.fixture(scope="module")
+def selector(mini_dataset):
+    return offline_train(mini_dataset)
+
+
+class TestPretrainedSelector:
+    def test_select_returns_valid_algorithm(self, selector):
+        machine = Machine(get_cluster("Haswell"), 2, 8)
+        for collective in ("allgather", "alltoall"):
+            algo = selector.select(collective, machine, 1024)
+            assert algo in algorithm_names(collective)
+
+    def test_unknown_collective_raises(self, selector):
+        machine = Machine(get_cluster("RI"), 2, 2)
+        with pytest.raises(KeyError, match="no pre-trained model"):
+            selector.select("bcast", machine, 8)
+
+    def test_generalizes_to_unseen_cluster(self, selector):
+        """The mini dataset has no Sierra data; selection must still
+        work purely from Sierra's hardware features."""
+        machine = Machine(get_cluster("Sierra"), 4, 16)
+        algo = selector.select("allgather", machine, 1 << 16)
+        assert algo in algorithm_names("allgather")
+
+    def test_describe_mentions_family(self, selector):
+        assert "rf" in selector.describe()
+
+
+class TestGenerateTuningTable:
+    def test_covers_grid(self, selector):
+        spec = get_cluster("RI")
+        report = generate_tuning_table(selector, spec)
+        # 1 node setting x 2 ppn x 21 sizes x 2 collectives
+        assert report.n_configs == 84
+        assert report.wall_seconds > 0
+        for coll in ("allgather", "alltoall"):
+            algo = report.table.lookup(coll, 2, 4, 1024)
+            assert algo in algorithm_names(coll)
+
+    def test_nearest_config_lookup(self, selector):
+        spec = get_cluster("RI")
+        table = generate_tuning_table(selector, spec).table
+        # (3 nodes, 5 ppn) was never sampled; lookup falls back to the
+        # nearest grid point instead of failing.
+        algo = table.lookup("allgather", 3, 5, 2048)
+        assert algo in algorithm_names("allgather")
+
+    def test_json_roundtrip(self, selector, tmp_path):
+        from repro.smpi import TuningTable
+
+        spec = get_cluster("Ray")
+        table = generate_tuning_table(selector, spec).table
+        path = table.save(tmp_path / "ray.json")
+        loaded = TuningTable.load(path)
+        assert loaded.cluster == "Ray"
+        assert loaded.lookup("alltoall", 4, 8, 64) == \
+            table.lookup("alltoall", 4, 8, 64)
+        # The artifact is real JSON (the paper stores JSON tables).
+        payload = json.loads(path.read_text())
+        assert payload["cluster"] == "Ray"
+
+    def test_inference_latency_sub_second(self, selector):
+        """The paper's central overhead claim: generating a cluster's
+        full tuning table takes well under a second."""
+        t = inference_latency(selector, get_cluster("Frontera"),
+                              repeats=3)
+        assert t < 1.0
+
+
+class TestFramework:
+    def test_first_setup_creates_table(self, selector, tmp_path):
+        fw = PmlMpiFramework(selector, tmp_path)
+        spec = get_cluster("RI")
+        assert not fw.has_table("RI")
+        runtime_selector = fw.setup_cluster(spec)
+        assert isinstance(runtime_selector, TableSelector)
+        assert fw.has_table("RI")
+
+    def test_second_setup_reuses_table(self, selector, tmp_path):
+        fw = PmlMpiFramework(selector, tmp_path)
+        spec = get_cluster("RI")
+        fw.setup_cluster(spec)
+        path = fw.table_path("RI")
+        before = path.read_text()
+        fw.setup_cluster(spec)  # must load, not regenerate
+        assert path.read_text() == before
+
+    def test_force_regenerate(self, selector, tmp_path):
+        fw = PmlMpiFramework(selector, tmp_path)
+        spec = get_cluster("RI")
+        fw.setup_cluster(spec)
+        path = fw.table_path("RI")
+        path.write_text(path.read_text())  # touch
+        sel = fw.setup_cluster(spec, force_regenerate=True)
+        assert isinstance(sel, TableSelector)
+
+    def test_wrong_cluster_table_rejected(self, selector, tmp_path):
+        fw = PmlMpiFramework(selector, tmp_path)
+        fw.setup_cluster(get_cluster("RI"))
+        # Corrupt: rename RI's table to Ray's slot.
+        fw.table_path("Ray").write_text(
+            fw.table_path("RI").read_text())
+        with pytest.raises(ValueError, match="belongs to"):
+            fw.setup_cluster(get_cluster("Ray"))
+
+    def test_selector_consistency(self, selector, tmp_path):
+        """Table lookups must reproduce direct model predictions on the
+        sampled grid."""
+        fw = PmlMpiFramework(selector, tmp_path)
+        spec = get_cluster("Ray")
+        table_sel = fw.setup_cluster(spec)
+        machine = Machine(spec, 4, 8)
+        for msg in (1, 512, 1 << 20):
+            direct = selector.select("alltoall", machine, msg)
+            via_table = table_sel.select("alltoall", machine, msg)
+            assert direct == via_table

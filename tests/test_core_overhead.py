@@ -1,0 +1,66 @@
+"""Tests for the startup-overhead (core-hour) models."""
+
+import pytest
+
+from repro.core.overhead import (
+    ACCLAIM_ANCHOR_NODES,
+    ACCLAIM_MINUTES,
+    acclaim_core_hours,
+    microbenchmark_core_hours,
+    overhead_curves,
+    pml_core_hours,
+)
+from repro.hwmodel import get_cluster
+
+
+class TestMicrobenchmark:
+    def test_grows_with_nodes(self):
+        spec = get_cluster("Frontera")
+        small = microbenchmark_core_hours(spec, "allgather", 2, 56)
+        large = microbenchmark_core_hours(spec, "allgather", 32, 56)
+        assert large > small * 10
+
+    def test_allgather_cheaper_than_alltoall(self):
+        spec = get_cluster("Frontera")
+        ag = microbenchmark_core_hours(spec, "allgather", 4, 28)
+        a2a = microbenchmark_core_hours(spec, "alltoall", 4, 28)
+        assert a2a > ag
+
+    def test_custom_msg_sizes_reduce_cost(self):
+        spec = get_cluster("Frontera")
+        full = microbenchmark_core_hours(spec, "allgather", 4, 28)
+        tiny = microbenchmark_core_hours(spec, "allgather", 4, 28,
+                                         msg_sizes=(1, 2))
+        assert tiny < full
+
+
+class TestAcclaim:
+    def test_published_anchor(self):
+        hours = acclaim_core_hours(ACCLAIM_ANCHOR_NODES, 56)
+        assert hours == pytest.approx(ACCLAIM_MINUTES / 60 * 128 * 56)
+
+    def test_linear_in_allocation(self):
+        assert acclaim_core_hours(256, 56) == \
+            pytest.approx(2 * acclaim_core_hours(128, 56))
+
+
+class TestPml:
+    def test_constant_and_tiny(self):
+        h = pml_core_hours(0.1)
+        assert h == pytest.approx(0.1 / 3600)
+        assert h < acclaim_core_hours(2, 1)
+
+
+class TestCurves:
+    def test_fig7_shape(self):
+        spec = get_cluster("Frontera")
+        curves = overhead_curves(spec, "allgather", 56, (2, 8, 32),
+                                 inference_seconds=0.1)
+        assert set(curves) == {"microbenchmark", "acclaim", "pml"}
+        for series in curves.values():
+            assert [pt.nodes for pt in series] == [2, 8, 32]
+        pml = [pt.core_hours for pt in curves["pml"]]
+        assert len(set(pml)) == 1  # flat
+        micro = [pt.core_hours for pt in curves["microbenchmark"]]
+        assert micro == sorted(micro)
+        assert micro[-1] > pml[0] * 1e6

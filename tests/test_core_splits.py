@@ -1,0 +1,83 @@
+"""Tests for the three train/test split methodologies."""
+
+import numpy as np
+import pytest
+
+from repro.core.splits import (
+    cluster_split,
+    node_split,
+    random_split,
+    split_dataset,
+)
+
+
+class TestRandomSplit:
+    def test_disjoint_and_complete(self, mini_dataset):
+        train, test = random_split(mini_dataset, 0.3, seed=0)
+        assert len(set(train) & set(test)) == 0
+        assert len(train) + len(test) == len(mini_dataset)
+
+    def test_ratio_approximate(self, mini_dataset):
+        train, test = random_split(mini_dataset, 0.3, seed=0)
+        assert len(test) / len(mini_dataset) == pytest.approx(0.3,
+                                                              abs=0.05)
+
+    def test_stratified_by_label(self, mini_dataset):
+        _, test = random_split(mini_dataset, 0.3, seed=0)
+        labels = mini_dataset.labels()
+        full = {k: v / len(labels) for k, v in
+                zip(*np.unique(labels, return_counts=True))}
+        test_labels = labels[test]
+        for label, frac in full.items():
+            if frac * len(mini_dataset) < 10:
+                continue  # tiny classes can deviate
+            got = np.mean(test_labels == label)
+            assert got == pytest.approx(frac, abs=0.07)
+
+    def test_seed_determinism(self, mini_dataset):
+        a = random_split(mini_dataset, 0.3, seed=5)
+        b = random_split(mini_dataset, 0.3, seed=5)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_invalid_test_size(self, mini_dataset):
+        with pytest.raises(ValueError):
+            random_split(mini_dataset, 0.0)
+
+
+class TestClusterSplit:
+    def test_no_test_cluster_in_train(self, mini_dataset):
+        train, test = cluster_split(mini_dataset, test_clusters=("RI",))
+        train_clusters = {mini_dataset.records[i].cluster for i in train}
+        test_clusters = {mini_dataset.records[i].cluster for i in test}
+        assert "RI" not in train_clusters
+        assert test_clusters == {"RI"}
+
+    def test_unknown_cluster_raises(self, mini_dataset):
+        with pytest.raises(ValueError, match="absent"):
+            cluster_split(mini_dataset, test_clusters=("Sierra",))
+
+    def test_all_clusters_held_out_raises(self, mini_dataset):
+        with pytest.raises(ValueError, match="empty"):
+            cluster_split(mini_dataset,
+                          test_clusters=("RI", "Ray", "Frontera RTX"))
+
+
+class TestNodeSplit:
+    def test_threshold_respected(self, mini_dataset):
+        train, test = node_split(mini_dataset, max_train_nodes=4)
+        assert all(mini_dataset.records[i].nodes <= 4 for i in train)
+        assert all(mini_dataset.records[i].nodes > 4 for i in test)
+
+    def test_empty_side_raises(self, mini_dataset):
+        with pytest.raises(ValueError, match="empty"):
+            node_split(mini_dataset, max_train_nodes=1000)
+
+
+class TestSplitDataset:
+    def test_returns_datasets(self, mini_dataset):
+        train, test = split_dataset(mini_dataset, "random", seed=1)
+        assert len(train) + len(test) == len(mini_dataset)
+
+    def test_unknown_method(self, mini_dataset):
+        with pytest.raises(ValueError, match="unknown split"):
+            split_dataset(mini_dataset, "bogus")

@@ -1,0 +1,118 @@
+"""Tests for the offline training pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import ALL_FEATURE_NAMES
+from repro.core.splits import split_dataset
+from repro.core.training import (
+    MODEL_FAMILIES,
+    compare_models,
+    feature_importance_report,
+    rank_features,
+    train_model,
+)
+
+
+@pytest.fixture(scope="module")
+def splits(mini_dataset):
+    return split_dataset(mini_dataset, "random", seed=0)
+
+
+class TestRankFeatures:
+    def test_importances_shape_and_norm(self, mini_dataset):
+        imp = rank_features(mini_dataset, "allgather", n_estimators=20)
+        assert imp.shape == (14,)
+        assert imp.sum() == pytest.approx(1.0)
+        assert np.all(imp >= 0)
+
+    def test_msg_size_dominates(self, mini_dataset):
+        """The paper's central observation (Figs. 5-6)."""
+        for collective in ("allgather", "alltoall"):
+            imp = rank_features(mini_dataset, collective, n_estimators=30)
+            assert ALL_FEATURE_NAMES[int(np.argmax(imp))] == "msg_size"
+
+    def test_report_sorted(self, mini_dataset):
+        rep = feature_importance_report(mini_dataset, "alltoall")
+        vals = [v for _, v in rep]
+        assert vals == sorted(vals, reverse=True)
+        assert len(rep) == 14
+
+    def test_empty_collective_raises(self, mini_dataset):
+        empty = mini_dataset.filter(clusters={"__none__"})
+        with pytest.raises(ValueError):
+            rank_features(empty, "allgather")
+
+
+class TestTrainModel:
+    def test_rf_beats_majority_class(self, splits):
+        train, test = splits
+        model = train_model(train, "allgather", family="rf")
+        test_ag = test.filter(collective="allgather")
+        labels = test_ag.labels()
+        _, counts = np.unique(labels, return_counts=True)
+        majority = counts.max() / counts.sum()
+        assert model.accuracy(test_ag) > majority
+
+    def test_top_k_features_selected(self, splits):
+        train, _ = splits
+        model = train_model(train, "allgather", family="rf", top_k=5)
+        assert len(model.feature_names) == 5
+        assert "msg_size" in model.feature_names
+        assert model.importances_full is not None
+
+    def test_explicit_features_bypass_selection(self, splits):
+        train, _ = splits
+        model = train_model(train, "allgather", family="rf",
+                            feature_names=("msg_size", "ppn"))
+        assert model.feature_names == ("msg_size", "ppn")
+        assert model.importances_full is None
+
+    def test_scaled_family_gets_scaler(self, splits):
+        train, _ = splits
+        knn = train_model(train, "allgather", family="knn")
+        rf = train_model(train, "allgather", family="rf")
+        assert knn.scaler is not None
+        assert rf.scaler is None
+
+    def test_predict_labels_in_label_space(self, splits):
+        train, test = splits
+        model = train_model(train, "alltoall", family="rf")
+        preds = model.predict(test.filter(
+            collective="alltoall").feature_matrix())
+        valid = set(train.filter(collective="alltoall").labels())
+        assert set(preds) <= valid
+
+    def test_unknown_family_raises(self, splits):
+        with pytest.raises(ValueError, match="unknown family"):
+            train_model(splits[0], "allgather", family="xgboost")
+
+    def test_tuned_model_records_params(self, splits):
+        train, _ = splits
+        model = train_model(train, "allgather", family="knn", tune=True,
+                            cv=3)
+        assert model.metadata["tuned"] is True
+        assert "best_params" in model.metadata
+        assert 0.5 <= model.metadata["cv_auc"] <= 1.0
+
+
+class TestCompareModels:
+    def test_all_families_present(self, splits):
+        train, test = splits
+        out = compare_models(train, test.filter(collective="allgather"),
+                             "allgather", tune=False,
+                             families=("rf", "knn"))
+        assert set(out) == {"rf", "knn"}
+        assert all(0.0 <= v <= 1.0 for v in out.values())
+
+    def test_rf_at_least_competitive(self, splits):
+        """Table II's headline: RF leads the comparison."""
+        train, test = splits
+        out = compare_models(train, test.filter(collective="allgather"),
+                             "allgather", tune=False,
+                             families=("rf", "knn", "svm"))
+        assert out["rf"] >= max(out["knn"], out["svm"]) - 0.02
+
+    def test_family_registry_complete(self):
+        assert set(MODEL_FAMILIES) == {"rf", "gradientboost", "knn",
+                                       "svm"}

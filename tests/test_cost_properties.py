@@ -1,0 +1,152 @@
+"""Property-based invariants of the cost model across all algorithms.
+
+These pin down the *sanity* of the simulator: monotonicity in message
+size and job size, volume lower bounds, noise behaviour, and oracle
+optimality — for every registered algorithm of every collective.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwmodel import all_clusters, get_cluster
+from repro.simcluster import Machine
+from repro.smpi import (
+    ALL_COLLECTIVES,
+    OracleSelector,
+    algorithm_names,
+    algorithms,
+    measured_time,
+)
+
+
+def _machine(nodes=2, ppn=8, cluster="Frontera"):
+    return Machine(get_cluster(cluster), nodes, ppn)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("collective", ALL_COLLECTIVES)
+    def test_estimates_monotone_in_msg_size(self, collective):
+        machine = _machine()
+        sizes = [2**k for k in range(0, 21, 4)]
+        for name, algo in algorithms(collective).items():
+            times = [algo.estimate(machine, m) for m in sizes]
+            for a, b in zip(times, times[1:]):
+                assert b >= a * 0.999, \
+                    f"{collective}/{name}: not monotone in msg size"
+
+    @pytest.mark.parametrize("collective", ["allgather", "alltoall"])
+    def test_estimates_grow_with_node_count(self, collective):
+        """More nodes at fixed PPN = more data and more hops."""
+        spec = get_cluster("Frontera")
+        for name, algo in algorithms(collective).items():
+            times = [algo.estimate(Machine(spec, n, 8), 4096)
+                     for n in (2, 4, 8)]
+            assert times[0] < times[-1], f"{collective}/{name}"
+
+    def test_estimates_positive_everywhere(self):
+        machine = _machine(3, 5)
+        for collective in ALL_COLLECTIVES:
+            for name, algo in algorithms(collective).items():
+                t = algo.estimate(machine, 1)
+                assert t > 0, f"{collective}/{name}"
+                assert np.isfinite(t)
+
+
+class TestVolumeBounds:
+    @pytest.mark.parametrize("collective,per_rank", [
+        ("allgather", lambda p, m: (p - 1) * m),
+        ("alltoall", lambda p, m: (p - 1) * m),
+    ])
+    def test_wire_volume_lower_bound(self, collective, per_rank):
+        """No algorithm can move less than the information-theoretic
+        minimum."""
+        machine = _machine(2, 6)
+        p, m = machine.p, 512
+        bound = p * per_rank(p, m)  # summed over ranks
+        for name, algo in algorithms(collective).items():
+            total = sum(r.total_bytes for r in algo.schedule(machine, m))
+            assert total >= bound * 0.999, f"{collective}/{name}"
+
+    def test_allreduce_volume_lower_bound(self):
+        """Allreduce must move at least ~2m(p-1)/p per rank."""
+        machine = _machine(2, 4)
+        p, m = machine.p, 8192
+        bound = p * 2 * (p - 1) * m / p * 0.999
+        for name, algo in algorithms("allreduce").items():
+            total = sum(r.total_bytes for r in algo.schedule(machine, m))
+            assert total >= bound, f"allreduce/{name}: {total} < {bound}"
+
+
+class TestNoise:
+    def test_noise_free_below_noisy_envelope(self):
+        machine = _machine()
+        for collective in ("allgather", "alltoall"):
+            for name in algorithm_names(collective):
+                clean = measured_time(machine, collective, name, 1024,
+                                      noise=False)
+                noisy = measured_time(machine, collective, name, 1024)
+                assert 0.85 * clean < noisy < 1.15 * clean
+
+    @given(msg_log=st.integers(0, 20), seed_salt=st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_noise_deterministic_per_config(self, msg_log, seed_salt):
+        machine = _machine()
+        _ = seed_salt  # noise depends only on the configuration
+        a = measured_time(machine, "allgather", "ring", 2 ** msg_log)
+        b = measured_time(machine, "allgather", "ring", 2 ** msg_log)
+        assert a == b
+
+    def test_noise_varies_across_sizes(self):
+        machine = _machine()
+        ratios = set()
+        for msg in (2**k for k in range(8)):
+            noisy = measured_time(machine, "allgather", "ring", msg)
+            clean = measured_time(machine, "allgather", "ring", msg,
+                                  noise=False)
+            ratios.add(round(noisy / clean, 9))
+        assert len(ratios) > 4
+
+
+class TestOracleOptimality:
+    @given(nodes=st.integers(1, 4), ppn=st.integers(2, 10),
+           msg_log=st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_oracle_never_beaten(self, nodes, ppn, msg_log):
+        machine = _machine(nodes, ppn)
+        oracle = OracleSelector()
+        msg = 2 ** msg_log
+        for collective in ("allgather", "alltoall"):
+            pick = oracle.select(collective, machine, msg)
+            t_pick = measured_time(machine, collective, pick, msg)
+            for name in algorithm_names(collective):
+                assert t_pick <= measured_time(machine, collective,
+                                               name, msg) * 1.0001
+
+
+class TestCrossClusterSanity:
+    def test_every_cluster_prices_every_algorithm(self):
+        """No cluster/algorithm combination may produce NaN, inf or
+        non-positive times."""
+        for spec in all_clusters():
+            nodes = min(2, spec.max_nodes)
+            ppn = spec.ppn_values[min(1, len(spec.ppn_values) - 1)]
+            machine = Machine(spec, nodes, ppn)
+            if machine.p < 2:
+                continue
+            for collective in ALL_COLLECTIVES:
+                for name, algo in algorithms(collective).items():
+                    t = algo.estimate(machine, 4096)
+                    assert np.isfinite(t) and t > 0, \
+                        f"{spec.name}/{collective}/{name}"
+
+    def test_faster_fabric_is_faster_at_large_messages(self):
+        """MRI (HDR, PCIe4) must beat RI (QDR, PCIe2) on the same job
+        shape at bandwidth-bound sizes, for every algorithm."""
+        mri = Machine(get_cluster("MRI"), 2, 8)
+        ri = Machine(get_cluster("RI"), 2, 8)
+        for collective in ("allgather", "alltoall"):
+            for name, algo in algorithms(collective).items():
+                assert algo.estimate(mri, 1 << 20) < \
+                    algo.estimate(ri, 1 << 20), f"{collective}/{name}"

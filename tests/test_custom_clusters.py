@@ -1,0 +1,103 @@
+"""Tests for user-defined cluster registration — the adopter story:
+bring your own machine, benchmark it, fold it into the training set."""
+
+import pytest
+
+from repro.core import benchmark_config, collect_dataset, offline_train
+from repro.hwmodel import (
+    ClusterSpec,
+    CpuSpec,
+    CpuVendor,
+    InfinibandGeneration,
+    InterconnectFamily,
+    InterconnectSpec,
+    MemorySpec,
+    NodeSpec,
+    PcieSpec,
+    all_clusters,
+    cluster_features,
+    get_cluster,
+    register_cluster,
+    unregister_cluster,
+)
+from repro.simcluster import Machine
+
+
+def _custom_spec(name="MyLab"):
+    return ClusterSpec(
+        name=name,
+        node=NodeSpec(
+            cpu=CpuSpec("Custom EPYC 9354", CpuVendor.AMD, 3.25, 3.8,
+                        cores_per_socket=32, threads_per_core=2,
+                        sockets=2, numa_nodes=8, l3_cache_mib=512.0),
+            memory=MemorySpec(384, 460.8),
+            interconnect=InterconnectSpec(
+                InterconnectFamily.INFINIBAND,
+                InfinibandGeneration.HDR, 4, "ConnectX-7", 0.65),
+            pcie=PcieSpec(5.0, 16),
+        ),
+        max_nodes=4,
+        node_counts=(1, 2, 4),
+        ppn_values=(1, 8, 32),
+        msg_sizes=tuple(2**k for k in range(0, 16, 3)),
+    )
+
+
+@pytest.fixture
+def custom():
+    spec = register_cluster(_custom_spec())
+    yield spec
+    unregister_cluster(spec.name)
+
+
+class TestRegistration:
+    def test_lookup_after_register(self, custom):
+        assert get_cluster("MyLab") is custom
+        assert get_cluster("mylab") is custom
+
+    def test_table1_name_protected(self):
+        with pytest.raises(ValueError, match="Table I"):
+            register_cluster(_custom_spec(name="Frontera"))
+
+    def test_duplicate_requires_replace(self, custom):
+        with pytest.raises(ValueError, match="already registered"):
+            register_cluster(_custom_spec())
+        register_cluster(_custom_spec(), replace=True)
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(KeyError):
+            unregister_cluster("NeverRegistered")
+
+    def test_all_clusters_excludes_custom(self, custom):
+        assert all(c.name != "MyLab" for c in all_clusters())
+
+    def test_unregistered_lookup_fails(self):
+        spec = register_cluster(_custom_spec(name="Ephemeral"))
+        unregister_cluster(spec.name)
+        with pytest.raises(KeyError):
+            get_cluster("Ephemeral")
+
+
+class TestCustomClusterWorkflow:
+    def test_feature_extraction(self, custom):
+        feats = cluster_features(custom)
+        assert feats.cpu_max_clock_ghz == pytest.approx(3.8)
+        assert feats.pcie_version == 5.0
+        assert feats.link_speed_gbps == pytest.approx(50.0)
+
+    def test_benchmarking(self, custom):
+        rec = benchmark_config(custom, "alltoall", 2, 8, 512)
+        assert rec.cluster == "MyLab"
+        assert rec.label in rec.times
+
+    def test_dataset_and_training(self, custom, tmp_path):
+        dataset = collect_dataset(clusters=[custom],
+                                  cache_dir=tmp_path)
+        assert len(dataset) > 0
+        assert dataset.clusters() == ("MyLab",)
+        # Feature matrix must resolve the custom name via the registry.
+        X = dataset.feature_matrix()
+        assert X.shape[1] == 14
+        selector = offline_train(dataset)
+        machine = Machine(custom, 2, 8)
+        assert selector.select("allgather", machine, 256)

@@ -1,0 +1,72 @@
+"""Documentation consistency checks — keep the docs honest as the code
+evolves."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.smpi import ALL_COLLECTIVES, algorithm_names
+
+ROOT = Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module")
+def docs_text():
+    parts = []
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+        parts.append((ROOT / name).read_text())
+    for path in (ROOT / "docs").glob("*.md"):
+        parts.append(path.read_text())
+    return "\n".join(parts)
+
+
+class TestDocsExist:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGELOG.md",
+        "docs/architecture.md", "docs/cost_model.md",
+        "docs/collectives.md", "docs/ml.md", "docs/api.md",
+        "docs/reproduction_guide.md",
+    ])
+    def test_file_present_and_nonempty(self, name):
+        path = ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 500, f"{name} is a stub"
+
+
+class TestDocsCoverCode:
+    def test_every_algorithm_documented(self, docs_text):
+        for collective in ALL_COLLECTIVES:
+            for name in algorithm_names(collective):
+                assert name in docs_text, \
+                    f"{collective}/{name} not mentioned in any doc"
+
+    def test_every_collective_documented(self, docs_text):
+        for collective in ALL_COLLECTIVES:
+            assert collective in docs_text
+
+    def test_design_references_existing_benchmarks(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for line in design.splitlines():
+            if "benchmarks/test_" not in line:
+                continue
+            for token in line.split("`"):
+                if token.startswith("benchmarks/test_"):
+                    assert (ROOT / token).exists(), token
+
+    def test_experiments_references_existing_reports(self):
+        """Report files named in EXPERIMENTS.md must exist after a
+        benchmark run (skip cleanly before the first run)."""
+        reports = ROOT / "benchmarks" / "reports"
+        if not reports.exists():
+            pytest.skip("benchmarks not yet run")
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for token in text.split("`"):
+            if token.startswith("test_") and token.endswith(".txt") \
+                    and "*" not in token and "/" not in token:
+                assert (reports / token).exists(), token
+
+    def test_readme_examples_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for token in readme.split():
+            if token.startswith("examples/") and token.endswith(".py"):
+                assert (ROOT / token).exists(), token

@@ -1,0 +1,54 @@
+"""Smoke tests for the runnable examples (deliverable b).
+
+The two fast examples run end-to-end as subprocesses; the dataset-heavy
+ones are import-checked (their full runs are exercised manually and by
+the benchmarks, which share the same code paths).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "algorithm choices on unseen cluster Sierra" in out
+        assert "allgather" in out and "alltoall" in out
+
+    def test_compare_algorithms(self):
+        out = _run("compare_algorithms.py")
+        assert "alltoall on Frontera" in out
+        assert "data=OK" in out
+        assert "CORRUPT" not in out
+
+    def test_future_work_collectives(self):
+        out = _run("future_work_collectives.py")
+        assert "two-level vs best flat" in out
+        assert "allreduce" in out and "bcast" in out
+
+
+class TestHeavyExamplesImportable:
+    @pytest.mark.parametrize("name", ["tune_new_cluster.py",
+                                      "application_speedup.py"])
+    def test_compiles(self, name):
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")
+
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {"quickstart.py", "tune_new_cluster.py",
+                "application_speedup.py", "compare_algorithms.py",
+                "future_work_collectives.py"} <= names

@@ -1,0 +1,117 @@
+"""Tests for the probe renderers and the feature-extraction parsers —
+the production path of the paper's extraction script."""
+
+import dataclasses
+
+import pytest
+
+from repro.hwmodel import (
+    HARDWARE_FEATURE_NAMES,
+    ExtractionError,
+    all_clusters,
+    cluster_features,
+    extract_features,
+    get_cluster,
+    probe_cluster,
+)
+from repro.hwmodel.extract import (
+    parse_ibstat,
+    parse_lscpu,
+    parse_lspci,
+    parse_meminfo,
+    parse_stream,
+)
+
+
+class TestProbeRendering:
+    def test_lscpu_roundtrip_all_clusters(self):
+        for spec in all_clusters():
+            vals = parse_lscpu(probe_cluster(spec).lscpu)
+            cpu = spec.node.cpu
+            assert vals["cpu_max_clock_ghz"] == pytest.approx(
+                cpu.max_clock_ghz, rel=1e-3), spec.name
+            assert vals["core_count"] == cpu.cores_per_node
+            assert vals["thread_count"] == cpu.threads_per_node
+            assert vals["sockets"] == cpu.sockets
+            assert vals["numa_nodes"] == cpu.numa_nodes
+            assert vals["l3_cache_mib"] == pytest.approx(
+                cpu.l3_cache_mib, rel=1e-3), spec.name
+
+    def test_ibstat_roundtrip_all_clusters(self):
+        for spec in all_clusters():
+            vals = parse_ibstat(probe_cluster(spec).ibstat)
+            ic = spec.node.interconnect
+            assert vals["link_width"] == ic.link_width
+            assert vals["link_speed_gbps"] == pytest.approx(
+                ic.generation.lane_gbps, rel=1e-2)
+
+    def test_lspci_roundtrip_all_clusters(self):
+        for spec in all_clusters():
+            vals = parse_lspci(probe_cluster(spec).lspci)
+            assert vals["pcie_version"] == spec.node.pcie.version
+            assert vals["pcie_lanes"] == spec.node.pcie.lanes
+
+    def test_stream_roundtrip(self):
+        spec = get_cluster("Frontera")
+        vals = parse_stream(probe_cluster(spec).stream)
+        assert vals["memory_bandwidth_gbs"] == pytest.approx(140.8)
+
+    def test_meminfo_roundtrip(self):
+        spec = get_cluster("Frontera")
+        vals = parse_meminfo(probe_cluster(spec).meminfo)
+        assert vals["memory_capacity_gib"] == pytest.approx(192, rel=1e-3)
+
+
+class TestParserErrors:
+    def test_missing_field_raises(self):
+        with pytest.raises(ExtractionError, match="CPU max MHz"):
+            parse_lscpu("CPU(s): 4\n")
+
+    def test_inconsistent_topology_raises(self):
+        bad = ("CPU(s):              99\n"
+               "Thread(s) per core:  2\n"
+               "Core(s) per socket:  8\n"
+               "Socket(s):           2\n"
+               "NUMA node(s):        2\n"
+               "CPU max MHz:         3000.0\n"
+               "L3 cache:            16384K\n")
+        with pytest.raises(ExtractionError, match="inconsistent"):
+            parse_lscpu(bad)
+
+    def test_unknown_pcie_rate_raises(self):
+        with pytest.raises(ExtractionError, match="unknown PCIe"):
+            parse_lspci("LnkSta:\tSpeed 7.0GT/s (ok), Width x16 (ok)\n")
+
+    def test_empty_ibstat_raises(self):
+        with pytest.raises(ExtractionError):
+            parse_ibstat("")
+
+
+class TestFeatureVector:
+    def test_eleven_hardware_features(self):
+        assert len(HARDWARE_FEATURE_NAMES) == 11
+
+    def test_vector_order_matches_names(self):
+        feats = cluster_features(get_cluster("MRI"))
+        vec = feats.as_vector()
+        assert len(vec) == 11
+        for i, name in enumerate(HARDWARE_FEATURE_NAMES):
+            assert vec[i] == pytest.approx(float(getattr(feats, name)))
+
+    def test_extract_features_full_path(self):
+        feats = extract_features(probe_cluster(get_cluster("Sierra")))
+        assert feats.cpu_max_clock_ghz == pytest.approx(3.8)
+        assert feats.link_speed_gbps == pytest.approx(25.0)
+        assert feats.pcie_version == 4.0
+
+    def test_distinct_clusters_have_distinct_features(self):
+        vecs = {tuple(cluster_features(c).as_vector())
+                for c in all_clusters()}
+        # Hartree and Mayer share a CPU but differ in interconnect;
+        # every cluster's 11-feature vector must still be unique.
+        assert len(vecs) == 18
+
+    def test_features_frozen(self):
+        feats = cluster_features(get_cluster("RI"))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            feats.core_count = 1

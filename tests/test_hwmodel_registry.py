@@ -1,0 +1,91 @@
+"""Tests for the 18-cluster Table I registry."""
+
+import pytest
+
+from repro.hwmodel import (
+    CLUSTER_NAMES,
+    all_clusters,
+    get_cluster,
+    training_clusters,
+)
+from repro.hwmodel.specs import InterconnectFamily
+
+
+class TestRegistryContents:
+    def test_eighteen_clusters(self):
+        assert len(all_clusters()) == 18
+        assert len(CLUSTER_NAMES) == 18
+
+    def test_table1_names_present(self):
+        for name in ["RI2", "RI", "Haswell", "Catalyst", "Spock", "Rome",
+                     "Frontera", "LLNL", "Frontera RTX", "Hartree",
+                     "Mayer", "Ray", "Sierra", "Bridges", "Bebop",
+                     "TACC KNL", "TACC Skylake", "MRI"]:
+            assert get_cluster(name).name == name
+
+    def test_lookup_case_insensitive(self):
+        assert get_cluster("frontera").name == "Frontera"
+
+    def test_unknown_cluster_raises(self):
+        with pytest.raises(KeyError, match="unknown cluster"):
+            get_cluster("NoSuchCluster")
+
+    def test_omnipath_clusters(self):
+        opa = {c.name for c in all_clusters()
+               if c.node.interconnect.family is InterconnectFamily.OMNIPATH}
+        assert opa == {"Bridges", "Bebop", "TACC KNL", "TACC Skylake"}
+
+    def test_mri_has_16_msg_sizes_others_21(self):
+        for spec in all_clusters():
+            expected = 16 if spec.name == "MRI" else 21
+            assert len(spec.msg_sizes) == expected, spec.name
+
+    def test_msg_sizes_are_powers_of_two_from_one(self):
+        for spec in all_clusters():
+            assert spec.msg_sizes[0] == 1
+            for a, b in zip(spec.msg_sizes, spec.msg_sizes[1:]):
+                assert b == 2 * a
+
+    def test_table1_setting_counts(self):
+        """#nodes / #ppn columns of Table I."""
+        expected = {
+            "RI2": (5, 6), "RI": (1, 2), "Haswell": (3, 6),
+            "Catalyst": (4, 6), "Spock": (5, 8), "Rome": (4, 10),
+            "Frontera": (5, 8), "LLNL": (5, 6), "Frontera RTX": (5, 5),
+            "Hartree": (3, 5), "Mayer": (4, 7), "Ray": (4, 3),
+            "Sierra": (5, 8), "Bridges": (5, 6), "Bebop": (6, 5),
+            "TACC KNL": (6, 6), "TACC Skylake": (5, 8), "MRI": (4, 8),
+        }
+        for spec in all_clusters():
+            nodes, ppn = expected[spec.name]
+            assert len(spec.node_counts) == nodes, spec.name
+            assert len(spec.ppn_values) == ppn, spec.name
+
+    def test_frontera_supports_paper_eval_configs(self):
+        spec = get_cluster("Frontera")
+        assert 16 in spec.node_counts
+        assert 56 in spec.ppn_values and 28 in spec.ppn_values
+
+    def test_mri_supports_paper_eval_configs(self):
+        spec = get_cluster("MRI")
+        assert 8 in spec.node_counts
+        assert 128 in spec.ppn_values and 64 in spec.ppn_values
+
+    def test_ppn_within_hardware_threads(self):
+        for spec in all_clusters():
+            assert max(spec.ppn_values) <= spec.node.cpu.threads_per_node
+
+
+class TestTrainingClusters:
+    def test_exclusion(self):
+        rest = training_clusters(exclude=("Frontera", "MRI"))
+        names = {c.name for c in rest}
+        assert len(rest) == 16
+        assert "Frontera" not in names and "MRI" not in names
+
+    def test_exclusion_case_insensitive(self):
+        rest = training_clusters(exclude=("frontera",))
+        assert all(c.name != "Frontera" for c in rest)
+
+    def test_no_exclusion_returns_all(self):
+        assert len(training_clusters()) == 18

@@ -1,0 +1,127 @@
+"""Unit tests for hardware spec dataclasses and their invariants."""
+
+import pytest
+
+from repro.hwmodel.specs import (
+    ClusterSpec,
+    CpuSpec,
+    CpuVendor,
+    InfinibandGeneration,
+    InterconnectFamily,
+    InterconnectSpec,
+    MemorySpec,
+    NodeSpec,
+    PcieSpec,
+)
+
+
+def _cpu(**over):
+    base = dict(model_name="Test CPU", vendor=CpuVendor.INTEL,
+                base_clock_ghz=2.0, max_clock_ghz=3.0,
+                cores_per_socket=8, threads_per_core=2, sockets=2,
+                numa_nodes=2, l3_cache_mib=32.0)
+    base.update(over)
+    return CpuSpec(**base)
+
+
+def _node(cpu=None):
+    return NodeSpec(
+        cpu=cpu or _cpu(),
+        memory=MemorySpec(128, 100.0),
+        interconnect=InterconnectSpec(
+            InterconnectFamily.INFINIBAND, InfinibandGeneration.EDR, 4,
+            "Test HCA", 1.0),
+        pcie=PcieSpec(3.0, 16),
+    )
+
+
+class TestCpuSpec:
+    def test_core_and_thread_counts(self):
+        cpu = _cpu()
+        assert cpu.cores_per_node == 16
+        assert cpu.threads_per_node == 32
+
+    def test_max_below_base_clock_rejected(self):
+        with pytest.raises(ValueError, match="max clock"):
+            _cpu(max_clock_ghz=1.0)
+
+    def test_zero_counts_rejected(self):
+        with pytest.raises(ValueError):
+            _cpu(sockets=0)
+
+    def test_nonpositive_l3_rejected(self):
+        with pytest.raises(ValueError):
+            _cpu(l3_cache_mib=0.0)
+
+
+class TestMemorySpec:
+    def test_valid(self):
+        m = MemorySpec(64, 80.0)
+        assert m.capacity_gib == 64
+
+    @pytest.mark.parametrize("cap,bw", [(0, 80), (64, 0), (-1, 80)])
+    def test_invalid(self, cap, bw):
+        with pytest.raises(ValueError):
+            MemorySpec(cap, bw)
+
+
+class TestInterconnectSpec:
+    def test_edr_x4_is_100gbps(self):
+        ic = InterconnectSpec(InterconnectFamily.INFINIBAND,
+                              InfinibandGeneration.EDR, 4, "X", 1.0)
+        assert ic.link_speed_gbps == pytest.approx(100.0)
+        assert ic.bandwidth_bytes_per_s == pytest.approx(12.5e9)
+
+    def test_generation_lane_rates_ordered(self):
+        gens = [InfinibandGeneration.QDR, InfinibandGeneration.FDR,
+                InfinibandGeneration.EDR, InfinibandGeneration.HDR]
+        rates = [g.lane_gbps for g in gens]
+        assert rates == sorted(rates)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            InterconnectSpec(InterconnectFamily.INFINIBAND,
+                             InfinibandGeneration.EDR, 0, "X", 1.0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            InterconnectSpec(InterconnectFamily.INFINIBAND,
+                             InfinibandGeneration.EDR, 4, "X", 0.0)
+
+
+class TestPcieSpec:
+    def test_gen3_x16_bandwidth(self):
+        assert PcieSpec(3.0, 16).bandwidth_gbs == pytest.approx(15.76)
+
+    def test_gen4_doubles_gen3(self):
+        assert PcieSpec(4.0, 16).bandwidth_gbs == pytest.approx(
+            2 * PcieSpec(3.0, 16).bandwidth_gbs, rel=0.01)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            PcieSpec(6.0, 16)
+
+    def test_bad_lane_count_rejected(self):
+        with pytest.raises(ValueError):
+            PcieSpec(3.0, 12)
+
+
+class TestClusterSpec:
+    def test_subscription_ppn(self):
+        spec = ClusterSpec("t", _node(), max_nodes=4)
+        assert spec.full_subscription_ppn == 16
+        assert spec.half_subscription_ppn == 8
+
+    def test_node_count_exceeding_max_rejected(self):
+        with pytest.raises(ValueError, match="exceeds max_nodes"):
+            ClusterSpec("t", _node(), max_nodes=4, node_counts=(8,))
+
+    def test_ppn_exceeding_threads_rejected(self):
+        with pytest.raises(ValueError, match="exceeds hardware threads"):
+            ClusterSpec("t", _node(), max_nodes=4, ppn_values=(64,))
+
+    def test_describe_mentions_name_and_interconnect(self):
+        spec = ClusterSpec("mytest", _node(), max_nodes=4)
+        text = spec.describe()
+        assert "mytest" in text
+        assert "InfiniBand" in text

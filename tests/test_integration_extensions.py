@@ -1,0 +1,52 @@
+"""Integration: the full pipeline over the extension collectives."""
+
+import pytest
+
+from repro.core import PmlMpiFramework, collect_dataset, offline_train
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+from repro.smpi import algorithm_names
+
+
+@pytest.fixture(scope="module")
+def ext_selector():
+    clusters = [get_cluster(n) for n in ("RI", "Ray")]
+    dataset = collect_dataset(clusters=clusters,
+                              collectives=("allreduce", "bcast"))
+    return offline_train(dataset, collectives=("allreduce", "bcast"))
+
+
+class TestExtensionPipeline:
+    def test_models_trained_per_collective(self, ext_selector):
+        assert set(ext_selector.models) == {"allreduce", "bcast"}
+        for model in ext_selector.models.values():
+            assert len(model.feature_names) == 5
+
+    def test_selection_on_unseen_cluster(self, ext_selector):
+        machine = Machine(get_cluster("Spock"), 4, 16)
+        for coll in ("allreduce", "bcast"):
+            for msg in (8, 65536):
+                algo = ext_selector.select(coll, machine, msg)
+                assert algo in algorithm_names(coll)
+
+    def test_framework_emits_extension_tables(self, ext_selector,
+                                              tmp_path):
+        fw = PmlMpiFramework(ext_selector, tmp_path)
+        spec = get_cluster("RI")
+        runtime = fw.setup_cluster(spec)
+        machine = Machine(spec, 2, 4)
+        algo = runtime.select("allreduce", machine, 1024)
+        assert algo in algorithm_names("allreduce")
+        text = fw.table_path("RI").read_text()
+        assert "allreduce" in text and "bcast" in text
+
+    def test_mixed_collective_bundle_roundtrip(self, ext_selector,
+                                               tmp_path):
+        from repro.core import load_selector, save_selector
+
+        path = save_selector(ext_selector, tmp_path / "ext.json")
+        loaded = load_selector(path)
+        machine = Machine(get_cluster("RI"), 2, 8)
+        for coll in ("allreduce", "bcast"):
+            assert loaded.select(coll, machine, 512) == \
+                ext_selector.select(coll, machine, 512)

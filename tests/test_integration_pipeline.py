@@ -1,0 +1,89 @@
+"""End-to-end integration: the complete PML-MPI story on one thread.
+
+Mirrors the paper's deployment narrative in a single test module:
+vendor collects + trains + ships a bundle; a user compiles MPI on a new
+cluster (tuning table generated once, reused after); applications run
+under the table selector and are no slower than random selection, and
+the tuning artifacts are mutually consistent.
+"""
+
+import pytest
+
+from repro.apps import GromacsProxy, run_sweep
+from repro.core import (
+    PmlMpiFramework,
+    load_selector,
+    offline_train,
+    save_selector,
+)
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+from repro.smpi import RandomSelector, TuningTable, algorithm_names
+
+
+@pytest.fixture(scope="module")
+def pipeline(mini_dataset, tmp_path_factory):
+    """Vendor side: train on the mini dataset and ship a bundle."""
+    root = tmp_path_factory.mktemp("pipeline")
+    selector = offline_train(mini_dataset)
+    bundle_path = save_selector(selector, root / "pml.bundle.json")
+    return root, bundle_path
+
+
+class TestDeploymentFlow:
+    def test_user_compiles_on_new_cluster(self, pipeline):
+        root, bundle_path = pipeline
+        selector = load_selector(bundle_path)  # arrives with the library
+        framework = PmlMpiFramework(selector, root / "tables")
+
+        spec = get_cluster("Haswell")  # never in the mini dataset
+        runtime1 = framework.setup_cluster(spec)
+        assert framework.has_table("Haswell")
+
+        # Second compile reuses the artifact byte-for-byte.
+        before = framework.table_path("Haswell").read_bytes()
+        runtime2 = framework.setup_cluster(spec)
+        assert framework.table_path("Haswell").read_bytes() == before
+
+        machine = Machine(spec, 2, 8)
+        for coll in ("allgather", "alltoall"):
+            a = runtime1.select(coll, machine, 4096)
+            b = runtime2.select(coll, machine, 4096)
+            assert a == b
+            assert a in algorithm_names(coll)
+
+    def test_table_artifact_is_loadable_json(self, pipeline):
+        root, bundle_path = pipeline
+        framework = PmlMpiFramework(load_selector(bundle_path),
+                                    root / "tables2")
+        framework.setup_cluster(get_cluster("Haswell"))
+        table = TuningTable.load(
+            framework.table_path("Haswell"))
+        assert table.cluster == "Haswell"
+        algo = table.lookup("alltoall", 2, 8, 123)
+        assert algo in algorithm_names("alltoall")
+
+    def test_runtime_no_worse_than_random(self, pipeline):
+        root, bundle_path = pipeline
+        framework = PmlMpiFramework(load_selector(bundle_path),
+                                    root / "tables3")
+        spec = get_cluster("Haswell")
+        runtime = framework.setup_cluster(spec)
+        for coll in ("allgather", "alltoall"):
+            ours = run_sweep(spec, coll, 2, 8, runtime).total_time()
+            rand = run_sweep(spec, coll, 2, 8,
+                             RandomSelector(0)).total_time()
+            assert ours <= rand * 1.05, coll
+
+    def test_application_runs_under_table_selector(self, pipeline):
+        root, bundle_path = pipeline
+        framework = PmlMpiFramework(load_selector(bundle_path),
+                                    root / "tables4")
+        spec = get_cluster("Haswell")
+        runtime = framework.setup_cluster(spec)
+        result = GromacsProxy().run(spec, 2, 8, runtime, steps=5)
+        assert result.total_s > 0
+        assert result.collective_s > 0
+        for key, algo in result.collective_calls.items():
+            coll = key.split("@")[0]
+            assert algo in algorithm_names(coll)

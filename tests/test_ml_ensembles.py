@@ -1,0 +1,144 @@
+"""Tests for Random Forest and Gradient Boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    n = 600
+    X = rng.normal(size=(n, 6))
+    y = ((X[:, 0] > 0).astype(int)
+         + 2 * ((X[:, 1] + 0.5 * X[:, 2]) > 0).astype(int))
+    return X, y
+
+
+class TestRandomForest:
+    def test_beats_chance_and_single_stump(self, dataset):
+        X, y = dataset
+        rf = RandomForestClassifier(n_estimators=30, random_state=0)
+        rf.fit(X[:400], y[:400])
+        assert rf.score(X[400:], y[400:]) > 0.8
+
+    def test_deterministic_given_seed(self, dataset):
+        X, y = dataset
+        a = RandomForestClassifier(n_estimators=10, random_state=42)
+        b = RandomForestClassifier(n_estimators=10, random_state=42)
+        pa = a.fit(X, y).predict(X)
+        pb = b.fit(X, y).predict(X)
+        assert np.array_equal(pa, pb)
+
+    def test_different_seeds_differ(self, dataset):
+        X, y = dataset
+        a = RandomForestClassifier(n_estimators=5, random_state=0,
+                                   max_depth=3).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=1,
+                                   max_depth=3).fit(X, y)
+        assert not np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+    def test_predict_proba_valid(self, dataset):
+        X, y = dataset
+        rf = RandomForestClassifier(n_estimators=15, random_state=0)
+        proba = rf.fit(X, y).predict_proba(X)
+        assert proba.shape == (len(X), len(np.unique(y)))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(proba >= 0)
+
+    def test_feature_importances_normalized_and_informative(self, dataset):
+        X, y = dataset
+        rf = RandomForestClassifier(n_estimators=30, random_state=0)
+        rf.fit(X, y)
+        imp = rf.feature_importances_
+        assert imp.sum() == pytest.approx(1.0)
+        # Features 0-2 are informative; 3-5 pure noise.
+        assert imp[:3].sum() > 0.7
+
+    def test_string_labels_roundtrip(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array(["ring", "ring", "bruck", "bruck"])
+        rf = RandomForestClassifier(n_estimators=5, random_state=0)
+        assert set(rf.fit(X, y).predict(X)) <= {"ring", "bruck"}
+
+    def test_rare_class_present_in_proba_columns(self):
+        """Bootstrap samples may miss a rare class; probability columns
+        must still cover every class."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = np.zeros(200, dtype=int)
+        y[:3] = 1  # very rare class
+        rf = RandomForestClassifier(n_estimators=10, random_state=0)
+        proba = rf.fit(X, y).predict_proba(X)
+        assert proba.shape == (200, 2)
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_get_params_roundtrip(self):
+        rf = RandomForestClassifier(n_estimators=7, max_depth=3)
+        clone = RandomForestClassifier(**rf.get_params())
+        assert clone.n_estimators == 7 and clone.max_depth == 3
+
+
+class TestGradientBoosting:
+    def test_learns_nonlinear_boundary(self, dataset):
+        X, y = dataset
+        gb = GradientBoostingClassifier(n_estimators=40, random_state=0)
+        gb.fit(X[:400], y[:400])
+        assert gb.score(X[400:], y[400:]) > 0.8
+
+    def test_more_estimators_reduce_training_error(self, dataset):
+        X, y = dataset
+        few = GradientBoostingClassifier(n_estimators=3, random_state=0)
+        many = GradientBoostingClassifier(n_estimators=60, random_state=0)
+        assert many.fit(X, y).score(X, y) >= few.fit(X, y).score(X, y)
+
+    def test_predict_proba_valid(self, dataset):
+        X, y = dataset
+        gb = GradientBoostingClassifier(n_estimators=10, random_state=0)
+        proba = gb.fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(proba >= 0)
+
+    def test_binary_problem(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 4))
+        y = (X[:, 0] * X[:, 1] > 0).astype(int)  # XOR-like
+        gb = GradientBoostingClassifier(n_estimators=50, max_depth=3,
+                                        random_state=0).fit(X, y)
+        assert gb.score(X, y) > 0.9
+
+    def test_subsample_still_learns(self, dataset):
+        X, y = dataset
+        gb = GradientBoostingClassifier(n_estimators=30, subsample=0.5,
+                                        random_state=0).fit(X, y)
+        assert gb.score(X, y) > 0.8
+
+    def test_invalid_subsample(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=-0.1)
+
+    def test_deterministic_given_seed(self, dataset):
+        X, y = dataset
+        a = GradientBoostingClassifier(n_estimators=8, random_state=5)
+        b = GradientBoostingClassifier(n_estimators=8, random_state=5)
+        assert np.array_equal(a.fit(X, y).predict(X),
+                              b.fit(X, y).predict(X))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingClassifier().predict(np.zeros((1, 2)))

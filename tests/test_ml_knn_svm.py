@@ -1,0 +1,129 @@
+"""Tests for KNN and SVM classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SVC, KNeighborsClassifier, StandardScaler
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    """Three well-separated Gaussian blobs."""
+    rng = np.random.default_rng(11)
+    centers = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+    X = np.vstack([rng.normal(c, 0.5, size=(60, 2)) for c in centers])
+    y = np.repeat([0, 1, 2], 60)
+    return X, y
+
+
+class TestKNN:
+    def test_separable_blobs(self, blobs):
+        X, y = blobs
+        knn = KNeighborsClassifier(5).fit(X, y)
+        assert knn.score(X, y) > 0.97
+
+    def test_k1_memorizes(self, blobs):
+        X, y = blobs
+        knn = KNeighborsClassifier(1).fit(X, y)
+        assert knn.score(X, y) == 1.0
+
+    def test_distance_weights(self, blobs):
+        X, y = blobs
+        knn = KNeighborsClassifier(7, weights="distance").fit(X, y)
+        assert knn.score(X, y) == 1.0  # own point dominates
+
+    def test_manhattan_metric(self, blobs):
+        X, y = blobs
+        knn = KNeighborsClassifier(3, metric="manhattan").fit(X, y)
+        assert knn.score(X, y) > 0.95
+
+    def test_chunked_prediction_matches_unchunked(self, blobs):
+        X, y = blobs
+        a = KNeighborsClassifier(5, chunk_size=7).fit(X, y)
+        b = KNeighborsClassifier(5, chunk_size=10_000).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_proba_shape_and_normalization(self, blobs):
+        X, y = blobs
+        proba = KNeighborsClassifier(5).fit(X, y).predict_proba(X[:10])
+        assert proba.shape == (10, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_k_exceeding_training_size_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            KNeighborsClassifier(10).fit(np.zeros((3, 1)),
+                                         np.array([0, 1, 0]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(0)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="bogus")
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(metric="cosine")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KNeighborsClassifier().predict(np.zeros((1, 2)))
+
+
+class TestSVC:
+    def test_rbf_separable_blobs(self, blobs):
+        X, y = blobs
+        Xs = StandardScaler().fit_transform(X)
+        svc = SVC(C=1.0, kernel="rbf", random_state=0).fit(Xs, y)
+        assert svc.score(Xs, y) > 0.95
+
+    def test_linear_kernel_on_linear_problem(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        svc = SVC(C=1.0, kernel="linear", random_state=0).fit(X, y)
+        assert svc.score(X, y) > 0.9
+
+    def test_rbf_beats_linear_on_circular_problem(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(300, 2))
+        y = (np.hypot(X[:, 0], X[:, 1]) < 1.0).astype(int)
+        rbf = SVC(kernel="rbf", C=5.0, random_state=0).fit(X, y)
+        lin = SVC(kernel="linear", C=5.0, random_state=0).fit(X, y)
+        assert rbf.score(X, y) > lin.score(X, y)
+
+    def test_decision_function_shape(self, blobs):
+        X, y = blobs
+        svc = SVC(random_state=0).fit(X, y)
+        assert svc.decision_function(X[:7]).shape == (7, 3)
+
+    def test_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        proba = SVC(random_state=0).fit(X, y).predict_proba(X[:5])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_subsampling_cap_applied(self, blobs):
+        X, y = blobs
+        svc = SVC(max_samples=30, random_state=0).fit(X, y)
+        # Each binary SVM trained on <= 30+slack points.
+        for b in svc._binaries:
+            assert len(b.support_vectors_) <= 33
+
+    def test_gamma_options(self, blobs):
+        X, y = blobs
+        for gamma in ("scale", "auto", 0.5):
+            svc = SVC(gamma=gamma, random_state=0).fit(X, y)
+            assert svc.score(X, y) > 0.8
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SVC(kernel="poly")
+        with pytest.raises(ValueError):
+            SVC(C=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SVC().decision_function(np.zeros((1, 2)))
+
+    def test_deterministic_given_seed(self, blobs):
+        X, y = blobs
+        a = SVC(random_state=3).fit(X, y).predict(X)
+        b = SVC(random_state=3).fit(X, y).predict(X)
+        assert np.array_equal(a, b)

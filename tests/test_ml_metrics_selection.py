@@ -1,0 +1,239 @@
+"""Tests for metrics, preprocessing and model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    GridSearchCV,
+    KFold,
+    LabelEncoder,
+    RandomForestClassifier,
+    StandardScaler,
+    StratifiedKFold,
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    cross_val_score,
+    roc_auc_score,
+    train_test_split,
+)
+
+
+class TestAccuracyAndConfusion:
+    def test_accuracy_basic(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+
+    def test_accuracy_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.zeros(3), np.zeros(4))
+
+    def test_confusion_matrix(self):
+        mat = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert mat.tolist() == [[1, 1], [0, 2]]
+
+    def test_confusion_matrix_trace_is_correct_count(self):
+        y_true = np.array([0, 1, 2, 2, 1])
+        y_pred = np.array([0, 2, 2, 2, 1])
+        mat = confusion_matrix(y_true, y_pred)
+        assert mat.trace() == 4
+        assert mat.sum() == 5
+
+    def test_classification_report_keys(self):
+        rep = classification_report([0, 1, 1], [0, 1, 0])
+        assert set(rep) == {"0", "1", "accuracy"}
+        assert rep["1"]["recall"] == pytest.approx(0.5)
+
+
+class TestAuc:
+    def test_perfect_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        score = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, score) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        score = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, score) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 4000)
+        score = rng.random(4000)
+        assert roc_auc_score(y, score) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_get_midrank(self):
+        y = np.array([0, 1, 0, 1])
+        score = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc_score(y, score) == pytest.approx(0.5)
+
+    def test_multiclass_macro(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        proba = np.eye(3)[y]  # perfect prediction
+        assert roc_auc_score(y, proba) == pytest.approx(1.0)
+
+    def test_absent_class_skipped_with_labels(self):
+        y = np.array([0, 0, 1, 1])  # class 2 absent
+        proba = np.array([[0.8, 0.1, 0.1], [0.7, 0.2, 0.1],
+                          [0.1, 0.8, 0.1], [0.2, 0.7, 0.1]])
+        auc = roc_auc_score(y, proba, labels=np.array([0, 1, 2]))
+        assert auc == pytest.approx(1.0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.zeros(4), np.random.rand(4))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_auc_invariant_to_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, 50)
+        if len(np.unique(y)) < 2:
+            y[0], y[1] = 0, 1
+        s = rng.normal(size=50)
+        a1 = roc_auc_score(y, s)
+        a2 = roc_auc_score(y, np.exp(s) * 3 + 1)
+        assert a1 == pytest.approx(a2)
+
+
+class TestPreprocessing:
+    def test_scaler_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5, 3, size=(100, 4))
+        Xs = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Xs.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Xs.std(axis=0), 1.0, atol=1e-12)
+
+    def test_scaler_constant_feature_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Xs = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Xs))
+        np.testing.assert_allclose(Xs[:, 0], 0.0)
+
+    def test_scaler_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(20, 3))
+        sc = StandardScaler().fit(X)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(X)),
+                                   X, atol=1e-12)
+
+    def test_scaler_feature_count_check(self):
+        sc = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            sc.transform(np.zeros((5, 4)))
+
+    def test_label_encoder_roundtrip(self):
+        y = np.array(["ring", "bruck", "ring", "pairwise"])
+        enc = LabelEncoder().fit(y)
+        idx = enc.transform(y)
+        assert np.array_equal(enc.inverse_transform(idx), y)
+
+    def test_label_encoder_unseen_raises(self):
+        enc = LabelEncoder().fit(np.array(["a", "b"]))
+        with pytest.raises(ValueError, match="unseen"):
+            enc.transform(np.array(["c"]))
+
+
+class TestSplitters:
+    def test_train_test_split_sizes(self):
+        X = np.arange(100)[:, None]
+        y = np.arange(100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.3, random_state=0)
+        assert len(Xte) == 30 and len(Xtr) == 70
+        assert set(ytr) | set(yte) == set(range(100))
+        assert not set(ytr) & set(yte)
+
+    def test_stratified_split_preserves_ratio(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.arange(100)[:, None]
+        _, _, ytr, yte = train_test_split(X, y, 0.25, random_state=0,
+                                          stratify=y)
+        assert np.mean(yte == 1) == pytest.approx(0.2, abs=0.02)
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_size=1.5)
+
+    def test_kfold_partitions(self):
+        X = np.arange(23)[:, None]
+        folds = list(KFold(5, random_state=0).split(X))
+        assert len(folds) == 5
+        all_test = np.concatenate([te for _, te in folds])
+        assert sorted(all_test) == list(range(23))
+        for tr, te in folds:
+            assert not set(tr) & set(te)
+            assert len(tr) + len(te) == 23
+
+    def test_stratified_kfold_class_balance(self):
+        y = np.array([0] * 40 + [1] * 10)
+        X = np.zeros((50, 1))
+        for _, te in StratifiedKFold(5, random_state=0).split(X, y):
+            assert np.sum(y[te] == 1) == 2
+
+    def test_kfold_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(np.zeros((3, 1))))
+
+    def test_kfold_min_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestCrossValAndGrid:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] > 0).astype(int)
+        return X, y
+
+    def test_cross_val_score_reasonable(self, data):
+        X, y = data
+        rf = RandomForestClassifier(n_estimators=10, random_state=0)
+        scores = cross_val_score(rf, X, y, cv=4, scoring="accuracy")
+        assert scores.shape == (4,)
+        assert scores.mean() > 0.8
+
+    def test_cross_val_auc_scoring(self, data):
+        X, y = data
+        rf = RandomForestClassifier(n_estimators=10, random_state=0)
+        scores = cross_val_score(rf, X, y, cv=3, scoring="auc")
+        assert scores.mean() > 0.85
+
+    def test_unknown_scoring_raises(self, data):
+        X, y = data
+        rf = RandomForestClassifier(n_estimators=5, random_state=0)
+        with pytest.raises(ValueError, match="scoring"):
+            cross_val_score(rf, X, y, cv=3, scoring="f1")
+
+    def test_grid_search_finds_better_params(self, data):
+        X, y = data
+        grid = GridSearchCV(
+            RandomForestClassifier(random_state=0),
+            {"n_estimators": [2, 20], "max_depth": [1, None]},
+            scoring="accuracy", cv=3)
+        grid.fit(X, y)
+        assert len(grid.results_) == 4
+        assert grid.best_score_ == max(r.mean_score for r in grid.results_)
+        # The winning config must not lose to the weakest one.
+        weakest = next(r for r in grid.results_
+                       if r.params == {"max_depth": 1, "n_estimators": 2})
+        assert grid.best_score_ >= weakest.mean_score
+
+    def test_grid_search_best_estimator_fitted(self, data):
+        X, y = data
+        grid = GridSearchCV(
+            RandomForestClassifier(random_state=0),
+            {"n_estimators": [5]}, scoring="accuracy", cv=3)
+        grid.fit(X, y)
+        assert grid.score(X, y) > 0.8
+        assert len(grid.predict(X)) == len(X)
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            GridSearchCV(RandomForestClassifier(), {})

@@ -1,0 +1,130 @@
+"""Tests for model serialization (the shippable artifact path)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    SVC,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    RandomForestClassifier,
+    StandardScaler,
+    dump_model,
+    load_model,
+    load_model_file,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 4))
+    y = (X[:, 0] > 0).astype(int) + 2 * (X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def _roundtrip(model):
+    return load_model(json.loads(json.dumps(dump_model(model))))
+
+
+class TestRoundtrips:
+    def test_tree_classifier(self, data):
+        X, y = data
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        clone = _roundtrip(tree)
+        assert np.array_equal(clone.predict(X), tree.predict(X))
+        np.testing.assert_allclose(clone.predict_proba(X),
+                                   tree.predict_proba(X))
+
+    def test_tree_regressor(self, data):
+        X, y = data
+        reg = DecisionTreeRegressor(max_depth=4).fit(X, y.astype(float))
+        clone = _roundtrip(reg)
+        np.testing.assert_allclose(clone.predict(X), reg.predict(X))
+
+    def test_random_forest(self, data):
+        X, y = data
+        rf = RandomForestClassifier(n_estimators=8, random_state=0)
+        rf.fit(X, y)
+        clone = _roundtrip(rf)
+        np.testing.assert_allclose(clone.predict_proba(X),
+                                   rf.predict_proba(X))
+        np.testing.assert_allclose(clone.feature_importances_,
+                                   rf.feature_importances_)
+
+    def test_gradient_boosting(self, data):
+        X, y = data
+        gb = GradientBoostingClassifier(n_estimators=6, random_state=0)
+        gb.fit(X, y)
+        clone = _roundtrip(gb)
+        np.testing.assert_allclose(clone.decision_function(X),
+                                   gb.decision_function(X))
+
+    def test_knn(self, data):
+        X, y = data
+        knn = KNeighborsClassifier(3).fit(X, y)
+        clone = _roundtrip(knn)
+        assert np.array_equal(clone.predict(X), knn.predict(X))
+
+    def test_svc(self, data):
+        X, y = data
+        svc = SVC(random_state=0, max_samples=150).fit(X, y)
+        clone = _roundtrip(svc)
+        np.testing.assert_allclose(clone.decision_function(X),
+                                   svc.decision_function(X))
+
+    def test_scaler(self, data):
+        X, _ = data
+        sc = StandardScaler().fit(X)
+        clone = _roundtrip(sc)
+        np.testing.assert_allclose(clone.transform(X), sc.transform(X))
+
+    def test_string_labels_survive(self):
+        X = np.array([[0.0], [10.0], [0.1], [9.9]])
+        y = np.array(["ring", "bruck", "ring", "bruck"])
+        rf = RandomForestClassifier(n_estimators=3, random_state=0)
+        rf.fit(X, y)
+        clone = _roundtrip(rf)
+        assert list(clone.predict([[0.0], [10.0]])) == ["ring", "bruck"]
+
+
+class TestFileIO:
+    def test_save_load_file(self, data, tmp_path):
+        X, y = data
+        rf = RandomForestClassifier(n_estimators=4, random_state=1)
+        rf.fit(X, y)
+        path = save_model(rf, tmp_path / "model.json")
+        clone = load_model_file(path)
+        assert np.array_equal(clone.predict(X), rf.predict(X))
+        # Artifact is plain JSON, no pickle.
+        payload = json.loads(path.read_text())
+        assert payload["model_type"] == "random_forest"
+
+
+class TestErrors:
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(AttributeError):
+            dump_model(RandomForestClassifier())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            dump_model(object())
+
+    def test_bad_version_rejected(self, data):
+        X, y = data
+        blob = dump_model(DecisionTreeClassifier().fit(X, y))
+        blob["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            load_model(blob)
+
+    def test_unknown_tag_rejected(self, data):
+        X, y = data
+        blob = dump_model(DecisionTreeClassifier().fit(X, y))
+        blob["model_type"] = "alien"
+        with pytest.raises(ValueError, match="unknown model type"):
+            load_model(blob)

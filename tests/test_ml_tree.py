@@ -1,0 +1,165 @@
+"""Tests for CART decision trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    _gini_from_counts,
+)
+
+
+class TestGini:
+    def test_pure_node_zero(self):
+        assert _gini_from_counts(np.array([10.0, 0.0])) == 0.0
+
+    def test_uniform_binary_is_half(self):
+        assert _gini_from_counts(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_uniform_k_class(self):
+        k = 4
+        g = _gini_from_counts(np.full(k, 3.0))
+        assert g == pytest.approx(1 - 1 / k)
+
+    def test_empty_counts_zero(self):
+        assert _gini_from_counts(np.zeros(3)) == 0.0
+
+
+class TestClassifier:
+    def test_perfectly_separable(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+        assert np.array_equal(tree.predict([[1.5], [10.5]]), [0, 1])
+
+    def test_max_depth_limits_tree(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(int) + 2 * (X[:, 1] > 0).astype(int)
+        deep = DecisionTreeClassifier().fit(X, y)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert shallow.depth <= 1 < deep.depth
+        assert shallow.node_count < deep.node_count
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = rng.integers(0, 2, 100)
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(X, y)
+        leaves = tree.apply(X)
+        _, counts = np.unique(leaves, return_counts=True)
+        assert counts.min() >= 10
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [10.0]])
+        y = np.array(["ring", "bruck"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.predict([[0.0]])[0] == "ring"
+        assert tree.predict([[10.0]])[0] == "bruck"
+
+    def test_predict_proba_rows_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(150, 4))
+        y = rng.integers(0, 3, 150)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (150, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_importances_on_informative_feature(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(400, 5))
+        y = (X[:, 2] > 0).astype(int)  # only feature 2 matters
+        tree = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 2
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_wrong_feature_count_at_predict_raises(self):
+        tree = DecisionTreeClassifier().fit(np.zeros((4, 2)),
+                                            np.array([0, 0, 1, 1]))
+        with pytest.raises(ValueError, match="expected"):
+            tree.predict(np.zeros((2, 5)))
+
+    def test_single_class_dataset(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        y = np.zeros(20, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.all(tree.predict(X) == 0)
+        assert tree.node_count == 1
+
+    def test_constant_features_produce_single_leaf(self):
+        X = np.ones((30, 3))
+        y = np.array([0, 1] * 15)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1  # no valid split exists
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_training_accuracy_perfect_on_unique_rows(self, seed):
+        """A fully-grown tree memorizes any dataset with unique inputs."""
+        rng = np.random.default_rng(seed)
+        X = rng.permutation(50)[:, None].astype(float)
+        y = rng.integers(0, 3, 50)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_max_features_subsampling_still_learns(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(500, 6))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_features="sqrt",
+                                      random_state=0).fit(X, y)
+        assert tree.score(X, y) > 0.9
+
+    def test_invalid_max_features_raises(self):
+        with pytest.raises(ValueError, match="max_features"):
+            DecisionTreeClassifier(max_features=1.5).fit(
+                np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+
+
+class TestRegressor:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = (X[:, 0] > 0.5).astype(float) * 10.0
+        reg = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        pred = reg.predict(X)
+        np.testing.assert_allclose(pred, y, atol=1e-9)
+
+    def test_depth_one_is_best_single_split(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        reg = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        np.testing.assert_allclose(reg.predict(X), y)
+
+    def test_leaf_value_is_mean(self):
+        X = np.ones((5, 1))
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        reg = DecisionTreeRegressor().fit(X, y)
+        np.testing.assert_allclose(reg.predict([[1.0]]), [3.0])
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_predictions_within_target_range(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(80, 3))
+        y = rng.normal(size=80)
+        reg = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        pred = reg.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9

@@ -1,0 +1,92 @@
+"""Tests for dynamic network conditions (failure injection)."""
+
+import pytest
+
+from repro.hwmodel import get_cluster
+from repro.simcluster import (
+    CLEAN,
+    Machine,
+    NetworkConditions,
+    apply_conditions,
+    machine_with_conditions,
+)
+from repro.smpi import OracleSelector, algorithms
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine(get_cluster("Frontera"), 4, 16)
+
+
+class TestConditionsValidation:
+    def test_clean_baseline(self):
+        assert CLEAN.is_clean
+        assert not NetworkConditions(background_load=0.3).is_clean
+
+    @pytest.mark.parametrize("kwargs", [
+        {"background_load": 1.0},
+        {"background_load": -0.1},
+        {"latency_jitter": -0.5},
+        {"link_width_factor": 0.0},
+        {"link_width_factor": 1.5},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkConditions(**kwargs)
+
+
+class TestApplyConditions:
+    def test_clean_is_identity(self, machine):
+        assert apply_conditions(machine.params, CLEAN) is machine.params
+
+    def test_background_load_shrinks_bandwidth(self, machine):
+        degraded = apply_conditions(
+            machine.params, NetworkConditions(background_load=0.5))
+        assert degraded.beta_inter_Bps == pytest.approx(
+            machine.params.beta_inter_Bps * 0.5)
+        assert degraded.alpha_inter_s > machine.params.alpha_inter_s
+
+    def test_link_degradation(self, machine):
+        degraded = apply_conditions(
+            machine.params, NetworkConditions(link_width_factor=0.25))
+        assert degraded.beta_inter_Bps == pytest.approx(
+            machine.params.beta_inter_Bps * 0.25)
+
+    def test_intra_node_untouched(self, machine):
+        degraded = apply_conditions(
+            machine.params, NetworkConditions(background_load=0.7))
+        assert degraded.alpha_intra_s == machine.params.alpha_intra_s
+        assert degraded.mem_bw_Bps == machine.params.mem_bw_Bps
+
+
+class TestDegradedMachine:
+    def test_all_algorithms_slower_under_congestion(self, machine):
+        congested = machine_with_conditions(
+            machine, NetworkConditions(background_load=0.6,
+                                       latency_jitter=0.5))
+        for coll in ("allgather", "alltoall"):
+            for algo in algorithms(coll).values():
+                clean_t = algo.estimate(machine, 4096)
+                bad_t = algo.estimate(congested, 4096)
+                assert bad_t > clean_t, f"{coll}/{algo.name}"
+
+    def test_congestion_can_move_the_crossover(self, machine):
+        """Lower effective bandwidth pushes the latency/bandwidth
+        crossover to smaller messages: somewhere in the sweep the
+        oracle decision flips."""
+        congested = machine_with_conditions(
+            machine, NetworkConditions(background_load=0.8))
+        oracle = OracleSelector()
+        flips = 0
+        for coll in ("allgather", "alltoall"):
+            for msg in (2**k for k in range(21)):
+                a = oracle.select(coll, machine, msg)
+                b = oracle.select(coll, congested, msg)
+                flips += a != b
+        assert flips >= 1, "conditions never changed the best algorithm"
+
+    def test_original_machine_unmodified(self, machine):
+        before = machine.params.beta_inter_Bps
+        machine_with_conditions(machine,
+                                NetworkConditions(background_load=0.9))
+        assert machine.params.beta_inter_Bps == before

@@ -1,0 +1,257 @@
+"""Tests for the discrete-event engine primitives."""
+
+import pytest
+
+from repro.simcluster.engine import (
+    AllOf,
+    Mailbox,
+    Process,
+    Resource,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestSimulatorClock:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc(sim):
+            yield sim.timeout(2.5)
+            log.append(sim.now)
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+        Process(sim, proc(sim))
+        assert sim.run() == pytest.approx(3.5)
+        assert log == [pytest.approx(2.5), pytest.approx(3.5)]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(10.0)
+
+        Process(sim, proc(sim))
+        assert sim.run(until=3.0) == pytest.approx(3.0)
+
+    def test_event_ordering_fifo_at_same_time(self):
+        sim = Simulator()
+        order = []
+
+        def proc(sim, label):
+            yield sim.timeout(1.0)
+            order.append(label)
+
+        for label in "abc":
+            Process(sim, proc(sim, label))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvents:
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_process_receives_event_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+
+        def waiter(sim):
+            value = yield ev
+            got.append(value)
+
+        def trigger(sim):
+            yield sim.timeout(1.0)
+            ev.succeed("hello")
+
+        Process(sim, waiter(sim))
+        Process(sim, trigger(sim))
+        sim.run()
+        assert got == ["hello"]
+
+    def test_failed_event_raises_in_waiter(self):
+        sim = Simulator()
+        ev = sim.event()
+        caught = []
+
+        def waiter(sim):
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        def trigger(sim):
+            yield sim.timeout(1.0)
+            ev.fail(RuntimeError("boom"))
+
+        Process(sim, waiter(sim))
+        Process(sim, trigger(sim))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_process_completion_value(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return 42
+
+        p = Process(sim, proc(sim))
+        sim.run()
+        assert p.triggered and p.value == 42
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield 5
+
+        Process(sim, proc(sim))
+        with pytest.raises(SimulationError, match="expected an Event"):
+            sim.run()
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        sim = Simulator()
+        done = []
+
+        def proc(sim):
+            t1, t2 = sim.timeout(1.0), sim.timeout(3.0)
+            yield AllOf(sim, [t1, t2])
+            done.append(sim.now)
+
+        Process(sim, proc(sim))
+        sim.run()
+        assert done == [pytest.approx(3.0)]
+
+    def test_empty_list_fires_immediately(self):
+        sim = Simulator()
+        ev = AllOf(sim, [])
+        assert ev.triggered and ev.value == []
+
+
+class TestResource:
+    def test_serializes_users(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        finish = []
+
+        def user(sim, res):
+            yield from res.use(2.0)
+            finish.append(sim.now)
+
+        for _ in range(3):
+            Process(sim, user(sim, res))
+        sim.run()
+        assert finish == [pytest.approx(2.0), pytest.approx(4.0),
+                          pytest.approx(6.0)]
+
+    def test_capacity_two_runs_pairs(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        finish = []
+
+        def user(sim, res):
+            yield from res.use(2.0)
+            finish.append(sim.now)
+
+        for _ in range(4):
+            Process(sim, user(sim, res))
+        sim.run()
+        assert finish == [pytest.approx(2.0)] * 2 + [pytest.approx(4.0)] * 2
+
+    def test_release_without_request_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_zero_capacity_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+
+class TestMailbox:
+    def test_put_then_get(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+        got = []
+
+        def reader(sim, box):
+            msg = yield box.get(src=1, tag=7)
+            got.append(msg)
+
+        box.put(src=1, tag=7, payload="x")
+        Process(sim, reader(sim, box))
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+        got = []
+
+        def reader(sim, box):
+            msg = yield box.get(src=0, tag=0)
+            got.append((sim.now, msg))
+
+        def writer(sim, box):
+            yield sim.timeout(5.0)
+            box.put(0, 0, "late")
+
+        Process(sim, reader(sim, box))
+        Process(sim, writer(sim, box))
+        sim.run()
+        assert got == [(pytest.approx(5.0), "late")]
+
+    def test_matching_is_per_src_and_tag(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+        got = []
+
+        def reader(sim, box):
+            a = yield box.get(src=2, tag=1)
+            b = yield box.get(src=1, tag=1)
+            got.extend([a, b])
+
+        box.put(1, 1, "from1")
+        box.put(2, 1, "from2")
+        Process(sim, reader(sim, box))
+        sim.run()
+        assert got == ["from2", "from1"]
+
+    def test_fifo_within_channel(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+        got = []
+
+        def reader(sim, box):
+            for _ in range(3):
+                got.append((yield box.get(0, 0)))
+
+        for i in range(3):
+            box.put(0, 0, i)
+        Process(sim, reader(sim, box))
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_undelivered_counts(self):
+        sim = Simulator()
+        box = Mailbox(sim)
+        box.put(0, 0, "a")
+        box.put(0, 1, "b")
+        assert box.undelivered == 2

@@ -1,0 +1,129 @@
+"""Tests for Machine (placement, feasibility, round-cost evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine, Round
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine(get_cluster("Frontera"), nodes=4, ppn=8)
+
+
+def _round(src, dst, size, **kw):
+    return Round(src=np.asarray(src), dst=np.asarray(dst),
+                 size=np.asarray(size, dtype=float), **kw)
+
+
+class TestMachineBasics:
+    def test_p_and_placement(self, machine):
+        assert machine.p == 32
+        assert machine.node_of(0) == 0
+        assert machine.node_of(7) == 0
+        assert machine.node_of(8) == 1
+        assert machine.node_of(31) == 3
+
+    def test_vectorized_node_of(self, machine):
+        ranks = np.arange(32)
+        nodes = machine.node_of(ranks)
+        assert nodes.min() == 0 and nodes.max() == 3
+        assert np.all(np.bincount(nodes) == 8)
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(ValueError, match="at most"):
+            Machine(get_cluster("RI"), nodes=64, ppn=2)
+
+    def test_too_large_ppn_rejected(self):
+        with pytest.raises(ValueError, match="hardware threads"):
+            Machine(get_cluster("Frontera"), nodes=1, ppn=500)
+
+    def test_fits_memory(self, machine):
+        assert machine.fits_memory(1024.0)
+        node_bytes = 192 * 1024**3
+        assert not machine.fits_memory(node_bytes / 4)
+
+
+class TestRoundValidation:
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            _round([0, 1], [1], [4.0])
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError, match="self-messages"):
+            _round([0], [0], [4.0])
+
+    def test_zero_repeat_rejected(self):
+        with pytest.raises(ValueError, match="repeat"):
+            _round([0], [1], [4.0], repeat=0)
+
+    def test_total_bytes_includes_repeat(self):
+        rnd = _round([0, 1], [1, 0], [100.0, 100.0], repeat=3)
+        assert rnd.total_bytes == pytest.approx(600.0)
+
+
+class TestRoundCost:
+    def test_empty_schedule_is_free(self, machine):
+        assert machine.evaluate([]) == 0.0
+
+    def test_intra_cheaper_than_inter(self, machine):
+        intra = _round([0], [1], [1024.0])   # same node
+        inter = _round([0], [8], [1024.0])   # across nodes
+        assert machine.round_time(intra) < machine.round_time(inter)
+
+    def test_cost_increases_with_size(self, machine):
+        small = _round([0], [8], [1024.0])
+        large = _round([0], [8], [1024.0 * 1024])
+        assert machine.round_time(small) < machine.round_time(large)
+
+    def test_latency_floor(self, machine):
+        tiny = _round([0], [8], [1.0])
+        assert machine.round_time(tiny) >= machine.params.alpha_inter_s
+
+    def test_rendezvous_latency_applied(self, machine):
+        eager = machine.params.eager_inter_bytes
+        under = machine.round_time(_round([0], [8], [float(eager)]))
+        # Strip the bandwidth difference: compare against the same size.
+        over = machine.round_time(_round([0], [8], [float(eager + 1)]))
+        assert over > under + 1.5 * machine.params.alpha_inter_s
+
+    def test_parallel_messages_cheaper_than_serialized(self, machine):
+        # 8 messages from one node vs 8 messages from 8 distinct ranks
+        # on different nodes to different nodes: the former serializes
+        # on one NIC.
+        m = Machine(get_cluster("Frontera"), nodes=8, ppn=8)
+        big = 1 << 20
+        one_nic = _round([0] * 4, [8, 16, 24, 32], [big] * 4)
+        spread = _round([0, 8, 16, 24], [32, 40, 48, 56], [big] * 4)
+        assert m.round_time(spread) < m.round_time(one_nic)
+
+    def test_copy_only_round(self, machine):
+        rnd = Round(src=np.empty(0, np.int64), dst=np.empty(0, np.int64),
+                    size=np.empty(0), copy_ranks=np.array([0, 1]),
+                    copy_bytes=np.array([1024.0, 2048.0]))
+        t = machine.round_time(rnd)
+        assert 0 < t < machine.params.alpha_inter_s
+
+    def test_repeat_multiplies_cost(self, machine):
+        rnd = _round([0], [8], [4096.0])
+        once = machine.evaluate([rnd])
+        rnd10 = _round([0], [8], [4096.0], repeat=10)
+        assert machine.evaluate([rnd10]) == pytest.approx(10 * once)
+
+    def test_blast_slower_than_permutation_per_byte(self):
+        """One round carrying k*m bytes per NIC in many flows must cost
+        more than k permutation rounds of m bytes each (ignoring the
+        extra latency terms) — the flow penalty at work."""
+        m = Machine(get_cluster("Frontera"), nodes=2, ppn=16)
+        size = 1 << 20
+        ranks = np.arange(16)
+        # Blast: every rank on node 0 sends to every rank on node 1.
+        src = np.repeat(ranks, 16)
+        dst = np.tile(ranks + 16, 16)
+        blast = _round(src, dst, np.full(256, float(size)))
+        perm = _round(ranks, ranks + 16, np.full(16, float(size)),
+                      repeat=16)
+        t_blast = m.round_time(blast)
+        t_perm = m.evaluate([perm]) - 15 * m.params.alpha_inter_s * 3
+        assert t_blast > t_perm

@@ -1,0 +1,105 @@
+"""Tests for the hardware-derived cost-model parameters."""
+
+import numpy as np
+import pytest
+
+from repro.hwmodel import all_clusters, get_cluster
+from repro.simcluster.netmodel import NetParams
+
+
+@pytest.fixture(scope="module")
+def frontera():
+    return NetParams.from_spec(get_cluster("Frontera"))
+
+
+@pytest.fixture(scope="module")
+def ri():
+    return NetParams.from_spec(get_cluster("RI"))
+
+
+class TestParameterDerivation:
+    def test_all_clusters_produce_valid_params(self):
+        for spec in all_clusters():
+            prm = NetParams.from_spec(spec)
+            assert prm.alpha_inter_s > 0
+            assert prm.alpha_intra_s > 0
+            assert prm.beta_inter_Bps > 0
+            assert prm.nic_gap_s > 0
+            assert prm.l3_bytes > 0
+
+    def test_newer_interconnect_is_faster(self, frontera, ri):
+        # Frontera: EDR + PCIe3; RI: QDR + PCIe2.
+        assert frontera.beta_inter_Bps > ri.beta_inter_Bps
+        assert frontera.alpha_inter_s < ri.alpha_inter_s
+        assert frontera.nic_gap_s < ri.nic_gap_s
+
+    def test_pcie_can_cap_link_bandwidth(self):
+        # RI: QDR x4 = 32 Gb/s data over PCIe 2.0 x8 (~4 GB/s) — the
+        # PCIe link is the binding constraint.
+        prm = NetParams.from_spec(get_cluster("RI"))
+        link = get_cluster("RI").node.interconnect.bandwidth_bytes_per_s
+        assert prm.beta_inter_Bps < link
+
+    def test_faster_clock_lowers_cpu_overheads(self):
+        fast = NetParams.from_spec(get_cluster("Frontera"))  # 4.0 GHz
+        slow = NetParams.from_spec(get_cluster("TACC KNL"))  # 1.6 GHz
+        assert fast.cpu_op_overhead_s < slow.cpu_op_overhead_s
+        assert fast.alpha_intra_s < slow.alpha_intra_s
+
+
+class TestCopyBandwidth:
+    def test_cache_resident_copies_faster(self, frontera):
+        small = frontera.copy_bandwidth(1024, active_ranks=1)
+        huge = frontera.copy_bandwidth(512 * 1024 * 1024, active_ranks=1)
+        assert small > huge
+
+    def test_more_active_ranks_reduce_dram_share(self, frontera):
+        big = 512 * 1024 * 1024
+        one = frontera.copy_bandwidth(big, active_ranks=1)
+        many = frontera.copy_bandwidth(big, active_ranks=56)
+        assert many < one
+
+    def test_vectorized_matches_scalar(self, frontera):
+        sizes = np.array([64.0, 4096.0, 1 << 20, 1 << 28])
+        vec = frontera.copy_bandwidth_vec(sizes, 8)
+        for s, v in zip(sizes, vec):
+            assert v == pytest.approx(frontera.copy_bandwidth(s, 8))
+
+    def test_cache_knee_depends_on_l3(self):
+        # MRI (512 MiB L3) keeps the boost for blocks that spill on
+        # Frontera (77 MiB L3) at the same PPN.
+        mri = NetParams.from_spec(get_cluster("MRI"))
+        fro = NetParams.from_spec(get_cluster("Frontera"))
+        size = 1 << 21  # 2 MiB
+        assert (mri.copy_bandwidth(size, 56)
+                > fro.copy_bandwidth(size, 56))
+
+
+class TestProtocolAndCongestion:
+    def test_rendezvous_adds_latency(self, frontera):
+        small = frontera.inter_point_time(1024)
+        just_under = frontera.inter_point_time(frontera.eager_inter_bytes)
+        just_over = frontera.inter_point_time(
+            frontera.eager_inter_bytes + 1)
+        assert small < just_under
+        assert just_over > just_under + frontera.alpha_inter_s
+
+    def test_spread_penalty_monotone(self, frontera):
+        betas = [frontera.effective_beta(s) for s in (1, 2, 8, 64)]
+        assert betas == sorted(betas, reverse=True)
+        assert betas[0] == pytest.approx(frontera.beta_inter_Bps)
+
+    def test_flow_penalty_free_up_to_ppn(self, frontera):
+        assert frontera.flow_penalty(56, ppn=56) == pytest.approx(1.0)
+        assert frontera.flow_penalty(10, ppn=56) == pytest.approx(1.0)
+
+    def test_flow_penalty_grows_logarithmically(self, frontera):
+        p1 = frontera.flow_penalty(2 * 56, 56)
+        p2 = frontera.flow_penalty(100 * 56, 56)
+        assert 1.0 < p1 < p2 < 5.0
+
+    def test_flow_penalty_vectorized(self, frontera):
+        out = frontera.flow_penalty(np.array([1.0, 56.0, 5600.0]), 56)
+        assert out.shape == (3,)
+        assert out[0] == out[1] == pytest.approx(1.0)
+        assert out[2] > 1.0

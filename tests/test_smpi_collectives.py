@@ -1,0 +1,223 @@
+"""Correctness and consistency tests for all nine collective algorithms.
+
+Three layers of checking:
+
+1. **Data correctness** — every rank of the data-level execution ends
+   with exactly the expected blocks, for every algorithm over a grid of
+   (nodes, ppn) shapes including power-of-two, odd, prime, single-node
+   and one-rank-per-node cases.
+2. **Schedule/trace consistency** — the vectorized schedule generator
+   must describe the *same* messages the data-level execution actually
+   sends (same (src, dst, bytes) multiset, same total volume).
+3. **Analytic/DES agreement** — the two timing paths must agree within
+   a factor bound (the DES pipelines rounds, so it can only be faster).
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+from repro.smpi import ALLGATHER, ALLTOALL, algorithms, execute
+from repro.smpi.collectives.base import is_power_of_two
+from repro.smpi.datatypes import allgather_expected, alltoall_expected
+
+SHAPES = [(1, 1), (1, 2), (2, 1), (2, 4), (1, 8), (4, 2), (3, 5),
+          (2, 7), (5, 1), (2, 16)]
+
+ALLGATHER_ALGOS = sorted(algorithms(ALLGATHER))
+ALLTOALL_ALGOS = sorted(algorithms(ALLTOALL))
+
+
+def _machine(nodes, ppn, cluster="Frontera"):
+    return Machine(get_cluster(cluster), nodes, ppn)
+
+
+# ---------------------------------------------------------------------
+# 1. Data correctness
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ALLGATHER_ALGOS)
+@pytest.mark.parametrize("nodes,ppn", SHAPES)
+def test_allgather_correct(name, nodes, ppn):
+    machine = _machine(nodes, ppn)
+    algo = algorithms(ALLGATHER)[name]
+    result = execute(algo, machine, msg_size=64)
+    expected = allgather_expected(machine.p)
+    for rank, buf in enumerate(result.buffers):
+        assert buf == expected, f"rank {rank} of {name} @ {nodes}x{ppn}"
+
+
+@pytest.mark.parametrize("name", ALLTOALL_ALGOS)
+@pytest.mark.parametrize("nodes,ppn", SHAPES)
+def test_alltoall_correct(name, nodes, ppn):
+    machine = _machine(nodes, ppn)
+    algo = algorithms(ALLTOALL)[name]
+    result = execute(algo, machine, msg_size=64)
+    for rank, buf in enumerate(result.buffers):
+        assert buf == alltoall_expected(rank, machine.p), \
+            f"rank {rank} of {name} @ {nodes}x{ppn}"
+
+
+@given(nodes=st.integers(1, 4), ppn=st.integers(1, 9),
+       msg_log=st.integers(0, 14))
+@settings(max_examples=25, deadline=None)
+def test_allgather_property_all_algorithms(nodes, ppn, msg_log):
+    machine = _machine(nodes, ppn)
+    expected = allgather_expected(machine.p)
+    for algo in algorithms(ALLGATHER).values():
+        result = execute(algo, machine, msg_size=2 ** msg_log)
+        assert all(buf == expected for buf in result.buffers), algo.name
+
+
+@given(nodes=st.integers(1, 4), ppn=st.integers(1, 7),
+       msg_log=st.integers(0, 14))
+@settings(max_examples=25, deadline=None)
+def test_alltoall_property_all_algorithms(nodes, ppn, msg_log):
+    machine = _machine(nodes, ppn)
+    for algo in algorithms(ALLTOALL).values():
+        result = execute(algo, machine, msg_size=2 ** msg_log)
+        assert all(result.buffers[r] == alltoall_expected(r, machine.p)
+                   for r in range(machine.p)), algo.name
+
+
+# ---------------------------------------------------------------------
+# 2. Schedule matches the executed trace
+# ---------------------------------------------------------------------
+
+def _trace_counter(trace):
+    return Counter((t.src, t.dst, round(t.nbytes)) for t in trace)
+
+
+def _schedule_counter(schedule):
+    counter: Counter = Counter()
+    for rnd in schedule:
+        for s, d, z in zip(rnd.src, rnd.dst, rnd.size):
+            counter[(int(s), int(d), round(float(z)))] += rnd.repeat
+    return counter
+
+
+@pytest.mark.parametrize("collective,name", [
+    (ALLGATHER, n) for n in ALLGATHER_ALGOS
+] + [
+    (ALLTOALL, n) for n in ALLTOALL_ALGOS
+])
+@pytest.mark.parametrize("nodes,ppn", [(2, 4), (3, 3), (2, 8), (1, 6)])
+def test_schedule_matches_trace(collective, name, nodes, ppn):
+    machine = _machine(nodes, ppn)
+    algo = algorithms(collective)[name]
+    msg = 128
+    result = execute(algo, machine, msg, record_trace=True)
+    assert _schedule_counter(algo.schedule(machine, msg)) == \
+        _trace_counter(result.trace)
+
+
+@given(nodes=st.integers(1, 3), ppn=st.integers(1, 6),
+       msg_log=st.integers(0, 12))
+@settings(max_examples=20, deadline=None)
+def test_schedule_matches_trace_property(nodes, ppn, msg_log):
+    machine = _machine(nodes, ppn)
+    msg = 2 ** msg_log
+    for collective in (ALLGATHER, ALLTOALL):
+        for algo in algorithms(collective).values():
+            result = execute(algo, machine, msg, record_trace=True)
+            assert _schedule_counter(algo.schedule(machine, msg)) == \
+                _trace_counter(result.trace), algo.name
+
+
+# ---------------------------------------------------------------------
+# 3. Analytic model vs discrete-event execution
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("collective", [ALLGATHER, ALLTOALL])
+@pytest.mark.parametrize("nodes,ppn", [(2, 4), (3, 5), (2, 8)])
+@pytest.mark.parametrize("msg", [64, 4096, 65536])
+def test_analytic_within_factor_of_des(collective, nodes, ppn, msg):
+    machine = _machine(nodes, ppn)
+    for algo in algorithms(collective).values():
+        est = algo.estimate(machine, msg)
+        des = execute(algo, machine, msg).time_s
+        # The analytic model is bulk-synchronous (no cross-round
+        # pipelining), so it may overestimate the pipelined DES — but
+        # both must be the same order of magnitude.
+        assert est > 0 and des > 0
+        assert 0.3 <= des / est <= 1.6, \
+            f"{algo.name}: des={des:.3e} est={est:.3e}"
+
+
+def test_analytic_ranking_correlates_with_des():
+    """Across algorithms at one config, the two timing paths must
+    broadly agree on ordering (Spearman > 0.5)."""
+    from scipy.stats import spearmanr
+
+    machine = _machine(2, 8)
+    est, des = [], []
+    for collective in (ALLGATHER, ALLTOALL):
+        for msg in (64, 16384):
+            for algo in algorithms(collective).values():
+                est.append(algo.estimate(machine, msg))
+                des.append(execute(algo, machine, msg).time_s)
+    rho, _ = spearmanr(est, des)
+    assert rho > 0.5
+
+
+# ---------------------------------------------------------------------
+# Structural expectations
+# ---------------------------------------------------------------------
+
+def test_single_rank_schedules_empty():
+    machine = _machine(1, 1)
+    for collective in (ALLGATHER, ALLTOALL):
+        for algo in algorithms(collective).values():
+            assert algo.estimate(machine, 1024) == 0.0
+
+def test_allgather_volume_lower_bound():
+    """Every allgather algorithm moves at least (p-1)*m bytes per rank."""
+    machine = _machine(2, 4)
+    p, m = machine.p, 512
+    for algo in algorithms(ALLGATHER).values():
+        total = sum(rnd.total_bytes for rnd in algo.schedule(machine, m))
+        assert total >= (p - 1) * m  # summed over ranks it is p*(p-1)*m/2+
+
+def test_ring_total_volume_is_optimal():
+    """Ring sends exactly (p-1)*m per rank — the bandwidth-optimal
+    volume."""
+    machine = _machine(2, 4)
+    p, m = machine.p, 512
+    ring = algorithms(ALLGATHER)["ring"]
+    total = sum(rnd.total_bytes for rnd in ring.schedule(machine, m))
+    assert total == pytest.approx(p * (p - 1) * m)
+
+def test_pairwise_total_volume_is_optimal():
+    machine = _machine(2, 4)
+    p, m = machine.p, 512
+    pw = algorithms(ALLTOALL)["pairwise"]
+    sched = pw.schedule(machine, m)
+    wire = sum(rnd.total_bytes for rnd in sched)
+    assert wire == pytest.approx(p * (p - 1) * m)
+
+def test_bruck_alltoall_volume_exceeds_pairwise():
+    """Bruck's store-and-forward moves more bytes — that's the price of
+    its log-step latency."""
+    machine = _machine(2, 8)
+    m = 512
+    bruck = algorithms(ALLTOALL)["bruck"]
+    pw = algorithms(ALLTOALL)["pairwise"]
+    vol = lambda a: sum(r.total_bytes for r in a.schedule(machine, m))
+    assert vol(bruck) > vol(pw)
+
+def test_rd_alltoall_falls_back_to_pairwise_for_odd_p():
+    machine = _machine(3, 3)
+    rd = algorithms(ALLTOALL)["recursive_doubling"]
+    pw = algorithms(ALLTOALL)["pairwise"]
+    assert not is_power_of_two(machine.p)
+    assert rd.estimate(machine, 256) == pw.estimate(machine, 256)
+
+def test_registry_labels():
+    assert ALLGATHER_ALGOS == ["bruck", "rd_communication",
+                               "recursive_doubling", "ring"]
+    assert ALLTOALL_ALGOS == ["bruck", "inplace", "pairwise",
+                              "recursive_doubling", "scatter_dest"]

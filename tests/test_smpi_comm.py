@@ -1,0 +1,166 @@
+"""Tests for the simulated MPI communicator."""
+
+import pytest
+
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine, Process
+from repro.smpi import Communicator
+
+
+@pytest.fixture
+def comm():
+    return Communicator(Machine(get_cluster("Frontera"), 2, 4))
+
+
+def _run(comm, *gens):
+    procs = [Process(comm.sim, g) for g in gens]
+    comm.sim.run()
+    assert all(p.triggered for p in procs)
+    return [p.value for p in procs]
+
+
+class TestPointToPoint:
+    def test_send_recv_delivers_payload(self, comm):
+        def sender(comm):
+            yield from comm.send(0, 1, 7, "hello", 100)
+
+        def receiver(comm):
+            msg = yield from comm.recv(1, 0, 7)
+            return msg
+
+        _, got = _run(comm, sender(comm), receiver(comm))
+        assert got == "hello"
+
+    def test_intra_faster_than_inter(self):
+        machine = Machine(get_cluster("Frontera"), 2, 4)
+
+        def time_pair(src, dst):
+            comm = Communicator(machine)
+
+            def sender(comm):
+                yield from comm.send(src, dst, 0, "x", 4096)
+
+            def receiver(comm):
+                yield from comm.recv(dst, src, 0)
+
+            _run(comm, sender(comm), receiver(comm))
+            return comm.sim.now
+
+        assert time_pair(0, 1) < time_pair(0, 4)
+
+    def test_larger_messages_take_longer(self, comm):
+        machine = comm.machine
+
+        def time_size(nbytes):
+            c = Communicator(machine)
+
+            def sender(c):
+                yield from c.send(0, 4, 0, "x", nbytes)
+
+            def receiver(c):
+                yield from c.recv(4, 0, 0)
+
+            _run(c, sender(c), receiver(c))
+            return c.sim.now
+
+        assert time_size(1 << 20) > time_size(64)
+
+    def test_self_send_rejected(self, comm):
+        def bad(comm):
+            yield from comm.send(0, 0, 0, "x", 8)
+
+        Process(comm.sim, bad(comm))
+        with pytest.raises(ValueError, match="self-sends"):
+            comm.sim.run()
+
+    def test_invalid_destination_rejected(self, comm):
+        def bad(comm):
+            yield from comm.send(0, 99, 0, "x", 8)
+
+        Process(comm.sim, bad(comm))
+        with pytest.raises(ValueError, match="invalid destination"):
+            comm.sim.run()
+
+    def test_sendrecv_exchange(self, comm):
+        def worker(comm, me, peer):
+            got = yield from comm.sendrecv(me, peer, f"from{me}", 64,
+                                           peer, 5)
+            return got
+
+        a, b = _run(comm, worker(comm, 0, 1), worker(comm, 1, 0))
+        assert (a, b) == ("from1", "from0")
+
+    def test_nic_serializes_concurrent_sends(self):
+        """Two large inter-node messages from the same node take about
+        twice one message's wire time."""
+        machine = Machine(get_cluster("Frontera"), 2, 4)
+        nbytes = 4 << 20
+
+        def measure(n_msgs):
+            comm = Communicator(machine)
+
+            def sender(comm, src):
+                yield from comm.send(src, 4 + src, 0, "x", nbytes)
+
+            def receiver(comm, dst):
+                yield from comm.recv(dst, dst - 4, 0)
+
+            gens = [sender(comm, i) for i in range(n_msgs)] + \
+                [receiver(comm, 4 + i) for i in range(n_msgs)]
+            _run(comm, *gens)
+            return comm.sim.now
+
+        one, two = measure(1), measure(2)
+        wire = nbytes / machine.params.beta_inter_Bps
+        assert two - one == pytest.approx(wire, rel=0.2)
+
+
+class TestTraceAndBarrier:
+    def test_trace_records_messages(self):
+        machine = Machine(get_cluster("Frontera"), 1, 4)
+        comm = Communicator(machine, record_trace=True)
+
+        def sender(comm):
+            yield from comm.send(0, 1, 0, "x", 123)
+
+        def receiver(comm):
+            yield from comm.recv(1, 0, 0)
+
+        _run(comm, sender(comm), receiver(comm))
+        assert len(comm.trace) == 1
+        t = comm.trace[0]
+        assert (t.src, t.dst, t.nbytes) == (0, 1, 123)
+
+    def test_barrier_synchronizes_all(self):
+        machine = Machine(get_cluster("Frontera"), 1, 4)
+        comm = Communicator(machine)
+        release_times = []
+
+        def worker(comm, rank):
+            yield comm.sim.timeout(rank * 1.0)
+            yield from comm.barrier(rank)
+            release_times.append(comm.sim.now)
+
+        _run(comm, *(worker(comm, r) for r in range(4)))
+        assert release_times == [pytest.approx(3.0)] * 4
+
+    def test_undelivered_counted(self):
+        machine = Machine(get_cluster("Frontera"), 1, 2)
+        comm = Communicator(machine)
+
+        def sender(comm):
+            yield from comm.send(0, 1, 0, "orphan", 8)
+
+        _run(comm, sender(comm))
+        assert comm.undelivered_messages == 1
+
+    def test_compute_and_local_copy_advance_clock(self):
+        machine = Machine(get_cluster("Frontera"), 1, 2)
+        comm = Communicator(machine)
+
+        def worker(comm):
+            yield from comm.compute(0, 1.5)
+            yield from comm.local_copy(0, 1 << 20)
+
+        _run(comm, worker(comm))
+        assert comm.sim.now > 1.5

@@ -1,0 +1,180 @@
+"""Tests for the future-work collectives: MPI_Allreduce and MPI_Bcast.
+
+Same three-layer discipline as the paper's two collectives: exact data
+correctness over a shape grid (including property-based sweeps),
+schedule/trace consistency, and structural cost expectations.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+from repro.smpi import (
+    ALLREDUCE,
+    BCAST,
+    MvapichDefaultSelector,
+    OpenMpiDefaultSelector,
+    algorithm_names,
+    algorithms,
+    execute,
+)
+from repro.smpi.collectives.allreduce import allreduce_expected
+from repro.smpi.collectives.base import is_power_of_two
+from repro.smpi.collectives.bcast import bcast_expected
+
+SHAPES = [(1, 1), (1, 2), (2, 4), (3, 5), (2, 7), (1, 8), (4, 2),
+          (2, 16)]
+
+
+def _machine(nodes, ppn):
+    return Machine(get_cluster("Frontera"), nodes, ppn)
+
+
+# ---------------------------------------------------------------------
+# Correctness
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(algorithms(ALLREDUCE)))
+@pytest.mark.parametrize("nodes,ppn", SHAPES)
+def test_allreduce_correct(name, nodes, ppn):
+    machine = _machine(nodes, ppn)
+    algo = algorithms(ALLREDUCE)[name]
+    result = execute(algo, machine, msg_size=256)
+    expected = allreduce_expected(machine.p)
+    for rank, buf in enumerate(result.buffers):
+        assert buf == expected, f"rank {rank} of {name} @ {nodes}x{ppn}"
+
+
+@pytest.mark.parametrize("name", sorted(algorithms(BCAST)))
+@pytest.mark.parametrize("nodes,ppn", SHAPES)
+def test_bcast_correct(name, nodes, ppn):
+    machine = _machine(nodes, ppn)
+    algo = algorithms(BCAST)[name]
+    result = execute(algo, machine, msg_size=256)
+    expected = bcast_expected(machine.p)
+    for rank, buf in enumerate(result.buffers):
+        assert buf == expected, f"rank {rank} of {name} @ {nodes}x{ppn}"
+
+
+@given(nodes=st.integers(1, 4), ppn=st.integers(1, 8),
+       msg_log=st.integers(0, 16))
+@settings(max_examples=25, deadline=None)
+def test_allreduce_property(nodes, ppn, msg_log):
+    machine = _machine(nodes, ppn)
+    expected = allreduce_expected(machine.p)
+    for algo in algorithms(ALLREDUCE).values():
+        result = execute(algo, machine, msg_size=2 ** msg_log)
+        assert all(buf == expected for buf in result.buffers), algo.name
+
+
+@given(nodes=st.integers(1, 4), ppn=st.integers(1, 8),
+       msg_log=st.integers(0, 16))
+@settings(max_examples=25, deadline=None)
+def test_bcast_property(nodes, ppn, msg_log):
+    machine = _machine(nodes, ppn)
+    expected = bcast_expected(machine.p)
+    for algo in algorithms(BCAST).values():
+        result = execute(algo, machine, msg_size=2 ** msg_log)
+        assert all(buf == expected for buf in result.buffers), algo.name
+
+
+# ---------------------------------------------------------------------
+# Schedule consistency
+# ---------------------------------------------------------------------
+
+def _trace_counter(trace):
+    return Counter((t.src, t.dst, round(t.nbytes)) for t in trace)
+
+
+def _schedule_counter(schedule):
+    counter = Counter()
+    for rnd in schedule:
+        for s, d, z in zip(rnd.src, rnd.dst, rnd.size):
+            counter[(int(s), int(d), round(float(z)))] += rnd.repeat
+    return counter
+
+
+@pytest.mark.parametrize("collective", [ALLREDUCE, BCAST])
+@pytest.mark.parametrize("nodes,ppn", [(2, 4), (3, 3), (1, 6), (2, 8)])
+@pytest.mark.parametrize("msg", [64, 4096])
+def test_schedule_matches_trace(collective, nodes, ppn, msg):
+    machine = _machine(nodes, ppn)
+    for algo in algorithms(collective).values():
+        result = execute(algo, machine, msg, record_trace=True)
+        assert _schedule_counter(algo.schedule(machine, msg)) == \
+            _trace_counter(result.trace), algo.name
+
+
+# ---------------------------------------------------------------------
+# Structural expectations
+# ---------------------------------------------------------------------
+
+def test_label_spaces():
+    assert algorithm_names(ALLREDUCE) == (
+        "rabenseifner", "recursive_doubling", "reduce_bcast",
+        "ring_rsag")
+    assert algorithm_names(BCAST) == (
+        "binomial", "ring_pipelined", "scatter_allgather")
+
+
+def test_ring_rsag_volume_bandwidth_optimal():
+    machine = _machine(2, 8)
+    m = 16 * 1024
+    sched = algorithms(ALLREDUCE)["ring_rsag"].schedule(machine, m)
+    total = sum(r.total_bytes for r in sched)
+    p = machine.p
+    # 2*(p-1)*m/p per rank, p ranks.
+    assert total == pytest.approx(2 * (p - 1) * m, rel=0.01)
+
+
+def test_rd_allreduce_volume_exceeds_ring_at_large_m():
+    machine = _machine(2, 8)
+    m = 64 * 1024
+    vol = lambda n: sum(r.total_bytes for r in
+                        algorithms(ALLREDUCE)[n].schedule(machine, m))
+    assert vol("recursive_doubling") > vol("ring_rsag")
+
+
+def test_allreduce_crossover_rd_small_ring_large():
+    machine = _machine(4, 8)
+    rd = algorithms(ALLREDUCE)["recursive_doubling"]
+    ring = algorithms(ALLREDUCE)["ring_rsag"]
+    assert rd.estimate(machine, 8) < ring.estimate(machine, 8)
+    assert ring.estimate(machine, 1 << 20) < rd.estimate(machine, 1 << 20)
+
+
+def test_bcast_crossover_binomial_small_pipeline_large():
+    machine = _machine(4, 8)
+    binom = algorithms(BCAST)["binomial"]
+    sag = algorithms(BCAST)["scatter_allgather"]
+    assert binom.estimate(machine, 8) < sag.estimate(machine, 8)
+    assert sag.estimate(machine, 1 << 20) < binom.estimate(machine, 1 << 20)
+
+
+def test_rabenseifner_non_pow2_falls_back():
+    machine = _machine(3, 3)
+    assert not is_power_of_two(machine.p)
+    rab = algorithms(ALLREDUCE)["rabenseifner"]
+    ring = algorithms(ALLREDUCE)["ring_rsag"]
+    assert rab.estimate(machine, 4096) == ring.estimate(machine, 4096)
+
+
+def test_heuristics_cover_new_collectives():
+    machine = _machine(2, 8)
+    for sel in (MvapichDefaultSelector(), OpenMpiDefaultSelector()):
+        for coll in (ALLREDUCE, BCAST):
+            for msg in (8, 4096, 1 << 20):
+                assert sel.select(coll, machine, msg) in \
+                    algorithm_names(coll)
+
+def test_mvapich_allreduce_regimes():
+    machine = _machine(2, 8)
+    sel = MvapichDefaultSelector()
+    assert sel.select(ALLREDUCE, machine, 64) == "recursive_doubling"
+    assert sel.select(ALLREDUCE, machine, 1 << 20) == "rabenseifner"
+    odd = _machine(3, 5)
+    assert sel.select(ALLREDUCE, odd, 1 << 20) == "ring_rsag"

@@ -1,0 +1,215 @@
+"""Tests for default heuristics, tuning tables, and selectors."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+from repro.smpi import (
+    FixedSelector,
+    MvapichDefaultSelector,
+    OpenMpiDefaultSelector,
+    OracleSelector,
+    RandomSelector,
+    TableSelector,
+    TuningTable,
+    algorithm_names,
+    build_oracle_table,
+    measured_time,
+)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine(get_cluster("Frontera"), 2, 8)
+
+
+@pytest.fixture(scope="module")
+def machine_odd():
+    return Machine(get_cluster("Frontera"), 3, 5)
+
+
+class TestMvapichDefaults:
+    def test_allgather_thresholds(self, machine):
+        sel = MvapichDefaultSelector()
+        # p=16 (power of two), total < 512K -> recursive doubling.
+        assert sel.select("allgather", machine, 1024) == \
+            "recursive_doubling"
+        # Large total -> ring.
+        assert sel.select("allgather", machine, 1 << 20) == "ring"
+
+    def test_allgather_non_pow2_short_uses_bruck(self, machine_odd):
+        sel = MvapichDefaultSelector()
+        assert sel.select("allgather", machine_odd, 64) == "bruck"
+
+    def test_alltoall_three_regimes(self, machine):
+        sel = MvapichDefaultSelector()
+        assert sel.select("alltoall", machine, 64) == "bruck"
+        assert sel.select("alltoall", machine, 4096) == "scatter_dest"
+        assert sel.select("alltoall", machine, 1 << 20) == "pairwise"
+
+    def test_alltoall_small_comm_skips_bruck(self):
+        m = Machine(get_cluster("Frontera"), 2, 2)  # p=4 < 8
+        assert MvapichDefaultSelector().select("alltoall", m, 64) == \
+            "scatter_dest"
+
+    def test_unknown_collective(self, machine):
+        with pytest.raises(ValueError):
+            MvapichDefaultSelector().select("gatherv", machine, 8)
+
+    def test_hardware_oblivious(self, machine):
+        """Defaults must pick the same algorithm on any cluster with the
+        same job shape — the failure mode the paper exploits."""
+        sel = MvapichDefaultSelector()
+        other = Machine(get_cluster("MRI"), 2, 8)
+        for msg in (16, 4096, 1 << 19):
+            for coll in ("allgather", "alltoall"):
+                assert sel.select(coll, machine, msg) == \
+                    sel.select(coll, other, msg)
+
+
+class TestOpenMpiDefaults:
+    def test_differs_from_mvapich_somewhere(self, machine):
+        mv, om = MvapichDefaultSelector(), OpenMpiDefaultSelector()
+        diffs = 0
+        for coll in ("allgather", "alltoall"):
+            for msg in (1, 64, 512, 4096, 1 << 15, 1 << 20):
+                if mv.select(coll, machine, msg) != \
+                        om.select(coll, machine, msg):
+                    diffs += 1
+        assert diffs > 0
+
+    def test_valid_names(self, machine):
+        sel = OpenMpiDefaultSelector()
+        for coll in ("allgather", "alltoall"):
+            for msg in (1, 100, 10_000, 1 << 20):
+                assert sel.select(coll, machine, msg) in \
+                    algorithm_names(coll)
+
+
+class TestRandomAndFixed:
+    def test_random_deterministic_per_config(self, machine):
+        a = RandomSelector(0).select("alltoall", machine, 64)
+        b = RandomSelector(0).select("alltoall", machine, 64)
+        assert a == b
+
+    def test_random_varies_across_configs(self, machine):
+        sel = RandomSelector(0)
+        picks = {sel.select("alltoall", machine, 2**k)
+                 for k in range(12)}
+        assert len(picks) > 1
+
+    def test_random_seed_changes_choices(self, machine):
+        p1 = [RandomSelector(1).select("allgather", machine, 2**k)
+              for k in range(10)]
+        p2 = [RandomSelector(2).select("allgather", machine, 2**k)
+              for k in range(10)]
+        assert p1 != p2
+
+    def test_fixed_selector(self, machine):
+        sel = FixedSelector("allgather", "ring")
+        assert sel.select("allgather", machine, 5) == "ring"
+        with pytest.raises(ValueError):
+            sel.select("alltoall", machine, 5)
+
+    def test_fixed_validates_name(self):
+        with pytest.raises(KeyError):
+            FixedSelector("allgather", "nope")
+
+
+class TestOracle:
+    def test_oracle_is_argmin(self, machine):
+        sel = OracleSelector()
+        for msg in (16, 16384):
+            pick = sel.select("alltoall", machine, msg)
+            times = {n: measured_time(machine, "alltoall", n, msg)
+                     for n in algorithm_names("alltoall")}
+            assert pick == min(times, key=times.__getitem__)
+
+    def test_measured_time_noise_properties(self, machine):
+        base = measured_time(machine, "allgather", "ring", 1024,
+                             noise=False)
+        noisy = measured_time(machine, "allgather", "ring", 1024)
+        assert noisy != base
+        assert abs(noisy / base - 1.0) < 0.1
+        # Determinism.
+        assert noisy == measured_time(machine, "allgather", "ring", 1024)
+
+
+class TestTuningTable:
+    def test_breakpoint_lookup(self):
+        table = TuningTable(cluster="X")
+        table.add("allgather", 2, 8, 1024, "recursive_doubling")
+        table.add("allgather", 2, 8, 1 << 20, "ring")
+        assert table.lookup("allgather", 2, 8, 100) == \
+            "recursive_doubling"
+        assert table.lookup("allgather", 2, 8, 4096) == "ring"
+        # Beyond the last breakpoint -> last entry.
+        assert table.lookup("allgather", 2, 8, 1 << 22) == "ring"
+
+    def test_nearest_config_fallback(self):
+        table = TuningTable(cluster="X")
+        table.add("alltoall", 2, 8, 1 << 20, "pairwise")
+        table.add("alltoall", 16, 64, 1 << 20, "bruck")
+        assert table.lookup("alltoall", 2, 4, 10) == "pairwise"
+        assert table.lookup("alltoall", 8, 64, 10) == "bruck"
+
+    def test_missing_collective_raises(self):
+        table = TuningTable(cluster="X")
+        with pytest.raises(KeyError):
+            table.lookup("allgather", 2, 8, 10)
+
+    def test_invalid_algorithm_rejected(self):
+        table = TuningTable(cluster="X")
+        with pytest.raises(KeyError):
+            table.add("allgather", 2, 8, 10, "quantum")
+
+    def test_json_roundtrip(self, tmp_path):
+        table = TuningTable(cluster="Y")
+        table.add("allgather", 4, 16, 512, "bruck")
+        table.add("alltoall", 4, 16, 512, "pairwise")
+        path = table.save(tmp_path / "t.json")
+        loaded = TuningTable.load(path)
+        assert loaded.cluster == "Y"
+        assert loaded.lookup("allgather", 4, 16, 100) == "bruck"
+        payload = json.loads(path.read_text())
+        assert "collectives" in payload
+
+    def test_table_selector_cluster_check(self):
+        table = TuningTable(cluster="Frontera")
+        table.add("allgather", 2, 8, 1 << 21, "ring")
+        sel = TableSelector(table)
+        wrong = Machine(get_cluster("MRI"), 2, 8)
+        with pytest.raises(ValueError, match="built for"):
+            sel.select("allgather", wrong, 64)
+
+    def test_build_oracle_table(self):
+        spec = get_cluster("RI")
+        table = build_oracle_table("RI", "allgather",
+                                   node_counts=(2,), ppn_values=(4,),
+                                   msg_sizes=(16, 1 << 18))
+        machine = Machine(spec, 2, 4)
+        oracle = OracleSelector()
+        assert table.lookup("allgather", 2, 4, 16) == \
+            oracle.select("allgather", machine, 16)
+
+
+class TestSelectorQualityOrdering:
+    def test_oracle_beats_random_overall(self):
+        """Summed over a sweep, oracle <= heuristic <= random is the
+        expected quality ordering (random can fluke single sizes)."""
+        machine = Machine(get_cluster("Frontera"), 2, 16)
+        sizes = [2**k for k in range(0, 21, 2)]
+        sels = {"oracle": OracleSelector(),
+                "mvapich": MvapichDefaultSelector(),
+                "random": RandomSelector(0)}
+        totals = {}
+        for name, sel in sels.items():
+            t = 0.0
+            for msg in sizes:
+                algo = sel.select("alltoall", machine, msg)
+                t += measured_time(machine, "alltoall", algo, msg)
+            totals[name] = t
+        assert totals["oracle"] <= totals["mvapich"] <= totals["random"]

@@ -1,0 +1,101 @@
+"""Tests for the MPI_Reduce_scatter_block extension."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+from repro.smpi import (
+    MvapichDefaultSelector,
+    OpenMpiDefaultSelector,
+    algorithm_names,
+    algorithms,
+    execute,
+)
+from repro.smpi.collectives.base import REDUCE_SCATTER, is_power_of_two
+from repro.smpi.collectives.reduce_scatter import reduce_scatter_expected
+
+
+def _machine(nodes, ppn):
+    return Machine(get_cluster("Frontera"), nodes, ppn)
+
+
+@pytest.mark.parametrize("name", sorted(algorithms(REDUCE_SCATTER)))
+@pytest.mark.parametrize("nodes,ppn", [(1, 1), (2, 4), (3, 3), (1, 8),
+                                       (2, 7), (4, 2)])
+def test_correct(name, nodes, ppn):
+    machine = _machine(nodes, ppn)
+    algo = algorithms(REDUCE_SCATTER)[name]
+    result = execute(algo, machine, 128)
+    for rank in range(machine.p):
+        assert result.buffers[rank] == \
+            reduce_scatter_expected(rank, machine.p), \
+            f"{name} @ {nodes}x{ppn} rank {rank}"
+
+
+@given(nodes=st.integers(1, 4), ppn=st.integers(1, 8),
+       msg_log=st.integers(0, 14))
+@settings(max_examples=20, deadline=None)
+def test_property_all_algorithms(nodes, ppn, msg_log):
+    machine = _machine(nodes, ppn)
+    for algo in algorithms(REDUCE_SCATTER).values():
+        result = execute(algo, machine, 2 ** msg_log)
+        assert all(result.buffers[r] ==
+                   reduce_scatter_expected(r, machine.p)
+                   for r in range(machine.p)), algo.name
+
+
+@pytest.mark.parametrize("nodes,ppn", [(2, 4), (3, 3), (2, 8)])
+@pytest.mark.parametrize("msg", [64, 8192])
+def test_schedule_matches_trace(nodes, ppn, msg):
+    machine = _machine(nodes, ppn)
+    for algo in algorithms(REDUCE_SCATTER).values():
+        result = execute(algo, machine, msg, record_trace=True)
+        trace = Counter((t.src, t.dst, round(t.nbytes))
+                        for t in result.trace)
+        sched = Counter()
+        for rnd in algo.schedule(machine, msg):
+            for s, d, z in zip(rnd.src, rnd.dst, rnd.size):
+                sched[(int(s), int(d), round(float(z)))] += rnd.repeat
+        assert sched == trace, algo.name
+
+
+def test_label_space():
+    assert algorithm_names(REDUCE_SCATTER) == (
+        "pairwise", "recursive_halving", "reduce_scatterv")
+
+
+def test_recursive_halving_volume_beats_reduce_scatterv():
+    """Halving moves ~m(p-1) total; reduce+scatter moves ~2pm."""
+    machine = _machine(2, 8)
+    msg = 8192
+    vol = lambda n: sum(
+        r.total_bytes for r in
+        algorithms(REDUCE_SCATTER)[n].schedule(machine, msg))
+    assert vol("recursive_halving") < vol("reduce_scatterv")
+
+
+def test_halving_falls_back_non_pow2():
+    machine = _machine(3, 5)
+    assert not is_power_of_two(machine.p)
+    rh = algorithms(REDUCE_SCATTER)["recursive_halving"]
+    pw = algorithms(REDUCE_SCATTER)["pairwise"]
+    assert rh.estimate(machine, 1024) == pw.estimate(machine, 1024)
+
+
+def test_heuristics_cover_reduce_scatter():
+    machine = _machine(2, 8)
+    for sel in (MvapichDefaultSelector(), OpenMpiDefaultSelector()):
+        for msg in (4, 4096, 1 << 20):
+            assert sel.select(REDUCE_SCATTER, machine, msg) in \
+                algorithm_names(REDUCE_SCATTER)
+
+
+def test_crossover_scatterv_small_halving_large():
+    machine = _machine(4, 8)
+    rsv = algorithms(REDUCE_SCATTER)["reduce_scatterv"]
+    rh = algorithms(REDUCE_SCATTER)["recursive_halving"]
+    assert rh.estimate(machine, 1 << 18) < rsv.estimate(machine, 1 << 18)

@@ -1,0 +1,180 @@
+"""Tests for two-level collectives and sub-communicators."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine, Process
+from repro.smpi import Communicator, algorithms, execute
+from repro.smpi.collectives.allreduce import allreduce_expected
+from repro.smpi.collectives.bcast import bcast_expected
+from repro.smpi.collectives.twolevel import (
+    TwoLevelAllgather,
+    TwoLevelAllreduce,
+    TwoLevelAlltoall,
+    TwoLevelBcast,
+    two_level_variants,
+)
+from repro.smpi.datatypes import allgather_expected, alltoall_expected
+from repro.smpi.subcomm import RemappedComm
+
+
+def _machine(nodes, ppn):
+    return Machine(get_cluster("Frontera"), nodes, ppn)
+
+
+class TestRemappedComm:
+    def test_rank_translation(self):
+        comm = Communicator(_machine(2, 4))
+        sub = RemappedComm(comm, [0, 4])
+        assert sub.size == 2
+        assert sub.local_rank(4) == 1
+        with pytest.raises(ValueError, match="not in this subgroup"):
+            sub.local_rank(3)
+
+    def test_invalid_members(self):
+        comm = Communicator(_machine(2, 4))
+        with pytest.raises(ValueError, match="duplicate"):
+            RemappedComm(comm, [0, 0])
+        with pytest.raises(ValueError, match="outside"):
+            RemappedComm(comm, [0, 99])
+
+    def test_messages_flow_between_members(self):
+        comm = Communicator(_machine(2, 4))
+        sub = RemappedComm(comm, [1, 5])
+        got = []
+
+        def sender(sub):
+            yield from sub.send(0, 1, 3, "payload", 64)
+
+        def receiver(sub):
+            msg = yield from sub.recv(1, 0, 3)
+            got.append(msg)
+
+        Process(comm.sim, sender(sub))
+        Process(comm.sim, receiver(sub))
+        comm.sim.run()
+        assert got == ["payload"]
+
+    def test_flat_algorithm_runs_on_subgroup(self):
+        """A flat allgather over the leader subgroup must produce the
+        dense local ranks."""
+        machine = _machine(3, 4)
+        comm = Communicator(machine)
+        leaders = [0, 4, 8]
+        sub = RemappedComm(comm, leaders)
+        ring = algorithms("allgather")["ring"]
+        procs = [Process(comm.sim, ring.rank_process(sub, i, 64))
+                 for i in range(3)]
+        comm.sim.run()
+        assert all(p.value == [0, 1, 2] for p in procs)
+
+
+EXPECTED = {
+    "allgather": lambda r, m: allgather_expected(m.p),
+    "alltoall": lambda r, m: alltoall_expected(r, m.p),
+    "allreduce": lambda r, m: allreduce_expected(m.p),
+    "bcast": lambda r, m: bcast_expected(m.p),
+}
+
+
+class TestTwoLevelCorrectness:
+    @pytest.mark.parametrize("nodes,ppn", [(2, 4), (3, 3), (1, 6),
+                                           (4, 1), (2, 8)])
+    def test_all_variants_correct(self, nodes, ppn):
+        machine = _machine(nodes, ppn)
+        for coll, variants in two_level_variants().items():
+            for algo in variants:
+                result = execute(algo, machine, 256)
+                for rank in range(machine.p):
+                    assert result.buffers[rank] == \
+                        EXPECTED[coll](rank, machine), \
+                        f"{coll}/{algo.name} @ {nodes}x{ppn} rank {rank}"
+
+    @given(nodes=st.integers(1, 3), ppn=st.integers(1, 6),
+           msg_log=st.integers(0, 14))
+    @settings(max_examples=15, deadline=None)
+    def test_two_level_allgather_property(self, nodes, ppn, msg_log):
+        machine = _machine(nodes, ppn)
+        algo = TwoLevelAllgather("bruck")
+        result = execute(algo, machine, 2 ** msg_log)
+        expected = allgather_expected(machine.p)
+        assert all(buf == expected for buf in result.buffers)
+
+
+class TestTwoLevelSchedules:
+    def _counters(self, algo, machine, msg):
+        result = execute(algo, machine, msg, record_trace=True)
+        trace = Counter((t.src, t.dst, round(t.nbytes))
+                        for t in result.trace)
+        sched = Counter()
+        for rnd in algo.schedule(machine, msg):
+            for s, d, z in zip(rnd.src, rnd.dst, rnd.size):
+                sched[(int(s), int(d), round(float(z)))] += rnd.repeat
+        return trace, sched
+
+    @pytest.mark.parametrize("algo", [
+        TwoLevelAllgather("ring"), TwoLevelAlltoall("pairwise"),
+        TwoLevelAllreduce("recursive_doubling"), TwoLevelBcast("binomial"),
+    ], ids=lambda a: f"{a.collective}/{a.name}")
+    def test_schedule_matches_trace(self, algo):
+        machine = _machine(2, 4)
+        trace, sched = self._counters(algo, machine, 128)
+        assert trace == sched
+
+    def test_single_rank_empty(self):
+        machine = _machine(1, 1)
+        for variants in two_level_variants().values():
+            for algo in variants:
+                assert algo.schedule(machine, 1024) == []
+
+
+class TestTwoLevelPerformance:
+    def test_two_level_allreduce_wins_small_messages_high_ppn(self):
+        """Hierarchy collapses the latency term from log(p) inter-node
+        hops to log(nodes): at 16x56 and tiny vectors it must beat the
+        flat recursive doubling."""
+        machine = _machine(16, 56)
+        flat = algorithms("allreduce")["recursive_doubling"]
+        two = TwoLevelAllreduce("recursive_doubling")
+        assert two.estimate(machine, 8) < flat.estimate(machine, 8)
+
+    def test_two_level_bcast_minimizes_inter_node_messages(self):
+        """Flat binomial under block placement is already fairly
+        hierarchy-friendly, so two-level bcast need not win on time —
+        but it must never cross nodes more than nodes-1 times, and must
+        stay competitive."""
+        machine = _machine(16, 56)
+        flat = algorithms("bcast")["binomial"]
+        two = TwoLevelBcast("binomial")
+
+        def inter_msgs(algo):
+            count = 0
+            for rnd in algo.schedule(machine, 8):
+                src_node = rnd.src // machine.ppn
+                dst_node = rnd.dst // machine.ppn
+                count += int((src_node != dst_node).sum()) * rnd.repeat
+            return count
+
+        assert inter_msgs(two) == machine.nodes - 1
+        assert inter_msgs(two) <= inter_msgs(flat)
+        assert two.estimate(machine, 8) < 2.5 * flat.estimate(machine, 8)
+
+    def test_flat_alltoall_wins_large_messages(self):
+        """Two-level alltoall funnels all traffic through leaders — at
+        large sizes the flat pairwise must win."""
+        machine = _machine(4, 16)
+        flat = algorithms("alltoall")["pairwise"]
+        two = TwoLevelAlltoall("pairwise")
+        assert flat.estimate(machine, 1 << 16) < \
+            two.estimate(machine, 1 << 16)
+
+    def test_inter_algorithm_choice_matters(self):
+        machine = _machine(8, 32)
+        small = TwoLevelAllgather("recursive_doubling").estimate(
+            machine, 16)
+        ring = TwoLevelAllgather("ring").estimate(machine, 16)
+        assert small != ring

@@ -1,0 +1,52 @@
+"""Tests for the analytic-vs-DES validation module."""
+
+import pytest
+
+from repro.validation import ValidationCase, ValidationReport, validate
+
+
+class TestValidationCase:
+    def test_ratio(self):
+        c = ValidationCase("X", "allgather", 2, 4, 64, "ring", 2.0, 1.0)
+        assert c.ratio == 0.5
+
+
+class TestValidate:
+    @pytest.fixture(scope="class")
+    def small_report(self):
+        return validate(clusters=("RI",), shapes=((2, 4),),
+                        msg_sizes=(256, 16384))
+
+    def test_covers_all_algorithms(self, small_report):
+        names = {c.algorithm for c in small_report.cases}
+        assert "ring" in names and "pairwise" in names
+        # 2 sizes x (4 allgather + 5 alltoall) = 18 cases.
+        assert len(small_report.cases) == 18
+
+    def test_ratios_positive_and_bounded(self, small_report):
+        r = small_report.ratios
+        assert (r > 0).all()
+        assert r.max() < 5.0
+
+    def test_summary_lines_well_formed(self, small_report):
+        lines = small_report.summary_lines()
+        assert any("median" in line for line in lines)
+        assert any("agreement" in line for line in lines)
+
+    def test_infeasible_shapes_skipped(self):
+        # RI only has 2 nodes; an 8-node shape must be skipped, not
+        # raise.
+        report = validate(clusters=("RI",), shapes=((8, 4), (2, 4)),
+                          msg_sizes=(64,))
+        assert len(report.cases) == 9  # only the (2, 4) shape
+
+    def test_extension_collectives_supported(self):
+        report = validate(clusters=("RI",), shapes=((2, 4),),
+                          msg_sizes=(1024,),
+                          collectives=("allreduce", "bcast"))
+        names = {c.algorithm for c in report.cases}
+        assert "rabenseifner" in names and "binomial" in names
+
+    def test_empty_report_statistics(self):
+        report = ValidationReport()
+        assert len(report.cases) == 0
