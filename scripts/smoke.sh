@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tier-2 smoke check: the full offline->online pipeline on two clusters
+# WITH fault injection enabled, plus a doctor audit of the artifacts.
+#
+#   collect (20% transient failures, 5% rank stalls, retried)
+#   -> train  (bundle written atomically, checksummed)
+#   -> tune   (compile-time setup on both clusters, faults injected)
+#   -> corrupt one table, re-tune (quarantine + regenerate rung)
+#   -> doctor (must flag the quarantined file, pass everything else)
+#
+# Run from anywhere: scripts/smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+export PML_MPI_CACHE="$workdir/cache"
+
+pml() { python -m repro.cli "$@"; }
+
+echo "== collect (fault-injected) =="
+pml collect --clusters RI Ray --collectives allgather alltoall \
+    --fault-rate 0.2 --stall-rate 0.05 --retries 8 --quiet \
+    --output "$workdir/dataset.jsonl.gz"
+
+echo "== train =="
+pml train "$workdir/bundle.json" --clusters RI Ray
+
+echo "== tune (both clusters, fault-injected) =="
+for cluster in RI Ray; do
+    pml tune "$cluster" --bundle "$workdir/bundle.json" \
+        --table-dir "$workdir/tables" --fault-rate 0.2 --retries 8
+done
+
+echo "== corrupt a cached table, re-tune =="
+echo '{"cluster": "RI", "collectives": {}}' > "$workdir/tables/RI.tuning.json"
+pml tune RI --bundle "$workdir/bundle.json" --table-dir "$workdir/tables" \
+    --fault-rate 0.2 --retries 8 | tee "$workdir/retune.out"
+grep -q "served via:  regenerated" "$workdir/retune.out"
+grep -q "quarantined:" "$workdir/retune.out"
+
+echo "== doctor =="
+pml doctor "$workdir/tables" | tee "$workdir/doctor.out"
+grep -q "quarantined" "$workdir/doctor.out"
+pml doctor "$workdir" >/dev/null   # bundle + dataset also validate
+
+echo "SMOKE OK"

@@ -16,6 +16,14 @@ build system:
     OSU-style sweep under a chosen selector, printed as a table.
 ``pml-mpi info``
     Show the cluster registry / extracted hardware features.
+``pml-mpi doctor``
+    Validate every artifact (tables, bundles, dataset caches) in a
+    directory and print the health report.
+
+``collect`` and ``tune`` accept fault-injection knobs
+(``--fault-rate``, ``--stall-rate``, ``--fault-seed``) and a retry
+budget (``--retries``) so the resilience path can be exercised — and
+compile-time setups on flaky machines survive — end-to-end.
 """
 
 from __future__ import annotations
@@ -27,9 +35,15 @@ from pathlib import Path
 from .apps.microbench import run_sweep
 from .core.bundle import load_selector, save_selector
 from .core.dataset import collect_dataset
-from .core.framework import PmlMpiFramework, offline_train
+from .core.framework import (
+    PmlMpiFramework,
+    doctor_directory,
+    offline_train,
+)
+from .core.resilience import RetryPolicy
 from .hwmodel.extract import cluster_features
 from .hwmodel.registry import CLUSTER_NAMES, all_clusters, get_cluster
+from .simcluster.conditions import FaultProfile
 from .simcluster.machine import Machine
 from .smpi.collectives.base import ALL_COLLECTIVES, COLLECTIVES
 from .smpi.heuristics import (
@@ -46,12 +60,29 @@ def _clusters_arg(names: list[str] | None):
     return [get_cluster(n) for n in names]
 
 
+def _faults_arg(args: argparse.Namespace) -> FaultProfile | None:
+    if args.fault_rate == 0.0 and args.stall_rate == 0.0:
+        return None
+    return FaultProfile(failure_rate=args.fault_rate,
+                        stall_rate=args.stall_rate,
+                        seed=args.fault_seed)
+
+
+def _retry_arg(args: argparse.Namespace) -> RetryPolicy | None:
+    if args.retries is None:
+        return None
+    return RetryPolicy(max_attempts=args.retries, base_delay_s=0.0,
+                       jitter=0.0)
+
+
 def cmd_collect(args: argparse.Namespace) -> int:
     dataset = collect_dataset(
         clusters=_clusters_arg(args.clusters),
         collectives=tuple(args.collectives),
         progress=not args.quiet,
         workers=args.workers,
+        faults=_faults_arg(args),
+        retry=_retry_arg(args),
     )
     print(f"collected {len(dataset)} records over "
           f"{len(dataset.clusters())} clusters")
@@ -84,14 +115,35 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def cmd_tune(args: argparse.Namespace) -> int:
     selector = load_selector(args.bundle)
-    framework = PmlMpiFramework(selector, args.table_dir)
+    framework = PmlMpiFramework(selector, args.table_dir,
+                                retry=_retry_arg(args))
     spec = get_cluster(args.cluster)
     existed = framework.has_table(spec.name)
-    framework.setup_cluster(spec, force_regenerate=args.force)
+    _, report = framework.setup_cluster_with_report(
+        spec, force_regenerate=args.force, faults=_faults_arg(args))
     path = framework.table_path(spec.name)
     verb = "reused" if existed and not args.force else "generated"
     print(f"{verb} tuning table: {path}")
+    print(report.describe())
     return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"not a directory: {directory}", file=sys.stderr)
+        return 2
+    report = doctor_directory(directory)
+    if not report.checks:
+        print(f"no artifacts found in {directory}")
+        return 0
+    print(report.describe())
+    bad = len(report.errors)  # corrupt / stale / orphan-tmp
+    quarantined = len(report.quarantined)
+    ok = sum(c.ok for c in report.checks)
+    print(f"\n{ok} ok, {bad} problem(s), {quarantined} quarantined "
+          f"in {directory}")
+    return 0 if bad == 0 else 1
 
 
 def cmd_select(args: argparse.Namespace) -> int:
@@ -145,6 +197,24 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    """Fault-injection / retry knobs shared by collect and tune."""
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   metavar="P",
+                   help="injected transient-failure probability per "
+                        "attempt (default 0)")
+    p.add_argument("--stall-rate", type=float, default=0.0,
+                   metavar="P",
+                   help="injected rank-stall probability per attempt "
+                        "(default 0)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for reproducible fault injection")
+    p.add_argument("--retries", type=int, default=None,
+                   metavar="N",
+                   help="max attempts per measurement/generation "
+                        "(default: library retry policy)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pml-mpi",
@@ -162,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="parallel collection processes")
     p.add_argument("--quiet", action="store_true")
+    _add_fault_args(p)
     p.set_defaults(func=cmd_collect)
 
     p = sub.add_parser("train", help="train and write the model bundle")
@@ -185,7 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--table-dir", type=Path, default=Path("tuning_tables"))
     p.add_argument("--force", action="store_true",
                    help="regenerate even if a table exists")
+    _add_fault_args(p)
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "doctor", help="validate every artifact in a directory")
+    p.add_argument("directory", type=Path,
+                   help="directory of tables/bundles/dataset caches")
+    p.set_defaults(func=cmd_doctor)
 
     p = sub.add_parser("select", help="query one algorithm choice")
     p.add_argument("cluster", choices=CLUSTER_NAMES)

@@ -16,9 +16,16 @@ from typing import Any
 
 from ..ml.serialize import FORMAT_VERSION, dump_model, load_model
 from .inference import PretrainedSelector
+from .resilience import (
+    CorruptArtifactError,
+    StaleArtifactError,
+    atomic_write_text,
+    checksum_payload,
+)
 from .training import TrainedModel
 
 BUNDLE_VERSION = 1
+BUNDLE_FORMAT = "pml-mpi/bundle"
 
 
 def dump_trained_model(model: TrainedModel) -> dict[str, Any]:
@@ -57,25 +64,65 @@ def load_trained_model(data: dict[str, Any]) -> TrainedModel:
 
 def save_selector(selector: PretrainedSelector,
                   path: str | Path) -> Path:
-    """Write the shippable model bundle."""
+    """Write the shippable model bundle (atomically, with a checksum).
+
+    The CRC covers the ``models`` payload only, so metadata edits (e.g.
+    a version bump) surface as *stale*, not *corrupt*.
+    """
+    models = {coll: dump_trained_model(m)
+              for coll, m in selector.models.items()}
     payload = {
+        "format": BUNDLE_FORMAT,
         "bundle_version": BUNDLE_VERSION,
         "model_format_version": FORMAT_VERSION,
-        "models": {coll: dump_trained_model(m)
-                   for coll, m in selector.models.items()},
+        "crc32": checksum_payload(models),
+        "models": models,
     }
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload))
-    return path
+    return atomic_write_text(Path(path), json.dumps(payload))
 
 
 def load_selector(path: str | Path) -> PretrainedSelector:
-    """Load a bundle written by :func:`save_selector`."""
-    payload = json.loads(Path(path).read_text())
+    """Load a bundle written by :func:`save_selector`.
+
+    Strict validation: parse failures, checksum mismatches and
+    malformed model payloads raise :class:`CorruptArtifactError`; a
+    well-formed bundle from another schema era raises
+    :class:`StaleArtifactError`.  Pre-checksum bundles (no ``crc32``
+    field) are accepted when structurally valid.
+    """
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        raise
+    except (OSError, UnicodeDecodeError) as exc:
+        raise CorruptArtifactError(
+            f"cannot read bundle {path}: {exc}") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CorruptArtifactError(
+            f"bundle is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or "models" not in payload:
+        raise CorruptArtifactError("bundle has no models payload")
+    fmt = payload.get("format", BUNDLE_FORMAT)
+    if fmt != BUNDLE_FORMAT:
+        raise CorruptArtifactError(f"not a model bundle (format {fmt!r})")
     version = payload.get("bundle_version")
     if version != BUNDLE_VERSION:
-        raise ValueError(f"unsupported bundle version {version}")
-    models = {coll: load_trained_model(d)
-              for coll, d in payload["models"].items()}
-    return PretrainedSelector(models)
+        raise StaleArtifactError(
+            f"unsupported bundle version {version} "
+            f"(expected {BUNDLE_VERSION})")
+    stored_crc = payload.get("crc32")
+    if stored_crc is not None:
+        actual = checksum_payload(payload["models"])
+        if stored_crc != actual:
+            raise CorruptArtifactError(
+                f"bundle checksum mismatch: stored {stored_crc}, "
+                f"computed {actual}")
+    try:
+        models = {coll: load_trained_model(d)
+                  for coll, d in payload["models"].items()}
+        return PretrainedSelector(models)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise CorruptArtifactError(
+            f"invalid model payload in bundle: {exc}") from None

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import math
 import os
 import zlib
 from dataclasses import dataclass, field
@@ -27,14 +28,32 @@ import numpy as np
 
 from ..hwmodel.registry import all_clusters, get_cluster
 from ..hwmodel.specs import ClusterSpec
+from ..simcluster.conditions import FaultProfile
 from ..simcluster.machine import Machine
 from ..smpi.collectives import base
 from ..smpi.collectives.base import COLLECTIVES
 from ..smpi.tuning import measured_time
 from .features import ALL_FEATURE_NAMES, feature_vector
+from .resilience import (
+    CorruptArtifactError,
+    RetryPolicy,
+    StaleArtifactError,
+    TransientCollectionError,
+    atomic_commit,
+    checksum_lines,
+    quarantine,
+    tmp_path_for,
+)
 
 #: Bump when the cost model or grids change incompatibly.
 DATASET_VERSION = "1"
+DATASET_FORMAT = "pml-mpi/dataset"
+
+#: Default retry behavior for fault-injected collection: backoff is
+#: kept at zero delay because the "fabric" here is simulated — the
+#: retry *structure* (fresh attempt, new luck) is what matters.
+DEFAULT_COLLECTION_RETRY = RetryPolicy(max_attempts=6, base_delay_s=0.0,
+                                       jitter=0.0)
 
 
 @dataclass(frozen=True)
@@ -122,29 +141,129 @@ class TuningDataset:
 
     # -- (de)serialization -------------------------------------------------
     def save(self, path: str | Path) -> Path:
+        """Atomic write with an embedded checksum header line.
+
+        The first line is ``{"__meta__": {...}}`` carrying the dataset
+        format/version, record count, and a CRC32 over the record
+        lines; a mid-write kill leaves a ``*.tmp`` alongside and the
+        previous cache intact.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with gzip.open(path, "wt") as fh:
-            for r in self.records:
-                fh.write(json.dumps({
-                    "cluster": r.cluster, "collective": r.collective,
-                    "nodes": r.nodes, "ppn": r.ppn,
-                    "msg_size": r.msg_size, "times": r.times,
-                }) + "\n")
-        return path
+        lines = [json.dumps({
+            "cluster": r.cluster, "collective": r.collective,
+            "nodes": r.nodes, "ppn": r.ppn,
+            "msg_size": r.msg_size, "times": r.times,
+        }) + "\n" for r in self.records]
+        meta = {"__meta__": {
+            "format": DATASET_FORMAT,
+            "version": DATASET_VERSION,
+            "records": len(lines),
+            "crc32": checksum_lines(lines),
+        }}
+        tmp = tmp_path_for(path)
+        with gzip.open(tmp, "wt") as fh:
+            fh.write(json.dumps(meta) + "\n")
+            fh.writelines(lines)
+        with open(tmp, "rb") as fh:
+            os.fsync(fh.fileno())
+        return atomic_commit(tmp, path)
 
     @classmethod
     def load(cls, path: str | Path) -> "TuningDataset":
+        """Strictly-validated load.
+
+        Truncated gzip streams, undecodable lines, checksum or count
+        mismatches and semantically invalid records (unknown
+        collectives/algorithms, non-finite or non-positive times) raise
+        :class:`CorruptArtifactError`; a cache from another
+        ``DATASET_VERSION`` raises :class:`StaleArtifactError`.
+        Pre-checksum caches (no ``__meta__`` first line) are accepted
+        when their records validate.
+        """
+        path = Path(path)
+        try:
+            with gzip.open(path, "rt") as fh:
+                lines = fh.readlines()
+        except FileNotFoundError:
+            raise
+        except (OSError, EOFError, gzip.BadGzipFile, zlib.error) as exc:
+            raise CorruptArtifactError(
+                f"cannot read dataset cache {path}: {exc}") from None
+        body = lines
+        if lines:
+            try:
+                first = json.loads(lines[0])
+            except json.JSONDecodeError as exc:
+                raise CorruptArtifactError(
+                    f"dataset cache {path} line 1 is not JSON: "
+                    f"{exc}") from None
+            if isinstance(first, dict) and "__meta__" in first:
+                meta = first["__meta__"]
+                body = lines[1:]
+                if not isinstance(meta, dict):
+                    raise CorruptArtifactError(
+                        f"dataset cache {path} has a malformed header")
+                version = meta.get("version")
+                if version != DATASET_VERSION:
+                    raise StaleArtifactError(
+                        f"dataset cache {path} has version {version!r}, "
+                        f"expected {DATASET_VERSION!r}")
+                expected = meta.get("records")
+                if expected is not None and expected != len(body):
+                    raise CorruptArtifactError(
+                        f"dataset cache {path} truncated: header says "
+                        f"{expected} records, found {len(body)}")
+                stored_crc = meta.get("crc32")
+                if stored_crc is not None:
+                    actual = checksum_lines(body)
+                    if stored_crc != actual:
+                        raise CorruptArtifactError(
+                            f"dataset cache {path} checksum mismatch: "
+                            f"stored {stored_crc}, computed {actual}")
         records = []
-        with gzip.open(Path(path), "rt") as fh:
-            for line in fh:
+        for lineno, line in enumerate(body, 1):
+            try:
                 d = json.loads(line)
-                records.append(CollectiveRecord(
+                record = CollectiveRecord(
                     cluster=d["cluster"], collective=d["collective"],
                     nodes=int(d["nodes"]), ppn=int(d["ppn"]),
                     msg_size=int(d["msg_size"]),
-                    times={k: float(v) for k, v in d["times"].items()}))
+                    times={k: float(v) for k, v in d["times"].items()})
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError, AttributeError) as exc:
+                raise CorruptArtifactError(
+                    f"dataset cache {path} record {lineno} is "
+                    f"malformed: {exc}") from None
+            _validate_record(record, path, lineno)
+            records.append(record)
         return cls(records)
+
+
+def _validate_record(r: CollectiveRecord, path: Path,
+                     lineno: int) -> None:
+    """Semantic validation of one cached record."""
+    where = f"dataset cache {path} record {lineno}"
+    try:
+        known = set(base.algorithm_names(r.collective))
+    except KeyError:
+        raise CorruptArtifactError(
+            f"{where}: unknown collective {r.collective!r}") from None
+    if r.nodes < 1 or r.ppn < 1 or r.msg_size < 0:
+        raise CorruptArtifactError(
+            f"{where}: invalid configuration "
+            f"({r.nodes} nodes, {r.ppn} ppn, {r.msg_size} B)")
+    if not r.times:
+        raise CorruptArtifactError(f"{where}: no timings")
+    for algo, t in r.times.items():
+        if algo not in known:
+            raise CorruptArtifactError(
+                f"{where}: unknown algorithm {algo!r} for "
+                f"{r.collective}")
+        if not math.isfinite(t) or t <= 0.0:
+            raise CorruptArtifactError(
+                f"{where}: non-finite or non-positive time "
+                f"{t!r} for {algo}")
 
 
 def feasible_configs(spec: ClusterSpec, collective: str
@@ -166,14 +285,66 @@ def feasible_configs(spec: ClusterSpec, collective: str
     return out
 
 
+def _measure_with_faults(machine: Machine, collective: str,
+                         algo_name: str, msg_size: int,
+                         faults: FaultProfile,
+                         retry: RetryPolicy) -> float:
+    """One algorithm's measurement under injected faults, retried.
+
+    Each attempt rolls fresh seeded luck: an injected measurement
+    failure or a transient rank stall raises
+    :class:`TransientCollectionError` and the retry policy re-measures;
+    the *successful* measurement itself is unchanged, so a faulty
+    campaign converges to the clean one.
+    """
+    key = (machine.spec.name, collective, algo_name,
+           machine.nodes, machine.ppn, msg_size)
+    attempt_box = [0]
+
+    def attempt() -> float:
+        attempt_box[0] += 1
+        n = attempt_box[0]
+        if faults.attempt_fails(*key, attempt=n):
+            raise TransientCollectionError(
+                f"injected measurement failure: {collective}/"
+                f"{algo_name} at {machine.nodes}x{machine.ppn}/"
+                f"{msg_size}B (attempt {n})")
+        if faults.attempt_stalls(*key, attempt=n):
+            raise TransientCollectionError(
+                f"transient rank stall ({faults.stall_multiplier(*key, attempt=n):.0f}x "
+                f"deadline overrun): {collective}/{algo_name} at "
+                f"{machine.nodes}x{machine.ppn}/{msg_size}B "
+                f"(attempt {n})")
+        return measured_time(machine, collective, algo_name, msg_size)
+
+    return retry.call(attempt)
+
+
 def benchmark_config(spec: ClusterSpec, collective: str, nodes: int,
-                     ppn: int, msg_size: int) -> CollectiveRecord:
-    """Measure every algorithm of *collective* at one configuration."""
+                     ppn: int, msg_size: int,
+                     faults: FaultProfile | None = None,
+                     retry: RetryPolicy | None = None
+                     ) -> CollectiveRecord:
+    """Measure every algorithm of *collective* at one configuration.
+
+    With a non-clean *faults* profile, each per-algorithm measurement
+    runs under *retry* (default :data:`DEFAULT_COLLECTION_RETRY`);
+    exhausted retries propagate :class:`TransientCollectionError` and
+    the caller decides whether to drop the configuration.
+    """
     machine = Machine(spec, nodes, ppn)
-    times = {
-        name: measured_time(machine, collective, name, msg_size)
-        for name in base.algorithm_names(collective)
-    }
+    if faults is None or faults.is_clean:
+        times = {
+            name: measured_time(machine, collective, name, msg_size)
+            for name in base.algorithm_names(collective)
+        }
+    else:
+        retry = retry or DEFAULT_COLLECTION_RETRY
+        times = {
+            name: _measure_with_faults(machine, collective, name,
+                                       msg_size, faults, retry)
+            for name in base.algorithm_names(collective)
+        }
     return CollectiveRecord(spec.name, collective, nodes, ppn,
                             msg_size, times)
 
@@ -187,16 +358,28 @@ def _cache_dir(cache_dir: str | Path | None) -> Path:
     return Path.home() / ".cache" / "pml_mpi"
 
 
-def _collect_chunk(spec: ClusterSpec,
-                   collective: str) -> list[CollectiveRecord]:
+def _collect_chunk(spec: ClusterSpec, collective: str,
+                   faults: FaultProfile | None = None,
+                   retry: RetryPolicy | None = None
+                   ) -> tuple[list[CollectiveRecord], int]:
     """Benchmark one (cluster, collective) — the unit of parallelism.
 
     Top-level so it pickles into worker processes; measurements are
     pure functions of the configuration, so parallel collection is
-    bit-identical to serial.
+    bit-identical to serial.  Returns ``(records, dropped)`` where
+    *dropped* counts configurations whose measurements exhausted their
+    retries — collection survives flaky fabrics instead of crashing.
     """
-    return [benchmark_config(spec, collective, nodes, ppn, msg)
-            for nodes, ppn, msg in feasible_configs(spec, collective)]
+    records: list[CollectiveRecord] = []
+    dropped = 0
+    for nodes, ppn, msg in feasible_configs(spec, collective):
+        try:
+            records.append(benchmark_config(spec, collective, nodes,
+                                            ppn, msg, faults=faults,
+                                            retry=retry))
+        except TransientCollectionError:
+            dropped += 1
+    return records, dropped
 
 
 def collect_dataset(clusters: list[ClusterSpec] | None = None,
@@ -204,45 +387,69 @@ def collect_dataset(clusters: list[ClusterSpec] | None = None,
                     cache_dir: str | Path | None = None,
                     use_cache: bool = True,
                     progress: bool = False,
-                    workers: int | None = None) -> TuningDataset:
+                    workers: int | None = None,
+                    faults: FaultProfile | None = None,
+                    retry: RetryPolicy | None = None) -> TuningDataset:
     """The full Table I campaign (cached after the first run).
 
     ``workers`` > 1 fans the (cluster, collective) chunks out over a
     process pool; results are concatenated in deterministic chunk order
     regardless of completion order.
+
+    A cached file that fails validation is quarantined (renamed to
+    ``*.corrupt``) and the campaign re-runs — a corrupt cache never
+    crashes collection and never silently feeds bad data to training.
+    ``faults``/``retry`` inject transient measurement failures and rank
+    stalls (seeded, reproducible) and bound the per-measurement
+    retries; see :class:`~repro.simcluster.conditions.FaultProfile`.
     """
     if clusters is None:
         clusters = all_clusters()
     key = "-".join(sorted(c.name.replace(" ", "_") for c in clusters)) \
         + "-" + "-".join(collectives)
+    if faults is not None and not faults.is_clean:
+        key += "-" + faults.cache_key()
     digest = zlib.crc32(key.encode())
     cache = _cache_dir(cache_dir) / \
         f"dataset_v{DATASET_VERSION}_{digest:08x}.jsonl.gz"
     if use_cache and cache.exists():
-        return TuningDataset.load(cache)
+        try:
+            return TuningDataset.load(cache)
+        except (CorruptArtifactError, StaleArtifactError) as exc:
+            moved = quarantine(cache)
+            if progress:
+                print(f"[collect] cache invalid ({exc}); "
+                      f"quarantined to {moved.name}, re-collecting")
 
     chunks = [(spec, collective) for spec in clusters
               for collective in collectives]
     records: list[CollectiveRecord] = []
+    total_dropped = 0
     if workers is not None and workers > 1:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_collect_chunk, spec, coll)
+            futures = [pool.submit(_collect_chunk, spec, coll,
+                                   faults, retry)
                        for spec, coll in chunks]
             for (spec, coll), future in zip(chunks, futures):
-                chunk = future.result()
+                chunk, dropped = future.result()
+                total_dropped += dropped
                 if progress:
                     print(f"[collect] {spec.name}: {coll} "
                           f"({len(chunk)} configs)")
                 records.extend(chunk)
     else:
         for spec, coll in chunks:
-            chunk = _collect_chunk(spec, coll)
+            chunk, dropped = _collect_chunk(spec, coll, faults, retry)
+            total_dropped += dropped
             if progress:
                 print(f"[collect] {spec.name}: {coll} "
                       f"({len(chunk)} configs)")
             records.extend(chunk)
+    if progress and total_dropped:
+        print(f"[collect] dropped {total_dropped} configs after "
+              f"exhausted retries")
     dataset = TuningDataset(records)
     if use_cache:
         dataset.save(cache)

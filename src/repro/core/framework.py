@@ -10,11 +10,25 @@ Online (at MPI-library compile time on each new cluster)::
     framework = PmlMpiFramework(selector, table_dir="/etc/mpi/tuning")
     runtime_selector = framework.setup_cluster(spec)
 
-``setup_cluster`` implements Fig. 4 exactly: if a tuning table for the
-cluster already exists it is loaded and the ML path is bypassed;
-otherwise hardware features are extracted, the pre-trained model is
-batch-inferred over the configuration grid, and the resulting JSON
-table is stored for every subsequent compilation.
+``setup_cluster`` implements Fig. 4 with a degradation ladder, because
+it runs on machines the vendor never saw:
+
+1. **cached-table** — a valid tuning table already exists; load it and
+   bypass the ML path (the paper's fast path).
+2. **regenerated** — no table, or the cached one is corrupt/stale/from
+   another cluster (it is quarantined to ``*.corrupt``, never deleted);
+   extract hardware features, batch-infer the grid, and persist the
+   table atomically — retrying transient failures.
+3. **heuristic-fallback** — regeneration keeps failing; hand back the
+   hardware-oblivious MVAPICH default heuristic so the MPI build still
+   completes with a working (if suboptimal) selector.
+
+The rung taken, retry counts and quarantined files are recorded in a
+:class:`~repro.core.resilience.HealthReport` (``last_report``), and an
+inter-process file lock serializes concurrent compile-time setups on
+the same table directory.  ``doctor_directory`` is the audit half:
+validate every artifact in a directory (the ``pml-mpi doctor``
+subcommand).
 """
 
 from __future__ import annotations
@@ -22,10 +36,26 @@ from __future__ import annotations
 from pathlib import Path
 
 from ..hwmodel.specs import ClusterSpec
+from ..simcluster.conditions import FaultProfile
 from ..smpi.collectives.base import COLLECTIVES
+from ..smpi.heuristics import AlgorithmSelector, MvapichDefaultSelector
 from ..smpi.tuning import TableSelector, TuningTable
+from .bundle import load_selector
 from .dataset import TuningDataset
 from .inference import PretrainedSelector, generate_tuning_table
+from .resilience import (
+    RUNG_CACHED,
+    RUNG_FALLBACK,
+    RUNG_REGENERATED,
+    ArtifactCheck,
+    ArtifactError,
+    FileLock,
+    HealthReport,
+    RetryPolicy,
+    StaleArtifactError,
+    TransientCollectionError,
+    quarantine,
+)
 from .training import TrainedModel, train_model
 
 
@@ -45,30 +75,195 @@ class PmlMpiFramework:
     """Compile-time tuning-table management (online stage, Fig. 4)."""
 
     def __init__(self, selector: PretrainedSelector,
-                 table_dir: str | Path) -> None:
+                 table_dir: str | Path,
+                 retry: RetryPolicy | None = None,
+                 fallback: AlgorithmSelector | None = None,
+                 lock_timeout_s: float = 30.0) -> None:
         self.selector = selector
         self.table_dir = Path(table_dir)
         self.table_dir.mkdir(parents=True, exist_ok=True)
+        self.retry = retry if retry is not None else \
+            RetryPolicy(max_attempts=3, base_delay_s=0.02)
+        self.fallback = fallback if fallback is not None else \
+            MvapichDefaultSelector()
+        self.lock_timeout_s = lock_timeout_s
+        #: HealthReport of the most recent ``setup_cluster`` call.
+        self.last_report: HealthReport | None = None
+
+    def _safe_name(self, cluster_name: str) -> str:
+        return cluster_name.replace(" ", "_").replace("/", "_")
 
     def table_path(self, cluster_name: str) -> Path:
-        safe = cluster_name.replace(" ", "_").replace("/", "_")
-        return self.table_dir / f"{safe}.tuning.json"
+        return self.table_dir / f"{self._safe_name(cluster_name)}.tuning.json"
+
+    def lock_path(self, cluster_name: str) -> Path:
+        return self.table_dir / f".{self._safe_name(cluster_name)}.lock"
 
     def has_table(self, cluster_name: str) -> bool:
         return self.table_path(cluster_name).exists()
 
     def setup_cluster(self, spec: ClusterSpec,
-                      force_regenerate: bool = False) -> TableSelector:
-        """Fig. 4: existing table -> load it; otherwise extract features,
-        infer, persist, and return the constant-time table selector."""
+                      force_regenerate: bool = False,
+                      faults: FaultProfile | None = None
+                      ) -> AlgorithmSelector:
+        """Fig. 4 with graceful degradation; never raises on bad
+        artifacts or transient failures — see the module docstring for
+        the ladder.  The full :class:`HealthReport` is available as
+        ``last_report`` (or use :meth:`setup_cluster_with_report`)."""
+        selector, _ = self.setup_cluster_with_report(
+            spec, force_regenerate=force_regenerate, faults=faults)
+        return selector
+
+    def setup_cluster_with_report(
+            self, spec: ClusterSpec, force_regenerate: bool = False,
+            faults: FaultProfile | None = None
+    ) -> tuple[AlgorithmSelector, HealthReport]:
+        """The ladder itself, returning ``(selector, health report)``."""
+        report = HealthReport(cluster=spec.name)
+        self.last_report = report
+        with FileLock(self.lock_path(spec.name),
+                      timeout_s=self.lock_timeout_s):
+            selector = self._run_ladder(spec, force_regenerate, faults,
+                                        report)
+        return selector, report
+
+    # -- ladder rungs ----------------------------------------------------
+
+    def _run_ladder(self, spec: ClusterSpec, force_regenerate: bool,
+                    faults: FaultProfile | None,
+                    report: HealthReport) -> AlgorithmSelector:
         path = self.table_path(spec.name)
         if path.exists() and not force_regenerate:
+            selector = self._try_cached(spec, path, report)
+            if selector is not None:
+                report.rung = RUNG_CACHED
+                return selector
+        selector = self._try_regenerate(spec, path, faults, report)
+        if selector is not None:
+            report.rung = RUNG_REGENERATED
+            return selector
+        report.rung = RUNG_FALLBACK
+        return self.fallback
+
+    def _try_cached(self, spec: ClusterSpec, path: Path,
+                    report: HealthReport) -> TableSelector | None:
+        """Rung 1: a cached table, trusted only after validation.
+
+        A mismatched cluster name, checksum failure or structural
+        problem quarantines the file (``*.corrupt``) instead of
+        crashing the MPI build — the very scenario Fig. 4 cannot
+        afford to brick."""
+        try:
             table = TuningTable.load(path)
             if table.cluster != spec.name:
-                raise ValueError(
+                raise StaleArtifactError(
                     f"table at {path} belongs to {table.cluster!r}, "
                     f"expected {spec.name!r}")
             return TableSelector(table)
-        report = generate_tuning_table(self.selector, spec)
-        report.table.save(path)
-        return TableSelector(report.table)
+        except ArtifactError as exc:
+            report.record_error(str(exc))
+            report.record_quarantine(quarantine(path))
+            return None
+
+    def _try_regenerate(self, spec: ClusterSpec, path: Path,
+                        faults: FaultProfile | None,
+                        report: HealthReport) -> TableSelector | None:
+        """Rung 2: regenerate from the pretrained model with retries."""
+        attempt_box = [0]
+
+        def generate() -> TuningTable:
+            attempt_box[0] += 1
+            if faults is not None and faults.attempt_fails(
+                    "setup_cluster", spec.name, attempt=attempt_box[0]):
+                raise TransientCollectionError(
+                    f"injected transient failure generating table for "
+                    f"{spec.name} (attempt {attempt_box[0]})")
+            return generate_tuning_table(self.selector, spec).table
+
+        def note(attempt: int, exc: BaseException) -> None:
+            report.record_error(f"attempt {attempt}: {exc}")
+
+        try:
+            table = self.retry.call(
+                generate, retry_on=(TransientCollectionError,),
+                on_retry=note)
+        except TransientCollectionError:
+            report.attempts = attempt_box[0]
+            return None
+        except Exception as exc:  # degraded model, bad grid, ...
+            report.attempts = attempt_box[0]
+            report.record_error(
+                f"table generation failed unrecoverably: {exc}")
+            return None
+        report.attempts = attempt_box[0]
+        try:
+            table.save(path)
+        except OSError as exc:
+            # The selector still works this build; only persistence
+            # for the *next* compilation was lost.
+            report.record_error(f"could not persist table: {exc}")
+        return TableSelector(table)
+
+
+# ---------------------------------------------------------------------------
+# Artifact doctor (the ``pml-mpi doctor`` subcommand)
+# ---------------------------------------------------------------------------
+
+def diagnose_artifact(path: str | Path) -> ArtifactCheck:
+    """Validate one on-disk artifact, classifying it by shape.
+
+    Never raises: every problem is folded into the returned
+    :class:`ArtifactCheck` status (``ok`` / ``corrupt`` / ``stale`` /
+    ``quarantined`` / ``orphan-tmp`` / ``unknown``).
+    """
+    path = Path(path)
+    name = path.name
+    if ".corrupt" in name:
+        return ArtifactCheck(str(path), "quarantined", "quarantined",
+                             "kept for post-mortem")
+    if name.endswith(".tmp"):
+        return ArtifactCheck(str(path), "tmp", "orphan-tmp",
+                             "leftover from an interrupted write")
+    if name.endswith(".lock"):
+        return ArtifactCheck(str(path), "lock", "ok",
+                             "setup serialization lock")
+
+    if name.endswith(".tuning.json"):
+        kind, loader = "tuning-table", \
+            lambda: TuningTable.load(path).validate()
+    elif name.endswith((".jsonl.gz", ".gz")):
+        kind, loader = "dataset-cache", lambda: TuningDataset.load(path)
+    elif name.endswith(".json"):
+        kind, loader = "bundle", lambda: load_selector(path)
+    else:
+        return ArtifactCheck(str(path), "unknown", "unknown",
+                             "not a PML-MPI artifact")
+    try:
+        loader()
+    except StaleArtifactError as exc:
+        return ArtifactCheck(str(path), kind, "stale", str(exc))
+    except (ArtifactError, FileNotFoundError) as exc:
+        return ArtifactCheck(str(path), kind, "corrupt", str(exc))
+    return ArtifactCheck(str(path), kind, "ok")
+
+
+def doctor_directory(directory: str | Path) -> HealthReport:
+    """Validate every artifact under *directory* (non-recursive).
+
+    Returns a :class:`HealthReport` whose ``checks`` list one entry per
+    file; ``healthy`` is False when anything is corrupt, stale, or a
+    leftover temp file."""
+    directory = Path(directory)
+    report = HealthReport()
+    for path in sorted(directory.iterdir()):
+        if path.is_dir():
+            continue
+        check = diagnose_artifact(path)
+        report.checks.append(check)
+        if check.status in ("corrupt", "stale", "orphan-tmp"):
+            report.record_error(f"{check.path}: {check.status}"
+                                + (f" — {check.detail}" if check.detail
+                                   else ""))
+        if check.status == "quarantined":
+            report.record_quarantine(check.path)
+    return report

@@ -94,8 +94,13 @@ def generate_tuning_table(selector: PretrainedSelector, spec: ClusterSpec,
         model = selector.models[collective]
         predictions = model.predict(X)
         for (nodes, ppn, msg), algo in zip(configs, predictions):
+            # TuningTable.add validates the predicted name, so a
+            # degraded model emitting garbage labels fails loudly here
+            # (and the setup_cluster ladder degrades to its fallback)
+            # instead of shipping a nonsensical table.
             table.add(collective, nodes, ppn, msg, str(algo))
         n_configs += len(configs)
+    table.validate()
     wall = time.perf_counter() - t0
     return InferenceReport(table=table, n_configs=n_configs,
                            wall_seconds=wall)

@@ -1,0 +1,378 @@
+"""Deployment resilience: typed artifact errors, retry policies, atomic
+validated I/O, quarantine, inter-process locking, and health reporting.
+
+The paper's deployment story (Fig. 4) runs ``setup_cluster`` at MPI
+compile time on machines the vendor never saw — exactly where corrupt
+caches, half-written tuning tables, concurrent builds and flaky fabrics
+live.  This module is the shared substrate that lets the offline→online
+pipeline degrade gracefully instead of crashing:
+
+* a typed error taxonomy (:class:`ArtifactError` and friends) so callers
+  can distinguish "this file is garbage" from "this file is from another
+  era" from "try again",
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  deterministic seeded jitter,
+* atomic artifact writes (tmp file + ``os.replace``) with embedded CRC32
+  checksums, so a mid-write kill leaves the original intact,
+* :func:`quarantine` — corrupt files are renamed to ``*.corrupt`` for
+  post-mortem, never deleted,
+* :class:`FileLock` — an inter-process lock so concurrent compile-time
+  setups on the same table directory don't race,
+* :class:`HealthReport` / :class:`ArtifactCheck` — a record of which
+  degradation-ladder rung served a request and what was quarantined.
+
+This module is deliberately a leaf: it imports nothing from the rest of
+``repro`` so every layer (``smpi``, ``simcluster``, ``core``) can use it
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+try:  # POSIX; the O_EXCL fallback below covers everything else
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy
+# ---------------------------------------------------------------------------
+
+class ArtifactError(ValueError):
+    """Base class for every artifact problem.
+
+    Subclasses ``ValueError`` so pre-resilience callers that caught
+    ``ValueError`` keep working.
+    """
+
+
+class CorruptArtifactError(ArtifactError):
+    """The artifact cannot be trusted: unparsable bytes, checksum
+    mismatch, structurally invalid payload, unknown algorithm names,
+    non-finite times, …"""
+
+
+class StaleArtifactError(ArtifactError):
+    """The artifact is well-formed but from a different era or place:
+    wrong schema version, wrong cluster."""
+
+
+class LockTimeoutError(ArtifactError):
+    """An inter-process :class:`FileLock` could not be acquired in time."""
+
+
+class TransientCollectionError(RuntimeError):
+    """A measurement / generation attempt failed in a retryable way
+    (injected fault, rank stall, flaky fabric)."""
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Delays are fully deterministic for a given ``seed``: attempt *k*
+    sleeps ``base_delay_s * backoff**(k-1)`` scaled by a jitter factor
+    drawn from a generator seeded on ``(seed, k)``, capped at
+    ``max_delay_s``.  ``per_attempt_timeout_s`` is a *cooperative*
+    deadline: an attempt whose wall time exceeds it is treated as a
+    transient failure (the stalled-measurement case), even if it
+    eventually returned.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    backoff: float = 2.0
+    jitter: float = 0.25           # +/- fractional jitter on each delay
+    max_delay_s: float = 2.0
+    per_attempt_timeout_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff delay (seconds) after failed attempt *attempt* (1-based)."""
+        base = self.base_delay_s * self.backoff ** (attempt - 1)
+        if self.jitter > 0.0:
+            rng = np.random.default_rng(
+                zlib.crc32(f"retry|{self.seed}|{attempt}".encode()))
+            base *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return min(base, self.max_delay_s)
+
+    def call(self, fn: Callable[[], Any],
+             retry_on: tuple[type[BaseException], ...] = (
+                 TransientCollectionError,),
+             on_retry: Callable[[int, BaseException], None] | None = None,
+             sleep: Callable[[float], None] = time.sleep) -> Any:
+        """Run ``fn()`` with retries; raise the last error on exhaustion.
+
+        ``on_retry(attempt, exc)`` is invoked after each failed attempt
+        (including the last), so callers can record attempts in a
+        :class:`HealthReport`.
+        """
+        last: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            t0 = time.perf_counter()
+            try:
+                result = fn()
+                elapsed = time.perf_counter() - t0
+                if (self.per_attempt_timeout_s is not None
+                        and elapsed > self.per_attempt_timeout_s):
+                    raise TransientCollectionError(
+                        f"attempt {attempt} exceeded per-attempt timeout "
+                        f"({elapsed:.3f}s > {self.per_attempt_timeout_s}s)")
+                return result
+            except retry_on as exc:
+                last = exc
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if attempt < self.max_attempts:
+                    sleep(self.delay(attempt))
+        assert last is not None
+        raise last
+
+
+# ---------------------------------------------------------------------------
+# Atomic, checksummed artifact I/O
+# ---------------------------------------------------------------------------
+
+def checksum_payload(payload: Any) -> str:
+    """CRC32 of the canonical JSON encoding of *payload*, as 8 hex digits."""
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")).encode()
+    return f"{zlib.crc32(canonical):08x}"
+
+
+def checksum_lines(lines: Iterable[str]) -> str:
+    """CRC32 over a stream of text lines (for JSON-lines artifacts)."""
+    crc = 0
+    for line in lines:
+        crc = zlib.crc32(line.encode(), crc)
+    return f"{crc:08x}"
+
+
+def tmp_path_for(path: Path) -> Path:
+    """The sibling temp file an atomic write of *path* goes through."""
+    return path.with_name(f"{path.name}.{os.getpid()}.tmp")
+
+
+def atomic_commit(tmp: Path, final: Path) -> Path:
+    """Atomically promote a fully-written temp file to its final name."""
+    os.replace(tmp, final)
+    return final
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write *data* to *path* atomically (tmp file + ``os.replace``).
+
+    A crash before the final rename leaves the original file intact and
+    the partial ``*.tmp`` file on disk for post-mortem (``doctor`` flags
+    stray temp files); it never leaves a half-written artifact under the
+    final name.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = tmp_path_for(path)
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return atomic_commit(tmp, path)
+
+
+def atomic_write_text(path: str | Path, text: str,
+                      encoding: str = "utf-8") -> Path:
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def quarantine(path: str | Path) -> Path:
+    """Rename a corrupt artifact to ``*.corrupt`` (never delete it).
+
+    If a previous quarantine already claimed that name, a numeric suffix
+    is appended so no evidence is overwritten.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    n = 1
+    while target.exists():
+        target = path.with_name(f"{path.name}.corrupt.{n}")
+        n += 1
+    os.replace(path, target)
+    return target
+
+
+# ---------------------------------------------------------------------------
+# Inter-process file lock
+# ---------------------------------------------------------------------------
+
+class FileLock:
+    """Advisory inter-process lock around a lock file.
+
+    Uses ``fcntl.flock`` where available (lock dies with the process, so
+    no stale-lock cleanup is needed); falls back to ``O_CREAT|O_EXCL``
+    with mtime-based stale detection elsewhere.
+    """
+
+    #: A fallback lock file older than this is considered abandoned.
+    STALE_AFTER_S = 300.0
+
+    def __init__(self, path: str | Path, timeout_s: float = 10.0,
+                 poll_s: float = 0.02) -> None:
+        self.path = Path(path)
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self._fd: int | None = None
+
+    def acquire(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            if self._try_acquire():
+                return
+            if time.monotonic() >= deadline:
+                raise LockTimeoutError(
+                    f"could not acquire lock {self.path} within "
+                    f"{self.timeout_s}s (concurrent setup in progress?)")
+            time.sleep(self.poll_s)
+
+    def _try_acquire(self) -> bool:
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                return False
+            self._fd = fd
+            return True
+        try:  # pragma: no cover - non-POSIX fallback
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            try:
+                age = time.time() - self.path.stat().st_mtime
+                if age > self.STALE_AFTER_S:
+                    self.path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        self._fd = fd
+        return True
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+        else:  # pragma: no cover
+            os.close(self._fd)
+            self.path.unlink(missing_ok=True)
+        self._fd = None
+
+    @property
+    def locked(self) -> bool:
+        return self._fd is not None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+# ---------------------------------------------------------------------------
+# Health reporting
+# ---------------------------------------------------------------------------
+
+#: Degradation-ladder rungs of ``PmlMpiFramework.setup_cluster``.
+RUNG_CACHED = "cached-table"
+RUNG_REGENERATED = "regenerated"
+RUNG_FALLBACK = "heuristic-fallback"
+
+
+@dataclass
+class ArtifactCheck:
+    """One artifact's validation outcome (the unit of ``pml-mpi doctor``)."""
+
+    path: str
+    kind: str      # tuning-table | bundle | dataset-cache | ...
+    status: str    # ok | corrupt | stale | quarantined | orphan-tmp | unknown
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class HealthReport:
+    """Which path served a request, and what went wrong along the way."""
+
+    cluster: str = ""
+    rung: str = ""
+    attempts: int = 0
+    quarantined: list[str] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    checks: list[ArtifactCheck] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when nothing degraded: no errors, no quarantined files,
+        and every doctor check (if any) passed."""
+        return (not self.errors and not self.quarantined
+                and all(c.ok for c in self.checks))
+
+    def record_error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def record_quarantine(self, path: str | Path) -> None:
+        self.quarantined.append(str(path))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cluster": self.cluster,
+            "rung": self.rung,
+            "attempts": self.attempts,
+            "quarantined": list(self.quarantined),
+            "errors": list(self.errors),
+            "checks": [vars(c) for c in self.checks],
+        }
+
+    def describe(self) -> str:
+        lines = []
+        if self.cluster:
+            lines.append(f"cluster:     {self.cluster}")
+        if self.rung:
+            lines.append(f"served via:  {self.rung}")
+        if self.attempts:
+            lines.append(f"attempts:    {self.attempts}")
+        for q in self.quarantined:
+            lines.append(f"quarantined: {q}")
+        for e in self.errors:
+            lines.append(f"error:       {e}")
+        for c in self.checks:
+            detail = f" ({c.detail})" if c.detail else ""
+            lines.append(f"{c.status:<12} {c.kind:<14} {c.path}{detail}")
+        return "\n".join(lines) if lines else "healthy (nothing to report)"

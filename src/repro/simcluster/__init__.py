@@ -3,6 +3,8 @@ Machine facade with the analytic round-cost evaluator."""
 
 from .conditions import (
     CLEAN,
+    NO_FAULTS,
+    FaultProfile,
     NetworkConditions,
     apply_conditions,
     machine_with_conditions,
@@ -22,8 +24,10 @@ from .netmodel import NetParams
 
 __all__ = [
     "CLEAN",
+    "NO_FAULTS",
     "AllOf",
     "Event",
+    "FaultProfile",
     "NetworkConditions",
     "apply_conditions",
     "machine_with_conditions",

@@ -15,12 +15,24 @@ effect on tuning decisions can be studied:
 ``Machine.with_conditions`` returns a machine that prices schedules
 under those conditions.  The failure-injection tests and the noise
 ablation benchmark drive this.
+
+:class:`FaultProfile` adds *process-level* fault injection on top of
+the network-level degradation: transient rank stalls and outright
+failed measurement attempts, each with a seeded per-attempt
+probability.  The profile itself only answers "does this attempt fail /
+stall?" — raising :class:`~repro.core.resilience.TransientCollectionError`
+is the caller's job (``repro.core.dataset`` threads it through the
+collection loop; ``PmlMpiFramework.setup_cluster`` through table
+regeneration), which keeps this module import-cycle free.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from dataclasses import dataclass
+
+import numpy as np
 
 from .machine import Machine
 from .netmodel import NetParams
@@ -74,3 +86,66 @@ def machine_with_conditions(machine: Machine,
     degraded = Machine(machine.spec, machine.nodes, machine.ppn)
     degraded.params = apply_conditions(machine.params, conditions)
     return degraded
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Seeded process-level fault injection for the collection pipeline.
+
+    Every decision is a pure function of ``(seed, key parts, attempt)``,
+    so faulty runs are reproducible, a retried attempt sees *fresh*
+    luck (the attempt number is part of the key), and the frozen
+    dataclass pickles cleanly into collection worker processes.
+    """
+
+    failure_rate: float = 0.0  # P(attempt raises a transient failure)
+    stall_rate: float = 0.0    # P(attempt stalls past its deadline)
+    stall_factor: float = 20.0  # how much a stalled attempt inflates time
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        if not 0.0 <= self.stall_rate <= 1.0:
+            raise ValueError("stall_rate must be in [0, 1]")
+        if self.stall_factor < 1.0:
+            raise ValueError("stall_factor must be >= 1")
+
+    @property
+    def is_clean(self) -> bool:
+        return self.failure_rate == 0.0 and self.stall_rate == 0.0
+
+    def cache_key(self) -> str:
+        """Stable token distinguishing fault regimes in cache names."""
+        return (f"f{self.failure_rate:g}-s{self.stall_rate:g}"
+                f"-x{self.stall_factor:g}-r{self.seed}")
+
+    def _uniform(self, kind: str, key: tuple[object, ...],
+                 attempt: int) -> float:
+        token = "|".join(str(p) for p in
+                         (kind, self.seed, *key, attempt))
+        rng = np.random.default_rng(zlib.crc32(token.encode()))
+        return float(rng.uniform())
+
+    def attempt_fails(self, *key: object, attempt: int = 1) -> bool:
+        """Does this measurement/generation attempt fail outright?"""
+        if self.failure_rate == 0.0:
+            return False
+        return self._uniform("fail", key, attempt) < self.failure_rate
+
+    def attempt_stalls(self, *key: object, attempt: int = 1) -> bool:
+        """Does a rank stall, inflating this attempt past its deadline?"""
+        if self.stall_rate == 0.0:
+            return False
+        return self._uniform("stall", key, attempt) < self.stall_rate
+
+    def stall_multiplier(self, *key: object, attempt: int = 1) -> float:
+        """Wall-time inflation of a stalled attempt (1.0 when clean)."""
+        if not self.attempt_stalls(*key, attempt=attempt):
+            return 1.0
+        return self.stall_factor * (
+            1.0 + self._uniform("stretch", key, attempt))
+
+
+#: The no-fault baseline.
+NO_FAULTS = FaultProfile()

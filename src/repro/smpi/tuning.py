@@ -33,6 +33,18 @@ NOISE_SIGMA = 0.03
 #: OMB-style averaging iterations.
 DEFAULT_ITERATIONS = 10
 
+#: Schema identifiers embedded in the persisted JSON artifact.
+TABLE_FORMAT = "pml-mpi/tuning-table"
+TABLE_VERSION = 1
+
+
+def _resilience():
+    """Lazy import: ``repro.core`` imports this module at package-init
+    time, so a module-level ``from ..core.resilience import ...`` here
+    would be a circular import."""
+    from ..core import resilience
+    return resilience
+
 
 def _config_seed(*parts: object) -> int:
     return zlib.crc32("|".join(str(p) for p in parts).encode())
@@ -90,9 +102,17 @@ class TuningTable:
     def add(self, collective: str, nodes: int, ppn: int,
             msg_size: int, algorithm: str) -> None:
         base.get_algorithm(collective, algorithm)  # validate name
+        if isinstance(msg_size, float) and not math.isfinite(msg_size):
+            raise ValueError(f"message size must be finite, got {msg_size}")
+        msg_size = int(msg_size)
+        if msg_size < 0:
+            raise ValueError(f"message size must be >= 0, got {msg_size}")
+        if nodes < 1 or ppn < 1:
+            raise ValueError(
+                f"nodes/ppn must be >= 1, got ({nodes}, {ppn})")
         cfg = self.entries.setdefault(collective, {})
         bps = cfg.setdefault((nodes, ppn), [])
-        bps.append((int(msg_size), algorithm))
+        bps.append((msg_size, algorithm))
         bps.sort(key=lambda t: t[0])
 
     # -- lookup -----------------------------------------------------------
@@ -104,14 +124,60 @@ class TuningTable:
             raise KeyError(
                 f"tuning table for {self.cluster} has no "
                 f"{collective} entries") from None
+        if not configs:
+            raise ValueError(
+                f"tuning table for {self.cluster} has an empty "
+                f"{collective} section")
         key = (nodes, ppn)
         if key not in configs:
             key = min(configs, key=lambda c: self._config_distance(c, key))
         bps = configs[key]
+        if not bps:
+            raise ValueError(
+                f"tuning table for {self.cluster} has no breakpoints "
+                f"for {collective} at {key[0]}x{key[1]}")
         for max_size, algo in bps:
             if msg_size <= max_size:
                 return algo
         return bps[-1][1]
+
+    # -- validation -------------------------------------------------------
+    def validate(self) -> None:
+        """Structural sanity check; raises ``CorruptArtifactError``.
+
+        Rejects empty tables, empty per-config breakpoint lists,
+        NaN/negative message-size keys, and unknown collective or
+        algorithm names — the nonsensical-decision classes Hunold's
+        performance-guidelines work shows tuned tables can encode.
+        """
+        res = _resilience()
+        if not self.cluster or not isinstance(self.cluster, str):
+            raise res.CorruptArtifactError("table has no cluster name")
+        if not self.entries:
+            raise res.CorruptArtifactError(
+                f"table for {self.cluster} has no entries")
+        for coll, configs in self.entries.items():
+            if not configs:
+                raise res.CorruptArtifactError(
+                    f"table for {self.cluster} has an empty "
+                    f"{coll} section")
+            for (nodes, ppn), bps in configs.items():
+                if not bps:
+                    raise res.CorruptArtifactError(
+                        f"{coll} {nodes}x{ppn}: empty breakpoint list")
+                if nodes < 1 or ppn < 1:
+                    raise res.CorruptArtifactError(
+                        f"{coll}: invalid config {nodes}x{ppn}")
+                for size, algo in bps:
+                    if (isinstance(size, float)
+                            and not math.isfinite(size)) or size < 0:
+                        raise res.CorruptArtifactError(
+                            f"{coll} {nodes}x{ppn}: invalid message "
+                            f"size {size!r}")
+                    try:
+                        base.get_algorithm(coll, algo)
+                    except KeyError as exc:
+                        raise res.CorruptArtifactError(str(exc)) from None
 
     @staticmethod
     def _config_distance(a: tuple[int, int], b: tuple[int, int]) -> float:
@@ -119,38 +185,95 @@ class TuningTable:
                 + math.log2(a[1] / b[1]) ** 2)
 
     # -- (de)serialization (the paper's JSON artifact) -------------------
+    def _collectives_payload(self) -> dict:
+        return {
+            coll: {
+                f"{nodes}x{ppn}": [[s, a] for s, a in bps]
+                for (nodes, ppn), bps in sorted(configs.items())
+            }
+            for coll, configs in self.entries.items()
+        }
+
     def to_json(self) -> str:
+        collectives = self._collectives_payload()
         payload = {
+            "format": TABLE_FORMAT,
+            "version": TABLE_VERSION,
             "cluster": self.cluster,
-            "collectives": {
-                coll: {
-                    f"{nodes}x{ppn}": [[s, a] for s, a in bps]
-                    for (nodes, ppn), bps in sorted(configs.items())
-                }
-                for coll, configs in self.entries.items()
-            },
+            "crc32": _resilience().checksum_payload(collectives),
+            "collectives": collectives,
         }
         return json.dumps(payload, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "TuningTable":
-        payload = json.loads(text)
-        table = cls(cluster=payload["cluster"])
-        for coll, configs in payload["collectives"].items():
-            for key, bps in configs.items():
-                nodes, ppn = (int(x) for x in key.split("x"))
-                for max_size, algo in bps:
-                    table.add(coll, nodes, ppn, int(max_size), algo)
+        """Parse and *strictly validate* a persisted table.
+
+        Any problem surfaces as a typed
+        :class:`~repro.core.resilience.ArtifactError` — never a raw
+        ``KeyError`` / ``json.JSONDecodeError`` — so the compile-time
+        setup path can quarantine and fall back instead of crashing.
+        Tables written before checksums existed (no ``crc32`` /
+        ``version`` field) are accepted if structurally valid.
+        """
+        res = _resilience()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise res.CorruptArtifactError(
+                f"tuning table is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise res.CorruptArtifactError(
+                "tuning table payload is not a JSON object")
+        fmt = payload.get("format", TABLE_FORMAT)
+        if fmt != TABLE_FORMAT:
+            raise res.CorruptArtifactError(
+                f"not a tuning table (format {fmt!r})")
+        version = payload.get("version", TABLE_VERSION)
+        if version != TABLE_VERSION:
+            raise res.StaleArtifactError(
+                f"unsupported tuning-table version {version!r} "
+                f"(expected {TABLE_VERSION})")
+        cluster = payload.get("cluster")
+        collectives = payload.get("collectives")
+        if not isinstance(cluster, str) or not cluster \
+                or not isinstance(collectives, dict):
+            raise res.CorruptArtifactError(
+                "tuning table missing cluster name or collectives map")
+        stored_crc = payload.get("crc32")
+        if stored_crc is not None:
+            actual = res.checksum_payload(collectives)
+            if stored_crc != actual:
+                raise res.CorruptArtifactError(
+                    f"tuning table checksum mismatch: stored "
+                    f"{stored_crc}, computed {actual}")
+        table = cls(cluster=cluster)
+        try:
+            for coll, configs in collectives.items():
+                for key, bps in configs.items():
+                    nodes, ppn = (int(x) for x in key.split("x"))
+                    for max_size, algo in bps:
+                        table.add(coll, nodes, ppn, max_size, algo)
+        except (KeyError, ValueError, TypeError, AttributeError) as exc:
+            raise res.CorruptArtifactError(
+                f"invalid tuning-table entry: {exc}") from None
+        table.validate()
         return table
 
     def save(self, path: str | Path) -> Path:
-        path = Path(path)
-        path.write_text(self.to_json())
-        return path
+        """Atomic write: a crash mid-save never clobbers the old table."""
+        return _resilience().atomic_write_text(Path(path), self.to_json())
 
     @classmethod
     def load(cls, path: str | Path) -> "TuningTable":
-        return cls.from_json(Path(path).read_text())
+        try:
+            text = Path(path).read_text()
+        except FileNotFoundError:
+            raise
+        except (OSError, UnicodeDecodeError) as exc:
+            raise _resilience().CorruptArtifactError(
+                f"cannot read tuning table {path}: {exc}") from None
+        return cls.from_json(text)
 
 
 class TableSelector(AlgorithmSelector):

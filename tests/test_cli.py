@@ -94,6 +94,57 @@ class TestSweep:
         assert rc == 0
 
 
+class TestDoctor:
+    def test_clean_directory(self, bundle, tmp_path, capsys):
+        main(["tune", "RI", "--bundle", str(bundle),
+              "--table-dir", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(["doctor", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "0 problem(s)" in out
+
+    def test_flags_corrupt_and_quarantined(self, tmp_path, capsys):
+        (tmp_path / "bad.tuning.json").write_text("{nope")
+        (tmp_path / "old.tuning.json.corrupt").write_text("x")
+        rc = main(["doctor", str(tmp_path)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "corrupt" in out
+        assert "quarantined" in out
+
+    def test_empty_directory(self, tmp_path, capsys):
+        rc = main(["doctor", str(tmp_path)])
+        assert rc == 0
+        assert "no artifacts" in capsys.readouterr().out
+
+    def test_missing_directory(self, tmp_path, capsys):
+        rc = main(["doctor", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestFaultInjectionFlags:
+    def test_tune_with_faults_still_succeeds(self, bundle, tmp_path,
+                                             capsys):
+        rc = main(["tune", "RI", "--bundle", str(bundle),
+                   "--table-dir", str(tmp_path),
+                   "--fault-rate", "0.2", "--retries", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served via:" in out
+        assert (tmp_path / "RI.tuning.json").exists()
+
+    def test_collect_with_faults(self, tmp_path, capsys,
+                                 monkeypatch):
+        monkeypatch.setenv("PML_MPI_CACHE", str(tmp_path))
+        rc = main(["collect", "--clusters", "RI", "--quiet",
+                   "--collectives", "allgather",
+                   "--fault-rate", "0.2", "--retries", "8"])
+        assert rc == 0
+        assert "collected 42 records" in capsys.readouterr().out
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

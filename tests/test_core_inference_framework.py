@@ -107,14 +107,27 @@ class TestFramework:
         sel = fw.setup_cluster(spec, force_regenerate=True)
         assert isinstance(sel, TableSelector)
 
-    def test_wrong_cluster_table_rejected(self, selector, tmp_path):
+    def test_wrong_cluster_table_quarantined_and_regenerated(
+            self, selector, tmp_path):
+        """A table from another cluster must not brick compile-time
+        setup: it is quarantined and a fresh table is generated."""
+        from repro.core import RUNG_REGENERATED
+
         fw = PmlMpiFramework(selector, tmp_path)
         fw.setup_cluster(get_cluster("RI"))
         # Corrupt: rename RI's table to Ray's slot.
         fw.table_path("Ray").write_text(
             fw.table_path("RI").read_text())
-        with pytest.raises(ValueError, match="belongs to"):
-            fw.setup_cluster(get_cluster("Ray"))
+        sel = fw.setup_cluster(get_cluster("Ray"))
+        assert isinstance(sel, TableSelector)
+        assert sel.table.cluster == "Ray"
+        report = fw.last_report
+        assert report.rung == RUNG_REGENERATED
+        assert any("belongs to" in e for e in report.errors)
+        quarantined = [p for p in tmp_path.iterdir()
+                       if ".corrupt" in p.name]
+        assert len(quarantined) == 1
+        assert str(quarantined[0]) in report.quarantined
 
     def test_selector_consistency(self, selector, tmp_path):
         """Table lookups must reproduce direct model predictions on the

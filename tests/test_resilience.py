@@ -1,0 +1,591 @@
+"""Tests for the deployment resilience layer: typed artifact errors,
+atomic I/O, retry/backoff, the setup_cluster degradation ladder, fault
+injection, and the artifact doctor."""
+
+import gzip
+import json
+import threading
+
+import pytest
+
+from repro.core import (
+    RUNG_CACHED,
+    RUNG_FALLBACK,
+    RUNG_REGENERATED,
+    CorruptArtifactError,
+    FileLock,
+    LockTimeoutError,
+    PmlMpiFramework,
+    RetryPolicy,
+    StaleArtifactError,
+    TransientCollectionError,
+    TuningDataset,
+    collect_dataset,
+    doctor_directory,
+    load_selector,
+    offline_train,
+    save_selector,
+)
+from repro.core.framework import diagnose_artifact
+from repro.core.resilience import (
+    atomic_write_text,
+    checksum_payload,
+    quarantine,
+)
+from repro.hwmodel import get_cluster
+from repro.simcluster import Machine
+from repro.simcluster.conditions import FaultProfile
+from repro.smpi import TableSelector, TuningTable, algorithm_names
+from repro.smpi.heuristics import MvapichDefaultSelector
+
+#: Zero-delay retry policies keep the tests fast.
+FAST_RETRY = RetryPolicy(max_attempts=6, base_delay_s=0.0, jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def selector(mini_dataset):
+    return offline_train(mini_dataset)
+
+
+@pytest.fixture
+def framework(selector, tmp_path):
+    return PmlMpiFramework(selector, tmp_path, retry=FAST_RETRY)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_deterministic_jittered_backoff(self):
+        p = RetryPolicy(max_attempts=5, base_delay_s=0.1, backoff=2.0,
+                        jitter=0.25, max_delay_s=10.0, seed=7)
+        delays = [p.delay(k) for k in (1, 2, 3)]
+        assert delays == [p.delay(k) for k in (1, 2, 3)]  # seeded
+        # Exponential shape survives the +/-25% jitter.
+        assert delays[1] > delays[0] and delays[2] > delays[1]
+        for k, d in enumerate(delays, 1):
+            base = 0.1 * 2.0 ** (k - 1)
+            assert 0.75 * base <= d <= 1.25 * base
+
+    def test_delay_capped(self):
+        p = RetryPolicy(base_delay_s=1.0, backoff=10.0, jitter=0.0,
+                        max_delay_s=2.5)
+        assert p.delay(4) == 2.5
+
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientCollectionError("boom")
+            return "ok"
+
+        slept = []
+        result = RetryPolicy(max_attempts=4, base_delay_s=0.01,
+                             jitter=0.0).call(flaky, sleep=slept.append)
+        assert result == "ok"
+        assert len(calls) == 3
+        assert slept == pytest.approx([0.01, 0.02])
+
+    def test_exhaustion_reraises_last_error(self):
+        def always():
+            raise TransientCollectionError("still down")
+
+        attempts = []
+        with pytest.raises(TransientCollectionError, match="still down"):
+            RetryPolicy(max_attempts=3, base_delay_s=0.0).call(
+                always, on_retry=lambda n, e: attempts.append(n))
+        assert attempts == [1, 2, 3]
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            RetryPolicy(max_attempts=5, base_delay_s=0.0).call(broken)
+        assert len(calls) == 1
+
+    def test_cooperative_per_attempt_timeout(self):
+        import time
+
+        def slow():
+            time.sleep(0.03)
+            return "late"
+
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                             per_attempt_timeout_s=0.001)
+        with pytest.raises(TransientCollectionError, match="timeout"):
+            policy.call(slow)
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Atomic, checksummed writes
+# ---------------------------------------------------------------------------
+
+class TestAtomicWrites:
+    def test_simulated_midwrite_kill_table(self, selector, tmp_path,
+                                           monkeypatch):
+        """A kill between tmp-write and rename leaves the original
+        intact and the partial tmp file on disk for post-mortem."""
+        fw = PmlMpiFramework(selector, tmp_path)
+        spec = get_cluster("RI")
+        fw.setup_cluster(spec)
+        path = fw.table_path("RI")
+        before = path.read_text()
+
+        def kill(src, dst):
+            raise OSError("simulated kill before rename")
+
+        monkeypatch.setattr("repro.core.resilience.os.replace", kill)
+        table = TuningTable.load(path)
+        with pytest.raises(OSError, match="simulated kill"):
+            table.save(path)
+        assert path.read_text() == before  # original intact
+        tmps = list(tmp_path.glob("*.tmp"))
+        assert len(tmps) == 1  # partial write left for post-mortem
+
+    def test_simulated_midwrite_kill_dataset_and_bundle(
+            self, mini_dataset, selector, tmp_path, monkeypatch):
+        ds_path = mini_dataset.save(tmp_path / "ds.jsonl.gz")
+        bundle_path = save_selector(selector, tmp_path / "b.json")
+        ds_before = ds_path.read_bytes()
+        bundle_before = bundle_path.read_bytes()
+
+        monkeypatch.setattr(
+            "repro.core.resilience.os.replace",
+            lambda s, d: (_ for _ in ()).throw(OSError("killed")))
+        with pytest.raises(OSError):
+            mini_dataset.save(ds_path)
+        with pytest.raises(OSError):
+            save_selector(selector, bundle_path)
+        assert ds_path.read_bytes() == ds_before
+        assert bundle_path.read_bytes() == bundle_before
+        assert len(list(tmp_path.glob("*.tmp"))) == 2
+
+    def test_quarantine_never_overwrites(self, tmp_path):
+        for i in range(3):
+            f = tmp_path / "t.json"
+            f.write_text(f"garbage {i}")
+            quarantine(f)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["t.json.corrupt", "t.json.corrupt.1",
+                         "t.json.corrupt.2"]
+
+
+# ---------------------------------------------------------------------------
+# Corrupt-artifact matrix: each artifact kind x each failure mode
+# ---------------------------------------------------------------------------
+
+class TestCorruptArtifactMatrix:
+    def test_truncated_gzip_cache(self, mini_dataset, tmp_path):
+        path = mini_dataset.save(tmp_path / "ds.jsonl.gz")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) // 2])  # truncate mid-stream
+        with pytest.raises(CorruptArtifactError):
+            TuningDataset.load(path)
+
+    def test_non_gzip_cache(self, tmp_path):
+        path = tmp_path / "ds.jsonl.gz"
+        path.write_text("this was never gzip")
+        with pytest.raises(CorruptArtifactError):
+            TuningDataset.load(path)
+
+    def test_dataset_checksum_mismatch(self, mini_dataset, tmp_path):
+        path = mini_dataset.save(tmp_path / "ds.jsonl.gz")
+        with gzip.open(path, "rt") as fh:
+            lines = fh.readlines()
+        # Tamper with one record but keep the header checksum.
+        lines[1] = lines[1].replace('"nodes": ', '"nodes": 1 + 0 or ')
+        with gzip.open(path, "wt") as fh:
+            fh.writelines(lines)
+        with pytest.raises(CorruptArtifactError):
+            TuningDataset.load(path)
+
+    def test_dataset_wrong_version_is_stale(self, mini_dataset,
+                                            tmp_path):
+        path = mini_dataset.save(tmp_path / "ds.jsonl.gz")
+        with gzip.open(path, "rt") as fh:
+            lines = fh.readlines()
+        meta = json.loads(lines[0])
+        meta["__meta__"]["version"] = "0"
+        lines[0] = json.dumps(meta) + "\n"
+        with gzip.open(path, "wt") as fh:
+            fh.writelines(lines)
+        with pytest.raises(StaleArtifactError, match="version"):
+            TuningDataset.load(path)
+
+    def test_dataset_nonfinite_time_rejected(self, tmp_path):
+        lines = [json.dumps({
+            "cluster": "RI", "collective": "allgather", "nodes": 2,
+            "ppn": 4, "msg_size": 64,
+            "times": {"ring": float("nan")}}) + "\n"]
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.writelines(lines)
+        with pytest.raises(CorruptArtifactError, match="non-finite"):
+            TuningDataset.load(path)
+
+    def test_dataset_unknown_algorithm_rejected(self, tmp_path):
+        lines = [json.dumps({
+            "cluster": "RI", "collective": "allgather", "nodes": 2,
+            "ppn": 4, "msg_size": 64,
+            "times": {"quantum_teleport": 1e-5}}) + "\n"]
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.writelines(lines)
+        with pytest.raises(CorruptArtifactError, match="unknown algorithm"):
+            TuningDataset.load(path)
+
+    def test_corrupt_cache_quarantined_and_recollected(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        clusters = [get_cluster("RI")]
+        first = collect_dataset(clusters=clusters,
+                                collectives=("allgather",),
+                                cache_dir=cache_dir)
+        caches = list(cache_dir.glob("*.jsonl.gz"))
+        assert len(caches) == 1
+        caches[0].write_text("{definitely not gzip")
+        again = collect_dataset(clusters=clusters,
+                                collectives=("allgather",),
+                                cache_dir=cache_dir)
+        assert len(again) == len(first)
+        assert list(cache_dir.glob("*.corrupt"))  # evidence kept
+
+    def test_invalid_json_table(self, tmp_path):
+        path = tmp_path / "t.tuning.json"
+        path.write_text("{not json at all")
+        with pytest.raises(CorruptArtifactError, match="not valid JSON"):
+            TuningTable.load(path)
+
+    def test_table_checksum_mismatch(self, selector, tmp_path):
+        fw = PmlMpiFramework(selector, tmp_path)
+        fw.setup_cluster(get_cluster("RI"))
+        path = fw.table_path("RI")
+        payload = json.loads(path.read_text())
+        # Flip one decision without updating the checksum (silent
+        # bit-rot / manual edit).
+        coll = payload["collectives"]["allgather"]
+        key = next(iter(coll))
+        coll[key][0][1] = "ring" if coll[key][0][1] != "ring" else "bruck"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            TuningTable.load(path)
+
+    def test_table_wrong_version_is_stale(self, selector, tmp_path):
+        fw = PmlMpiFramework(selector, tmp_path)
+        fw.setup_cluster(get_cluster("RI"))
+        path = fw.table_path("RI")
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StaleArtifactError, match="version"):
+            TuningTable.load(path)
+
+    def test_table_unknown_algorithm(self, tmp_path):
+        collectives = {"allgather": {"2x8": [[1024, "quantum"]]}}
+        payload = {"format": "pml-mpi/tuning-table", "version": 1,
+                   "cluster": "RI",
+                   "crc32": checksum_payload(collectives),
+                   "collectives": collectives}
+        with pytest.raises(CorruptArtifactError):
+            TuningTable.from_json(json.dumps(payload))
+
+    def test_table_empty_entries_rejected(self):
+        payload = {"cluster": "RI", "collectives": {}}
+        with pytest.raises(CorruptArtifactError, match="no entries"):
+            TuningTable.from_json(json.dumps(payload))
+
+    def test_table_nan_and_negative_sizes_rejected(self):
+        for size in ("NaN", "-5"):
+            text = ('{"cluster": "RI", "collectives": {"allgather": '
+                    '{"2x8": [[%s, "ring"]]}}}' % size)
+            with pytest.raises(CorruptArtifactError):
+                TuningTable.from_json(text)
+
+    def test_wrong_version_bundle_is_stale(self, selector, tmp_path):
+        path = save_selector(selector, tmp_path / "b.json")
+        payload = json.loads(path.read_text())
+        payload["bundle_version"] = 0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StaleArtifactError, match="bundle version"):
+            load_selector(path)
+
+    def test_bundle_checksum_mismatch(self, selector, tmp_path):
+        path = save_selector(selector, tmp_path / "b.json")
+        payload = json.loads(path.read_text())
+        coll = next(iter(payload["models"]))
+        payload["models"][coll]["family"] = "tampered"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            load_selector(path)
+
+    def test_bundle_garbage_json(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("][")
+        with pytest.raises(CorruptArtifactError, match="not valid JSON"):
+            load_selector(path)
+
+
+# ---------------------------------------------------------------------------
+# Direct API validation (satellite: lookup/add reject nonsense)
+# ---------------------------------------------------------------------------
+
+class TestTableValidation:
+    def test_add_rejects_negative_and_nan_sizes(self):
+        table = TuningTable(cluster="X")
+        with pytest.raises(ValueError):
+            table.add("allgather", 2, 8, -1, "ring")
+        with pytest.raises(ValueError):
+            table.add("allgather", 2, 8, float("nan"), "ring")
+
+    def test_add_rejects_bad_shape(self):
+        table = TuningTable(cluster="X")
+        with pytest.raises(ValueError):
+            table.add("allgather", 0, 8, 64, "ring")
+
+    def test_lookup_rejects_empty_sections(self):
+        table = TuningTable(cluster="X")
+        table.entries["allgather"] = {}
+        with pytest.raises(ValueError, match="empty"):
+            table.lookup("allgather", 2, 8, 64)
+        table.entries["allgather"] = {(2, 8): []}
+        with pytest.raises(ValueError, match="breakpoints"):
+            table.lookup("allgather", 2, 8, 64)
+
+
+# ---------------------------------------------------------------------------
+# FileLock
+# ---------------------------------------------------------------------------
+
+class TestFileLock:
+    def test_exclusive_within_timeout(self, tmp_path):
+        lock = tmp_path / "x.lock"
+        with FileLock(lock):
+            other = FileLock(lock, timeout_s=0.05, poll_s=0.01)
+            with pytest.raises(LockTimeoutError, match="could not"):
+                other.acquire()
+        # Released: now acquirable.
+        with FileLock(lock, timeout_s=0.05):
+            pass
+
+    def test_concurrent_setups_serialize(self, selector, tmp_path):
+        """Two concurrent compile-time setups on one table_dir must
+        not race: both succeed and exactly one table file remains."""
+        spec = get_cluster("RI")
+        results, errors = [], []
+
+        def setup():
+            try:
+                fw = PmlMpiFramework(selector, tmp_path,
+                                     retry=FAST_RETRY)
+                results.append(fw.setup_cluster(spec))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=setup) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 2
+        for sel in results:
+            assert isinstance(sel, TableSelector)
+        assert len(list(tmp_path.glob("*.tuning.json"))) == 1
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+# ---------------------------------------------------------------------------
+# The degradation ladder
+# ---------------------------------------------------------------------------
+
+class TestDegradationLadder:
+    def test_rung1_valid_cached_table(self, framework):
+        spec = get_cluster("RI")
+        framework.setup_cluster(spec)
+        sel, report = framework.setup_cluster_with_report(spec)
+        assert isinstance(sel, TableSelector)
+        assert report.rung == RUNG_CACHED
+        assert report.healthy
+
+    def test_rung2_corrupt_table_regenerated(self, framework):
+        spec = get_cluster("RI")
+        framework.setup_cluster(spec)
+        path = framework.table_path("RI")
+        path.write_text("{broken json")
+        sel, report = framework.setup_cluster_with_report(spec)
+        assert isinstance(sel, TableSelector)
+        assert report.rung == RUNG_REGENERATED
+        assert len(report.quarantined) == 1
+        assert ".corrupt" in report.quarantined[0]
+        # The quarantined file still holds the original bytes.
+        from pathlib import Path
+        assert Path(report.quarantined[0]).read_text() == "{broken json"
+        # And a fresh, valid table exists again.
+        TuningTable.load(path).validate()
+
+    def test_rung2_transient_failures_retried(self, framework):
+        """A fault rate below certainty: regeneration succeeds after
+        retries, and the report counts the attempts."""
+        spec = get_cluster("Ray")
+        faults = FaultProfile(failure_rate=0.7, seed=3)
+        sel, report = framework.setup_cluster_with_report(
+            spec, faults=faults)
+        assert isinstance(sel, TableSelector)
+        assert report.rung == RUNG_REGENERATED
+        assert report.attempts >= 1
+
+    def test_rung3_heuristic_fallback(self, framework):
+        """Regeneration permanently failing must still hand the MPI
+        build a working selector."""
+        spec = get_cluster("RI")
+        faults = FaultProfile(failure_rate=1.0)
+        sel, report = framework.setup_cluster_with_report(
+            spec, faults=faults)
+        assert report.rung == RUNG_FALLBACK
+        assert isinstance(sel, MvapichDefaultSelector)
+        assert report.attempts == FAST_RETRY.max_attempts
+        machine = Machine(spec, 2, 4)
+        algo = sel.select("allgather", machine, 1024)
+        assert algo in algorithm_names("allgather")
+
+    def test_acceptance_scenario(self, framework, tmp_path):
+        """ISSUE acceptance: 20% transient-failure rate plus a
+        corrupted cached table -> still a working selector, the rung is
+        named, and doctor flags the quarantined file."""
+        spec = get_cluster("RI")
+        framework.setup_cluster(spec)
+        framework.table_path("RI").write_text('{"cluster": "RI"}')
+        faults = FaultProfile(failure_rate=0.2, seed=42)
+        sel, report = framework.setup_cluster_with_report(
+            spec, faults=faults)
+        assert isinstance(sel, TableSelector)
+        assert report.rung == RUNG_REGENERATED
+        assert report.quarantined
+        machine = Machine(spec, 2, 4)
+        assert sel.select("allgather", machine, 512) in \
+            algorithm_names("allgather")
+        doctor = doctor_directory(tmp_path)
+        statuses = {c.path: c.status for c in doctor.checks}
+        assert any(s == "quarantined" for s in statuses.values())
+
+    def test_force_regenerate_skips_cache(self, framework):
+        spec = get_cluster("RI")
+        framework.setup_cluster(spec)
+        _, report = framework.setup_cluster_with_report(
+            spec, force_regenerate=True)
+        assert report.rung == RUNG_REGENERATED
+
+
+# ---------------------------------------------------------------------------
+# Fault-injected collection end-to-end
+# ---------------------------------------------------------------------------
+
+class TestFaultInjectedCollection:
+    def test_20pct_faults_converge_to_clean_dataset(self):
+        clusters = [get_cluster("RI")]
+        clean = collect_dataset(clusters=clusters,
+                                collectives=("allgather",),
+                                use_cache=False)
+        faulty = collect_dataset(
+            clusters=clusters, collectives=("allgather",),
+            use_cache=False,
+            faults=FaultProfile(failure_rate=0.2, stall_rate=0.05,
+                                seed=1),
+            retry=RetryPolicy(max_attempts=8, base_delay_s=0.0,
+                              jitter=0.0))
+        assert len(faulty) == len(clean)
+        for a, b in zip(clean.records, faulty.records):
+            assert a == b  # retries re-measure; results converge
+
+    def test_certain_failure_drops_configs_without_crashing(self,
+                                                            capsys):
+        dataset = collect_dataset(
+            clusters=[get_cluster("RI")], collectives=("allgather",),
+            use_cache=False, progress=True,
+            faults=FaultProfile(failure_rate=1.0),
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                              jitter=0.0))
+        assert len(dataset) == 0
+        assert "dropped" in capsys.readouterr().out
+
+    def test_faulty_and_clean_caches_are_distinct(self, tmp_path):
+        clusters = [get_cluster("RI")]
+        collect_dataset(clusters=clusters, collectives=("allgather",),
+                        cache_dir=tmp_path)
+        collect_dataset(clusters=clusters, collectives=("allgather",),
+                        cache_dir=tmp_path,
+                        faults=FaultProfile(failure_rate=0.3),
+                        retry=FAST_RETRY)
+        assert len(list(tmp_path.glob("*.jsonl.gz"))) == 2
+
+
+# ---------------------------------------------------------------------------
+# Doctor
+# ---------------------------------------------------------------------------
+
+class TestDoctor:
+    @pytest.fixture
+    def artifact_dir(self, selector, mini_dataset, tmp_path):
+        fw = PmlMpiFramework(selector, tmp_path)
+        fw.setup_cluster(get_cluster("RI"))
+        save_selector(selector, tmp_path / "bundle.json")
+        mini_dataset.save(tmp_path / "ds.jsonl.gz")
+        return tmp_path
+
+    def test_all_valid(self, artifact_dir):
+        report = doctor_directory(artifact_dir)
+        assert report.healthy
+        kinds = sorted(c.kind for c in report.checks
+                       if c.kind != "lock")
+        assert kinds == ["bundle", "dataset-cache", "tuning-table"]
+
+    def test_flags_each_failure_mode(self, artifact_dir):
+        (artifact_dir / "broken.tuning.json").write_text("{nope")
+        (artifact_dir / "stale.json").write_text(json.dumps(
+            {"format": "pml-mpi/bundle", "bundle_version": 0,
+             "models": {}}))
+        (artifact_dir / "ds.jsonl.gz.1234.tmp").write_text("partial")
+        (artifact_dir / "old.tuning.json.corrupt").write_text("x")
+        report = doctor_directory(artifact_dir)
+        assert not report.healthy
+        by_name = {c.path.rsplit("/", 1)[-1]: c.status
+                   for c in report.checks}
+        assert by_name["broken.tuning.json"] == "corrupt"
+        assert by_name["stale.json"] == "stale"
+        assert by_name["ds.jsonl.gz.1234.tmp"] == "orphan-tmp"
+        assert by_name["old.tuning.json.corrupt"] == "quarantined"
+
+    def test_diagnose_unknown_file(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("hello")
+        assert diagnose_artifact(path).status == "unknown"
+
+
+# ---------------------------------------------------------------------------
+# Atomic helper round-trip
+# ---------------------------------------------------------------------------
+
+class TestAtomicHelpers:
+    def test_atomic_write_text_roundtrip(self, tmp_path):
+        path = tmp_path / "deep" / "a.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+        assert not list(path.parent.glob("*.tmp"))
+
+    def test_checksum_payload_stable_across_key_order(self):
+        assert checksum_payload({"a": 1, "b": 2}) == \
+            checksum_payload({"b": 2, "a": 1})

@@ -5,6 +5,8 @@ import pytest
 from repro.hwmodel import get_cluster
 from repro.simcluster import (
     CLEAN,
+    NO_FAULTS,
+    FaultProfile,
     Machine,
     NetworkConditions,
     apply_conditions,
@@ -90,3 +92,62 @@ class TestDegradedMachine:
         machine_with_conditions(machine,
                                 NetworkConditions(background_load=0.9))
         assert machine.params.beta_inter_Bps == before
+
+
+class TestFaultProfile:
+    def test_clean_baseline(self):
+        assert NO_FAULTS.is_clean
+        assert not NO_FAULTS.attempt_fails("any", "key", attempt=1)
+        assert not NO_FAULTS.attempt_stalls("any", "key", attempt=1)
+        assert NO_FAULTS.stall_multiplier("any", "key") == 1.0
+        assert not FaultProfile(failure_rate=0.5).is_clean
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_rate": -0.1},
+        {"failure_rate": 1.1},
+        {"stall_rate": 2.0},
+        {"stall_factor": 0.5},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultProfile(**kwargs)
+
+    def test_deterministic_per_key_and_attempt(self):
+        f = FaultProfile(failure_rate=0.5, seed=7)
+        first = [f.attempt_fails("RI", "allgather", k, attempt=1)
+                 for k in range(50)]
+        assert first == [f.attempt_fails("RI", "allgather", k, attempt=1)
+                         for k in range(50)]
+        assert any(first) and not all(first)  # rate, not certainty
+
+    def test_retry_gets_fresh_luck(self):
+        """The attempt number is part of the seed key, so a failed
+        attempt does not doom its retries."""
+        f = FaultProfile(failure_rate=0.5, seed=0)
+        outcomes = {f.attempt_fails("cfg", attempt=n)
+                    for n in range(1, 30)}
+        assert outcomes == {True, False}
+
+    def test_observed_rate_matches_configured(self):
+        f = FaultProfile(failure_rate=0.2, seed=3)
+        n = 2000
+        hits = sum(f.attempt_fails("k", i, attempt=1) for i in range(n))
+        assert 0.15 < hits / n < 0.25
+
+    def test_stall_multiplier_inflates(self):
+        f = FaultProfile(stall_rate=1.0, stall_factor=20.0, seed=1)
+        m = f.stall_multiplier("cfg", attempt=1)
+        assert m >= 20.0
+
+    def test_seed_changes_fault_pattern(self):
+        a = FaultProfile(failure_rate=0.5, seed=0)
+        b = FaultProfile(failure_rate=0.5, seed=1)
+        pa = [a.attempt_fails(i, attempt=1) for i in range(64)]
+        pb = [b.attempt_fails(i, attempt=1) for i in range(64)]
+        assert pa != pb
+
+    def test_cache_key_distinguishes_profiles(self):
+        assert FaultProfile(failure_rate=0.2).cache_key() != \
+            FaultProfile(failure_rate=0.3).cache_key()
+        assert FaultProfile(seed=0).cache_key() != \
+            FaultProfile(seed=1).cache_key()
