@@ -46,4 +46,31 @@ pml doctor "$workdir/tables" | tee "$workdir/doctor.out"
 grep -q "quarantined" "$workdir/doctor.out"
 pml doctor "$workdir" >/dev/null   # bundle + dataset also validate
 
+echo "== bench (quick) =="
+pml bench --quick --quiet --jobs 2 --output "$workdir/BENCH_results.json"
+python - "$workdir/BENCH_results.json" <<'EOF'
+import sys
+from repro.core.bench import validate_bench_file
+
+results = validate_bench_file(sys.argv[1])
+required = {"forest_fit_serial", "forest_fit_parallel",
+            "forest_predict_batch", "table_generation", "table_lookup"}
+missing = required - set(results)
+assert not missing, f"bench results missing {sorted(missing)}"
+assert results["forest_fit_parallel"]["config"][
+    "bit_identical_to_serial"], "parallel fit diverged from serial"
+
+# The validator must actually *fail* on schema-invalid output.
+try:
+    validate_bench_results = __import__(
+        "repro.core.bench", fromlist=["validate_bench_results"]
+    ).validate_bench_results
+    validate_bench_results({"broken": {"wall_s": -1, "config": {}}})
+except ValueError:
+    pass
+else:
+    raise AssertionError("schema validator accepted invalid output")
+print("bench schema OK")
+EOF
+
 echo "SMOKE OK"

@@ -19,6 +19,9 @@ build system:
 ``pml-mpi doctor``
     Validate every artifact (tables, bundles, dataset caches) in a
     directory and print the health report.
+``pml-mpi bench``
+    Time the hot paths (ensemble fit, batch predict, table
+    generation, table lookup) and write ``BENCH_results.json``.
 
 ``collect`` and ``tune`` accept fault-injection knobs
 (``--fault-rate``, ``--stall-rate``, ``--fault-seed``) and a retry
@@ -104,7 +107,7 @@ def cmd_train(args: argparse.Namespace) -> int:
               f"({len(dataset)} records)")
     selector = offline_train(dataset, family=args.family,
                              collectives=tuple(args.collectives),
-                             tune=args.tune)
+                             tune=args.tune, n_jobs=args.jobs)
     for coll, model in selector.models.items():
         print(f"{coll}: family={model.family} "
               f"features={model.feature_names}")
@@ -144,6 +147,19 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     print(f"\n{ok} ok, {bad} problem(s), {quarantined} quarantined "
           f"in {directory}")
     return 0 if bad == 0 else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .core.bench import run_benchmarks, write_bench_results
+
+    results = run_benchmarks(quick=args.quick, jobs=args.jobs,
+                             repeats=args.repeats, lookups=args.lookups,
+                             progress=not args.quiet)
+    path = write_bench_results(results, args.output)
+    for name, entry in results.items():
+        print(f"{name:<24} {entry['wall_s']:.4f} s")
+    print(f"results written to {path}")
+    return 0
 
 
 def cmd_select(args: argparse.Namespace) -> int:
@@ -248,6 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("rf", "gradientboost", "knn", "svm"))
     p.add_argument("--tune", action="store_true",
                    help="grid-search hyperparameters (slow)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for ensemble fitting / "
+                        "grid search (results are bit-identical to "
+                        "serial; -1 = all cores)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("tune", help="emit a cluster's tuning table")
@@ -264,6 +284,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("directory", type=Path,
                    help="directory of tables/bundles/dataset caches")
     p.set_defaults(func=cmd_doctor)
+
+    p = sub.add_parser(
+        "bench", help="time the hot paths, write BENCH_results.json")
+    p.add_argument("--output", type=Path,
+                   default=Path("BENCH_results.json"),
+                   help="results file (default BENCH_results.json)")
+    p.add_argument("--quick", action="store_true",
+                   help="small problem sizes for smoke tests / CI")
+    p.add_argument("--jobs", type=int, default=4, metavar="N",
+                   help="worker processes for the parallel-fit "
+                        "benchmark (default 4)")
+    p.add_argument("--repeats", type=int, default=3, metavar="N",
+                   help="timing repeats; best-of is reported "
+                        "(default 3; quick mode forces 1)")
+    p.add_argument("--lookups", type=int, default=None, metavar="N",
+                   help="table lookups to time (default 1000000, "
+                        "or 50000 with --quick)")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("select", help="query one algorithm choice")
     p.add_argument("cluster", choices=CLUSTER_NAMES)

@@ -1,0 +1,262 @@
+"""Reproducible micro-benchmark harness for the framework's hot paths.
+
+Times the four operations that dominate PML-MPI's end-to-end cost —
+ensemble training, batch inference, compile-time tuning-table
+generation, and runtime table lookup — and writes a machine-readable
+``BENCH_results.json`` with the schema::
+
+    { "<benchmark name>": {"wall_s": <float>, "config": {...}} }
+
+Each entry's ``config`` records the parameters that make the number
+interpretable (rows, trees, jobs, lookup counts, observed ratios), so
+two runs of the harness can be compared without reading the code.
+
+The harness never *asserts* speedups — on a single-core container a
+process pool is pure overhead — it records what it measured.  What it
+*does* verify is correctness: the parallel forest fit must produce
+bit-identical predictions and importances to the serial one, and the
+lookup benchmark records the per-lookup cost ratio between a small and
+a large table (near 1.0 when lookup is independent of stored-config
+count, as the bisect + memoized-nearest design guarantees).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..hwmodel.registry import get_cluster
+from ..smpi.collectives import base
+from ..smpi.tuning import TuningTable
+from .dataset import collect_dataset
+from .inference import generate_tuning_table
+from .resilience import atomic_write_text
+
+#: Runtime lookups timed against each table (the paper's O(1) claim).
+DEFAULT_LOOKUPS = 1_000_000
+#: Lookups in ``--quick`` mode (smoke tests, CI).
+QUICK_LOOKUPS = 50_000
+
+#: Cluster / collective the data-dependent benchmarks draw from; RI is
+#: the smallest campaign in the registry, so collection stays cheap.
+BENCH_CLUSTER = "RI"
+BENCH_COLLECTIVE = "allgather"
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall time over *repeats* calls (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_dataset():
+    return collect_dataset(clusters=[get_cluster(BENCH_CLUSTER)],
+                           collectives=(BENCH_COLLECTIVE,),
+                           use_cache=False)
+
+
+def _forest_benchmarks(X: np.ndarray, y: np.ndarray, jobs: int,
+                       repeats: int, n_estimators: int,
+                       predict_rows: int) -> dict[str, dict]:
+    from ..ml.forest import RandomForestClassifier
+
+    def fit(n_jobs):
+        rf = RandomForestClassifier(n_estimators=n_estimators,
+                                    random_state=0, n_jobs=n_jobs)
+        rf.fit(X, y)
+        return rf
+
+    serial_s = _best_of(lambda: fit(1), repeats)
+    parallel_s = _best_of(lambda: fit(jobs), repeats)
+
+    rf_serial, rf_parallel = fit(1), fit(jobs)
+    bit_identical = bool(
+        np.array_equal(rf_serial.predict(X), rf_parallel.predict(X))
+        and np.allclose(rf_serial.feature_importances_,
+                        rf_parallel.feature_importances_))
+
+    reps = max(1, -(-predict_rows // len(X)))  # ceil division
+    X_big = np.tile(X, (reps, 1))[:predict_rows]
+    predict_s = _best_of(lambda: rf_serial.predict(X_big), repeats)
+
+    base_cfg = {"n_estimators": n_estimators, "n_rows": int(len(X))}
+    return {
+        "forest_fit_serial": {
+            "wall_s": serial_s,
+            "config": {**base_cfg, "n_jobs": 1},
+        },
+        "forest_fit_parallel": {
+            "wall_s": parallel_s,
+            "config": {**base_cfg, "n_jobs": jobs,
+                       "bit_identical_to_serial": bit_identical,
+                       "speedup_vs_serial": serial_s / parallel_s
+                       if parallel_s > 0 else float("inf")},
+        },
+        "forest_predict_batch": {
+            "wall_s": predict_s,
+            "config": {**base_cfg, "predict_rows": int(len(X_big))},
+        },
+    }
+
+
+def _table_generation_benchmark(dataset, repeats: int,
+                                jobs: int) -> dict[str, dict]:
+    from .framework import offline_train
+
+    spec = get_cluster(BENCH_CLUSTER)
+    selector = offline_train(dataset, family="rf",
+                             collectives=(BENCH_COLLECTIVE,),
+                             n_jobs=jobs)
+    report = None
+
+    def gen():
+        nonlocal report
+        report = generate_tuning_table(selector, spec)
+
+    wall = _best_of(gen, repeats)
+    return {
+        "table_generation": {
+            "wall_s": wall,
+            "config": {"cluster": spec.name,
+                       "collective": BENCH_COLLECTIVE,
+                       "n_configs": report.n_configs},
+        },
+    }
+
+
+def _synthetic_table(n_nodes: int, n_ppn: int,
+                     n_breakpoints: int) -> TuningTable:
+    """A table with ``n_nodes * n_ppn`` configs of *n_breakpoints*
+    breakpoints each, cycling through real algorithm names."""
+    algos = sorted(base.algorithm_names(BENCH_COLLECTIVE))
+    table = TuningTable(cluster="bench")
+    for i in range(n_nodes):
+        for j in range(n_ppn):
+            nodes, ppn = 2 ** i, 2 ** j
+            for k in range(n_breakpoints):
+                table.add(BENCH_COLLECTIVE, nodes, ppn, 2 ** (k + 3),
+                          algos[(i + j + k) % len(algos)])
+    return table
+
+
+def _lookup_benchmark(lookups: int, repeats: int) -> dict[str, dict]:
+    small = _synthetic_table(2, 2, 8)        # 4 configs
+    large = _synthetic_table(16, 16, 32)     # 256 configs
+    # Query mix: exact hits, nearest-config misses, and a spread of
+    # message sizes (including past the last breakpoint).
+    rng = np.random.default_rng(0)
+    queries = [(int(2 ** rng.integers(0, 6)), int(2 ** rng.integers(0, 6)),
+                int(2 ** rng.integers(0, 40)))
+               for _ in range(512)]
+
+    def run(table: TuningTable) -> float:
+        table.lookup(BENCH_COLLECTIVE, 2, 2, 64)  # freeze outside timing
+        lookup = table.lookup
+        n_q = len(queries)
+
+        def body():
+            for i in range(lookups):
+                nodes, ppn, msg = queries[i % n_q]
+                lookup(BENCH_COLLECTIVE, nodes, ppn, msg)
+
+        return _best_of(body, repeats)
+
+    small_s, large_s = run(small), run(large)
+    small_cfgs = sum(len(c) for c in small.entries.values())
+    large_cfgs = sum(len(c) for c in large.entries.values())
+    return {
+        "table_lookup": {
+            "wall_s": large_s,
+            "config": {
+                "lookups": lookups,
+                "stored_configs": large_cfgs,
+                "small_table_configs": small_cfgs,
+                "small_table_wall_s": small_s,
+                # ~1.0 when lookup cost is independent of table size;
+                # would approach large_cfgs / small_cfgs (64x) if
+                # lookups scanned the stored configs linearly.
+                "per_lookup_ratio_large_vs_small":
+                    large_s / small_s if small_s > 0 else float("inf"),
+            },
+        },
+    }
+
+
+def run_benchmarks(quick: bool = False, jobs: int = 4, repeats: int = 3,
+                   lookups: int | None = None,
+                   progress: bool = False) -> dict[str, dict]:
+    """Run every benchmark; returns the results mapping."""
+    if lookups is None:
+        lookups = QUICK_LOOKUPS if quick else DEFAULT_LOOKUPS
+    n_estimators = 16 if quick else 100
+    predict_rows = 5_000 if quick else 50_000
+    repeats = max(1, repeats if not quick else 1)
+
+    def note(msg: str) -> None:
+        if progress:
+            print(f"[bench] {msg}")
+
+    note(f"collecting {BENCH_CLUSTER}/{BENCH_COLLECTIVE} dataset")
+    dataset = _bench_dataset()
+    sub = dataset.filter(collective=BENCH_COLLECTIVE)
+    X, y = sub.feature_matrix(), sub.labels()
+
+    results: dict[str, dict] = {}
+    note(f"forest fit/predict ({n_estimators} trees, jobs={jobs})")
+    results.update(_forest_benchmarks(X, y, jobs, repeats, n_estimators,
+                                      predict_rows))
+    note("tuning-table generation")
+    results.update(_table_generation_benchmark(dataset, repeats, jobs))
+    note(f"table lookup ({lookups} lookups)")
+    results.update(_lookup_benchmark(lookups, repeats))
+    return results
+
+
+def validate_bench_results(results: object) -> dict[str, dict]:
+    """Check the ``name -> {wall_s, config}`` schema; raises
+    ``ValueError`` with the offending entry on any violation."""
+    if not isinstance(results, dict) or not results:
+        raise ValueError("bench results must be a non-empty JSON object")
+    for name, entry in results.items():
+        if not isinstance(name, str):
+            raise ValueError(f"benchmark name {name!r} is not a string")
+        if not isinstance(entry, dict):
+            raise ValueError(f"{name}: entry is not an object")
+        extra = set(entry) - {"wall_s", "config"}
+        if extra or set(entry) != {"wall_s", "config"}:
+            raise ValueError(
+                f"{name}: entry keys {sorted(entry)} != "
+                f"['config', 'wall_s']")
+        wall = entry["wall_s"]
+        if isinstance(wall, bool) or not isinstance(wall, (int, float)) \
+                or not wall >= 0:
+            raise ValueError(f"{name}: wall_s {wall!r} is not a "
+                             f"non-negative number")
+        if not isinstance(entry["config"], dict):
+            raise ValueError(f"{name}: config is not an object")
+    return results
+
+
+def validate_bench_file(path: str | Path) -> dict[str, dict]:
+    """Load and schema-check a ``BENCH_results.json``."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bench results are not valid JSON: {exc}") \
+            from None
+    return validate_bench_results(payload)
+
+
+def write_bench_results(results: dict[str, dict],
+                        path: str | Path) -> Path:
+    """Validate and atomically write the results file."""
+    validate_bench_results(results)
+    return atomic_write_text(Path(path),
+                             json.dumps(results, indent=2) + "\n")

@@ -266,12 +266,25 @@ def _validate_record(r: CollectiveRecord, path: Path,
                 f"{t!r} for {algo}")
 
 
+#: Memoized feasibility grids: the same (cluster, collective) grid is
+#: re-derived by collection, the oracle, and the benchmark harness.
+_FEASIBLE_CACHE: dict[tuple, tuple[tuple[int, int, int], ...]] = {}
+
+
 def feasible_configs(spec: ClusterSpec, collective: str
                      ) -> list[tuple[int, int, int]]:
     """The (nodes, ppn, msg) grid of one cluster after feasibility
-    filtering (>= 2 ranks; buffers fit memory for every algorithm)."""
-    out = []
+    filtering (>= 2 ranks; buffers fit memory for every algorithm).
+
+    Memoized per (spec, collective, registered algorithms) — specs are
+    frozen dataclasses, so the grid is a pure function of the key."""
     algos = list(base.algorithms(collective).values())
+    cache_key = (spec, collective,
+                 tuple(sorted(base.algorithm_names(collective))))
+    cached = _FEASIBLE_CACHE.get(cache_key)
+    if cached is not None:
+        return list(cached)
+    out = []
     for nodes in spec.node_counts:
         for ppn in spec.ppn_values:
             p = nodes * ppn
@@ -282,6 +295,8 @@ def feasible_configs(spec: ClusterSpec, collective: str
                 need = max(a.buffer_bytes(p, msg) for a in algos)
                 if machine.fits_memory(need):
                     out.append((nodes, ppn, msg))
+    if len(_FEASIBLE_CACHE) < 4096:
+        _FEASIBLE_CACHE[cache_key] = tuple(out)
     return out
 
 

@@ -61,13 +61,17 @@ from .training import TrainedModel, train_model
 
 def offline_train(dataset: TuningDataset, family: str = "rf",
                   collectives: tuple[str, ...] = COLLECTIVES,
-                  tune: bool = False, seed: int = 0) -> PretrainedSelector:
-    """Train the shipped per-collective models (offline stage, Fig. 3)."""
+                  tune: bool = False, seed: int = 0,
+                  n_jobs: int | None = None) -> PretrainedSelector:
+    """Train the shipped per-collective models (offline stage, Fig. 3).
+
+    ``n_jobs`` fans ensemble fitting (and tuning) over a process pool;
+    results are bit-identical to a serial run."""
     models: dict[str, TrainedModel] = {}
     for collective in collectives:
         models[collective] = train_model(dataset, collective,
                                          family=family, tune=tune,
-                                         seed=seed)
+                                         seed=seed, n_jobs=n_jobs)
     return PretrainedSelector(models)
 
 

@@ -75,9 +75,15 @@ def generate_tuning_table(selector: PretrainedSelector, spec: ClusterSpec,
     """
     if collectives is None:
         collectives = tuple(selector.models)
-    node_counts = node_counts or spec.node_counts
-    ppn_values = ppn_values or spec.ppn_values
-    msg_sizes = msg_sizes or spec.msg_sizes
+    # `is None` (not truthiness): an explicitly-passed empty grid must
+    # raise "no valid configurations", never silently fall back to the
+    # cluster's full default grid.
+    if node_counts is None:
+        node_counts = spec.node_counts
+    if ppn_values is None:
+        ppn_values = spec.ppn_values
+    if msg_sizes is None:
+        msg_sizes = spec.msg_sizes
 
     t0 = time.perf_counter()
     table = TuningTable(cluster=spec.name)

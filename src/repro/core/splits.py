@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..ml.model_selection import rebalance_empty_side
 from .dataset import TuningDataset
 
 #: Default held-out clusters for the cluster split: ~30% of the records,
@@ -24,10 +25,18 @@ DEFAULT_HELDOUT_CLUSTERS = ("Frontera", "MRI", "Bebop", "Mayer", "LLNL")
 
 def random_split(dataset: TuningDataset, test_size: float = 0.3,
                  seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
-    """70/30 random split, stratified by label."""
+    """70/30 random split, stratified by label.
+
+    Both sides are guaranteed non-empty: when every per-class
+    ``round(len * test_size)`` collapses to 0 (or to the class size),
+    one record of the largest class moves to the starved side."""
     if not 0.0 < test_size < 1.0:
         raise ValueError("test_size must be in (0, 1)")
     labels = dataset.labels()
+    if len(labels) < 2:
+        raise ValueError(
+            f"cannot split {len(labels)} record(s) into non-empty "
+            f"train and test sides")
     rng = np.random.default_rng(seed)
     train_parts, test_parts = [], []
     for label in np.unique(labels):
@@ -35,6 +44,8 @@ def random_split(dataset: TuningDataset, test_size: float = 0.3,
         n_test = int(round(len(idx) * test_size))
         test_parts.append(idx[:n_test])
         train_parts.append(idx[n_test:])
+    train_parts, test_parts = rebalance_empty_side(train_parts,
+                                                   test_parts)
     return (np.sort(np.concatenate(train_parts)),
             np.sort(np.concatenate(test_parts)))
 

@@ -55,6 +55,9 @@ MODEL_FAMILIES: dict[str, tuple[type, dict[str, Any], dict[str, list]]] = {
 #: Families whose features must be standardized.
 SCALED_FAMILIES = frozenset({"knn", "svm"})
 
+#: Ensemble families whose fit accepts an ``n_jobs`` process-pool knob.
+PARALLEL_FAMILIES = frozenset({"rf", "gradientboost"})
+
 
 @dataclass
 class TrainedModel:
@@ -91,13 +94,15 @@ class TrainedModel:
 
 
 def rank_features(dataset: TuningDataset, collective: str,
-                  n_estimators: int = 100, seed: int = 0) -> np.ndarray:
+                  n_estimators: int = 100, seed: int = 0,
+                  n_jobs: int | None = None) -> np.ndarray:
     """Gini importances of all 14 features for one collective
     (Figs. 5-6), from a full-feature Random Forest."""
     sub = dataset.filter(collective=collective)
     if len(sub) == 0:
         raise ValueError(f"no {collective} records in dataset")
-    rf = RandomForestClassifier(n_estimators=n_estimators, random_state=seed)
+    rf = RandomForestClassifier(n_estimators=n_estimators,
+                                random_state=seed, n_jobs=n_jobs)
     rf.fit(sub.feature_matrix(), sub.labels())
     return rf.feature_importances_
 
@@ -114,11 +119,14 @@ def train_model(dataset: TuningDataset, collective: str,
                 family: str = "rf", top_k: int = DEFAULT_TOP_K,
                 tune: bool = False, cv: int = 3,
                 feature_names: tuple[str, ...] | None = None,
-                seed: int = 0) -> TrainedModel:
+                seed: int = 0, n_jobs: int | None = None) -> TrainedModel:
     """Fit one selector model on the training dataset.
 
     ``feature_names=None`` runs the paper's top-k selection; pass an
     explicit tuple to bypass it (used by the ablation benchmarks).
+    ``n_jobs`` parallelizes ensemble fitting (and, when ``tune`` is
+    set, candidate evaluation in the grid search) without changing any
+    result — see :mod:`repro.ml.parallel`.
     """
     if family not in MODEL_FAMILIES:
         raise ValueError(
@@ -132,7 +140,8 @@ def train_model(dataset: TuningDataset, collective: str,
 
     importances = None
     if feature_names is None:
-        importances = rank_features(dataset, collective, seed=seed)
+        importances = rank_features(dataset, collective, seed=seed,
+                                    n_jobs=n_jobs)
         feature_names = select_top_k(importances, top_k)
     idx = feature_indices(feature_names)
     X = X_full[:, idx]
@@ -144,16 +153,22 @@ def train_model(dataset: TuningDataset, collective: str,
 
     cls, defaults, grid = MODEL_FAMILIES[family]
     if tune:
+        # The search owns the workers (one candidate per task); the
+        # estimators stay serial inside it to avoid nested pools.
         search = GridSearchCV(cls(**defaults), grid, scoring="auc",
-                              cv=cv, random_state=seed)
+                              cv=cv, random_state=seed, n_jobs=n_jobs)
         search.fit(X, y)
         model = search.best_estimator_
         meta = {"tuned": True, "best_params": search.best_params_,
                 "cv_auc": search.best_score_}
     else:
+        defaults = dict(defaults)
+        if family in PARALLEL_FAMILIES:
+            defaults["n_jobs"] = n_jobs
         model = cls(**defaults)
         model.fit(X, y)
         meta = {"tuned": False}
+    meta["n_jobs"] = n_jobs
 
     return TrainedModel(collective=collective, family=family, model=model,
                         feature_names=tuple(feature_names), scaler=scaler,
@@ -162,14 +177,14 @@ def train_model(dataset: TuningDataset, collective: str,
 
 def compare_models(train: TuningDataset, test: TuningDataset,
                    collective: str, families: tuple[str, ...] | None = None,
-                   tune: bool = True, seed: int = 0
-                   ) -> dict[str, float]:
+                   tune: bool = True, seed: int = 0,
+                   n_jobs: int | None = None) -> dict[str, float]:
     """Test accuracy per model family after tuning — Table II."""
     if families is None:
         families = tuple(MODEL_FAMILIES)
     out: dict[str, float] = {}
     for family in families:
         model = train_model(train, collective, family=family, tune=tune,
-                            seed=seed)
+                            seed=seed, n_jobs=n_jobs)
         out[family] = model.accuracy(test)
     return out

@@ -9,8 +9,11 @@ paper's Table II model comparison.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 
+from .parallel import resolve_n_jobs
 from .tree import DecisionTreeRegressor
 
 
@@ -20,23 +23,52 @@ def _softmax(F: np.ndarray) -> np.ndarray:
     return e / e.sum(axis=1, keepdims=True)
 
 
+def _fit_class_tree(payload: tuple
+                    ) -> tuple[DecisionTreeRegressor, np.ndarray]:
+    """Fit one class's weak learner of one boosting round and return
+    ``(tree, per-sample score update)``.  Module-level so the process
+    pool can pickle it; classes within a round are independent, so the
+    result is identical however the K fits are scheduled."""
+    X, sub, residual_k, seed, K, max_depth, min_samples_leaf = payload
+    tree = DecisionTreeRegressor(
+        max_depth=max_depth, min_samples_leaf=min_samples_leaf,
+        random_state=seed)
+    tree.fit(X[sub], residual_k[sub])
+    # Newton leaf update on the full sample: gamma =
+    # (K-1)/K * sum(r) / sum(|r|(1-|r|)) per leaf.
+    leaves = tree.apply(X)
+    hess_term = np.abs(residual_k) * (1.0 - np.abs(residual_k))
+    num = np.bincount(leaves, weights=residual_k,
+                      minlength=tree.node_count)
+    den = np.bincount(leaves, weights=hess_term,
+                      minlength=tree.node_count)
+    gamma = np.zeros(tree.node_count)
+    nz = den > 1e-12
+    gamma[nz] = (K - 1) / K * num[nz] / den[nz]
+    tree.values_ = gamma[:, None]
+    return tree, gamma[leaves]
+
+
 class GradientBoostingClassifier:
     """K-class gradient boosting with multinomial deviance loss."""
 
     def __init__(self, n_estimators: int = 100, learning_rate: float = 0.1,
                  max_depth: int = 3, min_samples_leaf: int = 1,
                  subsample: float = 1.0,
-                 random_state: int | None = None) -> None:
+                 random_state: int | None = None,
+                 n_jobs: int | None = None) -> None:
         if not 0 < subsample <= 1.0:
             raise ValueError("subsample must be in (0, 1]")
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
+        resolve_n_jobs(n_jobs)  # validate eagerly
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.subsample = subsample
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def get_params(self) -> dict:
         return {
@@ -46,6 +78,7 @@ class GradientBoostingClassifier:
             "min_samples_leaf": self.min_samples_leaf,
             "subsample": self.subsample,
             "random_state": self.random_state,
+            "n_jobs": self.n_jobs,
         }
 
     def fit(self, X: np.ndarray,
@@ -67,39 +100,38 @@ class GradientBoostingClassifier:
         F = np.tile(self.init_score_, (n, 1))
 
         self.estimators_: list[list[DecisionTreeRegressor]] = []
-        for _ in range(self.n_estimators):
-            proba = _softmax(F)
-            residual = onehot - proba
-            if self.subsample < 1.0:
-                sub = rng.random(n) < self.subsample
-                if not np.any(sub):
-                    sub[rng.integers(n)] = True
-            else:
-                sub = np.ones(n, dtype=bool)
-            stage: list[DecisionTreeRegressor] = []
-            for k in range(K):
-                tree = DecisionTreeRegressor(
-                    max_depth=self.max_depth,
-                    min_samples_leaf=self.min_samples_leaf,
-                    random_state=int(rng.integers(2**31)),
-                )
-                tree.fit(X[sub], residual[sub, k])
-                # Newton leaf update on the full sample: gamma =
-                # (K-1)/K * sum(r) / sum(|r|(1-|r|)) per leaf.
-                leaves = tree.apply(X)
-                r = residual[:, k]
-                hess_term = np.abs(r) * (1.0 - np.abs(r))
-                num = np.bincount(leaves, weights=r,
-                                  minlength=tree.node_count)
-                den = np.bincount(leaves, weights=hess_term,
-                                  minlength=tree.node_count)
-                gamma = np.zeros(tree.node_count)
-                nz = den > 1e-12
-                gamma[nz] = (K - 1) / K * num[nz] / den[nz]
-                tree.values_ = gamma[:, None]
-                F[:, k] += self.learning_rate * gamma[leaves]
-                stage.append(tree)
-            self.estimators_.append(stage)
+        jobs = resolve_n_jobs(self.n_jobs)
+        pool = (ProcessPoolExecutor(max_workers=min(jobs, K))
+                if jobs > 1 and K > 1 else None)
+        try:
+            for _ in range(self.n_estimators):
+                proba = _softmax(F)
+                residual = onehot - proba
+                if self.subsample < 1.0:
+                    sub = rng.random(n) < self.subsample
+                    if not np.any(sub):
+                        sub[rng.integers(n)] = True
+                else:
+                    sub = np.ones(n, dtype=bool)
+                # Per-class seeds pre-drawn in serial order, so pooled
+                # rounds are bit-identical to serial ones.
+                payloads = [
+                    (X, sub, residual[:, k], int(rng.integers(2**31)),
+                     K, self.max_depth, self.min_samples_leaf)
+                    for k in range(K)
+                ]
+                if pool is None:
+                    results = [_fit_class_tree(p) for p in payloads]
+                else:
+                    results = list(pool.map(_fit_class_tree, payloads))
+                stage: list[DecisionTreeRegressor] = []
+                for k, (tree, update) in enumerate(results):
+                    F[:, k] += self.learning_rate * update
+                    stage.append(tree)
+                self.estimators_.append(stage)
+        finally:
+            if pool is not None:
+                pool.shutdown()
         self.n_features_in_ = X.shape[1]
         return self
 

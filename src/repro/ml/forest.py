@@ -5,13 +5,30 @@ Bootstrap-sampled CART trees with per-node random feature subsets
 mean of the per-tree normalized accumulated Gini decreases — exactly the
 definition the paper uses to rank hardware and MPI features (Section
 V-A, Figs. 5-6).
+
+``n_jobs`` fans tree fitting over a process pool.  Every per-tree
+bootstrap sample and RNG seed is pre-drawn from the master RNG in
+serial order, so parallel fits are bit-identical to serial ones (same
+trees, same predictions, same importances).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .parallel import chunk_evenly, parallel_map, resolve_n_jobs
 from .tree import DecisionTreeClassifier
+
+
+def _fit_tree_chunk(payload: tuple) -> list[DecisionTreeClassifier]:
+    """Fit one worker's share of trees (module-level for pickling)."""
+    X, y_enc, params, draws = payload
+    trees = []
+    for idx, seed in draws:
+        tree = DecisionTreeClassifier(random_state=seed, **params)
+        tree.fit(X[idx], y_enc[idx])
+        trees.append(tree)
+    return trees
 
 
 class RandomForestClassifier:
@@ -22,9 +39,11 @@ class RandomForestClassifier:
                  min_samples_split: int = 2, min_samples_leaf: int = 1,
                  max_features: int | str | None = "sqrt",
                  bootstrap: bool = True,
-                 random_state: int | None = None) -> None:
+                 random_state: int | None = None,
+                 n_jobs: int | None = None) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
+        resolve_n_jobs(n_jobs)  # validate eagerly
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
@@ -32,6 +51,7 @@ class RandomForestClassifier:
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def get_params(self) -> dict:
         return {
@@ -42,6 +62,7 @@ class RandomForestClassifier:
             "max_features": self.max_features,
             "bootstrap": self.bootstrap,
             "random_state": self.random_state,
+            "n_jobs": self.n_jobs,
         }
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
@@ -52,20 +73,28 @@ class RandomForestClassifier:
         self.classes_, y_enc = np.unique(y, return_inverse=True)
         rng = np.random.default_rng(self.random_state)
         n = len(X)
-        self.estimators_: list[DecisionTreeClassifier] = []
-        importances = np.zeros(X.shape[1])
+        # Pre-draw every bootstrap sample and tree seed in serial order:
+        # the dispatch below (serial or pooled) cannot change them.
+        draws = []
         for _ in range(self.n_estimators):
             idx = (rng.integers(0, n, size=n) if self.bootstrap
                    else np.arange(n))
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                random_state=int(rng.integers(2**31)),
-            )
-            # Fit on encoded labels so every tree shares the class axis.
-            tree.fit(X[idx], y_enc[idx])
+            draws.append((idx, int(rng.integers(2**31))))
+        params = {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+        jobs = resolve_n_jobs(self.n_jobs)
+        chunks = chunk_evenly(draws, jobs)
+        fitted = parallel_map(
+            _fit_tree_chunk,
+            [(X, y_enc, params, chunk) for chunk in chunks],
+            self.n_jobs)
+        self.estimators_: list[DecisionTreeClassifier] = []
+        importances = np.zeros(X.shape[1])
+        for tree in (t for chunk in fitted for t in chunk):
             # Re-map tree classes onto the full class set: trees see the
             # encoded labels present in their bootstrap sample only.
             if len(tree.classes_) != len(self.classes_):

@@ -14,6 +14,28 @@ from typing import Any, Iterator
 import numpy as np
 
 from .metrics import accuracy_score, roc_auc_score
+from .parallel import parallel_map
+
+
+def rebalance_empty_side(train_parts: list[np.ndarray],
+                         test_parts: list[np.ndarray]
+                         ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    """Guarantee both sides of a stratified split are non-empty.
+
+    Per-class ``round(len * test_size)`` can be 0 (or ``len``) for
+    *every* class, leaving one side empty.  Move one record out of the
+    largest class on the full side — deterministic, and the least
+    disturbance to the class proportions.
+    """
+    if sum(len(p) for p in test_parts) == 0:
+        big = int(np.argmax([len(p) for p in train_parts]))
+        test_parts[big] = train_parts[big][:1]
+        train_parts[big] = train_parts[big][1:]
+    if sum(len(p) for p in train_parts) == 0:
+        big = int(np.argmax([len(p) for p in test_parts]))
+        train_parts[big] = test_parts[big][:1]
+        test_parts[big] = test_parts[big][1:]
+    return train_parts, test_parts
 
 
 def train_test_split(X: np.ndarray, y: np.ndarray, test_size: float = 0.3,
@@ -22,18 +44,23 @@ def train_test_split(X: np.ndarray, y: np.ndarray, test_size: float = 0.3,
                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
                                 np.ndarray]:
     """Random (optionally stratified) split; returns
-    X_train, X_test, y_train, y_test."""
+    X_train, X_test, y_train, y_test.  Both sides are guaranteed
+    non-empty (needs at least 2 samples)."""
     X = np.asarray(X)
     y = np.asarray(y)
     if len(X) != len(y):
         raise ValueError("X and y must have the same length")
     if not 0.0 < test_size < 1.0:
         raise ValueError("test_size must be in (0, 1)")
-    rng = np.random.default_rng(random_state)
     n = len(X)
+    if n < 2:
+        raise ValueError(
+            f"cannot split {n} sample(s) into non-empty train and "
+            f"test sides")
+    rng = np.random.default_rng(random_state)
     if stratify is None:
         perm = rng.permutation(n)
-        n_test = max(1, int(round(n * test_size)))
+        n_test = min(n - 1, max(1, int(round(n * test_size))))
         test_idx, train_idx = perm[:n_test], perm[n_test:]
     else:
         stratify = np.asarray(stratify)
@@ -43,6 +70,8 @@ def train_test_split(X: np.ndarray, y: np.ndarray, test_size: float = 0.3,
             n_test = int(round(len(idx) * test_size))
             test_parts.append(idx[:n_test])
             train_parts.append(idx[n_test:])
+        train_parts, test_parts = rebalance_empty_side(train_parts,
+                                                       test_parts)
         test_idx = np.concatenate(test_parts)
         train_idx = np.concatenate(train_parts)
     return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
@@ -136,17 +165,28 @@ class GridSearchResult:
     fold_scores: np.ndarray
 
 
+def _evaluate_candidate(payload: tuple) -> np.ndarray:
+    """CV-score one hyperparameter combination (module-level so the
+    grid-search process pool can pickle it)."""
+    estimator, params, X, y, cv, scoring, random_state = payload
+    return cross_val_score(_clone(estimator, **params), X, y, cv=cv,
+                           scoring=scoring, random_state=random_state)
+
+
 class GridSearchCV:
     """Exhaustive hyperparameter search with stratified CV.
 
     After ``fit``, exposes ``best_params_``, ``best_score_``,
     ``best_estimator_`` (refitted on the full data) and the full
-    ``results_`` list.
+    ``results_`` list.  ``n_jobs`` fans candidate evaluation over a
+    process pool; candidates are scored independently with fixed fold
+    seeds, so the selected model is identical at any worker count.
     """
 
     def __init__(self, estimator: Any, param_grid: dict[str, list],
                  scoring: str = "auc", cv: int = 5,
-                 random_state: int | None = 0) -> None:
+                 random_state: int | None = 0,
+                 n_jobs: int | None = None) -> None:
         if not param_grid:
             raise ValueError("param_grid must not be empty")
         self.estimator = estimator
@@ -154,6 +194,7 @@ class GridSearchCV:
         self.scoring = scoring
         self.cv = cv
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def _candidates(self) -> Iterator[dict[str, Any]]:
         keys = sorted(self.param_grid)
@@ -163,12 +204,15 @@ class GridSearchCV:
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
         X = np.asarray(X)
         y = np.asarray(y)
+        candidates = list(self._candidates())
+        fold_scores = parallel_map(
+            _evaluate_candidate,
+            [(self.estimator, params, X, y, self.cv, self.scoring,
+              self.random_state) for params in candidates],
+            self.n_jobs)
         self.results_: list[GridSearchResult] = []
         best: GridSearchResult | None = None
-        for params in self._candidates():
-            scores = cross_val_score(
-                _clone(self.estimator, **params), X, y, cv=self.cv,
-                scoring=self.scoring, random_state=self.random_state)
+        for params, scores in zip(candidates, fold_scores):
             result = GridSearchResult(params, float(scores.mean()), scores)
             self.results_.append(result)
             if best is None or result.mean_score > best.mean_score:

@@ -1,0 +1,58 @@
+"""Process-pool parallelism for the ensemble trainers.
+
+The estimators in this package are pure NumPy, so Python's GIL makes
+thread pools useless for tree fitting; a process pool is the only way
+to use more than one core.  Determinism is preserved by *pre-drawing*
+every per-task seed from the master RNG in serial order before any
+work is dispatched — parallel results are bit-identical to serial.
+
+Worker functions handed to :func:`parallel_map` must be module-level
+(picklable).  ``n_jobs`` follows the scikit-learn convention:
+``None``/``1`` serial, ``-1`` one worker per CPU, ``k > 1`` exactly
+*k* workers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob to a concrete worker count."""
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if not isinstance(n_jobs, int) or isinstance(n_jobs, bool) \
+            or n_jobs < 1:
+        raise ValueError(
+            f"n_jobs must be a positive int, -1, or None; got {n_jobs!r}")
+    return n_jobs
+
+
+def chunk_evenly(items: Sequence[Any], n_chunks: int) -> list[list[Any]]:
+    """Split *items* into at most *n_chunks* contiguous, near-equal
+    chunks (never returns empty chunks)."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    size, extra = divmod(len(items), n_chunks)
+    chunks, start = [], 0
+    for i in range(n_chunks):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(list(items[start:end]))
+        start = end
+    return chunks
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
+                 n_jobs: int | None) -> list[Any]:
+    """``[fn(x) for x in items]``, fanned over a process pool when
+    ``n_jobs`` allows it.  Results are returned in input order, so the
+    caller sees identical output regardless of worker count."""
+    jobs = resolve_n_jobs(n_jobs)
+    items = list(items)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))

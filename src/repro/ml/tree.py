@@ -146,14 +146,16 @@ class _TreeBase:
                 f"expected (n, {self.n_features_in_}) input, "
                 f"got {X.shape}")
         node = np.zeros(len(X), dtype=np.int64)
-        active = self.feature_[node] != _LEAF
-        while np.any(active):
-            cur = node[active]
-            go_left = (X[active, self.feature_[cur]]
+        # Track only rows still descending: the working set shrinks as
+        # rows reach leaves instead of rescanning every row per level.
+        rows = np.flatnonzero(self.feature_[node] != _LEAF)
+        while len(rows):
+            cur = node[rows]
+            go_left = (X[rows, self.feature_[cur]]
                        <= self.threshold_[cur])
-            node[active] = np.where(go_left, self.left_[cur],
-                                    self.right_[cur])
-            active = self.feature_[node] != _LEAF
+            nxt = np.where(go_left, self.left_[cur], self.right_[cur])
+            node[rows] = nxt
+            rows = rows[self.feature_[nxt] != _LEAF]
         return node
 
     @property

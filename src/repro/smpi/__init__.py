@@ -26,6 +26,7 @@ from .tuning import (
     TableSelector,
     TuningTable,
     build_oracle_table,
+    clear_measurement_cache,
     measured_time,
 )
 
@@ -48,6 +49,7 @@ __all__ = [
     "algorithm_names",
     "algorithms",
     "build_oracle_table",
+    "clear_measurement_cache",
     "execute",
     "get_algorithm",
     "measured_time",

@@ -15,10 +15,10 @@ the oracle, and the OMB-style microbenchmark all share it.
 
 from __future__ import annotations
 
+import bisect
 import json
 import math
 import zlib
-from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -37,6 +37,16 @@ DEFAULT_ITERATIONS = 10
 TABLE_FORMAT = "pml-mpi/tuning-table"
 TABLE_VERSION = 1
 
+#: Memoized measurements (the simulator is deterministic, so a repeated
+#: configuration never needs re-measuring).  Bounded; cleared wholesale
+#: on overflow — entries are cheap to recompute.
+_MEASURE_CACHE: dict[tuple, float] = {}
+_MEASURE_CACHE_MAX = 1 << 20
+
+#: Cap on the per-table nearest-config memo (distinct *queried* job
+#: shapes, not stored configs).
+_NEAREST_CACHE_MAX = 1 << 16
+
 
 def _resilience():
     """Lazy import: ``repro.core`` imports this module at package-init
@@ -50,20 +60,41 @@ def _config_seed(*parts: object) -> int:
     return zlib.crc32("|".join(str(p) for p in parts).encode())
 
 
+def clear_measurement_cache() -> None:
+    """Drop every memoized :func:`measured_time` result."""
+    _MEASURE_CACHE.clear()
+
+
 def measured_time(machine: Machine, collective: str, algo_name: str,
                   msg_size: int, iterations: int = DEFAULT_ITERATIONS,
                   noise: bool = True) -> float:
     """Average measured runtime (seconds) of one algorithm at one
-    configuration, reproducing an OMB-style timing loop."""
+    configuration, reproducing an OMB-style timing loop.
+
+    Measurements are pure functions of the configuration (the noise is
+    seeded by it), so results are memoized — the oracle and dataset
+    collection hit each configuration many times."""
+    # ``machine.params`` must be part of the key: degraded machines
+    # (congestion / latency jitter) share spec/nodes/ppn with the clean
+    # allocation but price schedules differently.
+    key = (machine.spec, machine.params, collective, algo_name,
+           machine.nodes, machine.ppn, msg_size, iterations, noise)
+    try:
+        return _MEASURE_CACHE[key]
+    except KeyError:
+        pass
     algo = base.get_algorithm(collective, algo_name)
     t = algo.estimate(machine, msg_size)
-    if not noise:
-        return t
-    seed = _config_seed(machine.spec.name, collective, algo_name,
-                        machine.nodes, machine.ppn, msg_size)
-    rng = np.random.default_rng(seed)
-    factors = np.exp(rng.normal(0.0, NOISE_SIGMA, size=iterations))
-    return t * float(factors.mean())
+    if noise:
+        seed = _config_seed(machine.spec.name, collective, algo_name,
+                            machine.nodes, machine.ppn, msg_size)
+        rng = np.random.default_rng(seed)
+        factors = np.exp(rng.normal(0.0, NOISE_SIGMA, size=iterations))
+        t = t * float(factors.mean())
+    if len(_MEASURE_CACHE) >= _MEASURE_CACHE_MAX:
+        _MEASURE_CACHE.clear()
+    _MEASURE_CACHE[key] = t
+    return t
 
 
 class OracleSelector(AlgorithmSelector):
@@ -84,23 +115,79 @@ class OracleSelector(AlgorithmSelector):
         return min(times, key=times.__getitem__)
 
 
-@dataclass
 class TuningTable:
     """Per-cluster lookup table: (collective, nodes, ppn) -> breakpoints.
 
-    ``entries[collective][(nodes, ppn)]`` is a sorted list of
+    ``entries[collective][(nodes, ppn)]`` is a list of
     ``(max_msg_size, algorithm)`` pairs; a lookup takes the first
     breakpoint whose ``max_msg_size`` is >= the requested size (or the
     last entry for larger messages).
+
+    Hot-path layout: ``add`` is O(1) amortized (append + dirty flag,
+    duplicates replaced last-write-wins); the first lookup after a
+    mutation freezes the table — one sort per config plus a log-space
+    config index — after which each lookup is an O(log b) bisect over
+    the breakpoints, with nearest-config resolution memoized per
+    queried job shape (amortized O(1)).  Ties in the log-space config
+    distance break deterministically toward the smallest
+    ``(nodes, ppn)``.  Touching ``entries`` directly conservatively
+    invalidates the frozen index, so external mutation stays safe.
     """
 
-    cluster: str
-    entries: dict[str, dict[tuple[int, int], list[tuple[int, str]]]] = \
-        field(default_factory=dict)
+    def __init__(self, cluster: str,
+                 entries: dict[str, dict[tuple[int, int],
+                                         list[tuple[int, str]]]]
+                 | None = None) -> None:
+        self.cluster = cluster
+        self._entries = entries if entries is not None else {}
+        self._dirty = True
+        #: collective -> {(nodes, ppn): (sorted sizes, algorithms)}
+        self._index: dict[str, dict[tuple[int, int],
+                                    tuple[list[int], list[str]]]] = {}
+        #: collective -> (sorted config keys, log2 nodes, log2 ppn)
+        self._config_index: dict[str, tuple[list[tuple[int, int]],
+                                            np.ndarray, np.ndarray]] = {}
+        #: (collective, nodes, ppn) -> chosen config key
+        self._nearest: dict[tuple[str, int, int], tuple[int, int]] = {}
+        #: (collective, key) -> position of each size in the entries
+        #: list, so replace-on-duplicate needs no scan.
+        self._positions: dict[tuple[str, tuple[int, int]],
+                              dict[int, int]] = {}
+
+    def __repr__(self) -> str:
+        n = sum(len(bps) for cfgs in self._entries.values()
+                for bps in cfgs.values())
+        return (f"TuningTable(cluster={self.cluster!r}, "
+                f"collectives={sorted(self._entries)}, "
+                f"breakpoints={n})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TuningTable):
+            return NotImplemented
+        return (self.cluster == other.cluster
+                and self._entries == other._entries)
+
+    @property
+    def entries(self) -> dict:
+        """The raw breakpoint store.  Any access may mutate the nested
+        dicts, so the frozen lookup index and the replace-on-duplicate
+        position map are conservatively invalidated."""
+        self._dirty = True
+        self._positions = {}
+        return self._entries
+
+    @entries.setter
+    def entries(self, value: dict) -> None:
+        self._entries = value
+        self._dirty = True
+        self._positions = {}
 
     # -- construction ---------------------------------------------------
     def add(self, collective: str, nodes: int, ppn: int,
             msg_size: int, algorithm: str) -> None:
+        """Record one breakpoint; a duplicate ``(collective, nodes,
+        ppn, msg_size)`` *replaces* the stored algorithm (last write
+        wins) instead of accumulating a conflicting twin."""
         base.get_algorithm(collective, algorithm)  # validate name
         if isinstance(msg_size, float) and not math.isfinite(msg_size):
             raise ValueError(f"message size must be finite, got {msg_size}")
@@ -110,16 +197,76 @@ class TuningTable:
         if nodes < 1 or ppn < 1:
             raise ValueError(
                 f"nodes/ppn must be >= 1, got ({nodes}, {ppn})")
-        cfg = self.entries.setdefault(collective, {})
-        bps = cfg.setdefault((nodes, ppn), [])
-        bps.append((msg_size, algorithm))
-        bps.sort(key=lambda t: t[0])
+        cfg = self._entries.setdefault(collective, {})
+        key = (nodes, ppn)
+        bps = cfg.setdefault(key, [])
+        pos = self._positions.get((collective, key))
+        if pos is None:
+            # (Re)build the position map from the live list — O(b)
+            # once after external ``entries`` access, O(1) otherwise.
+            pos = {size: i for i, (size, _) in enumerate(bps)}
+            self._positions[(collective, key)] = pos
+        if msg_size in pos:
+            bps[pos[msg_size]] = (msg_size, algorithm)
+        else:
+            pos[msg_size] = len(bps)
+            bps.append((msg_size, algorithm))
+        self._dirty = True
+
+    # -- freeze ----------------------------------------------------------
+    def _freeze(self) -> None:
+        """Build the lookup index: one sort per config, done once per
+        batch of mutations instead of per ``add``."""
+        index: dict[str, dict[tuple[int, int],
+                              tuple[list[int], list[str]]]] = {}
+        config_index: dict[str, tuple[list[tuple[int, int]],
+                                      np.ndarray, np.ndarray]] = {}
+        for coll, configs in self._entries.items():
+            per: dict[tuple[int, int], tuple[list[int], list[str]]] = {}
+            for key, bps in configs.items():
+                dedup: dict[int, str] = {}
+                for size, algo in bps:  # last write wins
+                    dedup[size] = algo
+                sizes = sorted(dedup)
+                per[key] = (sizes, [dedup[s] for s in sizes])
+            index[coll] = per
+            keys = sorted(configs)
+            config_index[coll] = (
+                keys,
+                np.log2(np.array([k[0] for k in keys], dtype=float)),
+                np.log2(np.array([k[1] for k in keys], dtype=float)),
+            )
+        self._index = index
+        self._config_index = config_index
+        self._nearest = {}
+        self._dirty = False
+
+    def _nearest_config(self, collective: str, nodes: int,
+                        ppn: int) -> tuple[int, int]:
+        """Nearest sampled config in log space, memoized per queried
+        job shape.  ``argmin`` over keys pre-sorted ascending by
+        ``(nodes, ppn)`` makes distance ties deterministic: the
+        smallest configuration wins."""
+        cache_key = (collective, nodes, ppn)
+        hit = self._nearest.get(cache_key)
+        if hit is not None:
+            return hit
+        keys, log_nodes, log_ppn = self._config_index[collective]
+        dist = ((log_nodes - math.log2(nodes)) ** 2
+                + (log_ppn - math.log2(ppn)) ** 2)
+        best = keys[int(np.argmin(dist))]
+        if len(self._nearest) >= _NEAREST_CACHE_MAX:
+            self._nearest.clear()
+        self._nearest[cache_key] = best
+        return best
 
     # -- lookup -----------------------------------------------------------
     def lookup(self, collective: str, nodes: int, ppn: int,
                msg_size: int) -> str:
+        if self._dirty:
+            self._freeze()
         try:
-            configs = self.entries[collective]
+            configs = self._index[collective]
         except KeyError:
             raise KeyError(
                 f"tuning table for {self.cluster} has no "
@@ -129,26 +276,29 @@ class TuningTable:
                 f"tuning table for {self.cluster} has an empty "
                 f"{collective} section")
         key = (nodes, ppn)
-        if key not in configs:
-            key = min(configs, key=lambda c: self._config_distance(c, key))
-        bps = configs[key]
-        if not bps:
+        entry = configs.get(key)
+        if entry is None:
+            key = self._nearest_config(collective, nodes, ppn)
+            entry = configs[key]
+        sizes, algos = entry
+        if not sizes:
             raise ValueError(
                 f"tuning table for {self.cluster} has no breakpoints "
                 f"for {collective} at {key[0]}x{key[1]}")
-        for max_size, algo in bps:
-            if msg_size <= max_size:
-                return algo
-        return bps[-1][1]
+        i = bisect.bisect_left(sizes, msg_size)
+        return algos[i] if i < len(algos) else algos[-1]
 
     # -- validation -------------------------------------------------------
     def validate(self) -> None:
         """Structural sanity check; raises ``CorruptArtifactError``.
 
         Rejects empty tables, empty per-config breakpoint lists,
-        NaN/negative message-size keys, and unknown collective or
-        algorithm names — the nonsensical-decision classes Hunold's
-        performance-guidelines work shows tuned tables can encode.
+        NaN/negative message-size keys, unknown collective or
+        algorithm names, and *conflicting duplicate breakpoints* (two
+        algorithms claiming the same message size — which would make
+        the decision depend on sort stability) — the
+        nonsensical-decision classes Hunold's performance-guidelines
+        work shows tuned tables can encode.
         """
         res = _resilience()
         if not self.cluster or not isinstance(self.cluster, str):
@@ -168,6 +318,7 @@ class TuningTable:
                 if nodes < 1 or ppn < 1:
                     raise res.CorruptArtifactError(
                         f"{coll}: invalid config {nodes}x{ppn}")
+                seen: dict[int, str] = {}
                 for size, algo in bps:
                     if (isinstance(size, float)
                             and not math.isfinite(size)) or size < 0:
@@ -178,6 +329,13 @@ class TuningTable:
                         base.get_algorithm(coll, algo)
                     except KeyError as exc:
                         raise res.CorruptArtifactError(str(exc)) from None
+                    prev = seen.get(size)
+                    if prev is not None and prev != algo:
+                        raise res.CorruptArtifactError(
+                            f"{coll} {nodes}x{ppn}: conflicting "
+                            f"duplicate breakpoint at {size} B "
+                            f"({prev!r} vs {algo!r})")
+                    seen[size] = algo
 
     @staticmethod
     def _config_distance(a: tuple[int, int], b: tuple[int, int]) -> float:
@@ -186,12 +344,18 @@ class TuningTable:
 
     # -- (de)serialization (the paper's JSON artifact) -------------------
     def _collectives_payload(self) -> dict:
+        """Serialized form of the *frozen* table: breakpoints deduped
+        (last write wins) and sorted exactly once, at freeze time."""
+        if self._dirty:
+            self._freeze()
         return {
             coll: {
-                f"{nodes}x{ppn}": [[s, a] for s, a in bps]
-                for (nodes, ppn), bps in sorted(configs.items())
+                f"{nodes}x{ppn}": [
+                    [s, a] for s, a in zip(*per[(nodes, ppn)])
+                ]
+                for (nodes, ppn) in sorted(per)
             }
-            for coll, configs in self.entries.items()
+            for coll, per in self._index.items()
         }
 
     def to_json(self) -> str:
@@ -252,9 +416,22 @@ class TuningTable:
             for coll, configs in collectives.items():
                 for key, bps in configs.items():
                     nodes, ppn = (int(x) for x in key.split("x"))
+                    seen: dict[int, str] = {}
                     for max_size, algo in bps:
+                        # ``add`` replaces duplicates (last write
+                        # wins), which would silently mask a stored
+                        # conflict — detect it before adding.
+                        size = int(max_size)
+                        prev = seen.get(size)
+                        if prev is not None and prev != algo:
+                            raise res.CorruptArtifactError(
+                                f"{coll} {key}: conflicting duplicate "
+                                f"breakpoint at {size} B "
+                                f"({prev!r} vs {algo!r})")
+                        seen[size] = algo
                         table.add(coll, nodes, ppn, max_size, algo)
-        except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        except (KeyError, ValueError, TypeError, AttributeError,
+                OverflowError) as exc:
             raise res.CorruptArtifactError(
                 f"invalid tuning-table entry: {exc}") from None
         table.validate()

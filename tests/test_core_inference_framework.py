@@ -140,3 +140,29 @@ class TestFramework:
             direct = selector.select("alltoall", machine, msg)
             via_table = table_sel.select("alltoall", machine, msg)
             assert direct == via_table
+
+
+class TestEmptyGridRegression:
+    """An explicitly-passed empty grid must raise, never silently fall
+    back to the cluster's default grid (regression: ``or``-based
+    fallbacks treated ``()`` as "use the default")."""
+
+    @pytest.mark.parametrize("kwargs", [
+        {"node_counts": ()},
+        {"ppn_values": ()},
+        {"msg_sizes": ()},
+        {"node_counts": (), "ppn_values": (), "msg_sizes": ()},
+    ])
+    def test_empty_grid_raises(self, selector, kwargs):
+        spec = get_cluster("RI")
+        with pytest.raises(ValueError, match="no valid configurations"):
+            generate_tuning_table(selector, spec, **kwargs)
+
+    def test_explicit_grid_still_honored(self, selector):
+        spec = get_cluster("RI")
+        report = generate_tuning_table(selector, spec,
+                                       collectives=("allgather",),
+                                       node_counts=(2,),
+                                       ppn_values=(4,),
+                                       msg_sizes=(64, 4096))
+        assert report.n_configs == 2

@@ -81,3 +81,35 @@ class TestSplitDataset:
     def test_unknown_method(self, mini_dataset):
         with pytest.raises(ValueError, match="unknown split"):
             split_dataset(mini_dataset, "bogus")
+
+
+class TestRandomSplitNonEmptyGuarantee:
+    """Regression: per-class ``round(n * test_size)`` could collapse to
+    0 (or n) for every class, returning an empty side."""
+
+    @staticmethod
+    def _tiny(n):
+        from repro.core.dataset import CollectiveRecord, TuningDataset
+
+        records = [
+            CollectiveRecord("RI", "allgather", 2, 4, 2 ** i,
+                             {"ring": 1.0, "bruck": 2.0})
+            for i in range(n)
+        ]
+        return TuningDataset(records)
+
+    def test_tiny_test_size_keeps_test_nonempty(self):
+        ds = self._tiny(3)
+        train, test = random_split(ds, test_size=0.05, seed=0)
+        assert len(test) >= 1 and len(train) >= 1
+        assert sorted([*train.tolist(), *test.tolist()]) == [0, 1, 2]
+
+    def test_huge_test_size_keeps_train_nonempty(self):
+        ds = self._tiny(2)
+        train, test = random_split(ds, test_size=0.95, seed=0)
+        assert len(train) == 1 and len(test) == 1
+
+    def test_single_record_raises(self):
+        ds = self._tiny(1)
+        with pytest.raises(ValueError, match="non-empty"):
+            random_split(ds, test_size=0.3)

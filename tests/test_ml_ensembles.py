@@ -142,3 +142,81 @@ class TestGradientBoosting:
     def test_unfitted_raises(self):
         with pytest.raises(RuntimeError):
             GradientBoostingClassifier().predict(np.zeros((1, 2)))
+
+
+class TestParallelFit:
+    """``n_jobs`` must change wall-clock strategy only — every fitted
+    artifact (predictions, probabilities, importances) is bit-identical
+    to the serial run."""
+
+    def test_forest_parallel_matches_serial(self, dataset):
+        X, y = dataset
+        serial = RandomForestClassifier(n_estimators=12, random_state=3,
+                                        n_jobs=1).fit(X, y)
+        parallel = RandomForestClassifier(n_estimators=12, random_state=3,
+                                          n_jobs=3).fit(X, y)
+        assert np.array_equal(serial.predict(X), parallel.predict(X))
+        np.testing.assert_array_equal(serial.predict_proba(X),
+                                      parallel.predict_proba(X))
+        np.testing.assert_array_equal(serial.feature_importances_,
+                                      parallel.feature_importances_)
+
+    def test_forest_n_jobs_all_cores_and_none(self, dataset):
+        X, y = dataset
+        base = RandomForestClassifier(n_estimators=6, random_state=0)
+        allcores = RandomForestClassifier(n_estimators=6, random_state=0,
+                                          n_jobs=-1)
+        assert np.array_equal(base.fit(X, y).predict(X),
+                              allcores.fit(X, y).predict(X))
+
+    def test_forest_more_jobs_than_trees(self, dataset):
+        X, y = dataset
+        serial = RandomForestClassifier(n_estimators=3, random_state=1,
+                                        n_jobs=1).fit(X, y)
+        wide = RandomForestClassifier(n_estimators=3, random_state=1,
+                                      n_jobs=8).fit(X, y)
+        np.testing.assert_array_equal(serial.predict_proba(X),
+                                      wide.predict_proba(X))
+
+    def test_forest_rare_class_remap_parallel(self):
+        """Bootstraps missing a rare class exercise the column-remap
+        path; it must survive the round-trip through worker processes."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = np.zeros(200, dtype=int)
+        y[:3] = 1
+        serial = RandomForestClassifier(n_estimators=10, random_state=0,
+                                        n_jobs=1).fit(X, y)
+        parallel = RandomForestClassifier(n_estimators=10, random_state=0,
+                                          n_jobs=4).fit(X, y)
+        assert serial.predict_proba(X).shape == (200, 2)
+        np.testing.assert_array_equal(serial.predict_proba(X),
+                                      parallel.predict_proba(X))
+
+    def test_forest_invalid_n_jobs(self):
+        for bad in (0, -2, 1.5, True):
+            with pytest.raises((TypeError, ValueError)):
+                RandomForestClassifier(n_jobs=bad)
+
+    def test_boosting_parallel_matches_serial(self, dataset):
+        X, y = dataset
+        serial = GradientBoostingClassifier(n_estimators=8, random_state=5,
+                                            n_jobs=1).fit(X, y)
+        parallel = GradientBoostingClassifier(n_estimators=8,
+                                              random_state=5,
+                                              n_jobs=3).fit(X, y)
+        assert np.array_equal(serial.predict(X), parallel.predict(X))
+        np.testing.assert_array_equal(serial.predict_proba(X),
+                                      parallel.predict_proba(X))
+
+    def test_boosting_subsample_parallel_matches_serial(self, dataset):
+        X, y = dataset
+        serial = GradientBoostingClassifier(n_estimators=6, subsample=0.6,
+                                            random_state=2,
+                                            n_jobs=1).fit(X, y)
+        parallel = GradientBoostingClassifier(n_estimators=6,
+                                              subsample=0.6,
+                                              random_state=2,
+                                              n_jobs=2).fit(X, y)
+        np.testing.assert_array_equal(serial.predict_proba(X),
+                                      parallel.predict_proba(X))

@@ -237,3 +237,64 @@ class TestCrossValAndGrid:
     def test_empty_grid_raises(self):
         with pytest.raises(ValueError):
             GridSearchCV(RandomForestClassifier(), {})
+
+
+class TestSplitNonEmptyGuarantee:
+    """Regression: stratified (and tiny unstratified) splits could
+    return an empty train or test side."""
+
+    def test_stratified_tiny_test_size(self):
+        X = np.arange(6, dtype=float).reshape(-1, 1)
+        y = np.array([0, 0, 0, 1, 1, 1])
+        Xtr, Xte, ytr, yte = train_test_split(
+            X, y, test_size=0.05, random_state=0, stratify=y)
+        assert len(Xte) >= 1 and len(Xtr) >= 1
+        assert len(Xtr) + len(Xte) == 6
+
+    def test_stratified_huge_test_size(self):
+        X = np.arange(4, dtype=float).reshape(-1, 1)
+        y = np.array([0, 0, 1, 1])
+        Xtr, Xte, ytr, yte = train_test_split(
+            X, y, test_size=0.95, random_state=0, stratify=y)
+        assert len(Xtr) >= 1 and len(Xte) >= 1
+
+    def test_unstratified_tiny_test_size(self):
+        X = np.arange(3, dtype=float).reshape(-1, 1)
+        y = np.zeros(3)
+        Xtr, Xte, _, _ = train_test_split(X, y, test_size=0.01,
+                                          random_state=0)
+        assert len(Xte) == 1 and len(Xtr) == 2
+
+    def test_unstratified_huge_test_size(self):
+        X = np.arange(3, dtype=float).reshape(-1, 1)
+        y = np.zeros(3)
+        Xtr, Xte, _, _ = train_test_split(X, y, test_size=0.99,
+                                          random_state=0)
+        assert len(Xtr) >= 1
+
+    def test_single_sample_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            train_test_split(np.zeros((1, 2)), np.zeros(1), test_size=0.3)
+
+
+class TestGridSearchParallel:
+    def test_n_jobs_equivalent_to_serial(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(120, 3))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        grid_spec = {"n_estimators": [3, 8], "max_depth": [2, None]}
+
+        def search(n_jobs):
+            g = GridSearchCV(RandomForestClassifier(random_state=0),
+                             grid_spec, scoring="accuracy", cv=3,
+                             n_jobs=n_jobs)
+            g.fit(X, y)
+            return g
+
+        serial, parallel = search(None), search(2)
+        assert serial.best_params_ == parallel.best_params_
+        assert serial.best_score_ == parallel.best_score_
+        assert [r.mean_score for r in serial.results_] == \
+            [r.mean_score for r in parallel.results_]
+        np.testing.assert_array_equal(serial.best_estimator_.predict(X),
+                                      parallel.best_estimator_.predict(X))

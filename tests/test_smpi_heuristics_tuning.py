@@ -196,6 +196,136 @@ class TestTuningTable:
             oracle.select("allgather", machine, 16)
 
 
+class TestTuningTableHotPath:
+    """The O(1)-lookup rewrite: dedup, tie-breaks, invalidation."""
+
+    def test_duplicate_add_replaces_last_write_wins(self):
+        table = TuningTable(cluster="X")
+        table.add("allgather", 2, 8, 1024, "ring")
+        table.add("allgather", 2, 8, 1024, "bruck")
+        assert table.lookup("allgather", 2, 8, 100) == "bruck"
+        # The stored list holds exactly one breakpoint at that size.
+        assert table.entries["allgather"][(2, 8)] == [(1024, "bruck")]
+        table.validate()  # replacement leaves no conflicting twin
+
+    def test_duplicate_replace_after_lookup(self):
+        """Replacement must invalidate the frozen index."""
+        table = TuningTable(cluster="X")
+        table.add("allgather", 2, 8, 1024, "ring")
+        assert table.lookup("allgather", 2, 8, 100) == "ring"
+        table.add("allgather", 2, 8, 1024, "bruck")
+        assert table.lookup("allgather", 2, 8, 100) == "bruck"
+
+    def test_external_entries_mutation_invalidates(self):
+        table = TuningTable(cluster="X")
+        table.add("allgather", 2, 8, 1024, "ring")
+        assert table.lookup("allgather", 2, 8, 100) == "ring"
+        table.entries["allgather"][(2, 8)] = [(1024, "bruck")]
+        assert table.lookup("allgather", 2, 8, 100) == "bruck"
+
+    def test_validate_rejects_conflicting_duplicates(self):
+        from repro.core.resilience import CorruptArtifactError
+
+        table = TuningTable(cluster="X")
+        table.entries["allgather"] = {
+            (2, 8): [(1024, "ring"), (1024, "bruck")]}
+        with pytest.raises(CorruptArtifactError,
+                           match="conflicting duplicate"):
+            table.validate()
+
+    def test_from_json_rejects_conflicting_duplicates(self):
+        from repro.core.resilience import CorruptArtifactError
+
+        payload = {
+            "cluster": "X",
+            "collectives": {
+                "allgather": {
+                    "2x8": [[1024, "ring"], [1024, "bruck"]],
+                },
+            },
+        }
+        with pytest.raises(CorruptArtifactError,
+                           match="conflicting duplicate"):
+            TuningTable.from_json(json.dumps(payload))
+
+    def test_from_json_accepts_agreeing_duplicates(self):
+        payload = {
+            "cluster": "X",
+            "collectives": {
+                "allgather": {
+                    "2x8": [[1024, "ring"], [1024, "ring"]],
+                },
+            },
+        }
+        table = TuningTable.from_json(json.dumps(payload))
+        assert table.lookup("allgather", 2, 8, 100) == "ring"
+
+    def test_nearest_config_tie_break_is_smallest(self):
+        """(4, 4) is log-equidistant from (2, 8) and (8, 2); the
+        smallest (nodes, ppn) must win regardless of insert order."""
+        for order in [((2, 8, "ring"), (8, 2, "bruck")),
+                      ((8, 2, "bruck"), (2, 8, "ring"))]:
+            table = TuningTable(cluster="X")
+            for nodes, ppn, algo in order:
+                table.add("allgather", nodes, ppn, 1 << 20, algo)
+            assert table.lookup("allgather", 4, 4, 10) == "ring"
+
+    def test_to_json_sorted_and_deduped(self):
+        table = TuningTable(cluster="X")
+        table.add("allgather", 2, 8, 1 << 20, "ring")
+        table.add("allgather", 2, 8, 64, "bruck")
+        table.add("allgather", 2, 8, 64, "recursive_doubling")
+        payload = json.loads(table.to_json())
+        bps = payload["collectives"]["allgather"]["2x8"]
+        assert bps == [[64, "recursive_doubling"], [1 << 20, "ring"]]
+
+    def test_lookup_matches_reference_scan(self):
+        """Bisect lookup agrees with a brute-force first->=size scan
+        over a table with unsorted insertion order."""
+        rng = np.random.default_rng(7)
+        algos = sorted(algorithm_names("allgather"))
+        sizes = rng.permutation([2**k for k in range(1, 17)])
+        table = TuningTable(cluster="X")
+        expect = {}
+        for size in sizes:
+            algo = algos[int(size) % len(algos)]
+            table.add("allgather", 2, 8, int(size), algo)
+            expect[int(size)] = algo
+        ordered = sorted(expect)
+        for query in [1, 3, 16, 100, 4097, 1 << 16, 1 << 20]:
+            matching = [s for s in ordered if s >= query]
+            want = expect[matching[0]] if matching else expect[ordered[-1]]
+            assert table.lookup("allgather", 2, 8, query) == want
+
+
+class TestMeasurementCache:
+    def test_cache_hit_is_identical(self, machine):
+        from repro.smpi import clear_measurement_cache
+
+        clear_measurement_cache()
+        first = measured_time(machine, "allgather", "ring", 4096)
+        again = measured_time(machine, "allgather", "ring", 4096)
+        assert first == again
+        clear_measurement_cache()
+        recomputed = measured_time(machine, "allgather", "ring", 4096)
+        assert first == recomputed  # memo never changes the value
+
+    def test_degraded_machine_not_conflated(self, machine):
+        """Same spec/nodes/ppn but different NetParams must not share
+        cache entries (regression: conditions were invisible to the
+        memo key)."""
+        from repro.simcluster.conditions import (
+            NetworkConditions,
+            machine_with_conditions,
+        )
+
+        clean = measured_time(machine, "alltoall", "pairwise", 1 << 20)
+        worse = machine_with_conditions(
+            machine, NetworkConditions(background_load=0.9))
+        degraded = measured_time(worse, "alltoall", "pairwise", 1 << 20)
+        assert degraded > clean
+
+
 class TestSelectorQualityOrdering:
     def test_oracle_beats_random_overall(self):
         """Summed over a sweep, oracle <= heuristic <= random is the
