@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the chaos/soak harness.
+
+Equivalent to ``pml-mpi chaos``; usable straight from a checkout
+without installing the package::
+
+    python scripts/chaos.py --queries 10000 --seed 0
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["chaos", *sys.argv[1:]]))

@@ -6,7 +6,10 @@
 #   -> train  (bundle written atomically, checksummed)
 #   -> tune   (compile-time setup on both clusters, faults injected)
 #   -> corrupt one table, re-tune (quarantine + regenerate rung)
-#   -> doctor (must flag the quarantined file, pass everything else)
+#   -> doctor (must flag the quarantined file, pass everything else;
+#              --bundle cross-check must pass on the healthy pair)
+#   -> chaos  (seeded guard-layer soak: 10k adversarial queries, no
+#              unguarded exceptions, breaker must cycle)
 #
 # Run from anywhere: scripts/smoke.sh
 
@@ -45,6 +48,25 @@ echo "== doctor =="
 pml doctor "$workdir/tables" | tee "$workdir/doctor.out"
 grep -q "quarantined" "$workdir/doctor.out"
 pml doctor "$workdir" >/dev/null   # bundle + dataset also validate
+
+echo "== doctor cross-check (bundle vs tables) =="
+pml doctor "$workdir/tables" --bundle "$workdir/bundle.json" \
+    | tee "$workdir/crosscheck.out"
+grep -q "cross-check" "$workdir/crosscheck.out"
+# A table filed under the wrong cluster must fail the cross-check.
+cp "$workdir/tables/RI.tuning.json" "$workdir/RI.tuning.json.orig"
+cp "$workdir/tables/Ray.tuning.json" "$workdir/tables/RI.tuning.json"
+if pml doctor "$workdir/tables" --bundle "$workdir/bundle.json" \
+    > "$workdir/crosscheck_bad.out" 2>&1; then
+    echo "cross-check missed a mismatched table" >&2; exit 1
+fi
+grep -q "belongs to cluster" "$workdir/crosscheck_bad.out"
+mv "$workdir/RI.tuning.json.orig" "$workdir/tables/RI.tuning.json"
+
+echo "== chaos (seeded guard-layer soak) =="
+pml chaos --queries 10000 --seed 0 --quiet | tee "$workdir/chaos.out"
+grep -q "CHAOS OK" "$workdir/chaos.out"
+grep -q "unguarded exceptions: 0" "$workdir/chaos.out"
 
 echo "== bench (quick) =="
 pml bench --quick --quiet --jobs 2 --output "$workdir/BENCH_results.json"

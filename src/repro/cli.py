@@ -18,10 +18,15 @@ build system:
     Show the cluster registry / extracted hardware features.
 ``pml-mpi doctor``
     Validate every artifact (tables, bundles, dataset caches) in a
-    directory and print the health report.
+    directory and print the health report; ``--bundle`` additionally
+    cross-checks each tuning table against that model bundle.
 ``pml-mpi bench``
     Time the hot paths (ensemble fit, batch predict, table
     generation, table lookup) and write ``BENCH_results.json``.
+``pml-mpi chaos``
+    Soak the runtime guard layer with adversarial queries (malformed
+    input, out-of-distribution shapes, fault-injected models, scripted
+    failure storms) and assert its invariants.
 
 ``collect`` and ``tune`` accept fault-injection knobs
 (``--fault-rate``, ``--stall-rate``, ``--fault-seed``) and a retry
@@ -136,7 +141,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     if not directory.is_dir():
         print(f"not a directory: {directory}", file=sys.stderr)
         return 2
-    report = doctor_directory(directory)
+    report = doctor_directory(directory, bundle=args.bundle)
     if not report.checks:
         print(f"no artifacts found in {directory}")
         return 0
@@ -160,6 +165,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"{name:<24} {entry['wall_s']:.4f} s")
     print(f"results written to {path}")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .core.chaos import run_chaos
+
+    report = run_chaos(queries=args.queries, seed=args.seed,
+                       failure_rate=args.fault_rate,
+                       garbage_rate=args.garbage_rate,
+                       infeasible_rate=args.infeasible_rate,
+                       storm_length=args.storm_length,
+                       progress=not args.quiet)
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def cmd_select(args: argparse.Namespace) -> int:
@@ -283,7 +301,36 @@ def build_parser() -> argparse.ArgumentParser:
         "doctor", help="validate every artifact in a directory")
     p.add_argument("directory", type=Path,
                    help="directory of tables/bundles/dataset caches")
+    p.add_argument("--bundle", type=Path, default=None,
+                   help="model bundle to cross-check tuning tables "
+                        "against (cluster names, collectives, label "
+                        "spaces)")
     p.set_defaults(func=cmd_doctor)
+
+    p = sub.add_parser(
+        "chaos", help="soak the runtime guard layer with adversarial "
+                      "queries")
+    p.add_argument("--queries", type=int, default=10_000, metavar="N",
+                   help="adversarial queries to fire (default 10000)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the whole run (queries, faults, "
+                        "storms)")
+    p.add_argument("--fault-rate", type=float, default=0.02, metavar="P",
+                   help="P(inner selector raises) per query "
+                        "(default 0.02)")
+    p.add_argument("--garbage-rate", type=float, default=0.02,
+                   metavar="P",
+                   help="P(inner selector emits an unknown label) "
+                        "(default 0.02)")
+    p.add_argument("--infeasible-rate", type=float, default=0.05,
+                   metavar="P",
+                   help="P(inner selector emits a feasibility-violating "
+                        "label) (default 0.05)")
+    p.add_argument("--storm-length", type=int, default=60, metavar="N",
+                   help="length of each scripted failure storm "
+                        "(default 60 queries)")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "bench", help="time the hot paths, write BENCH_results.json")

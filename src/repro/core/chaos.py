@@ -1,0 +1,352 @@
+"""Chaos/soak harness for the runtime guard layer.
+
+Fires tens of thousands of adversarial queries at a
+:class:`~repro.smpi.guard.GuardedSelector` — fuzzed job shapes,
+malformed inputs, far-out-of-distribution sizes, a fault-injected
+inner selector (:class:`FlakySelector`, driven by a seeded
+:class:`~repro.simcluster.conditions.FaultProfile`), corrupt-model
+labels, and scripted failure storms that trip the circuit breaker —
+and asserts the guard's invariants:
+
+* nothing but typed :class:`~repro.smpi.heuristics.InvalidQueryError`
+  ever escapes the guard, and only for malformed queries;
+* every answered query returns a registry algorithm that is *feasible*
+  for the queried communicator shape;
+* the breaker completes at least one open → half-open → closed cycle
+  across the scripted storms;
+* the guard's health counters reconcile exactly with the query count.
+
+Everything is a pure function of ``seed``: the breaker runs on a
+query-tick clock, fault injection is seeded, and the query stream is
+drawn from a seeded generator — so a failure reproduces exactly.
+Exposed as ``pml-mpi chaos`` and wired into ``scripts/smoke.sh``.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..hwmodel.registry import get_cluster
+from ..simcluster.conditions import FaultProfile
+from ..simcluster.machine import Machine
+from ..smpi.collectives import base
+from ..smpi.guard import (
+    GuardedSelector,
+    InvalidQueryError,
+    extract_envelopes,
+)
+from ..smpi.heuristics import AlgorithmSelector
+from .dataset import collect_dataset
+from .inference import PretrainedSelector
+from .resilience import CircuitBreaker, TransientCollectionError
+from .training import train_model
+
+#: Collectives the harness trains models for (the paper's pair).
+CHAOS_COLLECTIVES = ("allgather", "alltoall")
+#: Training cluster (small grid -> fast, cached collection).
+CHAOS_TRAIN_CLUSTER = "RI"
+
+#: A label no registry knows — what a corrupted model bundle emits.
+CORRUPT_LABEL = "__corrupted_label__"
+
+
+def _rng(seed: int, *parts: object) -> np.random.Generator:
+    token = "|".join(str(p) for p in ("chaos", seed, *parts))
+    return np.random.default_rng(zlib.crc32(token.encode()))
+
+
+class FlakySelector(AlgorithmSelector):
+    """Fault-injecting wrapper around the inner (model) selector.
+
+    Per call, seeded on the call index: raise a transient failure
+    (via the :class:`FaultProfile`), emit a corrupt label, emit a
+    deliberately infeasible power-of-two-only algorithm, or answer
+    honestly.  ``force_fail`` scripts a failure storm (every call
+    raises) so the harness can trip the breaker deterministically.
+    """
+
+    def __init__(self, inner: AlgorithmSelector, faults: FaultProfile,
+                 garbage_rate: float = 0.02,
+                 infeasible_rate: float = 0.05, seed: int = 0) -> None:
+        self.inner = inner
+        self.faults = faults
+        self.garbage_rate = garbage_rate
+        self.infeasible_rate = infeasible_rate
+        self.seed = seed
+        self.calls = 0
+        self.force_fail = False
+
+    def _infeasible_name(self, collective: str) -> str | None:
+        for name, algo in sorted(base.algorithms(collective).items()):
+            if algo.requires_power_of_two:
+                return name
+        return None
+
+    def select(self, collective: str, machine: Machine,
+               msg_size: int) -> str:
+        i = self.calls
+        self.calls += 1
+        if self.force_fail or self.faults.attempt_fails(
+                "chaos-select", attempt=i):
+            raise TransientCollectionError(
+                f"injected selector failure (call {i})")
+        u = float(_rng(self.seed, "mode", i).uniform())
+        if u < self.garbage_rate:
+            return CORRUPT_LABEL
+        if u < self.garbage_rate + self.infeasible_rate:
+            bad = self._infeasible_name(collective)
+            if bad is not None:
+                return bad
+        return self.inner.select(collective, machine, msg_size)
+
+
+@dataclass
+class _BogusMachine:
+    """Adversarial stand-in probing the guard's input validation."""
+
+    nodes: Any
+    ppn: Any
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run; ``ok`` is the pass/fail verdict."""
+
+    queries: int
+    seed: int
+    wall_s: float = 0.0
+    invalid_rejected: int = 0
+    unguarded_exceptions: int = 0
+    infeasible_served: int = 0
+    breaker_cycles: int = 0
+    counters: dict[str, int] = field(default_factory=dict)
+    breaker_transitions: dict[str, int] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "seed": self.seed,
+            "wall_s": self.wall_s,
+            "invalid_rejected": self.invalid_rejected,
+            "unguarded_exceptions": self.unguarded_exceptions,
+            "infeasible_served": self.infeasible_served,
+            "breaker_cycles": self.breaker_cycles,
+            "counters": dict(self.counters),
+            "breaker_transitions": dict(self.breaker_transitions),
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"queries:              {self.queries}",
+            f"seed:                 {self.seed}",
+            f"wall:                 {self.wall_s:.2f} s",
+            f"invalid rejected:     {self.invalid_rejected}",
+            f"unguarded exceptions: {self.unguarded_exceptions}",
+            f"infeasible served:    {self.infeasible_served}",
+            f"breaker cycles:       {self.breaker_cycles}",
+        ]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<22} {self.counters[name]}")
+        for key in sorted(self.breaker_transitions):
+            lines.append(f"  breaker {key:<14} "
+                         f"{self.breaker_transitions[key]}")
+        for v in self.violations[:20]:
+            lines.append(f"VIOLATION: {v}")
+        if len(self.violations) > 20:
+            lines.append(f"... {len(self.violations) - 20} more")
+        lines.append("CHAOS OK" if self.ok else "CHAOS FAILED")
+        return "\n".join(lines)
+
+
+def build_chaos_selector(seed: int = 0,
+                         failure_rate: float = 0.02,
+                         garbage_rate: float = 0.02,
+                         infeasible_rate: float = 0.05,
+                         breaker_threshold: int = 5,
+                         recovery_ticks: float = 150.0,
+                         n_estimators: int = 20,
+                         clock=None
+                         ) -> tuple[GuardedSelector, FlakySelector]:
+    """A guarded, fault-injected selector for the harness (and tests).
+
+    Trains harness-sized models (``n_estimators`` trees) on the cached
+    RI dataset, wraps them in a :class:`FlakySelector`, and guards the
+    result with a breaker on the given ``clock`` (defaults to wall
+    time; the harness passes a query-tick counter for determinism).
+    """
+    spec = get_cluster(CHAOS_TRAIN_CLUSTER)
+    dataset = collect_dataset(clusters=[spec],
+                              collectives=CHAOS_COLLECTIVES,
+                              progress=False)
+    models = {coll: train_model(dataset, coll, seed=seed,
+                                params={"n_estimators": n_estimators})
+              for coll in CHAOS_COLLECTIVES}
+    pretrained = PretrainedSelector(models)
+    flaky = FlakySelector(
+        pretrained,
+        FaultProfile(failure_rate=failure_rate, seed=seed),
+        garbage_rate=garbage_rate, infeasible_rate=infeasible_rate,
+        seed=seed)
+    breaker_kwargs: dict[str, Any] = dict(
+        failure_threshold=breaker_threshold,
+        recovery_timeout_s=recovery_ticks)
+    if clock is not None:
+        breaker_kwargs["clock"] = clock
+    # The guard wraps the *flaky* selector, which has no ``models``
+    # attribute — lift the envelopes off the real pretrained models.
+    guard = GuardedSelector(
+        flaky, breaker=CircuitBreaker(**breaker_kwargs),
+        envelopes=extract_envelopes(pretrained))
+    return guard, flaky
+
+
+def _invalid_query(rng: np.random.Generator, machine: Machine
+                   ) -> tuple[str, Any, Any]:
+    """One malformed (collective, machine, msg_size) query."""
+    kind = int(rng.integers(5))
+    if kind == 0:
+        return "allgather", machine, -int(rng.integers(1, 1 << 20))
+    if kind == 1:
+        return "allgather", machine, 0
+    if kind == 2:
+        return "no_such_collective", machine, 1024
+    if kind == 3:
+        return "alltoall", _BogusMachine(nodes=0, ppn=8), 1024
+    return "alltoall", _BogusMachine(
+        nodes=2, ppn=-int(rng.integers(1, 64))), 4096
+
+
+def run_chaos(queries: int = 10_000, seed: int = 0,
+              failure_rate: float = 0.02, garbage_rate: float = 0.02,
+              infeasible_rate: float = 0.05,
+              invalid_fraction: float = 0.1, ood_fraction: float = 0.1,
+              storm_length: int = 60, breaker_threshold: int = 5,
+              recovery_ticks: float = 150.0,
+              progress: bool = False) -> ChaosReport:
+    """Soak the guard layer with *queries* adversarial queries.
+
+    Two scripted failure storms (at 30% and 65% of the run) force the
+    inner selector to fail on every call for ``storm_length`` queries,
+    driving the breaker open; the query-tick clock then walks it
+    through half-open recovery.  Returns a :class:`ChaosReport`; the
+    run itself never raises on guard violations — they are recorded so
+    CI can print all of them.
+    """
+    if queries < 1:
+        raise ValueError("queries must be >= 1")
+    tick = [0.0]
+    guard, flaky = build_chaos_selector(
+        seed=seed, failure_rate=failure_rate, garbage_rate=garbage_rate,
+        infeasible_rate=infeasible_rate,
+        breaker_threshold=breaker_threshold,
+        recovery_ticks=recovery_ticks, clock=lambda: tick[0])
+    report = ChaosReport(queries=queries, seed=seed)
+
+    # Query machines: in-distribution RI shapes, remap-bait odd shapes
+    # (p=6/12 invite power-of-two-only predictions), and far-OOD giants.
+    ri = get_cluster(CHAOS_TRAIN_CLUSTER)
+    rome = get_cluster("Rome")
+    machines = [Machine(ri, 2, 4), Machine(ri, 2, 8),
+                Machine(rome, 3, 2), Machine(rome, 3, 4),
+                Machine(rome, 6, 2)]
+    ood_machines = [Machine(get_cluster("Frontera"), 2048, 16),
+                    Machine(get_cluster("Frontera"), 512, 56)]
+
+    storms = []
+    for frac in (0.30, 0.65):
+        start = int(queries * frac)
+        storms.append((start, start + storm_length))
+
+    t0 = time.perf_counter()
+    expected_invalid = 0
+    for i in range(queries):
+        tick[0] = float(i)
+        flaky.force_fail = any(a <= i < b for a, b in storms)
+        rng = _rng(seed, "query", i)
+        u = float(rng.uniform())
+        collective = CHAOS_COLLECTIVES[int(rng.integers(
+            len(CHAOS_COLLECTIVES)))]
+        if flaky.force_fail:
+            # Storm queries must reach the inner selector to trip the
+            # breaker, so keep them well-formed and in-distribution.
+            machine, msg_size = machines[0], int(rng.integers(1, 1 << 16))
+        elif u < invalid_fraction:
+            expected_invalid += 1
+            collective, machine, msg_size = _invalid_query(
+                rng, machines[int(rng.integers(len(machines)))])
+            try:
+                guard.select(collective, machine, msg_size)
+            except InvalidQueryError:
+                report.invalid_rejected += 1
+            except Exception as exc:
+                report.unguarded_exceptions += 1
+                report.violations.append(
+                    f"query {i}: invalid input leaked "
+                    f"{type(exc).__name__}: {exc}")
+            else:
+                report.violations.append(
+                    f"query {i}: invalid input accepted "
+                    f"({collective!r}, msg={msg_size!r})")
+            continue
+        elif u < invalid_fraction + ood_fraction:
+            machine = ood_machines[int(rng.integers(len(ood_machines)))]
+            msg_size = int(rng.integers(1 << 24, 1 << 28)) \
+                if rng.uniform() < 0.5 else int(rng.integers(1, 1 << 20))
+        else:
+            machine = machines[int(rng.integers(len(machines)))]
+            msg_size = int(2 ** rng.uniform(0.0, 21.0))
+        try:
+            algo = guard.select(collective, machine, msg_size)
+        except Exception as exc:
+            report.unguarded_exceptions += 1
+            report.violations.append(
+                f"query {i}: unguarded {type(exc).__name__}: {exc}")
+            continue
+        p = machine.nodes * machine.ppn
+        try:
+            feasible = base.is_feasible(collective, algo, p)
+        except KeyError:
+            feasible = False
+        if not feasible:
+            report.infeasible_served += 1
+            report.violations.append(
+                f"query {i}: served infeasible/unknown {algo!r} for "
+                f"{collective} at p={p}")
+        if progress and (i + 1) % 1000 == 0:
+            print(f"  {i + 1}/{queries} queries, "
+                  f"{len(report.violations)} violations")
+
+    report.wall_s = time.perf_counter() - t0
+    report.counters = dict(guard.counters)
+    report.breaker_transitions = guard.breaker.transition_counts()
+    report.breaker_cycles = guard.breaker.cycles()
+
+    # -- cross-cutting invariants ---------------------------------------
+    c = guard.counters
+    partition = (c["invalid"] + c["served_model"] + c["remapped"]
+                 + c["ood_fallback"] + c["breaker_fallback"]
+                 + c["error_fallback"])
+    if partition != c["queries"] or c["queries"] != queries:
+        report.violations.append(
+            f"counters do not reconcile: partition={partition}, "
+            f"queries counter={c['queries']}, fired={queries}")
+    if c["invalid"] != expected_invalid:
+        report.violations.append(
+            f"invalid counter {c['invalid']} != expected "
+            f"{expected_invalid}")
+    if storms and storms[0][1] < queries and report.breaker_cycles < 1:
+        report.violations.append(
+            "breaker never completed an open->half-open->closed cycle")
+    return report

@@ -251,12 +251,16 @@ def diagnose_artifact(path: str | Path) -> ArtifactCheck:
     return ArtifactCheck(str(path), kind, "ok")
 
 
-def doctor_directory(directory: str | Path) -> HealthReport:
+def doctor_directory(directory: str | Path,
+                     bundle: str | Path | None = None) -> HealthReport:
     """Validate every artifact under *directory* (non-recursive).
 
     Returns a :class:`HealthReport` whose ``checks`` list one entry per
     file; ``healthy`` is False when anything is corrupt, stale, or a
-    leftover temp file."""
+    leftover temp file.  With *bundle* set, additionally cross-checks
+    every tuning table in the directory against that model bundle
+    (:func:`cross_check_deployment`) and folds the results in.
+    """
     directory = Path(directory)
     report = HealthReport()
     for path in sorted(directory.iterdir()):
@@ -270,4 +274,90 @@ def doctor_directory(directory: str | Path) -> HealthReport:
                                    else ""))
         if check.status == "quarantined":
             report.record_quarantine(check.path)
+    if bundle is not None:
+        cross = cross_check_deployment(bundle, directory)
+        report.checks.extend(cross.checks)
+        report.errors.extend(cross.errors)
+        report.counters.update(cross.counters)
+    return report
+
+
+def _model_label_space(model: TrainedModel) -> frozenset[str] | None:
+    """The label set the fitted classifier can ever emit, when the
+    estimator exposes it (``classes_``); ``None`` when it does not."""
+    classes = getattr(model.model, "classes_", None)
+    if classes is None:
+        return None
+    try:
+        return frozenset(str(c) for c in classes)
+    except TypeError:
+        return None
+
+
+def cross_check_deployment(bundle_path: str | Path,
+                           table_dir: str | Path) -> HealthReport:
+    """Consistency check across a deployment: model bundle vs. the
+    tuning tables generated from it (``pml-mpi doctor --bundle``).
+
+    A table that loads cleanly can still be inconsistent with the
+    shipped bundle — built for a collective the bundle has no model
+    for, filed under the wrong cluster name, or containing algorithm
+    labels the fitted classifier could never have emitted (a tampered
+    or hand-edited table).  Each table gets one ``cross-check``
+    :class:`ArtifactCheck`; every inconsistency is also recorded as an
+    error, so ``healthy`` reflects the whole deployment.
+    """
+    bundle_path = Path(bundle_path)
+    table_dir = Path(table_dir)
+    report = HealthReport()
+    try:
+        selector = load_selector(bundle_path)
+    except (ArtifactError, FileNotFoundError) as exc:
+        report.checks.append(ArtifactCheck(
+            str(bundle_path), "bundle", "corrupt", str(exc)))
+        report.record_error(f"{bundle_path}: cannot cross-check "
+                            f"against bundle — {exc}")
+        return report
+    report.checks.append(ArtifactCheck(str(bundle_path), "bundle", "ok"))
+    label_spaces = {coll: _model_label_space(model)
+                    for coll, model in selector.models.items()}
+
+    tables = sorted(table_dir.glob("*.tuning.json"))
+    report.counters["cross_checked_tables"] = len(tables)
+    for path in tables:
+        problems: list[str] = []
+        try:
+            table = TuningTable.load(path)
+            table.validate()
+        except ArtifactError:
+            # doctor_directory already reports the load failure; the
+            # cross-check only covers tables that load.
+            continue
+        expected_stem = path.name[:-len(".tuning.json")]
+        if table.cluster.replace(" ", "_").replace("/", "_") \
+                != expected_stem:
+            problems.append(
+                f"filed as {expected_stem!r} but table belongs to "
+                f"cluster {table.cluster!r}")
+        for coll, configs in table.entries.items():
+            if coll not in selector.models:
+                problems.append(
+                    f"table has {coll} entries but the bundle has no "
+                    f"{coll} model (models: "
+                    f"{', '.join(sorted(selector.models))})")
+                continue
+            labels = label_spaces.get(coll)
+            foreign = sorted(
+                {algo for bps in configs.values() for _, algo in bps}
+                - labels) if labels is not None else []
+            if foreign:
+                problems.append(
+                    f"{coll} entries use labels the bundled model "
+                    f"cannot emit: {', '.join(foreign)}")
+        status = "ok" if not problems else "stale"
+        check = ArtifactCheck(str(path), "cross-check", status,
+                              "; ".join(problems))
+        report.checks.append(check)
+        for problem in problems:
+            report.record_error(f"{path}: {problem}")
     return report

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..hwmodel.specs import ClusterSpec
 from ..simcluster.machine import Machine
-from ..smpi.heuristics import AlgorithmSelector
+from ..smpi.heuristics import AlgorithmSelector, validate_query
 from ..smpi.tuning import TuningTable
 from .features import feature_matrix, feature_vector
 from .training import TrainedModel
@@ -36,6 +36,7 @@ class PretrainedSelector(AlgorithmSelector):
 
     def select(self, collective: str, machine: Machine,
                msg_size: int) -> str:
+        validate_query(collective, machine, msg_size)
         try:
             model = self.models[collective]
         except KeyError:

@@ -18,8 +18,12 @@ pipeline degrade gracefully instead of crashing:
   post-mortem, never deleted,
 * :class:`FileLock` — an inter-process lock so concurrent compile-time
   setups on the same table directory don't race,
+* :class:`CircuitBreaker` — a closed → open → half-open state machine
+  that trips a persistently failing dependency over to its fallback and
+  probes for recovery on a deterministic (injectable) clock,
 * :class:`HealthReport` / :class:`ArtifactCheck` — a record of which
-  degradation-ladder rung served a request and what was quarantined.
+  degradation-ladder rung served a request, what was quarantined, and
+  (for runtime guards) per-query health counters.
 
 This module is deliberately a leaf: it imports nothing from the rest of
 ``repro`` so every layer (``smpi``, ``simcluster``, ``core``) can use it
@@ -303,6 +307,133 @@ class FileLock:
 
 
 # ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Classic three-state breaker for a flaky dependency.
+
+    *closed* — requests flow; ``failure_threshold`` *consecutive*
+    recorded failures trip the breaker *open*.  *open* — requests are
+    refused (:meth:`allow_request` returns ``False``) until
+    ``recovery_timeout_s`` has elapsed on the breaker's clock, at which
+    point the breaker moves to *half-open* and admits exactly one probe
+    request.  A recorded success in half-open closes the breaker; a
+    failure re-opens it (and restarts the recovery timer).
+
+    The clock is injectable (``clock=time.monotonic`` by default), so
+    probe timing is fully deterministic under test and in the chaos
+    harness (which drives it with a query-tick counter).  The breaker is
+    not thread-safe by design: it guards a per-process selector hot
+    path, matching the rest of the runtime layer.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 recovery_timeout_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_timeout_s < 0:
+            raise ValueError("recovery_timeout_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout_s = recovery_timeout_s
+        self.clock = clock
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Ordered (from, to) state transitions, for audit / tests.
+        self.transitions: list[tuple[str, str]] = []
+
+    def _transition(self, new_state: str) -> None:
+        if new_state == self.state:
+            return
+        self.transitions.append((self.state, new_state))
+        self.state = new_state
+        if new_state == BREAKER_OPEN:
+            self._opened_at = self.clock()
+            self._probe_in_flight = False
+        elif new_state == BREAKER_CLOSED:
+            self.consecutive_failures = 0
+            self._probe_in_flight = False
+
+    # -- hot-path API ----------------------------------------------------
+    def allow_request(self) -> bool:
+        """May the guarded dependency be consulted right now?
+
+        In *open*, flips to *half-open* once the recovery timeout has
+        elapsed and admits a single probe; further requests are refused
+        until that probe's outcome is recorded.
+        """
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN:
+            if self.clock() - self._opened_at >= self.recovery_timeout_s:
+                self._transition(BREAKER_HALF_OPEN)
+            else:
+                return False
+        # half-open: one probe at a time
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        """The guarded dependency answered cleanly."""
+        self.consecutive_failures = 0
+        self._probe_in_flight = False
+        if self.state == BREAKER_HALF_OPEN:
+            self._transition(BREAKER_CLOSED)
+
+    def record_failure(self) -> None:
+        """The guarded dependency failed (exception or guard trip)."""
+        self.consecutive_failures += 1
+        if self.state == BREAKER_HALF_OPEN:
+            self._transition(BREAKER_OPEN)
+        elif (self.state == BREAKER_CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self._transition(BREAKER_OPEN)
+        self._probe_in_flight = False
+
+    # -- audit -----------------------------------------------------------
+    def transition_counts(self) -> dict[str, int]:
+        """``"from->to" -> count`` over the breaker's lifetime."""
+        out: dict[str, int] = {}
+        for a, b in self.transitions:
+            key = f"{a}->{b}"
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def cycles(self) -> int:
+        """Completed open → half-open → closed recovery cycles."""
+        completed = 0
+        stage = 0  # 0: want open, 1: want half-open, 2: want closed
+        for _, to in self.transitions:
+            if stage == 0 and to == BREAKER_OPEN:
+                stage = 1
+            elif stage == 1 and to == BREAKER_HALF_OPEN:
+                stage = 2
+            elif stage == 2:
+                if to == BREAKER_CLOSED:
+                    completed += 1
+                    stage = 0
+                elif to == BREAKER_OPEN:
+                    stage = 1
+        return completed
+
+    def describe(self) -> str:
+        return (f"CircuitBreaker(state={self.state}, "
+                f"consecutive_failures={self.consecutive_failures}, "
+                f"transitions={len(self.transitions)})")
+
+
+# ---------------------------------------------------------------------------
 # Health reporting
 # ---------------------------------------------------------------------------
 
@@ -336,6 +467,9 @@ class HealthReport:
     quarantined: list[str] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
     checks: list[ArtifactCheck] = field(default_factory=list)
+    #: Runtime health counters (guarded-selector query statistics,
+    #: breaker transitions, ...); empty for pure artifact reports.
+    counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -358,6 +492,7 @@ class HealthReport:
             "quarantined": list(self.quarantined),
             "errors": list(self.errors),
             "checks": [vars(c) for c in self.checks],
+            "counters": dict(self.counters),
         }
 
     def describe(self) -> str:
@@ -375,4 +510,6 @@ class HealthReport:
         for c in self.checks:
             detail = f" ({c.detail})" if c.detail else ""
             lines.append(f"{c.status:<12} {c.kind:<14} {c.path}{detail}")
+        for name in sorted(self.counters):
+            lines.append(f"counter:     {name} = {self.counters[name]}")
         return "\n".join(lines) if lines else "healthy (nothing to report)"

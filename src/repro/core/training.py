@@ -75,6 +75,25 @@ class TrainedModel:
     def feature_idx(self) -> np.ndarray:
         return feature_indices(self.feature_names)
 
+    @property
+    def envelope(self) -> dict[str, tuple[float, float]] | None:
+        """The trained grid envelope — per-dimension ``(min, max)`` of
+        the (nodes, ppn, msg_size) values seen at training time, or
+        ``None`` for models trained before envelopes existed.  The
+        runtime guard uses it for out-of-distribution detection."""
+        env = self.metadata.get("envelope")
+        if not isinstance(env, dict):
+            return None
+        out: dict[str, tuple[float, float]] = {}
+        for dim in ("nodes", "ppn", "msg_size"):
+            bounds = env.get(dim)
+            try:
+                lo, hi = bounds
+                out[dim] = (float(lo), float(hi))
+            except (TypeError, ValueError):
+                return None
+        return out
+
     def _prepare(self, X_full: np.ndarray) -> np.ndarray:
         X = np.asarray(X_full)[:, self.feature_idx]
         if self.scaler is not None:
@@ -115,18 +134,36 @@ def feature_importance_report(dataset: TuningDataset, collective: str,
     return [(ALL_FEATURE_NAMES[i], float(imp[i])) for i in order]
 
 
+def training_envelope(dataset: TuningDataset
+                      ) -> dict[str, tuple[int, int]]:
+    """Per-dimension (min, max) of the job shapes in *dataset* — the
+    trained grid envelope persisted into model metadata so the runtime
+    guard can detect far-extrapolation queries."""
+    if len(dataset) == 0:
+        raise ValueError("cannot compute envelope of an empty dataset")
+    nodes = [r.nodes for r in dataset.records]
+    ppn = [r.ppn for r in dataset.records]
+    msg = [r.msg_size for r in dataset.records]
+    return {"nodes": (min(nodes), max(nodes)),
+            "ppn": (min(ppn), max(ppn)),
+            "msg_size": (min(msg), max(msg))}
+
+
 def train_model(dataset: TuningDataset, collective: str,
                 family: str = "rf", top_k: int = DEFAULT_TOP_K,
                 tune: bool = False, cv: int = 3,
                 feature_names: tuple[str, ...] | None = None,
-                seed: int = 0, n_jobs: int | None = None) -> TrainedModel:
+                seed: int = 0, n_jobs: int | None = None,
+                params: dict[str, Any] | None = None) -> TrainedModel:
     """Fit one selector model on the training dataset.
 
     ``feature_names=None`` runs the paper's top-k selection; pass an
     explicit tuple to bypass it (used by the ablation benchmarks).
     ``n_jobs`` parallelizes ensemble fitting (and, when ``tune`` is
     set, candidate evaluation in the grid search) without changing any
-    result — see :mod:`repro.ml.parallel`.
+    result — see :mod:`repro.ml.parallel`.  ``params`` overrides the
+    family's default hyperparameters (e.g. a small ``n_estimators``
+    for harness-sized models).
     """
     if family not in MODEL_FAMILIES:
         raise ValueError(
@@ -152,6 +189,8 @@ def train_model(dataset: TuningDataset, collective: str,
         X = scaler.transform(X)
 
     cls, defaults, grid = MODEL_FAMILIES[family]
+    if params:
+        defaults = {**defaults, **params}
     if tune:
         # The search owns the workers (one candidate per task); the
         # estimators stay serial inside it to avoid nested pools.
@@ -169,6 +208,11 @@ def train_model(dataset: TuningDataset, collective: str,
         model.fit(X, y)
         meta = {"tuned": False}
     meta["n_jobs"] = n_jobs
+    # The trained grid envelope rides along in the bundle so the
+    # runtime guard can flag far-extrapolation queries (OOD routing).
+    env = training_envelope(sub)
+    meta["envelope"] = {dim: [int(lo), int(hi)]
+                        for dim, (lo, hi) in env.items()}
 
     return TrainedModel(collective=collective, family=family, model=model,
                         feature_names=tuple(feature_names), scaler=scaler,

@@ -63,6 +63,12 @@ class RecursiveDoublingAllgather(_AllgatherBase):
 
     name = "recursive_doubling"
 
+    #: MVAPICH's flat RD allgather is only selected on power-of-two
+    #: communicators (the simulator's three-phase fold below is the
+    #: MPICH generalization, kept so datasets cover every shape); the
+    #: runtime guard enforces the production constraint.
+    requires_power_of_two = True
+
     #: Number of half-messages each RD exchange is split into (1 = plain
     #: RD; the rd_communication subclass overrides this).
     split = 1

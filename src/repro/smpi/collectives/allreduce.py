@@ -190,6 +190,10 @@ class RabenseifnerAllreduce(_AllreduceBase):
 
     name = "rabenseifner"
 
+    #: Declared constraint matching the MVAPICH default rule, which
+    #: only selects Rabenseifner on power-of-two communicators.
+    requires_power_of_two = True
+
     def rank_process(self, comm: Communicator, rank: int,
                      msg_size: int) -> Generator[Event, Any, State]:
         p = comm.size

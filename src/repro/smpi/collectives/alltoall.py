@@ -191,6 +191,10 @@ class RecursiveDoublingAlltoall(_AlltoallBase):
 
     name = "recursive_doubling"
 
+    #: Production hypercube alltoall is undefined off power-of-two
+    #: communicators (the simulator delegates to pairwise there).
+    requires_power_of_two = True
+
     def rank_process(self, comm: Communicator, rank: int,
                      msg_size: int) -> Generator[Event, Any, list]:
         p = comm.size
@@ -237,6 +241,10 @@ class InplaceAlltoall(_AlltoallBase):
     sendrecv_replace semantics (temp-buffer copy in and out each round)."""
 
     name = "inplace"
+
+    #: ``MPI_IN_PLACE`` alltoall needs a partner to exchange with every
+    #: round; a one-rank communicator has nothing to replace.
+    min_processes = 2
 
     def rank_process(self, comm: Communicator, rank: int,
                      msg_size: int) -> Generator[Event, Any, list]:

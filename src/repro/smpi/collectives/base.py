@@ -51,6 +51,37 @@ class CollectiveAlgorithm(abc.ABC):
     #: Which collective this algorithm implements.
     collective: str
 
+    # -- declared feasibility constraints ------------------------------
+    #
+    # The simulator implementations below are total (every algorithm
+    # handles every rank count, via folds where needed), but the
+    # *production* implementations the labels stand for are not: the
+    # classic recursive-doubling/halving family is only defined for
+    # power-of-two communicators, and some algorithms need a minimum
+    # rank count.  These declarations are the single source of truth
+    # for "is this algorithm runnable on this job shape" — consumed by
+    # the shipping heuristics and by the runtime guard layer, instead
+    # of the constraints living implicitly in threshold code.
+
+    #: The algorithm is only defined for power-of-two rank counts.
+    requires_power_of_two: bool = False
+    #: Smallest rank count the algorithm is defined for.
+    min_processes: int = 1
+
+    def infeasibility(self, p: int) -> str | None:
+        """Why this algorithm cannot run on *p* ranks (``None`` = it can)."""
+        if p < self.min_processes:
+            return (f"{self.collective}/{self.name} requires >= "
+                    f"{self.min_processes} ranks, job has {p}")
+        if self.requires_power_of_two and not is_power_of_two(p):
+            return (f"{self.collective}/{self.name} requires a "
+                    f"power-of-two rank count, job has {p}")
+        return None
+
+    def feasible(self, p: int) -> bool:
+        """Is this algorithm runnable on a *p*-rank communicator?"""
+        return self.infeasibility(p) is None
+
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def schedule(self, machine: Machine, msg_size: int) -> Schedule:
@@ -125,6 +156,22 @@ def get_algorithm(collective: str, name: str) -> CollectiveAlgorithm:
         raise KeyError(
             f"unknown {collective} algorithm {name!r}; "
             f"known: {', '.join(sorted(family))}") from None
+
+
+def feasible_algorithm_names(collective: str, p: int) -> tuple[str, ...]:
+    """Sorted names of the algorithms runnable on *p* ranks.
+
+    Every collective keeps at least one unconstrained algorithm (ring /
+    pairwise / binomial / ...), so this is never empty for ``p >= 1`` —
+    the floor the runtime guard's remapping stands on.
+    """
+    return tuple(name for name, algo in sorted(algorithms(collective).items())
+                 if algo.feasible(p))
+
+
+def is_feasible(collective: str, name: str, p: int) -> bool:
+    """Is one named algorithm runnable on a *p*-rank communicator?"""
+    return get_algorithm(collective, name).feasible(p)
 
 
 def execute(algo: CollectiveAlgorithm, machine: Machine, msg_size: int,

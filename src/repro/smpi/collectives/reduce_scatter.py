@@ -89,6 +89,10 @@ class RecursiveHalvingReduceScatter(_ReduceScatterBase):
 
     name = "recursive_halving"
 
+    #: Recursive halving is only defined on power-of-two communicators
+    #: (the simulator's pairwise fallback covers the rest).
+    requires_power_of_two = True
+
     def rank_process(self, comm: Communicator, rank: int,
                      msg_size: int) -> Generator[Any, Any, dict]:
         p = comm.size

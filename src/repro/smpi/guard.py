@@ -1,0 +1,306 @@
+"""Runtime guard layer around algorithm selection.
+
+PR 1 hardened the *compile-time* side (validated artifacts, retry,
+quarantine); this module hardens the *runtime* query path — the thing
+every MPI call hits.  A :class:`GuardedSelector` wraps any
+:class:`~repro.smpi.heuristics.AlgorithmSelector` and enforces, per
+query, the guard ladder::
+
+    validate -> OOD check -> circuit breaker -> feasibility -> floor
+
+1. **Input validation** — malformed queries (non-positive message
+   sizes, zero-rank shapes, unknown collectives) raise typed
+   :class:`~repro.smpi.heuristics.InvalidQueryError` before touching
+   any model or threshold arithmetic.
+2. **Out-of-distribution routing** — queries far outside the model's
+   trained grid envelope (persisted into bundle metadata at training
+   time) are served by the hardware-oblivious fallback heuristic
+   instead of trusting far extrapolation, per Hunold's
+   performance-guidelines argument (PAPERS.md).
+3. **Circuit breaker** — consecutive guard trips (inner-selector
+   exceptions, infeasible or unknown predictions) trip a
+   :class:`~repro.core.resilience.CircuitBreaker`; while open, every
+   query is served by the fallback, and a deterministic half-open
+   probe re-admits the inner selector once it recovers.
+4. **Feasibility enforcement** — a prediction that cannot run on the
+   queried communicator shape (power-of-two-only family on a 6-node
+   job, unknown label from a corrupt model) is remapped to the best
+   feasible alternative by analytic cost, never returned as-is.
+5. **Heuristic floor** — if even the fallback misbehaves, the guard
+   degrades to the cheapest feasible registry algorithm; the guard
+   itself never raises for a well-formed query.
+
+Per-query health counters (queries served, remaps, OOD hits, breaker
+transitions) are exposed via :meth:`GuardedSelector.health_report` and
+the ``pml-mpi chaos`` harness asserts the layer's invariants under
+tens of thousands of adversarial queries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.resilience import CircuitBreaker, HealthReport
+from ..simcluster.machine import Machine
+from .collectives import base
+from .heuristics import (
+    AlgorithmSelector,
+    InvalidQueryError,
+    MvapichDefaultSelector,
+    UnknownCollectiveError,
+    validate_query,
+)
+
+__all__ = [
+    "ACTION_BREAKER",
+    "ACTION_ERROR",
+    "ACTION_MODEL",
+    "ACTION_OOD",
+    "ACTION_REMAP",
+    "GuardDecision",
+    "GuardedSelector",
+    "InvalidQueryError",
+    "UnknownCollectiveError",
+    "extract_envelopes",
+    "validate_query",
+]
+
+#: How a guarded query was served.
+ACTION_MODEL = "model"            # inner selector, prediction feasible
+ACTION_REMAP = "remap"            # inner prediction infeasible; remapped
+ACTION_OOD = "ood-fallback"       # query outside trained envelope
+ACTION_BREAKER = "breaker-fallback"  # breaker open; inner not consulted
+ACTION_ERROR = "error-fallback"   # inner selector raised
+
+#: Counter names, in reporting order.  The first six partition
+#: ``queries`` exactly (the reconciliation invariant the chaos harness
+#: asserts); ``fallback_floored`` counts how often even the fallback's
+#: answer had to be replaced by the registry floor.
+COUNTER_KEYS = (
+    "queries",
+    "invalid",
+    "served_model",
+    "remapped",
+    "ood_fallback",
+    "breaker_fallback",
+    "error_fallback",
+    "fallback_floored",
+)
+
+
+@dataclass(frozen=True)
+class GuardDecision:
+    """Full record of one guarded selection."""
+
+    collective: str
+    algorithm: str
+    action: str          # one of the ACTION_* constants
+    detail: str = ""
+
+
+def extract_envelopes(selector: AlgorithmSelector
+                      ) -> dict[str, dict[str, tuple[float, float]]]:
+    """Per-collective trained grid envelopes carried by *selector*.
+
+    Works for any selector exposing a ``models`` mapping of objects
+    with an ``envelope`` property (:class:`~repro.core.training.
+    TrainedModel` does); returns ``{}`` for heuristic selectors and
+    pre-envelope bundles, which disables OOD routing.
+    """
+    out: dict[str, dict[str, tuple[float, float]]] = {}
+    models = getattr(selector, "models", None)
+    if not isinstance(models, dict):
+        return out
+    for collective, model in models.items():
+        env = getattr(model, "envelope", None)
+        if env:
+            out[collective] = env
+    return out
+
+
+class GuardedSelector(AlgorithmSelector):
+    """Feasibility-checked, circuit-broken wrapper around a selector.
+
+    See the module docstring for the guard ladder.  For a well-formed
+    query this never raises and always returns an algorithm that is
+    feasible for the queried communicator shape; malformed queries
+    raise typed :class:`InvalidQueryError` subclasses.
+    """
+
+    def __init__(self, inner: AlgorithmSelector,
+                 fallback: AlgorithmSelector | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 envelopes: dict[str, dict[str, tuple[float, float]]]
+                 | None = None,
+                 ood_margin_log2: float = 1.0) -> None:
+        self.inner = inner
+        self.fallback = fallback if fallback is not None \
+            else MvapichDefaultSelector()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        #: collective -> {dim: (lo, hi)}; empty disables OOD routing.
+        self.envelopes = envelopes if envelopes is not None \
+            else extract_envelopes(inner)
+        if ood_margin_log2 < 0:
+            raise ValueError("ood_margin_log2 must be >= 0")
+        #: A query is OOD when any of nodes/ppn/msg_size lies more than
+        #: this many octaves outside the trained envelope.
+        self.ood_margin_log2 = ood_margin_log2
+        self.counters: dict[str, int] = {k: 0 for k in COUNTER_KEYS}
+        #: Most recent decision (diagnostics; ``select`` returns only
+        #: the algorithm name to keep the AlgorithmSelector contract).
+        self.last_decision: GuardDecision | None = None
+
+    # -- the guarded hot path -------------------------------------------
+    def select(self, collective: str, machine: Machine,
+               msg_size: int) -> str:
+        return self.explain(collective, machine, msg_size).algorithm
+
+    def explain(self, collective: str, machine: Machine,
+                msg_size: int) -> GuardDecision:
+        """Run the guard ladder, returning the full decision record."""
+        self.counters["queries"] += 1
+        try:
+            validate_query(collective, machine, msg_size)
+        except InvalidQueryError:
+            self.counters["invalid"] += 1
+            raise
+        p = int(machine.nodes) * int(machine.ppn)
+
+        # OOD routing happens before the breaker so far-extrapolation
+        # queries neither consume a half-open probe nor count against
+        # the inner selector's health.
+        ood = self._ood_detail(collective, machine, msg_size)
+        if ood is not None:
+            self.counters["ood_fallback"] += 1
+            return self._finish(self._serve_fallback(
+                collective, machine, msg_size, p, ACTION_OOD, ood))
+
+        if not self.breaker.allow_request():
+            self.counters["breaker_fallback"] += 1
+            return self._finish(self._serve_fallback(
+                collective, machine, msg_size, p, ACTION_BREAKER,
+                f"breaker {self.breaker.state}"))
+
+        try:
+            predicted = self.inner.select(collective, machine, msg_size)
+        except InvalidQueryError:
+            # The inner selector is stricter than the shared validator
+            # (e.g. a FixedSelector for another collective): a guard
+            # trip, served by the fallback.
+            self.breaker.record_failure()
+            self.counters["error_fallback"] += 1
+            return self._finish(self._serve_fallback(
+                collective, machine, msg_size, p, ACTION_ERROR,
+                "inner selector rejected the query"))
+        except Exception as exc:
+            self.breaker.record_failure()
+            self.counters["error_fallback"] += 1
+            return self._finish(self._serve_fallback(
+                collective, machine, msg_size, p, ACTION_ERROR,
+                f"inner selector raised {type(exc).__name__}: {exc}"))
+
+        problem = self._prediction_problem(collective, predicted, p)
+        if problem is None:
+            self.breaker.record_success()
+            self.counters["served_model"] += 1
+            return self._finish(GuardDecision(
+                collective, predicted, ACTION_MODEL))
+
+        # Infeasible or unknown prediction: a guard trip; remap to the
+        # best feasible alternative instead of shipping it.
+        self.breaker.record_failure()
+        self.counters["remapped"] += 1
+        remapped = self._best_feasible(collective, machine, msg_size, p)
+        return self._finish(GuardDecision(
+            collective, remapped, ACTION_REMAP,
+            f"predicted {predicted!r}: {problem}"))
+
+    # -- ladder rungs ----------------------------------------------------
+    def _ood_detail(self, collective: str, machine: Machine,
+                    msg_size: int) -> str | None:
+        env = self.envelopes.get(collective)
+        if not env:
+            return None
+        values = {"nodes": machine.nodes, "ppn": machine.ppn,
+                  "msg_size": msg_size}
+        margin = self.ood_margin_log2
+        for dim, (lo, hi) in env.items():
+            value = values.get(dim)
+            if value is None or lo <= 0:
+                continue
+            offset = math.log2(value / lo) if value < lo \
+                else math.log2(value / hi) if value > hi else 0.0
+            if abs(offset) > margin:
+                return (f"{dim}={value} is {abs(offset):.1f} octaves "
+                        f"outside trained envelope [{lo:g}, {hi:g}]")
+        return None
+
+    def _prediction_problem(self, collective: str, predicted: object,
+                            p: int) -> str | None:
+        """Why *predicted* must not be shipped (``None`` = it is fine)."""
+        if not isinstance(predicted, str):
+            return f"not an algorithm name ({type(predicted).__name__})"
+        try:
+            algo = base.get_algorithm(collective, predicted)
+        except KeyError:
+            return "unknown algorithm (corrupt model output?)"
+        return algo.infeasibility(p)
+
+    def _serve_fallback(self, collective: str, machine: Machine,
+                        msg_size: int, p: int, action: str,
+                        detail: str) -> GuardDecision:
+        """Answer from the fallback heuristic, feasibility-enforced."""
+        try:
+            algo = self.fallback.select(collective, machine, msg_size)
+        except Exception as exc:
+            algo = None
+            detail += f"; fallback raised {type(exc).__name__}"
+        if algo is None or self._prediction_problem(
+                collective, algo, p) is not None:
+            if algo is not None:
+                self.counters["fallback_floored"] += 1
+                detail += f"; fallback chose infeasible {algo!r}"
+            algo = self._best_feasible(collective, machine, msg_size, p)
+        return GuardDecision(collective, algo, action, detail)
+
+    def _best_feasible(self, collective: str, machine: Machine,
+                       msg_size: int, p: int) -> str:
+        """Cheapest feasible algorithm by the analytic cost model; the
+        first feasible name (deterministic registry order) when the
+        machine cannot price schedules.  Never empty: every collective
+        keeps at least one unconstrained algorithm."""
+        names = base.feasible_algorithm_names(collective, p)
+        assert names, f"no feasible {collective} algorithm for p={p}"
+        if len(names) == 1:
+            return names[0]
+        best, best_t = names[0], math.inf
+        for name in names:
+            try:
+                t = base.get_algorithm(collective, name).estimate(
+                    machine, msg_size)
+            except Exception:
+                continue
+            if t < best_t:
+                best, best_t = name, t
+        return best
+
+    def _finish(self, decision: GuardDecision) -> GuardDecision:
+        self.last_decision = decision
+        return decision
+
+    # -- health ----------------------------------------------------------
+    def health_report(self) -> HealthReport:
+        """Runtime health counters + breaker state as a HealthReport
+        (the same shape ``pml-mpi doctor`` renders)."""
+        report = HealthReport(rung="runtime-guard")
+        report.counters = dict(self.counters)
+        for key, count in self.breaker.transition_counts().items():
+            report.counters[f"breaker[{key}]"] = count
+        report.counters["breaker_cycles"] = self.breaker.cycles()
+        return report
+
+    def describe(self) -> str:
+        return (f"GuardedSelector({self.inner.describe()}, "
+                f"fallback={self.fallback.describe()}, "
+                f"breaker={self.breaker.state})")

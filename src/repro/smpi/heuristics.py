@@ -26,6 +26,7 @@ import numpy as np
 from ..simcluster.machine import Machine
 from .collectives import base
 from .collectives.base import (
+    ALL_COLLECTIVES,
     ALLGATHER,
     ALLREDUCE,
     ALLTOALL,
@@ -34,8 +35,63 @@ from .collectives.base import (
 )
 
 
+class InvalidQueryError(ValueError):
+    """A selection query is malformed: non-positive / non-integer
+    message size, degenerate job shape, wrong types."""
+
+
+class UnknownCollectiveError(InvalidQueryError, KeyError):
+    """The queried collective is not one this library implements.
+
+    Subclasses both ``ValueError`` (via :class:`InvalidQueryError`) and
+    ``KeyError`` so pre-guard callers catching either keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep prose
+        return self.args[0] if self.args else ""
+
+
+def validate_query(collective: str, machine: Machine,
+                   msg_size: int) -> None:
+    """Shared input validation for every :class:`AlgorithmSelector`.
+
+    Raises a typed :class:`InvalidQueryError` /
+    :class:`UnknownCollectiveError` instead of letting a negative
+    message size or a zero-rank job shape flow into threshold
+    arithmetic or model inference.  Deliberately duck-typed on
+    *machine* (needs ``nodes`` and ``ppn``) so guard fuzzing can probe
+    it with adversarial stand-ins.
+    """
+    if collective not in ALL_COLLECTIVES:
+        raise UnknownCollectiveError(
+            f"unknown collective {collective!r}; known: "
+            f"{', '.join(ALL_COLLECTIVES)}")
+    if isinstance(msg_size, bool) or not isinstance(
+            msg_size, (int, np.integer)):
+        raise InvalidQueryError(
+            f"msg_size must be an integer, got {msg_size!r}")
+    if msg_size <= 0:
+        raise InvalidQueryError(
+            f"msg_size must be positive, got {msg_size}")
+    for attr in ("nodes", "ppn"):
+        value = getattr(machine, attr, None)
+        if isinstance(value, bool) or not isinstance(
+                value, (int, np.integer)):
+            raise InvalidQueryError(
+                f"machine.{attr} must be an integer, got {value!r}")
+        if value < 1:
+            raise InvalidQueryError(
+                f"machine.{attr} must be >= 1, got {value}")
+
+
 class AlgorithmSelector(abc.ABC):
-    """Maps (collective, job shape, message size) to an algorithm name."""
+    """Maps (collective, job shape, message size) to an algorithm name.
+
+    Implementations must call :func:`validate_query` (directly or via
+    ``super()``-style helpers) before trusting the query — the runtime
+    guard layer and the regression suite hold every selector to that
+    contract.
+    """
 
     @abc.abstractmethod
     def select(self, collective: str, machine: Machine,
@@ -59,10 +115,14 @@ class MvapichDefaultSelector(AlgorithmSelector):
 
     def select(self, collective: str, machine: Machine,
                msg_size: int) -> str:
+        validate_query(collective, machine, msg_size)
         p = machine.p
         if collective == ALLGATHER:
             total = p * msg_size
-            if base.is_power_of_two(p) and total < self.ALLGATHER_MEDIUM_TOTAL:
+            # The power-of-two gate is the algorithm's declared
+            # feasibility constraint, not a tuning threshold.
+            if base.is_feasible(ALLGATHER, "recursive_doubling", p) \
+                    and total < self.ALLGATHER_MEDIUM_TOTAL:
                 return "recursive_doubling"
             if total < self.ALLGATHER_SHORT_TOTAL:
                 return "bruck"
@@ -79,7 +139,7 @@ class MvapichDefaultSelector(AlgorithmSelector):
             # doubling; long -> Rabenseifner's reduce-scatter/allgather.
             if msg_size <= 2048 or p < 4:
                 return "recursive_doubling"
-            if base.is_power_of_two(p):
+            if base.is_feasible(ALLREDUCE, "rabenseifner", p):
                 return "rabenseifner"
             return "ring_rsag"
         if collective == BCAST:
@@ -91,10 +151,11 @@ class MvapichDefaultSelector(AlgorithmSelector):
             # long power-of-two, pairwise otherwise.
             if p * msg_size < 512:
                 return "reduce_scatterv"
-            if base.is_power_of_two(p):
+            if base.is_feasible(REDUCE_SCATTER, "recursive_halving", p):
                 return "recursive_halving"
             return "pairwise"
-        raise ValueError(f"unknown collective {collective!r}")
+        raise UnknownCollectiveError(
+            f"unknown collective {collective!r}")  # pragma: no cover
 
 
 class OpenMpiDefaultSelector(AlgorithmSelector):
@@ -107,6 +168,7 @@ class OpenMpiDefaultSelector(AlgorithmSelector):
 
     def select(self, collective: str, machine: Machine,
                msg_size: int) -> str:
+        validate_query(collective, machine, msg_size)
         p = machine.p
         if collective == ALLGATHER:
             if msg_size <= self.ALLGATHER_BRUCK_MAX_MSG:
@@ -138,7 +200,8 @@ class OpenMpiDefaultSelector(AlgorithmSelector):
             if msg_size <= 1024:
                 return "reduce_scatterv"
             return "pairwise"
-        raise ValueError(f"unknown collective {collective!r}")
+        raise UnknownCollectiveError(
+            f"unknown collective {collective!r}")  # pragma: no cover
 
 
 class RandomSelector(AlgorithmSelector):
@@ -150,6 +213,7 @@ class RandomSelector(AlgorithmSelector):
 
     def select(self, collective: str, machine: Machine,
                msg_size: int) -> str:
+        validate_query(collective, machine, msg_size)
         names = base.algorithm_names(collective)
         key = (f"{self.seed}|{collective}|{machine.spec.name}|"
                f"{machine.nodes}|{machine.ppn}|{msg_size}")
@@ -167,6 +231,7 @@ class FixedSelector(AlgorithmSelector):
 
     def select(self, collective: str, machine: Machine,
                msg_size: int) -> str:
+        validate_query(collective, machine, msg_size)
         if collective != self.collective:
             raise ValueError(
                 f"selector fixed for {self.collective}, got {collective}")

@@ -26,7 +26,7 @@ import numpy as np
 from ..hwmodel.registry import get_cluster
 from ..simcluster.machine import Machine
 from .collectives import base
-from .heuristics import AlgorithmSelector
+from .heuristics import AlgorithmSelector, validate_query
 
 #: Per-iteration relative noise of a simulated measurement.
 NOISE_SIGMA = 0.03
@@ -107,6 +107,7 @@ class OracleSelector(AlgorithmSelector):
 
     def select(self, collective: str, machine: Machine,
                msg_size: int) -> str:
+        validate_query(collective, machine, msg_size)
         times = {
             name: measured_time(machine, collective, name, msg_size,
                                 self.iterations)
@@ -462,6 +463,7 @@ class TableSelector(AlgorithmSelector):
 
     def select(self, collective: str, machine: Machine,
                msg_size: int) -> str:
+        validate_query(collective, machine, msg_size)
         if machine.spec.name != self.table.cluster:
             raise ValueError(
                 f"tuning table built for {self.table.cluster}, "

@@ -1,0 +1,103 @@
+"""Chaos/soak harness: fault-injected selectors and guard invariants.
+
+The short run executes on every test invocation; the full 10k-query
+soak is opt-in via ``-m chaos`` (it is what ``scripts/smoke.sh`` and
+``pml-mpi chaos`` run).
+"""
+
+import pytest
+
+from repro.core.chaos import (
+    CORRUPT_LABEL,
+    ChaosReport,
+    FlakySelector,
+    run_chaos,
+)
+from repro.hwmodel import get_cluster
+from repro.simcluster.conditions import FaultProfile
+from repro.simcluster.machine import Machine
+from repro.smpi.heuristics import MvapichDefaultSelector
+
+
+class TestFlakySelector:
+    def test_deterministic_per_seed(self):
+        machine = Machine(get_cluster("RI"), 2, 8)
+
+        def run(seed):
+            flaky = FlakySelector(MvapichDefaultSelector(),
+                                  FaultProfile(failure_rate=0.2,
+                                               seed=seed),
+                                  garbage_rate=0.2, seed=seed)
+            out = []
+            for _ in range(50):
+                try:
+                    out.append(flaky.select("allgather", machine, 1024))
+                except Exception as exc:
+                    out.append(type(exc).__name__)
+            return out
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_force_fail_always_raises(self):
+        flaky = FlakySelector(MvapichDefaultSelector(),
+                              FaultProfile(failure_rate=0.0))
+        machine = Machine(get_cluster("RI"), 2, 8)
+        flaky.force_fail = True
+        with pytest.raises(Exception):
+            flaky.select("allgather", machine, 1024)
+
+    def test_garbage_label_is_unknown_to_registry(self):
+        from repro.smpi.collectives import base
+        with pytest.raises(KeyError):
+            base.get_algorithm("allgather", CORRUPT_LABEL)
+
+
+class TestRunChaos:
+    def test_short_soak_holds_invariants(self):
+        report = run_chaos(queries=1200, seed=0, storm_length=25,
+                           recovery_ticks=80)
+        assert report.ok, "\n".join(report.violations)
+        assert report.unguarded_exceptions == 0
+        assert report.infeasible_served == 0
+        assert report.breaker_cycles >= 1
+        assert report.counters["queries"] == 1200
+        assert report.invalid_rejected > 0
+        assert report.counters["remapped"] > 0
+        assert report.counters["ood_fallback"] > 0
+
+    def test_deterministic_given_seed(self):
+        a = run_chaos(queries=300, seed=3, storm_length=10,
+                      recovery_ticks=40)
+        b = run_chaos(queries=300, seed=3, storm_length=10,
+                      recovery_ticks=40)
+        assert a.counters == b.counters
+        assert a.breaker_transitions == b.breaker_transitions
+
+    def test_rejects_bad_query_count(self):
+        with pytest.raises(ValueError):
+            run_chaos(queries=0)
+
+    def test_report_round_trips(self):
+        report = ChaosReport(queries=10, seed=1)
+        assert report.ok
+        assert report.to_dict()["ok"] is True
+        report.violations.append("boom")
+        assert not report.ok
+        assert "CHAOS FAILED" in report.describe()
+
+
+@pytest.mark.chaos
+def test_full_soak_ten_thousand_queries():
+    """The acceptance-criteria run: >= 10k adversarial queries, zero
+    unguarded exceptions, 100% feasible selections, breaker cycles."""
+    report = run_chaos(queries=10_000, seed=0)
+    assert report.ok, "\n".join(report.violations)
+    assert report.unguarded_exceptions == 0
+    assert report.infeasible_served == 0
+    assert report.breaker_cycles >= 1
+    c = report.counters
+    assert c["queries"] == 10_000
+    assert (c["invalid"] + c["served_model"] + c["remapped"]
+            + c["ood_fallback"] + c["breaker_fallback"]
+            + c["error_fallback"]) == 10_000

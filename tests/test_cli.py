@@ -124,6 +124,38 @@ class TestDoctor:
         assert "not a directory" in capsys.readouterr().err
 
 
+class TestDoctorCrossCheck:
+    def test_bundle_cross_check_clean(self, bundle, tmp_path, capsys):
+        main(["tune", "RI", "--bundle", str(bundle),
+              "--table-dir", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(["doctor", str(tmp_path), "--bundle", str(bundle)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cross-check" in out
+
+    def test_bundle_cross_check_misfiled_table(self, bundle, tmp_path,
+                                               capsys):
+        main(["tune", "RI", "--bundle", str(bundle),
+              "--table-dir", str(tmp_path)])
+        capsys.readouterr()
+        misfiled = tmp_path / "Haswell.tuning.json"
+        misfiled.write_text((tmp_path / "RI.tuning.json").read_text())
+        rc = main(["doctor", str(tmp_path), "--bundle", str(bundle)])
+        assert rc == 1
+        assert "belongs to cluster" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_short_run_passes(self, capsys):
+        rc = main(["chaos", "--queries", "600", "--seed", "0",
+                   "--storm-length", "20", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CHAOS OK" in out
+        assert "unguarded exceptions: 0" in out
+
+
 class TestFaultInjectionFlags:
     def test_tune_with_faults_still_succeeds(self, bundle, tmp_path,
                                              capsys):

@@ -166,3 +166,102 @@ class TestEmptyGridRegression:
                                        ppn_values=(4,),
                                        msg_sizes=(64, 4096))
         assert report.n_configs == 2
+
+
+class TestCrossCheckDeployment:
+    """``pml-mpi doctor --bundle``: bundle vs. tuning-table consistency."""
+
+    @pytest.fixture()
+    def deployment(self, selector, tmp_path):
+        from repro.core.bundle import save_selector
+
+        bundle = tmp_path / "bundle.json"
+        save_selector(selector, bundle)
+        framework = PmlMpiFramework(selector, tmp_path / "tables")
+        framework.setup_cluster(get_cluster("RI"))
+        return bundle, tmp_path / "tables", framework
+
+    def test_consistent_deployment_is_healthy(self, deployment):
+        from repro.core.framework import cross_check_deployment
+
+        bundle, tables, _ = deployment
+        report = cross_check_deployment(bundle, tables)
+        assert report.healthy, report.errors
+        statuses = {c.kind: c.status for c in report.checks}
+        assert statuses["bundle"] == "ok"
+        assert statuses["cross-check"] == "ok"
+        assert report.counters["cross_checked_tables"] == 1
+
+    def test_misfiled_cluster_flagged(self, deployment):
+        from repro.core.framework import cross_check_deployment
+
+        bundle, tables, framework = deployment
+        path = framework.table_path("RI")
+        (tables / "Haswell.tuning.json").write_text(path.read_text())
+        report = cross_check_deployment(bundle, tables)
+        assert not report.healthy
+        assert any("belongs to cluster" in e for e in report.errors)
+
+    def test_collective_without_model_flagged(self, deployment,
+                                              tmp_path):
+        from repro.core.bundle import save_selector
+        from repro.core.framework import cross_check_deployment
+        from repro.core.inference import PretrainedSelector
+
+        bundle, tables, _ = deployment
+        slim = PretrainedSelector(
+            {"allgather": _load_bundle_model(bundle, "allgather")})
+        slim_path = tmp_path / "slim.json"
+        save_selector(slim, slim_path)
+        report = cross_check_deployment(slim_path, tables)
+        assert not report.healthy
+        assert any("no alltoall model" in e for e in report.errors)
+
+    def test_foreign_label_flagged(self, deployment, tmp_path):
+        """A table entry using a label the fitted classifier could
+        never emit (tampered / hand-edited table) fails the check."""
+        import numpy as np
+
+        from repro.core.bundle import load_selector, save_selector
+        from repro.core.framework import cross_check_deployment
+        from repro.smpi.tuning import TuningTable
+
+        bundle, tables, framework = deployment
+        table = TuningTable.load(framework.table_path("RI"))
+        used = {a for bps in table.entries["allgather"].values()
+                for _, a in bps}
+        victim = sorted(used)[0]
+        slim = load_selector(bundle)
+        model = slim.models["allgather"].model
+        model.classes_ = np.array(
+            [c for c in model.classes_ if str(c) != victim])
+        slim_path = tmp_path / "slim-labels.json"
+        save_selector(slim, slim_path)
+        report = cross_check_deployment(slim_path, tables)
+        assert not report.healthy
+        assert any("cannot emit" in e and victim in e
+                   for e in report.errors)
+
+    def test_corrupt_bundle_reported_not_raised(self, deployment):
+        from repro.core.framework import cross_check_deployment
+
+        bundle, tables, _ = deployment
+        bundle.write_text("{not json")
+        report = cross_check_deployment(bundle, tables)
+        assert not report.healthy
+        assert report.checks[0].status == "corrupt"
+
+    def test_doctor_directory_folds_cross_check_in(self, deployment):
+        from repro.core.framework import doctor_directory
+
+        bundle, tables, _ = deployment
+        report = doctor_directory(tables, bundle=bundle)
+        assert report.healthy
+        assert any(c.kind == "cross-check" for c in report.checks)
+        assert report.counters["cross_checked_tables"] == 1
+
+
+def _load_bundle_model(bundle_path, collective):
+    from repro.core.bundle import load_selector
+
+    return load_selector(bundle_path).models[collective]
