@@ -10,6 +10,9 @@
 #              --bundle cross-check must pass on the healthy pair)
 #   -> chaos  (seeded guard-layer soak: 10k adversarial queries, no
 #              unguarded exceptions, breaker must cycle)
+#   -> telemetry (traced collect/train/tune/select accumulate one
+#              trace; `pml-mpi report` renders every stage; a corrupted
+#              trace must be rejected)
 #
 # Run from anywhere: scripts/smoke.sh
 
@@ -94,5 +97,36 @@ else:
     raise AssertionError("schema validator accepted invalid output")
 print("bench schema OK")
 EOF
+
+echo "== telemetry (traced run + report) =="
+trace="$workdir/trace.jsonl"
+pml collect --clusters RI --collectives allgather --quiet --trace "$trace"
+pml train "$workdir/tele_bundle.json" --clusters RI \
+    --collectives allgather --trace "$trace" > /dev/null
+pml tune RI --bundle "$workdir/tele_bundle.json" \
+    --table-dir "$workdir/tele_tables" --force --trace "$trace" > /dev/null
+pml select RI allgather 2 8 4096 --bundle "$workdir/tele_bundle.json" \
+    --trace "$trace" > /dev/null
+pml report "$trace" | tee "$workdir/report.out"
+for stage in collect train tune select; do
+    grep -q "^$stage " "$workdir/report.out" \
+        || { echo "report missing stage: $stage" >&2; exit 1; }
+done
+grep -q "tune.rung" "$workdir/report.out"
+python - "$trace" <<'EOF'
+import sys
+from repro.obs.trace_io import load_trace
+
+trace = load_trace(sys.argv[1])
+stages = {s["name"] for s in trace.root_spans()}
+assert {"collect", "train", "tune", "select"} <= stages, stages
+assert trace.counters(), "trace exported no counters"
+print(f"trace OK: {len(trace.spans)} spans, {len(trace.metrics)} metrics")
+EOF
+# A tampered trace must be rejected by the validator and the CLI.
+sed 's/"collect"/"b0rked!"/' "$trace" > "$workdir/trace_bad.jsonl"
+if pml report "$workdir/trace_bad.jsonl" > /dev/null 2>&1; then
+    echo "report accepted a corrupted trace" >&2; exit 1
+fi
 
 echo "SMOKE OK"

@@ -23,11 +23,20 @@ core
 apps
     OSU-microbenchmark-style driver and Gromacs/MiniFE application
     proxies.
+obs
+    Observability: spans, metrics registry, JSONL trace export, and
+    the ``pml-mpi report`` trace analyzer.
 """
+
+import logging as _logging
 
 __version__ = "1.0.0"
 
-from . import apps, core, hwmodel, ml, simcluster, smpi  # noqa: F401
+# Library users see no log output unless they configure handlers; the
+# CLI's -v/--verbose flag attaches a real handler to this logger.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
-__all__ = ["apps", "core", "hwmodel", "ml", "simcluster", "smpi",
+from . import apps, core, hwmodel, ml, obs, simcluster, smpi  # noqa: F401,E402
+
+__all__ = ["apps", "core", "hwmodel", "ml", "obs", "simcluster", "smpi",
            "__version__"]

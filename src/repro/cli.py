@@ -27,16 +27,26 @@ build system:
     Soak the runtime guard layer with adversarial queries (malformed
     input, out-of-distribution shapes, fault-injected models, scripted
     failure storms) and assert its invariants.
+``pml-mpi report``
+    Analyze a trace written by ``--trace``: per-stage wall-clock
+    breakdown, counter table, top-N slowest spans.
 
 ``collect`` and ``tune`` accept fault-injection knobs
 (``--fault-rate``, ``--stall-rate``, ``--fault-seed``) and a retry
 budget (``--retries``) so the resilience path can be exercised — and
 compile-time setups on flaky machines survive — end-to-end.
+
+Every subcommand accepts ``--trace PATH`` (export a telemetry trace of
+the run; an existing trace is extended, so a whole pipeline can
+accumulate into one file) and a repeatable ``-v/--verbose`` flag
+(``-v`` = INFO, ``-vv`` = DEBUG on the ``repro`` logger).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from pathlib import Path
 
@@ -48,9 +58,11 @@ from .core.framework import (
     doctor_directory,
     offline_train,
 )
-from .core.resilience import RetryPolicy
+from .core.resilience import ArtifactError, RetryPolicy
 from .hwmodel.extract import cluster_features
 from .hwmodel.registry import CLUSTER_NAMES, all_clusters, get_cluster
+from .obs.telemetry import MetricsRegistry, Tracer, use_telemetry
+from .obs.trace_io import export_trace
 from .simcluster.conditions import FaultProfile
 from .simcluster.machine import Machine
 from .smpi.collectives.base import ALL_COLLECTIVES, COLLECTIVES
@@ -180,6 +192,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import render_report
+    from .obs.trace_io import load_trace
+
+    try:
+        trace = load_trace(args.trace_file)
+    except FileNotFoundError:
+        print(f"no such trace: {args.trace_file}", file=sys.stderr)
+        return 2
+    except ArtifactError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(trace, top=args.top))
+    return 0
+
+
 def cmd_select(args: argparse.Namespace) -> int:
     selector = load_selector(args.bundle)
     machine = Machine(get_cluster(args.cluster), args.nodes, args.ppn)
@@ -254,9 +282,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="pml-mpi",
         description="PML-MPI: pre-trained collective algorithm "
                     "selection (paper reproduction)")
+
+    # Shared global flags, accepted *after* the subcommand (the natural
+    # CLI position: ``pml-mpi tune --trace t.jsonl ...``).
+    verbose = argparse.ArgumentParser(add_help=False)
+    verbose.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log to stderr (-v = INFO, -vv = DEBUG)")
+    common = argparse.ArgumentParser(add_help=False, parents=[verbose])
+    common.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="export a telemetry trace (spans + metrics) of this run; "
+             "an existing trace file is extended")
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("collect", help="run the benchmark campaign")
+    p = sub.add_parser("collect", parents=[common],
+                       help="run the benchmark campaign")
     p.add_argument("--clusters", nargs="*", choices=CLUSTER_NAMES,
                    metavar="NAME")
     p.add_argument("--collectives", nargs="*", default=list(COLLECTIVES),
@@ -269,7 +311,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_args(p)
     p.set_defaults(func=cmd_collect)
 
-    p = sub.add_parser("train", help="train and write the model bundle")
+    p = sub.add_parser("train", parents=[common],
+                       help="train and write the model bundle")
     p.add_argument("bundle", type=Path, help="output bundle path")
     p.add_argument("--clusters", nargs="*", choices=CLUSTER_NAMES,
                    metavar="NAME")
@@ -288,7 +331,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "serial; -1 = all cores)")
     p.set_defaults(func=cmd_train)
 
-    p = sub.add_parser("tune", help="emit a cluster's tuning table")
+    p = sub.add_parser("tune", parents=[common],
+                       help="emit a cluster's tuning table")
     p.add_argument("cluster", choices=CLUSTER_NAMES)
     p.add_argument("--bundle", type=Path, required=True)
     p.add_argument("--table-dir", type=Path, default=Path("tuning_tables"))
@@ -298,7 +342,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser(
-        "doctor", help="validate every artifact in a directory")
+        "doctor", parents=[common],
+        help="validate every artifact in a directory")
     p.add_argument("directory", type=Path,
                    help="directory of tables/bundles/dataset caches")
     p.add_argument("--bundle", type=Path, default=None,
@@ -308,8 +353,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_doctor)
 
     p = sub.add_parser(
-        "chaos", help="soak the runtime guard layer with adversarial "
-                      "queries")
+        "chaos", parents=[common],
+        help="soak the runtime guard layer with adversarial queries")
     p.add_argument("--queries", type=int, default=10_000, metavar="N",
                    help="adversarial queries to fire (default 10000)")
     p.add_argument("--seed", type=int, default=0,
@@ -333,7 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
-        "bench", help="time the hot paths, write BENCH_results.json")
+        "bench", parents=[common],
+        help="time the hot paths, write BENCH_results.json")
     p.add_argument("--output", type=Path,
                    default=Path("BENCH_results.json"),
                    help="results file (default BENCH_results.json)")
@@ -351,7 +397,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_bench)
 
-    p = sub.add_parser("select", help="query one algorithm choice")
+    p = sub.add_parser("select", parents=[common],
+                       help="query one algorithm choice")
     p.add_argument("cluster", choices=CLUSTER_NAMES)
     p.add_argument("collective", choices=ALL_COLLECTIVES)
     p.add_argument("nodes", type=int)
@@ -360,7 +407,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bundle", type=Path, required=True)
     p.set_defaults(func=cmd_select)
 
-    p = sub.add_parser("sweep", help="OSU-style message-size sweep")
+    p = sub.add_parser("sweep", parents=[common],
+                       help="OSU-style message-size sweep")
     p.add_argument("cluster", choices=CLUSTER_NAMES)
     p.add_argument("collective", choices=ALL_COLLECTIVES)
     p.add_argument("nodes", type=int)
@@ -370,16 +418,82 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bundle", type=Path)
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("info", help="cluster registry / features")
+    p = sub.add_parser("info", parents=[common],
+                       help="cluster registry / features")
     p.add_argument("cluster", nargs="?", choices=CLUSTER_NAMES)
     p.set_defaults(func=cmd_info)
+
+    # ``report`` takes -v but not --trace: it *reads* traces, and
+    # tracing the reader into the file it is reading would be absurd.
+    p = sub.add_parser("report", parents=[verbose],
+                       help="analyze a --trace JSONL file")
+    p.add_argument("trace_file", type=Path, metavar="TRACE",
+                   help="trace file written by --trace")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="slowest spans to show (default 10)")
+    p.set_defaults(func=cmd_report, trace=None)
 
     return parser
 
 
+def _configure_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the ``repro`` logger for -v/-vv.
+
+    Library users are untouched (the package root carries a
+    ``NullHandler``); repeated CLI invocations in one process reuse
+    the handler instead of stacking duplicates.
+    """
+    if verbosity <= 0:
+        return
+    logger = logging.getLogger("repro")
+    logger.setLevel(logging.INFO if verbosity == 1 else logging.DEBUG)
+    if not any(getattr(h, "_pml_cli", False) for h in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(levelname)s %(name)s: %(message)s"))
+        handler._pml_cli = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+
+
 def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. ``pml-mpi report | head``):
+        # die quietly with the POSIX 128+SIGPIPE status instead of a
+        # traceback.  Point stdout at /dev/null so the interpreter's
+        # exit-time flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+def _main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    _configure_logging(getattr(args, "verbose", 0))
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.func(args)
+    # Traced run: install a real tracer/registry pair, wrap the whole
+    # command in a root span named after it (the report's "stage"),
+    # and export even when the command fails — a trace of the failure
+    # is precisely when observability earns its keep.
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    rc: int | None = None
+    try:
+        with use_telemetry(tracer, registry), tracer.span(args.command):
+            rc = args.func(args)
+    finally:
+        try:
+            path = export_trace(trace_path, tracer, registry)
+        except ArtifactError as exc:
+            print(f"cannot extend trace {trace_path}: {exc}",
+                  file=sys.stderr)
+            rc = 2 if rc in (None, 0) else rc
+        else:
+            print(f"trace written to {path}", file=sys.stderr)
+    return rc if rc is not None else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

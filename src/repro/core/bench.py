@@ -29,6 +29,7 @@ from pathlib import Path
 import numpy as np
 
 from ..hwmodel.registry import get_cluster
+from ..obs.telemetry import get_tracer
 from ..smpi.collectives import base
 from ..smpi.tuning import TuningTable
 from .dataset import collect_dataset
@@ -208,14 +209,19 @@ def run_benchmarks(quick: bool = False, jobs: int = 4, repeats: int = 3,
     sub = dataset.filter(collective=BENCH_COLLECTIVE)
     X, y = sub.feature_matrix(), sub.labels()
 
+    tracer = get_tracer()
     results: dict[str, dict] = {}
     note(f"forest fit/predict ({n_estimators} trees, jobs={jobs})")
-    results.update(_forest_benchmarks(X, y, jobs, repeats, n_estimators,
-                                      predict_rows))
+    with tracer.span("bench.forest", trees=n_estimators, jobs=jobs):
+        results.update(_forest_benchmarks(X, y, jobs, repeats,
+                                          n_estimators, predict_rows))
     note("tuning-table generation")
-    results.update(_table_generation_benchmark(dataset, repeats, jobs))
+    with tracer.span("bench.table_generation"):
+        results.update(_table_generation_benchmark(dataset, repeats,
+                                                   jobs))
     note(f"table lookup ({lookups} lookups)")
-    results.update(_lookup_benchmark(lookups, repeats))
+    with tracer.span("bench.lookup", lookups=lookups):
+        results.update(_lookup_benchmark(lookups, repeats))
     return results
 
 

@@ -40,6 +40,7 @@ from ..smpi.guard import (
     InvalidQueryError,
     extract_envelopes,
 )
+from ..obs.telemetry import get_registry, get_tracer
 from ..smpi.heuristics import AlgorithmSelector
 from .dataset import collect_dataset
 from .inference import PretrainedSelector
@@ -271,6 +272,9 @@ def run_chaos(queries: int = 10_000, seed: int = 0,
 
     t0 = time.perf_counter()
     expected_invalid = 0
+    tracer = get_tracer()
+    soak = tracer.start_span("chaos.soak", queries=queries, seed=seed) \
+        if tracer.enabled else None
     for i in range(queries):
         tick[0] = float(i)
         flaky.force_fail = any(a <= i < b for a, b in storms)
@@ -332,6 +336,14 @@ def run_chaos(queries: int = 10_000, seed: int = 0,
     report.counters = dict(guard.counters)
     report.breaker_transitions = guard.breaker.transition_counts()
     report.breaker_cycles = guard.breaker.cycles()
+    if soak is not None:
+        soak.attributes["violations"] = len(report.violations)
+        tracer.finish_span(soak)
+    # Mirror the guard's per-instance counters into the ambient
+    # registry so a traced chaos run exports them alongside the spans.
+    registry = get_registry()
+    for name, value in report.counters.items():
+        registry.counter(f"chaos.guard.{name}").inc(value)
 
     # -- cross-cutting invariants ---------------------------------------
     c = guard.counters

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import logging
 import math
 import os
 import zlib
@@ -28,6 +29,7 @@ import numpy as np
 
 from ..hwmodel.registry import all_clusters, get_cluster
 from ..hwmodel.specs import ClusterSpec
+from ..obs.telemetry import get_registry, get_tracer
 from ..simcluster.conditions import FaultProfile
 from ..simcluster.machine import Machine
 from ..smpi.collectives import base
@@ -44,6 +46,8 @@ from .resilience import (
     quarantine,
     tmp_path_for,
 )
+
+log = logging.getLogger(__name__)
 
 #: Bump when the cost model or grids change incompatibly.
 DATASET_VERSION = "1"
@@ -315,6 +319,7 @@ def _measure_with_faults(machine: Machine, collective: str,
     key = (machine.spec.name, collective, algo_name,
            machine.nodes, machine.ppn, msg_size)
     attempt_box = [0]
+    retries = get_registry().counter("collect.fault_retries")
 
     def attempt() -> float:
         attempt_box[0] += 1
@@ -332,7 +337,11 @@ def _measure_with_faults(machine: Machine, collective: str,
                 f"(attempt {n})")
         return measured_time(machine, collective, algo_name, msg_size)
 
-    return retry.call(attempt)
+    def note(n: int, exc: BaseException) -> None:
+        retries.inc()
+        log.debug("measurement retry %d: %s", n, exc)
+
+    return retry.call(attempt, on_retry=note)
 
 
 def benchmark_config(spec: ClusterSpec, collective: str, nodes: int,
@@ -387,14 +396,25 @@ def _collect_chunk(spec: ClusterSpec, collective: str,
     """
     records: list[CollectiveRecord] = []
     dropped = 0
-    for nodes, ppn, msg in feasible_configs(spec, collective):
-        try:
-            records.append(benchmark_config(spec, collective, nodes,
-                                            ppn, msg, faults=faults,
-                                            retry=retry))
-        except TransientCollectionError:
-            dropped += 1
+    with get_tracer().span("collect.chunk", cluster=spec.name,
+                           collective=collective) as span:
+        for nodes, ppn, msg in feasible_configs(spec, collective):
+            try:
+                records.append(benchmark_config(spec, collective, nodes,
+                                                ppn, msg, faults=faults,
+                                                retry=retry))
+            except TransientCollectionError:
+                dropped += 1
+        if span is not None:
+            span.attributes["configs"] = len(records)
+            span.attributes["dropped"] = dropped
     return records, dropped
+
+
+def _collect_chunk_task(task: tuple) -> tuple[list[CollectiveRecord], int]:
+    """One-argument adapter for :func:`repro.ml.parallel.parallel_map`."""
+    spec, collective, faults, retry = task
+    return _collect_chunk(spec, collective, faults, retry)
 
 
 def collect_dataset(clusters: list[ClusterSpec] | None = None,
@@ -427,44 +447,59 @@ def collect_dataset(clusters: list[ClusterSpec] | None = None,
     digest = zlib.crc32(key.encode())
     cache = _cache_dir(cache_dir) / \
         f"dataset_v{DATASET_VERSION}_{digest:08x}.jsonl.gz"
+    registry = get_registry()
     if use_cache and cache.exists():
         try:
-            return TuningDataset.load(cache)
+            dataset = TuningDataset.load(cache)
         except (CorruptArtifactError, StaleArtifactError) as exc:
+            registry.counter("collect.cache_quarantined").inc()
             moved = quarantine(cache)
+            log.warning("cache invalid (%s); quarantined to %s",
+                        exc, moved.name)
             if progress:
                 print(f"[collect] cache invalid ({exc}); "
                       f"quarantined to {moved.name}, re-collecting")
+        else:
+            registry.counter("collect.cache_hits").inc()
+            log.info("dataset cache hit: %s (%d records)",
+                     cache.name, len(dataset))
+            return dataset
 
     chunks = [(spec, collective) for spec in clusters
               for collective in collectives]
     records: list[CollectiveRecord] = []
     total_dropped = 0
-    if workers is not None and workers > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    with get_tracer().span("collect.campaign", clusters=len(clusters),
+                           chunks=len(chunks)):
+        if workers is not None and workers > 1:
+            from ..ml.parallel import parallel_map
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_collect_chunk, spec, coll,
-                                   faults, retry)
+            results = parallel_map(
+                _collect_chunk_task,
+                [(spec, coll, faults, retry) for spec, coll in chunks],
+                workers)
+        else:
+            results = [_collect_chunk(spec, coll, faults, retry)
                        for spec, coll in chunks]
-            for (spec, coll), future in zip(chunks, futures):
-                chunk, dropped = future.result()
-                total_dropped += dropped
-                if progress:
-                    print(f"[collect] {spec.name}: {coll} "
-                          f"({len(chunk)} configs)")
-                records.extend(chunk)
-    else:
-        for spec, coll in chunks:
-            chunk, dropped = _collect_chunk(spec, coll, faults, retry)
+        best_us = registry.histogram("collect.best_time_us")
+        for (spec, coll), (chunk, dropped) in zip(chunks, results):
             total_dropped += dropped
             if progress:
                 print(f"[collect] {spec.name}: {coll} "
                       f"({len(chunk)} configs)")
+            for record in chunk:
+                best_us.observe(record.best_time * 1e6)
             records.extend(chunk)
-    if progress and total_dropped:
-        print(f"[collect] dropped {total_dropped} configs after "
-              f"exhausted retries")
+    registry.counter("collect.configs").inc(len(records))
+    registry.counter("collect.dropped").inc(total_dropped)
+    log.info("collected %d records over %d chunks (%d dropped)",
+             len(records), len(chunks), total_dropped)
+    if total_dropped:
+        log.warning("dropped %d configs after exhausted retries",
+                    total_dropped)
+        if progress:
+            print(f"[collect] dropped {total_dropped} configs after "
+                  f"exhausted retries")
     dataset = TuningDataset(records)
     if use_cache:
         dataset.save(cache)

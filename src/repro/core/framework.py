@@ -33,9 +33,12 @@ subcommand).
 
 from __future__ import annotations
 
+import logging
 from pathlib import Path
 
 from ..hwmodel.specs import ClusterSpec
+from ..obs.telemetry import get_registry, get_tracer
+from ..obs.trace_io import load_trace
 from ..simcluster.conditions import FaultProfile
 from ..smpi.collectives.base import COLLECTIVES
 from ..smpi.heuristics import AlgorithmSelector, MvapichDefaultSelector
@@ -57,6 +60,8 @@ from .resilience import (
     quarantine,
 )
 from .training import TrainedModel, train_model
+
+log = logging.getLogger(__name__)
 
 
 def offline_train(dataset: TuningDataset, family: str = "rf",
@@ -137,17 +142,30 @@ class PmlMpiFramework:
                     faults: FaultProfile | None,
                     report: HealthReport) -> AlgorithmSelector:
         path = self.table_path(spec.name)
-        if path.exists() and not force_regenerate:
-            selector = self._try_cached(spec, path, report)
+        with get_tracer().span("tune.setup_cluster",
+                               cluster=spec.name) as span:
+            if path.exists() and not force_regenerate:
+                selector = self._try_cached(spec, path, report)
+                if selector is not None:
+                    report.rung = RUNG_CACHED
+                    return self._finish_rung(report, span, selector)
+            selector = self._try_regenerate(spec, path, faults, report)
             if selector is not None:
-                report.rung = RUNG_CACHED
-                return selector
-        selector = self._try_regenerate(spec, path, faults, report)
-        if selector is not None:
-            report.rung = RUNG_REGENERATED
-            return selector
-        report.rung = RUNG_FALLBACK
-        return self.fallback
+                report.rung = RUNG_REGENERATED
+                return self._finish_rung(report, span, selector)
+            report.rung = RUNG_FALLBACK
+            log.warning("setup for %s degraded to heuristic fallback "
+                        "after %d attempts", spec.name, report.attempts)
+            return self._finish_rung(report, span, self.fallback)
+
+    @staticmethod
+    def _finish_rung(report: HealthReport, span,
+                     selector: AlgorithmSelector) -> AlgorithmSelector:
+        """Record which ladder rung won on the span and the registry."""
+        if span is not None:
+            span.attributes["rung"] = report.rung
+        get_registry().counter(f"tune.rung.{report.rung}").inc()
+        return selector
 
     def _try_cached(self, spec: ClusterSpec, path: Path,
                     report: HealthReport) -> TableSelector | None:
@@ -165,6 +183,8 @@ class PmlMpiFramework:
                     f"expected {spec.name!r}")
             return TableSelector(table)
         except ArtifactError as exc:
+            log.warning("cached table for %s rejected: %s",
+                        spec.name, exc)
             report.record_error(str(exc))
             report.record_quarantine(quarantine(path))
             return None
@@ -237,6 +257,8 @@ def diagnose_artifact(path: str | Path) -> ArtifactCheck:
             lambda: TuningTable.load(path).validate()
     elif name.endswith((".jsonl.gz", ".gz")):
         kind, loader = "dataset-cache", lambda: TuningDataset.load(path)
+    elif name.endswith(".jsonl"):
+        kind, loader = "trace", lambda: load_trace(path)
     elif name.endswith(".json"):
         kind, loader = "bundle", lambda: load_selector(path)
     else:

@@ -10,17 +10,21 @@ runtime will look up in O(1).
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..hwmodel.specs import ClusterSpec
+from ..obs.telemetry import get_registry, get_tracer
 from ..simcluster.machine import Machine
 from ..smpi.heuristics import AlgorithmSelector, validate_query
 from ..smpi.tuning import TuningTable
 from .features import feature_matrix, feature_vector
 from .training import TrainedModel
+
+log = logging.getLogger(__name__)
 
 
 class PretrainedSelector(AlgorithmSelector):
@@ -87,28 +91,37 @@ def generate_tuning_table(selector: PretrainedSelector, spec: ClusterSpec,
         msg_sizes = spec.msg_sizes
 
     t0 = time.perf_counter()
-    table = TuningTable(cluster=spec.name)
-    n_configs = 0
-    configs = [(nodes, ppn, msg)
-               for nodes in node_counts
-               for ppn in ppn_values if nodes * ppn >= 2
-               for msg in msg_sizes]
-    if not configs:
-        raise ValueError(f"no valid configurations for {spec.name}")
-    rows = [(spec, nodes, ppn, msg) for nodes, ppn, msg in configs]
-    X = feature_matrix(rows)
-    for collective in collectives:
-        model = selector.models[collective]
-        predictions = model.predict(X)
-        for (nodes, ppn, msg), algo in zip(configs, predictions):
-            # TuningTable.add validates the predicted name, so a
-            # degraded model emitting garbage labels fails loudly here
-            # (and the setup_cluster ladder degrades to its fallback)
-            # instead of shipping a nonsensical table.
-            table.add(collective, nodes, ppn, msg, str(algo))
-        n_configs += len(configs)
-    table.validate()
+    tracer = get_tracer()
+    with tracer.span("tune.generate_table", cluster=spec.name) as top:
+        table = TuningTable(cluster=spec.name)
+        n_configs = 0
+        configs = [(nodes, ppn, msg)
+                   for nodes in node_counts
+                   for ppn in ppn_values if nodes * ppn >= 2
+                   for msg in msg_sizes]
+        if not configs:
+            raise ValueError(f"no valid configurations for {spec.name}")
+        rows = [(spec, nodes, ppn, msg) for nodes, ppn, msg in configs]
+        X = feature_matrix(rows)
+        for collective in collectives:
+            model = selector.models[collective]
+            with tracer.span("tune.predict", collective=collective,
+                             configs=len(configs)):
+                predictions = model.predict(X)
+            for (nodes, ppn, msg), algo in zip(configs, predictions):
+                # TuningTable.add validates the predicted name, so a
+                # degraded model emitting garbage labels fails loudly
+                # here (and the setup_cluster ladder degrades to its
+                # fallback) instead of shipping a nonsensical table.
+                table.add(collective, nodes, ppn, msg, str(algo))
+            n_configs += len(configs)
+        table.validate()
+        if top is not None:
+            top.attributes["entries"] = n_configs
+    get_registry().gauge("tune.table_entries").set(n_configs)
     wall = time.perf_counter() - t0
+    log.info("generated tuning table for %s: %d entries in %.3fs",
+             spec.name, n_configs, wall)
     return InferenceReport(table=table, n_configs=n_configs,
                            wall_seconds=wall)
 

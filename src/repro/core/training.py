@@ -14,6 +14,7 @@ SVM after tuning); ``feature_importance_report`` reproduces Figs. 5-6.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -28,6 +29,7 @@ from ..ml import (
     accuracy_score,
 )
 from ..ml.model_selection import GridSearchCV
+from ..obs.telemetry import get_tracer
 from .dataset import TuningDataset
 from .features import (
     ALL_FEATURE_NAMES,
@@ -35,6 +37,8 @@ from .features import (
     feature_indices,
     select_top_k,
 )
+
+log = logging.getLogger(__name__)
 
 #: Model families of Table II with their hyperparameter grids.  Grids
 #: are compact so tuned comparisons stay tractable; RF defaults below
@@ -122,7 +126,9 @@ def rank_features(dataset: TuningDataset, collective: str,
         raise ValueError(f"no {collective} records in dataset")
     rf = RandomForestClassifier(n_estimators=n_estimators,
                                 random_state=seed, n_jobs=n_jobs)
-    rf.fit(sub.feature_matrix(), sub.labels())
+    with get_tracer().span("train.rank_features", collective=collective,
+                           samples=len(sub)):
+        rf.fit(sub.feature_matrix(), sub.labels())
     return rf.feature_importances_
 
 
@@ -172,42 +178,54 @@ def train_model(dataset: TuningDataset, collective: str,
     sub = dataset.filter(collective=collective)
     if len(sub) == 0:
         raise ValueError(f"no {collective} records in dataset")
-    X_full = sub.feature_matrix()
-    y = sub.labels()
+    tracer = get_tracer()
+    with tracer.span("train.model", collective=collective, family=family,
+                     samples=len(sub), tuned=tune):
+        X_full = sub.feature_matrix()
+        y = sub.labels()
 
-    importances = None
-    if feature_names is None:
-        importances = rank_features(dataset, collective, seed=seed,
-                                    n_jobs=n_jobs)
-        feature_names = select_top_k(importances, top_k)
-    idx = feature_indices(feature_names)
-    X = X_full[:, idx]
+        importances = None
+        if feature_names is None:
+            importances = rank_features(dataset, collective, seed=seed,
+                                        n_jobs=n_jobs)
+            feature_names = select_top_k(importances, top_k)
+        idx = feature_indices(feature_names)
+        X = X_full[:, idx]
+        log.info("training %s/%s on %d samples, features: %s",
+                 collective, family, len(sub), ", ".join(feature_names))
 
-    scaler = None
-    if family in SCALED_FAMILIES:
-        scaler = StandardScaler().fit(X)
-        X = scaler.transform(X)
+        scaler = None
+        if family in SCALED_FAMILIES:
+            scaler = StandardScaler().fit(X)
+            X = scaler.transform(X)
 
-    cls, defaults, grid = MODEL_FAMILIES[family]
-    if params:
-        defaults = {**defaults, **params}
-    if tune:
-        # The search owns the workers (one candidate per task); the
-        # estimators stay serial inside it to avoid nested pools.
-        search = GridSearchCV(cls(**defaults), grid, scoring="auc",
-                              cv=cv, random_state=seed, n_jobs=n_jobs)
-        search.fit(X, y)
-        model = search.best_estimator_
-        meta = {"tuned": True, "best_params": search.best_params_,
-                "cv_auc": search.best_score_}
-    else:
-        defaults = dict(defaults)
-        if family in PARALLEL_FAMILIES:
-            defaults["n_jobs"] = n_jobs
-        model = cls(**defaults)
-        model.fit(X, y)
-        meta = {"tuned": False}
-    meta["n_jobs"] = n_jobs
+        cls, defaults, grid = MODEL_FAMILIES[family]
+        if params:
+            defaults = {**defaults, **params}
+        if tune:
+            # The search owns the workers (one candidate per task); the
+            # estimators stay serial inside it to avoid nested pools.
+            search = GridSearchCV(cls(**defaults), grid, scoring="auc",
+                                  cv=cv, random_state=seed, n_jobs=n_jobs)
+            with tracer.span("train.fit", collective=collective,
+                             family=family):
+                search.fit(X, y)
+            model = search.best_estimator_
+            meta = {"tuned": True, "best_params": search.best_params_,
+                    "cv_auc": search.best_score_}
+            log.info("grid search for %s/%s: best %r (cv auc %.4f)",
+                     collective, family, search.best_params_,
+                     search.best_score_)
+        else:
+            defaults = dict(defaults)
+            if family in PARALLEL_FAMILIES:
+                defaults["n_jobs"] = n_jobs
+            model = cls(**defaults)
+            with tracer.span("train.fit", collective=collective,
+                             family=family):
+                model.fit(X, y)
+            meta = {"tuned": False}
+        meta["n_jobs"] = n_jobs
     # The trained grid envelope rides along in the bundle so the
     # runtime guard can flag far-extrapolation queries (OOD routing).
     env = training_envelope(sub)

@@ -16,18 +16,26 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.telemetry import get_tracer
 from .parallel import chunk_evenly, parallel_map, resolve_n_jobs
 from .tree import DecisionTreeClassifier
 
 
 def _fit_tree_chunk(payload: tuple) -> list[DecisionTreeClassifier]:
-    """Fit one worker's share of trees (module-level for pickling)."""
+    """Fit one worker's share of trees (module-level for pickling).
+
+    The per-chunk span is recorded on the ambient tracer — in a worker
+    process that is the fresh per-worker tracer installed by
+    :func:`repro.ml.parallel._traced_worker`, whose spans are merged
+    back into the parent trace.
+    """
     X, y_enc, params, draws = payload
     trees = []
-    for idx, seed in draws:
-        tree = DecisionTreeClassifier(random_state=seed, **params)
-        tree.fit(X[idx], y_enc[idx])
-        trees.append(tree)
+    with get_tracer().span("ml.fit_trees", trees=len(draws)):
+        for idx, seed in draws:
+            tree = DecisionTreeClassifier(random_state=seed, **params)
+            tree.fit(X[idx], y_enc[idx])
+            trees.append(tree)
     return trees
 
 

@@ -18,6 +18,14 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
+from ..obs.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    use_telemetry,
+)
+
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
     """Normalize an ``n_jobs`` knob to a concrete worker count."""
@@ -45,14 +53,46 @@ def chunk_evenly(items: Sequence[Any], n_chunks: int) -> list[list[Any]]:
     return chunks
 
 
+def _traced_worker(payload: tuple[Callable[[Any], Any], Any]
+                   ) -> tuple[Any, list[dict], list[dict]]:
+    """Run one task under a fresh per-worker tracer/registry and ship
+    the telemetry home alongside the result.
+
+    Worker processes cannot share the parent's ambient tracer, so spans
+    recorded inside worker code would silently vanish; this wrapper
+    captures them as plain dicts for :meth:`Tracer.merge` /
+    :meth:`MetricsRegistry.merge_records` on the parent side.
+    """
+    fn, item = payload
+    with use_telemetry(Tracer(), MetricsRegistry()) as (tracer, registry):
+        result = fn(item)
+        return result, tracer.export_spans(), registry.export_metrics()
+
+
 def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any],
                  n_jobs: int | None) -> list[Any]:
     """``[fn(x) for x in items]``, fanned over a process pool when
     ``n_jobs`` allows it.  Results are returned in input order, so the
-    caller sees identical output regardless of worker count."""
+    caller sees identical output regardless of worker count.
+
+    When the ambient tracer is enabled, tasks are dispatched through
+    :func:`_traced_worker` and each worker's spans/metrics are merged
+    back (in input order) — traced parallel runs keep the full span
+    tree instead of losing everything behind the process boundary.
+    """
     jobs = resolve_n_jobs(n_jobs)
     items = list(items)
     if jobs == 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    tracer = get_tracer()
     with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+        if not tracer.enabled:
+            return list(pool.map(fn, items))
+        results = []
+        registry = get_registry()
+        for result, spans, metrics in pool.map(
+                _traced_worker, [(fn, item) for item in items]):
+            tracer.merge(spans)
+            registry.merge_records(metrics)
+            results.append(result)
+        return results

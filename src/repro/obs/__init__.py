@@ -1,0 +1,58 @@
+"""Observability: spans, metrics, trace export, and trace analysis.
+
+This package is the measurement substrate behind the paper's overhead
+story (Figs. 1 and 7): every pipeline stage — dataset collection,
+training, tuning-table generation, runtime selection — records nested
+wall-clock spans and typed metrics, which any ``pml-mpi`` subcommand
+can export as a versioned, checksummed JSONL trace (``--trace PATH``)
+and ``pml-mpi report`` turns into a per-stage breakdown.
+
+Deliberately a leaf package: ``telemetry`` imports only the stdlib,
+and ``trace_io`` reaches :mod:`repro.core.resilience` lazily, so every
+layer (``ml``, ``smpi``, ``core``) can instrument itself without
+import cycles.
+"""
+
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    get_registry,
+    get_tracer,
+    set_registry,
+    set_tracer,
+    use_telemetry,
+)
+from .trace_io import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    TraceData,
+    export_trace,
+    load_trace,
+)
+from .report import render_report, slowest_spans, stage_breakdown
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TraceData",
+    "Tracer",
+    "export_trace",
+    "get_registry",
+    "get_tracer",
+    "load_trace",
+    "render_report",
+    "set_registry",
+    "set_tracer",
+    "slowest_spans",
+    "stage_breakdown",
+    "use_telemetry",
+]

@@ -1,0 +1,129 @@
+"""Trace analysis: the ``pml-mpi report`` subcommand's engine.
+
+Turns a loaded :class:`~repro.obs.trace_io.TraceData` into the three
+views the paper's overhead argument needs to be *checkable* (PAPERS.md,
+Hunold's performance-guidelines line: timing claims need
+machine-readable measurement records):
+
+* a per-stage wall-clock breakdown — root spans grouped by name, so a
+  multi-command trace shows exactly where collect/train/tune/select
+  time went,
+* the full counter / gauge / histogram table,
+* the top-N slowest spans with their tree path, for drill-down.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .trace_io import TraceData
+
+__all__ = ["render_report", "slowest_spans", "span_path",
+           "stage_breakdown"]
+
+
+def _duration(span: dict[str, Any]) -> float:
+    end = span.get("end")
+    return 0.0 if end is None else float(end) - float(span["start"])
+
+
+def stage_breakdown(trace: TraceData) -> list[dict[str, Any]]:
+    """Root spans grouped by name: one row per pipeline stage.
+
+    Rows carry ``stage``, ``count``, ``total_s`` and ``share`` (of all
+    root-span time), ordered by total time descending (name ascending
+    on ties, so output is deterministic).
+    """
+    totals: dict[str, tuple[int, float]] = {}
+    for span in trace.root_spans():
+        count, total = totals.get(span["name"], (0, 0.0))
+        totals[span["name"]] = (count + 1, total + _duration(span))
+    grand = sum(t for _, t in totals.values())
+    rows = [{"stage": name, "count": count, "total_s": total,
+             "share": (total / grand) if grand > 0 else 0.0}
+            for name, (count, total) in totals.items()]
+    rows.sort(key=lambda r: (-r["total_s"], r["stage"]))
+    return rows
+
+
+def span_path(span: dict[str, Any],
+              by_id: dict[int, dict[str, Any]]) -> str:
+    """``"root > child > span"`` name path for one span."""
+    names = [span["name"]]
+    seen = {span["id"]}
+    parent = span["parent"]
+    while parent is not None and parent in by_id and parent not in seen:
+        seen.add(parent)
+        node = by_id[parent]
+        names.append(node["name"])
+        parent = node["parent"]
+    return " > ".join(reversed(names))
+
+
+def slowest_spans(trace: TraceData, n: int = 10
+                  ) -> list[tuple[float, str, dict[str, Any]]]:
+    """The *n* longest spans as ``(duration_s, path, span)`` rows,
+    longest first (span id breaks ties deterministically)."""
+    by_id = {s["id"]: s for s in trace.spans}
+    rows = sorted(((_duration(s), s) for s in trace.spans),
+                  key=lambda pair: (-pair[0], pair[1]["id"]))
+    return [(dur, span_path(span, by_id), span)
+            for dur, span in rows[:max(0, n)]]
+
+
+def _format_attrs(attrs: dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={attrs[k]!r}" for k in sorted(attrs))
+    return f"  ({inner})"
+
+
+def render_report(trace: TraceData, top: int = 10) -> str:
+    """The full human-readable report for one trace."""
+    lines = [f"trace: {len(trace.spans)} spans, "
+             f"{len(trace.metrics)} metrics"]
+
+    lines.append("")
+    lines.append("== per-stage wall clock ==")
+    rows = stage_breakdown(trace)
+    if rows:
+        lines.append(f"{'stage':<24} {'count':>6} {'total_s':>12} "
+                     f"{'share':>7}")
+        for row in rows:
+            lines.append(f"{row['stage']:<24} {row['count']:>6} "
+                         f"{row['total_s']:>12.6f} "
+                         f"{row['share'] * 100:>6.1f}%")
+    else:
+        lines.append("(no spans recorded)")
+
+    counters = trace.counters()
+    gauges = trace.gauges()
+    if counters or gauges:
+        lines.append("")
+        lines.append("== counters ==")
+        width = max(len(n) for n in (*counters, *gauges))
+        for name in sorted(counters):
+            lines.append(f"{name:<{width}}  {counters[name]}")
+        for name in sorted(gauges):
+            lines.append(f"{name:<{width}}  {gauges[name]:g}")
+
+    histograms = trace.histograms()
+    if histograms:
+        lines.append("")
+        lines.append("== histograms (log2 buckets) ==")
+        for name in sorted(histograms):
+            h = histograms[name]
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            buckets = ", ".join(
+                f"<=2^{e}: {h['buckets'][e]}"
+                for e in sorted(h["buckets"], key=int))
+            lines.append(f"{name}: count={h['count']} mean={mean:g}")
+            lines.append(f"  {buckets}")
+
+    if trace.spans:
+        lines.append("")
+        lines.append(f"== top {top} slowest spans ==")
+        for duration, path, span in slowest_spans(trace, top):
+            lines.append(f"{duration:>12.6f} s  {path}"
+                         f"{_format_attrs(span['attrs'])}")
+    return "\n".join(lines)

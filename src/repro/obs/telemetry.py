@@ -1,0 +1,420 @@
+"""Process-local tracer and typed metrics registry.
+
+The tracer produces *nested, monotonic spans* on an injectable clock —
+the same determinism pattern as
+:class:`~repro.core.resilience.CircuitBreaker`: production code runs on
+``time.perf_counter``, tests and the chaos harness drive a fake clock,
+so two identically-seeded runs emit byte-identical traces.
+
+The metrics registry holds three instrument kinds:
+
+* :class:`Counter` — monotonically increasing integer (queries served,
+  cache hits, injected-fault retries),
+* :class:`Gauge` — last-written float (table sizes, config counts),
+* :class:`Histogram` — fixed *log2* buckets: an observation ``v`` lands
+  in the bucket whose upper bound is the smallest power of two >= v.
+  Bucket boundaries are structural constants, never derived from the
+  data, so the exported bucket map is deterministic and two runs'
+  histograms are directly comparable.
+
+A module-level *ambient* tracer/registry pair lets instrumentation
+live inside hot paths without threading handles through every
+signature: library code calls :func:`get_tracer` / :func:`get_registry`
+and the CLI (or a test) installs real instances with
+:func:`use_telemetry`.  The default tracer is disabled, so library
+users pay one attribute check per span site and nothing else.
+
+Everything here is stdlib-only by design — ``smpi`` and ``ml`` import
+this module at module level without creating cycles with ``core``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_tracer",
+    "use_telemetry",
+]
+
+#: Histogram buckets cover 2**HIST_MIN_EXP .. 2**HIST_MAX_EXP; values
+#: outside are clamped into the edge buckets (no open-ended tails, so
+#: the exported bucket keys are always drawn from a fixed finite set).
+HIST_MIN_EXP = -40
+HIST_MAX_EXP = 64
+
+#: Attribute values allowed on spans (JSON scalars only, so export is
+#: total and deterministic).
+_SCALAR = (str, int, float, bool, type(None))
+
+
+@dataclass
+class Span:
+    """One timed operation; ``end`` is ``None`` while still open."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attributes),
+        }
+
+
+class Tracer:
+    """Records nested spans on an injectable clock.
+
+    Span ids are assigned sequentially in *start* order, so a given
+    call sequence under a given clock always produces the same ids —
+    the export layer relies on this for byte-identical traces.  Not
+    thread-safe by design (matches the rest of the runtime layer: one
+    tracer per process).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 enabled: bool = True) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- recording -------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span | None]:
+        """Context manager timing one operation.
+
+        Yields the open :class:`Span` (callers may add attributes to
+        it), or ``None`` when the tracer is disabled — instrumentation
+        sites must tolerate both.
+        """
+        if not self.enabled:
+            yield None
+            return
+        span = self.start_span(name, **attributes)
+        try:
+            yield span
+        finally:
+            self.finish_span(span)
+
+    def start_span(self, name: str, **attributes: Any) -> Span:
+        for key, value in attributes.items():
+            if not isinstance(value, _SCALAR):
+                raise TypeError(
+                    f"span attribute {key!r} must be a JSON scalar, "
+                    f"got {type(value).__name__}")
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(name=name, span_id=self._next_id, parent_id=parent,
+                    start=float(self.clock()), attributes=dict(attributes))
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish_span(self, span: Span) -> None:
+        if span.end is not None:
+            return
+        span.end = float(self.clock())
+        # Close any child accidentally left open, then pop the span
+        # itself — the stack discipline survives misuse.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    @property
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- export / merge --------------------------------------------------
+    def export_spans(self) -> list[dict[str, Any]]:
+        """Finished spans as plain dicts, in id order."""
+        return [s.to_dict() for s in self.spans if s.end is not None]
+
+    def merge(self, span_dicts: list[dict[str, Any]],
+              base: float | None = None) -> None:
+        """Adopt spans recorded by another tracer (a worker process).
+
+        Ids are re-assigned from this tracer's sequence; orphan spans
+        are re-parented under the currently open span.  Worker clocks
+        have a different origin than the parent's, so all merged times
+        are re-based: the earliest merged start maps to *base*
+        (default: the parent clock's now).  Durations are preserved
+        exactly; only absolute offsets shift.
+        """
+        if not self.enabled or not span_dicts:
+            return
+        if base is None:
+            base = float(self.clock())
+        offset = base - min(float(d["start"]) for d in span_dicts)
+        mapping: dict[int, int] = {}
+        parent = self._stack[-1].span_id if self._stack else None
+        for d in span_dicts:
+            new_id = self._next_id
+            self._next_id += 1
+            mapping[int(d["id"])] = new_id
+            old_parent = d.get("parent")
+            span = Span(
+                name=str(d["name"]), span_id=new_id,
+                parent_id=mapping.get(int(old_parent))
+                if old_parent is not None else parent,
+                start=float(d["start"]) + offset,
+                end=float(d["end"]) + offset
+                if d.get("end") is not None else None,
+                attributes=dict(d.get("attrs", {})))
+            self.spans.append(span)
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += n
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "name": self.name,
+                "value": int(self.value)}
+
+
+class Gauge:
+    """Last-written float value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"gauge {self.name} must be finite")
+        self.value = value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "name": self.name,
+                "value": float(self.value)}
+
+
+def log2_bucket(value: float) -> int:
+    """The fixed log2 bucket exponent for *value*.
+
+    A positive value lands in the bucket with the smallest upper bound
+    ``2**e >= value`` (so bucket *e* covers ``(2**(e-1), 2**e]``);
+    non-positive values land in the bottom bucket.  Exponents are
+    clamped to ``[HIST_MIN_EXP, HIST_MAX_EXP]``.
+    """
+    if value <= 0.0 or not math.isfinite(value):
+        return HIST_MIN_EXP
+    _, e = math.frexp(value)  # value = m * 2**e with 0.5 <= m < 1
+    if value == math.ldexp(1.0, e - 1):  # exact power of two: own bucket
+        e -= 1
+    return max(HIST_MIN_EXP, min(HIST_MAX_EXP, e))
+
+
+class Histogram:
+    """Fixed-log2-bucket histogram.
+
+    Buckets are structural constants (powers of two), never derived
+    from the observations, so the exported ``{exponent: count}`` map is
+    deterministic for a deterministic observation sequence.
+    """
+
+    __slots__ = ("name", "count", "total", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"histogram {self.name} observation must "
+                             f"be finite, got {value!r}")
+        e = log2_bucket(value)
+        self.buckets[e] = self.buckets.get(e, 0) + 1
+        self.count += 1
+        self.total += value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": int(self.count),
+            "sum": float(self.total),
+            "buckets": {str(e): self.buckets[e]
+                        for e in sorted(self.buckets)},
+        }
+
+
+class MetricsRegistry:
+    """Typed get-or-create registry of named instruments.
+
+    Re-requesting a name returns the existing instrument; requesting it
+    as a different kind raises — a counter silently shadowing a gauge
+    is exactly the ad-hoc-dict failure mode this replaces.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"metric name must be a non-empty string, "
+                             f"got {name!r}")
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, requested "
+                    f"{cls.__name__}")
+            return existing
+        metric = cls(name)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def export_metrics(self) -> list[dict[str, Any]]:
+        """All instruments as record dicts, sorted by name (then kind,
+        for pathological same-name cases across registries)."""
+        return [self._metrics[name].to_dict()
+                for name in sorted(self._metrics)]
+
+    def counters(self) -> dict[str, int]:
+        """``name -> value`` of every counter (sorted)."""
+        return {name: m.value for name, m in sorted(self._metrics.items())
+                if isinstance(m, Counter)}
+
+    def merge_records(self, records: list[dict[str, Any]]) -> None:
+        """Fold exported metric records (from a worker process's
+        registry) into this one: counters add, gauges take the merged
+        value, histogram buckets/counts/sums accumulate."""
+        for rec in records:
+            kind, name = rec["type"], rec["name"]
+            if kind == "counter":
+                self.counter(name).inc(int(rec["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(rec["value"]))
+            elif kind == "histogram":
+                h = self.histogram(name)
+                h.count += int(rec["count"])
+                h.total += float(rec["sum"])
+                for e, n in rec["buckets"].items():
+                    e = int(e)
+                    h.buckets[e] = h.buckets.get(e, 0) + int(n)
+            else:
+                raise ValueError(f"unknown metric record type {kind!r}")
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+# ---------------------------------------------------------------------------
+# Ambient tracer / registry
+# ---------------------------------------------------------------------------
+
+#: Library default: a disabled tracer (one ``enabled`` check per span
+#: site) and a real registry (counters are cheap; always on).
+_ACTIVE_TRACER = Tracer(enabled=False)
+_ACTIVE_REGISTRY = MetricsRegistry()
+
+
+def get_tracer() -> Tracer:
+    """The process's ambient tracer (disabled unless installed)."""
+    return _ACTIVE_TRACER
+
+
+def get_registry() -> MetricsRegistry:
+    """The process's ambient metrics registry."""
+    return _ACTIVE_REGISTRY
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install *tracer* as ambient; returns the previous one."""
+    global _ACTIVE_TRACER
+    previous, _ACTIVE_TRACER = _ACTIVE_TRACER, tracer
+    return previous
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install *registry* as ambient; returns the previous one."""
+    global _ACTIVE_REGISTRY
+    previous, _ACTIVE_REGISTRY = _ACTIVE_REGISTRY, registry
+    return previous
+
+
+@contextmanager
+def use_telemetry(tracer: Tracer | None = None,
+                  registry: MetricsRegistry | None = None
+                  ) -> Iterator[tuple[Tracer, MetricsRegistry]]:
+    """Scoped installation of an ambient tracer/registry pair.
+
+    The previous pair is restored on exit, so tests and the CLI can
+    nest without leaking state into each other.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    registry = registry if registry is not None else MetricsRegistry()
+    prev_tracer = set_tracer(tracer)
+    prev_registry = set_registry(registry)
+    try:
+        yield tracer, registry
+    finally:
+        set_tracer(prev_tracer)
+        set_registry(prev_registry)

@@ -31,9 +31,11 @@ query, the guard ladder::
    itself never raises for a well-formed query.
 
 Per-query health counters (queries served, remaps, OOD hits, breaker
-transitions) are exposed via :meth:`GuardedSelector.health_report` and
-the ``pml-mpi chaos`` harness asserts the layer's invariants under
-tens of thousands of adversarial queries.
+transitions) are typed :class:`~repro.obs.telemetry.Counter`
+instruments in a per-instance metrics registry, exposed via
+:meth:`GuardedSelector.health_report` (and the read-only ``counters``
+snapshot property); the ``pml-mpi chaos`` harness asserts the layer's
+invariants under tens of thousands of adversarial queries.
 """
 
 from __future__ import annotations
@@ -42,6 +44,7 @@ import math
 from dataclasses import dataclass
 
 from ..core.resilience import CircuitBreaker, HealthReport
+from ..obs.telemetry import MetricsRegistry
 from ..simcluster.machine import Machine
 from .collectives import base
 from .heuristics import (
@@ -133,7 +136,8 @@ class GuardedSelector(AlgorithmSelector):
                  breaker: CircuitBreaker | None = None,
                  envelopes: dict[str, dict[str, tuple[float, float]]]
                  | None = None,
-                 ood_margin_log2: float = 1.0) -> None:
+                 ood_margin_log2: float = 1.0,
+                 registry: MetricsRegistry | None = None) -> None:
         self.inner = inner
         self.fallback = fallback if fallback is not None \
             else MvapichDefaultSelector()
@@ -146,7 +150,14 @@ class GuardedSelector(AlgorithmSelector):
         #: A query is OOD when any of nodes/ppn/msg_size lies more than
         #: this many octaves outside the trained envelope.
         self.ood_margin_log2 = ood_margin_log2
-        self.counters: dict[str, int] = {k: 0 for k in COUNTER_KEYS}
+        #: Health counters are registry instruments, one per
+        #: COUNTER_KEYS entry under ``guard.*``.  Defaults to a fresh
+        #: per-instance registry so two guards never share counts;
+        #: pass a registry to aggregate across instances.
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._counters = {k: self.registry.counter(f"guard.{k}")
+                          for k in COUNTER_KEYS}
         #: Most recent decision (diagnostics; ``select`` returns only
         #: the algorithm name to keep the AlgorithmSelector contract).
         self.last_decision: GuardDecision | None = None
@@ -159,11 +170,11 @@ class GuardedSelector(AlgorithmSelector):
     def explain(self, collective: str, machine: Machine,
                 msg_size: int) -> GuardDecision:
         """Run the guard ladder, returning the full decision record."""
-        self.counters["queries"] += 1
+        self._counters["queries"].inc()
         try:
             validate_query(collective, machine, msg_size)
         except InvalidQueryError:
-            self.counters["invalid"] += 1
+            self._counters["invalid"].inc()
             raise
         p = int(machine.nodes) * int(machine.ppn)
 
@@ -172,12 +183,12 @@ class GuardedSelector(AlgorithmSelector):
         # the inner selector's health.
         ood = self._ood_detail(collective, machine, msg_size)
         if ood is not None:
-            self.counters["ood_fallback"] += 1
+            self._counters["ood_fallback"].inc()
             return self._finish(self._serve_fallback(
                 collective, machine, msg_size, p, ACTION_OOD, ood))
 
         if not self.breaker.allow_request():
-            self.counters["breaker_fallback"] += 1
+            self._counters["breaker_fallback"].inc()
             return self._finish(self._serve_fallback(
                 collective, machine, msg_size, p, ACTION_BREAKER,
                 f"breaker {self.breaker.state}"))
@@ -189,13 +200,13 @@ class GuardedSelector(AlgorithmSelector):
             # (e.g. a FixedSelector for another collective): a guard
             # trip, served by the fallback.
             self.breaker.record_failure()
-            self.counters["error_fallback"] += 1
+            self._counters["error_fallback"].inc()
             return self._finish(self._serve_fallback(
                 collective, machine, msg_size, p, ACTION_ERROR,
                 "inner selector rejected the query"))
         except Exception as exc:
             self.breaker.record_failure()
-            self.counters["error_fallback"] += 1
+            self._counters["error_fallback"].inc()
             return self._finish(self._serve_fallback(
                 collective, machine, msg_size, p, ACTION_ERROR,
                 f"inner selector raised {type(exc).__name__}: {exc}"))
@@ -203,14 +214,14 @@ class GuardedSelector(AlgorithmSelector):
         problem = self._prediction_problem(collective, predicted, p)
         if problem is None:
             self.breaker.record_success()
-            self.counters["served_model"] += 1
+            self._counters["served_model"].inc()
             return self._finish(GuardDecision(
                 collective, predicted, ACTION_MODEL))
 
         # Infeasible or unknown prediction: a guard trip; remap to the
         # best feasible alternative instead of shipping it.
         self.breaker.record_failure()
-        self.counters["remapped"] += 1
+        self._counters["remapped"].inc()
         remapped = self._best_feasible(collective, machine, msg_size, p)
         return self._finish(GuardDecision(
             collective, remapped, ACTION_REMAP,
@@ -259,7 +270,7 @@ class GuardedSelector(AlgorithmSelector):
         if algo is None or self._prediction_problem(
                 collective, algo, p) is not None:
             if algo is not None:
-                self.counters["fallback_floored"] += 1
+                self._counters["fallback_floored"].inc()
                 detail += f"; fallback chose infeasible {algo!r}"
             algo = self._best_feasible(collective, machine, msg_size, p)
         return GuardDecision(collective, algo, action, detail)
@@ -288,6 +299,12 @@ class GuardedSelector(AlgorithmSelector):
     def _finish(self, decision: GuardDecision) -> GuardDecision:
         self.last_decision = decision
         return decision
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the health counters, in COUNTER_KEYS order
+        (a plain dict, so every pre-registry read site keeps working)."""
+        return {k: c.value for k, c in self._counters.items()}
 
     # -- health ----------------------------------------------------------
     def health_report(self) -> HealthReport:

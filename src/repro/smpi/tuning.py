@@ -24,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from ..hwmodel.registry import get_cluster
+from ..obs.telemetry import get_registry
 from ..simcluster.machine import Machine
 from .collectives import base
 from .heuristics import AlgorithmSelector, validate_query
@@ -154,6 +155,10 @@ class TuningTable:
         #: list, so replace-on-duplicate needs no scan.
         self._positions: dict[tuple[str, tuple[int, int]],
                               dict[int, int]] = {}
+        #: Lookup counters, (re)bound to the ambient registry at freeze
+        #: time so the hot path pays one cached ``inc`` per lookup
+        #: instead of a registry dict probe.
+        self._c_exact = self._c_nearest = self._c_memo = None
 
     def __repr__(self) -> str:
         n = sum(len(bps) for cfgs in self._entries.values()
@@ -240,6 +245,11 @@ class TuningTable:
         self._index = index
         self._config_index = config_index
         self._nearest = {}
+        registry = get_registry()
+        registry.counter("table.freeze").inc()
+        self._c_exact = registry.counter("table.lookup.exact")
+        self._c_nearest = registry.counter("table.lookup.nearest")
+        self._c_memo = registry.counter("table.lookup.nearest_memo_hit")
         self._dirty = False
 
     def _nearest_config(self, collective: str, nodes: int,
@@ -251,6 +261,7 @@ class TuningTable:
         cache_key = (collective, nodes, ppn)
         hit = self._nearest.get(cache_key)
         if hit is not None:
+            self._c_memo.inc()
             return hit
         keys, log_nodes, log_ppn = self._config_index[collective]
         dist = ((log_nodes - math.log2(nodes)) ** 2
@@ -279,8 +290,11 @@ class TuningTable:
         key = (nodes, ppn)
         entry = configs.get(key)
         if entry is None:
+            self._c_nearest.inc()
             key = self._nearest_config(collective, nodes, ppn)
             entry = configs[key]
+        else:
+            self._c_exact.inc()
         sizes, algos = entry
         if not sizes:
             raise ValueError(

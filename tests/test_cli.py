@@ -185,3 +185,60 @@ class TestParser:
     def test_unknown_cluster_rejected(self):
         with pytest.raises(SystemExit):
             main(["info", "Atlantis"])
+
+
+class TestTraceAndReport:
+    def test_trace_flag_writes_valid_trace(self, tmp_path, capsys):
+        from repro.obs.trace_io import load_trace
+
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["info", "RI", "--trace", str(trace_path)]) == 0
+        assert "trace written" in capsys.readouterr().err
+        trace = load_trace(trace_path)
+        assert trace.root_spans()[0]["name"] == "info"
+
+    def test_traced_tune_then_report_shows_stages(self, bundle,
+                                                  tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        rc = main(["tune", "RI", "--bundle", str(bundle),
+                   "--table-dir", str(tmp_path / "tables"),
+                   "--trace", str(trace_path)])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage wall clock" in out
+        assert "tune" in out
+        assert "tune.rung.regenerated" in out
+
+    def test_trace_accumulates_across_commands(self, tmp_path, capsys):
+        from repro.obs.trace_io import load_trace
+
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["info", "RI", "--trace", str(trace_path)]) == 0
+        assert main(["info", "Ray", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        roots = load_trace(trace_path).root_spans()
+        assert [s["name"] for s in roots] == ["info", "info"]
+
+    def test_report_missing_file_rc_2(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_report_corrupt_file_rc_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("garbage\n")
+        assert main(["report", str(bad)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_trace_onto_corrupt_file_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("garbage\n")
+        rc = main(["info", "RI", "--trace", str(bad)])
+        assert rc == 2
+        assert "cannot extend trace" in capsys.readouterr().err
+        assert bad.read_text() == "garbage\n"
+
+    def test_verbose_flag_accepted_after_subcommand(self, capsys):
+        assert main(["info", "RI", "-vv"]) == 0

@@ -503,3 +503,62 @@ class TestEnvelope:
     def test_negative_margin_rejected(self):
         with pytest.raises(ValueError):
             GuardedSelector(MvapichDefaultSelector(), ood_margin_log2=-1)
+
+
+# ---------------------------------------------------------------------------
+# Registry-backed counters (observability layer)
+# ---------------------------------------------------------------------------
+
+class TestRegistryBackedCounters:
+    """The guard's health counters are registry instruments; the
+    counter-partition invariant must reconcile exactly through them."""
+
+    def test_counters_live_in_per_instance_registry(self, machine):
+        guard = make_guard(["ring"])
+        guard.select("allgather", machine, 1024)
+        assert guard.registry.counter("guard.queries").value == 1
+        assert guard.registry.counter("guard.served_model").value == 1
+        assert guard.counters["queries"] == 1
+
+    def test_two_guards_do_not_share_counts(self, machine):
+        a, b = make_guard(["ring"]), make_guard(["ring"])
+        a.select("allgather", machine, 1024)
+        assert a.counters["queries"] == 1
+        assert b.counters["queries"] == 0
+
+    def test_explicit_registry_aggregates(self, machine):
+        from repro.obs.telemetry import MetricsRegistry
+
+        shared = MetricsRegistry()
+        a = make_guard(["ring"], registry=shared)
+        b = make_guard(["ring"], registry=shared)
+        a.select("allgather", machine, 1024)
+        b.select("allgather", machine, 1024)
+        assert shared.counter("guard.queries").value == 2
+
+    def test_partition_invariant_reconciles_via_registry(
+            self, machine, odd_machine):
+        guard = make_guard(
+            ["ring", "recursive_doubling", RuntimeError("x")] * 4)
+        fired = 0
+        for msg in (64, 1024, 1 << 16):
+            for m in (machine, odd_machine):
+                guard.select("allgather", m, msg)
+                fired += 1
+        try:
+            guard.select("allgather", machine, -1)
+        except InvalidQueryError:
+            pass
+        fired += 1
+        reg = guard.registry
+        partition = sum(
+            reg.counter(f"guard.{k}").value
+            for k in ("invalid", "served_model", "remapped",
+                      "ood_fallback", "breaker_fallback",
+                      "error_fallback"))
+        assert partition == fired
+        assert reg.counter("guard.queries").value == fired
+        # The snapshot property mirrors the registry exactly.
+        assert guard.counters == {
+            k: reg.counter(f"guard.{k}").value
+            for k in guard.counters}

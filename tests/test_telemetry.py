@@ -1,0 +1,372 @@
+"""Tests for the observability layer: tracer, metrics registry, JSONL
+trace export/validation, and the report renderer."""
+
+import json
+
+import pytest
+
+from repro.core.resilience import CorruptArtifactError, StaleArtifactError
+from repro.obs.report import render_report, slowest_spans, stage_breakdown
+from repro.obs.telemetry import (
+    HIST_MAX_EXP,
+    HIST_MIN_EXP,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    log2_bucket,
+    use_telemetry,
+)
+from repro.obs.trace_io import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    encode_trace,
+    export_trace,
+    load_trace,
+    parse_trace,
+)
+
+
+def fake_clock():
+    """Deterministic monotonic clock: 0.0, 1.0, 2.0, ..."""
+    tick = [0.0]
+
+    def clock():
+        t = tick[0]
+        tick[0] += 1.0
+        return t
+
+    return clock
+
+
+def span_record(span_id, parent=None, name="s", start=0.0, end=1.0,
+                attrs=None):
+    return {"type": "span", "id": span_id, "parent": parent,
+            "name": name, "start": start, "end": end,
+            "attrs": attrs if attrs is not None else {}}
+
+
+class TestTracer:
+    def test_nested_spans_sequential_ids(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.span_id == 1 and inner.span_id == 2
+        assert inner.parent_id == 1 and outer.parent_id is None
+        assert outer.start == 0.0 and inner.start == 1.0
+        assert inner.end == 2.0 and outer.end == 3.0
+
+    def test_disabled_tracer_yields_none_and_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            assert span is None
+        assert tracer.export_spans() == []
+
+    def test_open_spans_not_exported(self):
+        tracer = Tracer(clock=fake_clock())
+        tracer.start_span("open")
+        assert tracer.export_spans() == []
+
+    def test_non_scalar_attribute_rejected(self):
+        tracer = Tracer(clock=fake_clock())
+        with pytest.raises(TypeError, match="JSON scalar"):
+            tracer.start_span("bad", payload=[1, 2])
+
+    def test_current_span_tracks_stack(self):
+        tracer = Tracer(clock=fake_clock())
+        assert tracer.current_span is None
+        with tracer.span("a") as a:
+            assert tracer.current_span is a
+        assert tracer.current_span is None
+
+    def test_merge_rebases_ids_times_and_parents(self):
+        parent = Tracer(clock=fake_clock())
+        worker = Tracer(clock=fake_clock())
+        with worker.span("w.outer"):
+            with worker.span("w.inner"):
+                pass
+        with parent.span("p") as p:
+            parent.merge(worker.export_spans())
+        spans = {s.name: s for s in parent.spans}
+        assert spans["w.outer"].parent_id == p.span_id
+        assert spans["w.inner"].parent_id == spans["w.outer"].span_id
+        # Durations preserved, offsets re-based onto the parent clock.
+        assert spans["w.inner"].duration == 1.0
+        assert spans["w.outer"].start >= p.start
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_gauge_rejects_non_finite(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(2.5)
+        assert g.value == 2.5
+        with pytest.raises(ValueError, match="finite"):
+            g.set(float("inf"))
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("dual")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("dual")
+
+    @pytest.mark.parametrize("value,expected", [
+        (4.0, 2),       # exact power of two gets its own bucket
+        (4.1, 3),       # just past it spills into the next
+        (3.5, 2),
+        (1.0, 0),
+        (0.5, -1),
+        (0.0, HIST_MIN_EXP),
+        (-7.0, HIST_MIN_EXP),
+        (2.0 ** 100, HIST_MAX_EXP),
+        (2.0 ** -100, HIST_MIN_EXP),
+    ])
+    def test_log2_bucket_boundaries(self, value, expected):
+        assert log2_bucket(value) == expected
+
+    def test_histogram_counts_and_sum(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (3.5, 4.0, 4.1):
+            h.observe(v)
+        assert h.count == 3
+        assert h.buckets == {2: 2, 3: 1}
+        assert h.total == pytest.approx(11.6)
+
+    def test_merge_records_accumulates(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        a.histogram("h").observe(4.0)
+        b.counter("c").inc(3)
+        b.gauge("g").set(9.0)
+        b.histogram("h").observe(100.0)
+        a.merge_records(b.export_metrics())
+        assert a.counter("c").value == 5
+        assert a.gauge("g").value == 9.0
+        assert a.histogram("h").count == 2
+
+    def test_ambient_defaults_and_scoped_install(self):
+        assert get_tracer().enabled is False
+        outer_registry = get_registry()
+        with use_telemetry() as (tracer, registry):
+            assert get_tracer() is tracer and tracer.enabled
+            assert get_registry() is registry
+        assert get_tracer().enabled is False
+        assert get_registry() is outer_registry
+
+
+class TestTraceExport:
+    def _run_once(self, tmp_path, name):
+        path = tmp_path / name
+        with use_telemetry(Tracer(clock=fake_clock())) as (tracer,
+                                                           registry):
+            registry.counter("queries").inc(3)
+            registry.histogram("sizes").observe(6.0)
+            with tracer.span("stage", cluster="RI"):
+                with tracer.span("step"):
+                    pass
+            export_trace(path, tracer, registry, append=False)
+        return path.read_bytes()
+
+    def test_fake_clock_runs_byte_identical(self, tmp_path):
+        assert self._run_once(tmp_path, "a.jsonl") \
+            == self._run_once(tmp_path, "b.jsonl")
+
+    def test_roundtrip(self, tmp_path):
+        self._run_once(tmp_path, "t.jsonl")
+        trace = load_trace(tmp_path / "t.jsonl")
+        assert [s["name"] for s in trace.spans] == ["stage", "step"]
+        assert trace.counters() == {"queries": 3}
+        assert trace.root_spans()[0]["attrs"] == {"cluster": "RI"}
+
+    def test_append_rebases_spans_and_merges_metrics(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for _ in range(2):
+            with use_telemetry(Tracer(clock=fake_clock())) \
+                    as (tracer, registry):
+                registry.counter("queries").inc(3)
+                registry.histogram("sizes").observe(6.0)
+                with tracer.span("stage"):
+                    pass
+                export_trace(path, tracer, registry)
+        trace = load_trace(path)
+        assert [s["id"] for s in trace.spans] == [1, 2]
+        assert trace.counters() == {"queries": 6}
+        assert trace.histograms()["sizes"]["count"] == 2
+
+    def test_append_onto_corrupt_trace_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("garbage\n")
+        with use_telemetry(Tracer(clock=fake_clock())) as (tracer,
+                                                           registry):
+            with tracer.span("stage"):
+                pass
+            with pytest.raises(CorruptArtifactError):
+                export_trace(path, tracer, registry)
+        # The corrupt file was not clobbered.
+        assert path.read_text() == "garbage\n"
+
+
+class TestTraceValidation:
+    """Schema-rejection matrix (mirrors the doctor corrupt-artifact
+    tests): every corruption class raises a typed artifact error."""
+
+    def test_empty_file(self):
+        with pytest.raises(CorruptArtifactError, match="empty"):
+            parse_trace("")
+
+    def test_non_json_header(self):
+        with pytest.raises(CorruptArtifactError, match="not JSON"):
+            parse_trace("not json\n")
+
+    def test_missing_meta_header(self):
+        with pytest.raises(CorruptArtifactError, match="__meta__"):
+            parse_trace('{"type": "counter"}\n')
+
+    def test_wrong_format(self):
+        text = json.dumps({"__meta__": {
+            "format": "other/format", "version": TRACE_VERSION,
+            "records": 0, "crc32": 0}}) + "\n"
+        with pytest.raises(CorruptArtifactError, match="not a trace"):
+            parse_trace(text)
+
+    def test_version_mismatch_is_stale(self):
+        text = json.dumps({"__meta__": {
+            "format": TRACE_FORMAT, "version": TRACE_VERSION + 1,
+            "records": 0, "crc32": 0}}) + "\n"
+        with pytest.raises(StaleArtifactError, match="version"):
+            parse_trace(text)
+
+    def test_record_count_mismatch(self):
+        text = encode_trace([span_record(1)], [])
+        truncated = text.splitlines(keepends=True)[0]
+        with pytest.raises(CorruptArtifactError, match="truncated"):
+            parse_trace(truncated)
+
+    def test_checksum_mismatch(self):
+        text = encode_trace([span_record(1, name="honest")], [])
+        tampered = text.replace("honest", "forged")
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            parse_trace(tampered)
+
+    def test_unknown_record_type(self):
+        text = encode_trace([{"type": "mystery"}], [])
+        with pytest.raises(CorruptArtifactError, match="unknown record"):
+            parse_trace(text)
+
+    @pytest.mark.parametrize("bad,match", [
+        (span_record(0), "positive integer"),
+        (span_record(1, start=1.0, end=0.5), "ends before"),
+        (span_record(1, parent=99), "unknown parent"),
+        (span_record(1, start=float("nan")), "not finite"),
+        (span_record(1, name=""), "non-empty"),
+        (span_record(1, attrs="x"), "attrs"),
+        ({**span_record(1), "extra": 1}, "schema"),
+    ])
+    def test_malformed_span(self, bad, match):
+        with pytest.raises(CorruptArtifactError, match=match):
+            parse_trace(encode_trace([bad], []))
+
+    def test_duplicate_span_id(self):
+        text = encode_trace([span_record(1), span_record(1)], [])
+        with pytest.raises(CorruptArtifactError, match="duplicate"):
+            parse_trace(text)
+
+    @pytest.mark.parametrize("bad,match", [
+        ({"type": "counter", "name": "c", "value": -1}, "non-negative"),
+        ({"type": "counter", "name": "c", "value": 1.5}, "non-negative"),
+        ({"type": "counter", "name": "", "value": 1}, "non-empty"),
+        ({"type": "gauge", "name": "g", "value": "x"}, "not a number"),
+        ({"type": "histogram", "name": "h", "count": 2, "sum": 1.0,
+          "buckets": {"3": 1}}, "sum to"),
+        ({"type": "histogram", "name": "h", "count": 1, "sum": 1.0,
+          "buckets": {"x": 1}}, "integer exponent"),
+        ({"type": "histogram", "name": "h", "count": 1, "sum": 1.0,
+          "buckets": {"3": 0}}, "invalid"),
+    ])
+    def test_malformed_metric(self, bad, match):
+        with pytest.raises(CorruptArtifactError, match=match):
+            parse_trace(encode_trace([], [bad]))
+
+    def test_duplicate_metric_name(self):
+        metric = {"type": "counter", "name": "c", "value": 1}
+        with pytest.raises(CorruptArtifactError, match="duplicate"):
+            parse_trace(encode_trace([], [metric, dict(metric)]))
+
+    def test_load_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nope.jsonl")
+
+
+class TestReport:
+    def _trace(self):
+        text = encode_trace(
+            [span_record(1, name="collect", start=0.0, end=4.0),
+             span_record(2, parent=1, name="collect.chunk",
+                         start=0.5, end=3.0),
+             span_record(3, name="train", start=4.0, end=10.0)],
+            [{"type": "counter", "name": "queries", "value": 7},
+             {"type": "histogram", "name": "sizes", "count": 1,
+              "sum": 6.0, "buckets": {"3": 1}}])
+        return parse_trace(text)
+
+    def test_stage_breakdown_groups_root_spans(self):
+        rows = stage_breakdown(self._trace())
+        assert [r["stage"] for r in rows] == ["train", "collect"]
+        assert rows[0]["total_s"] == 6.0
+        assert rows[0]["share"] == pytest.approx(0.6)
+
+    def test_slowest_spans_paths(self):
+        rows = slowest_spans(self._trace(), n=2)
+        assert rows[0][1] == "train"
+        assert rows[1][1] == "collect"
+        assert slowest_spans(self._trace(), n=10)[2][1] \
+            == "collect > collect.chunk"
+
+    def test_render_report_sections(self):
+        out = render_report(self._trace())
+        assert "per-stage wall clock" in out
+        assert "collect" in out and "train" in out
+        assert "queries" in out and "7" in out
+        assert "log2 buckets" in out
+        assert "slowest spans" in out
+
+
+class TestWorkerSpanMerging:
+    def test_parallel_map_merges_worker_spans(self):
+        from repro.ml.parallel import parallel_map
+
+        with use_telemetry(Tracer(clock=fake_clock())) as (tracer,
+                                                           registry):
+            with tracer.span("parent"):
+                results = parallel_map(_square_traced, [2, 3, 4], 2)
+        assert results == [4, 9, 16]
+        names = [s.name for s in tracer.spans]
+        assert names.count("worker.square") == 3
+        parent_id = tracer.spans[0].span_id
+        workers = [s for s in tracer.spans if s.name == "worker.square"]
+        assert all(s.parent_id == parent_id for s in workers)
+        assert registry.counter("worker.calls").value == 3
+
+    def test_serial_map_records_spans_directly(self):
+        from repro.ml.parallel import parallel_map
+
+        with use_telemetry(Tracer(clock=fake_clock())) as (tracer, _):
+            parallel_map(_square_traced, [5], 1)
+        assert [s.name for s in tracer.spans] == ["worker.square"]
+
+
+def _square_traced(x):
+    with get_tracer().span("worker.square", x=x):
+        get_registry().counter("worker.calls").inc()
+        return x * x
