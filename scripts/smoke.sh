@@ -10,6 +10,8 @@
 #              --bundle cross-check must pass on the healthy pair)
 #   -> chaos  (seeded guard-layer soak: 10k adversarial queries, no
 #              unguarded exceptions, breaker must cycle)
+#   -> select-batch (JSONL queries through the batched service:
+#              quantized memoization, invalid queries answered inline)
 #   -> telemetry (traced collect/train/tune/select accumulate one
 #              trace; `pml-mpi report` renders every stage; a corrupted
 #              trace must be rejected)
@@ -79,11 +81,14 @@ from repro.core.bench import validate_bench_file
 
 results = validate_bench_file(sys.argv[1])
 required = {"forest_fit_serial", "forest_fit_parallel",
-            "forest_predict_batch", "table_generation", "table_lookup"}
+            "forest_predict_batch", "table_generation", "table_lookup",
+            "serve_batch"}
 missing = required - set(results)
 assert not missing, f"bench results missing {sorted(missing)}"
 assert results["forest_fit_parallel"]["config"][
     "bit_identical_to_serial"], "parallel fit diverged from serial"
+assert results["serve_batch"]["config"][
+    "identical_to_scalar"], "batched serving diverged from scalar guard"
 
 # The validator must actually *fail* on schema-invalid output.
 try:
@@ -96,6 +101,34 @@ except ValueError:
 else:
     raise AssertionError("schema validator accepted invalid output")
 print("bench schema OK")
+EOF
+
+echo "== select-batch (JSONL in -> guarded decisions out) =="
+cat > "$workdir/queries.jsonl" <<'JSONL'
+{"collective":"allgather","nodes":2,"ppn":4,"msg_size":1000}
+{"collective":"allgather","nodes":2,"ppn":4,"msg_size":1024}
+{"collective":"alltoall","nodes":1,"ppn":8,"msg_size":65536}
+{"collective":"nope","nodes":2,"ppn":4,"msg_size":64}
+JSONL
+pml select-batch RI --bundle "$workdir/bundle.json" \
+    --input "$workdir/queries.jsonl" --output "$workdir/decisions.jsonl" \
+    | tee "$workdir/select_batch.out"
+grep -q "answered 4 queries" "$workdir/select_batch.out"
+python - "$workdir/decisions.jsonl" <<'EOF'
+import json
+import sys
+
+lines = open(sys.argv[1]).read().splitlines()
+assert len(lines) == 4, f"expected 4 decisions, got {len(lines)}"
+records = [json.loads(line) for line in lines]
+# 1000 and 1024 share one quantized memo entry; the second is cached.
+assert records[1]["cached"] is True
+assert records[0]["algorithm"] == records[1]["algorithm"]
+# The malformed query is answered, not dropped, and names no algorithm.
+assert records[3]["action"] == "invalid"
+assert records[3]["algorithm"] is None
+assert all(r["algorithm"] for r in records[:3])
+print("select-batch OK")
 EOF
 
 echo "== telemetry (traced run + report) =="

@@ -12,6 +12,11 @@ build system:
     table (or reuse an existing one).
 ``pml-mpi select``
     One-off query: which algorithm for this collective/job/size?
+``pml-mpi select-batch``
+    Batched queries: read one JSONL query per line, answer all of
+    them through the guard ladder's vectorized batch path (with
+    LRU memoization + power-of-two size quantization), write one
+    JSONL decision per line.
 ``pml-mpi sweep``
     OSU-style sweep under a chosen selector, printed as a table.
 ``pml-mpi info``
@@ -216,6 +221,44 @@ def cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_select_batch(args: argparse.Namespace) -> int:
+    from .core.resilience import atomic_write_text
+    from .obs.telemetry import get_registry
+    from .serve import (
+        SelectionService,
+        decisions_to_jsonl,
+        queries_from_jsonl,
+    )
+    from .smpi.guard import GuardedSelector
+
+    try:
+        text = args.input.read_text()
+    except OSError as exc:
+        print(f"cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        queries = queries_from_jsonl(text)
+    except ValueError as exc:
+        print(f"invalid query file {args.input}: {exc}", file=sys.stderr)
+        return 2
+    selector = GuardedSelector(load_selector(args.bundle))
+    service = SelectionService(
+        selector, get_cluster(args.cluster),
+        cache_size=args.cache_size, quantize=not args.no_quantize,
+        registry=get_registry())
+    decisions = service.select_batch(queries)
+    payload = decisions_to_jsonl(decisions)
+    if args.output is not None:
+        atomic_write_text(args.output, payload)
+        counts = service.counters
+        print(f"answered {counts['queries']} queries "
+              f"({counts['cache_misses']} distinct, "
+              f"{counts['invalid']} invalid) -> {args.output}")
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
 _SELECTORS = {
     "mvapich": MvapichDefaultSelector,
     "ompi": OpenMpiDefaultSelector,
@@ -406,6 +449,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("msg_size", type=int)
     p.add_argument("--bundle", type=Path, required=True)
     p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser(
+        "select-batch", parents=[common],
+        help="answer a JSONL file of queries in one batched pass")
+    p.add_argument("cluster", choices=CLUSTER_NAMES)
+    p.add_argument("--bundle", type=Path, required=True)
+    p.add_argument("--input", type=Path, required=True, metavar="JSONL",
+                   help="query file: one JSON object per line with "
+                        "collective/nodes/ppn/msg_size keys")
+    p.add_argument("--output", type=Path, default=None, metavar="JSONL",
+                   help="decision file (atomic write); default stdout")
+    p.add_argument("--cache-size", type=int, default=4096, metavar="N",
+                   help="LRU memo capacity in distinct keys "
+                        "(default 4096)")
+    p.add_argument("--no-quantize", action="store_true",
+                   help="memoize exact message sizes instead of "
+                        "snapping to the nearest power of two")
+    p.set_defaults(func=cmd_select_batch)
 
     p = sub.add_parser("sweep", parents=[common],
                        help="OSU-style message-size sweep")

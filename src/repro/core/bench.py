@@ -1,9 +1,9 @@
 """Reproducible micro-benchmark harness for the framework's hot paths.
 
-Times the four operations that dominate PML-MPI's end-to-end cost —
+Times the five operations that dominate PML-MPI's end-to-end cost —
 ensemble training, batch inference, compile-time tuning-table
-generation, and runtime table lookup — and writes a machine-readable
-``BENCH_results.json`` with the schema::
+generation, runtime table lookup, and batched selection serving —
+and writes a machine-readable ``BENCH_results.json`` with the schema::
 
     { "<benchmark name>": {"wall_s": <float>, "config": {...}} }
 
@@ -107,14 +107,8 @@ def _forest_benchmarks(X: np.ndarray, y: np.ndarray, jobs: int,
     }
 
 
-def _table_generation_benchmark(dataset, repeats: int,
-                                jobs: int) -> dict[str, dict]:
-    from .framework import offline_train
-
+def _table_generation_benchmark(selector, repeats: int) -> dict[str, dict]:
     spec = get_cluster(BENCH_CLUSTER)
-    selector = offline_train(dataset, family="rf",
-                             collectives=(BENCH_COLLECTIVE,),
-                             n_jobs=jobs)
     report = None
 
     def gen():
@@ -190,6 +184,78 @@ def _lookup_benchmark(lookups: int, repeats: int) -> dict[str, dict]:
     }
 
 
+def _batch_selection_benchmark(selector, repeats: int, n_queries: int,
+                               scalar_queries: int) -> dict[str, dict]:
+    """Single-query guard loop vs one cold service batch over the same
+    query stream — the serving layer's headline number.
+
+    The scalar side is timed on a prefix of *scalar_queries* queries
+    (a full 10k scalar pass would dominate the harness wall time) and
+    compared per-query; ``identical_to_scalar`` verifies the batch
+    decisions match the scalar ladder on that prefix.
+    """
+    from ..serve import SelectionQuery, SelectionService
+    from ..simcluster.machine import Machine
+    from ..smpi.guard import GuardedSelector
+
+    spec = get_cluster(BENCH_CLUSTER)
+    rng = np.random.default_rng(0)
+    shapes = [(int(nodes), int(ppn))
+              for nodes in spec.node_counts
+              for ppn in spec.ppn_values if nodes * ppn >= 2]
+    queries: list[SelectionQuery] = []
+    machines: dict[tuple[int, int], Machine] = {}
+    for _ in range(n_queries):
+        nodes, ppn = shapes[int(rng.integers(len(shapes)))]
+        exp = int(rng.integers(6, 21))
+        msg = int(2 ** exp + rng.integers(0, 2 ** exp))
+        queries.append(SelectionQuery(BENCH_COLLECTIVE, nodes, ppn, msg))
+        if (nodes, ppn) not in machines:
+            machines[(nodes, ppn)] = Machine(spec, nodes, ppn)
+    prefix = queries[:scalar_queries]
+
+    def scalar() -> list[str]:
+        guard = GuardedSelector(selector)
+        return [guard.select(q.collective,
+                             machines[(q.nodes, q.ppn)], q.msg_size)
+                for q in prefix]
+
+    def batch():
+        # Cold service each repeat: the memo never carries over, so
+        # the number reflects dedup + vectorized inference, not a
+        # pre-warmed cache.  quantize=False keeps decisions
+        # query-exact for the identity check below.
+        service = SelectionService(GuardedSelector(selector), spec,
+                                   cache_size=len(queries),
+                                   quantize=False)
+        return service.select_batch(queries)
+
+    scalar_s = _best_of(scalar, repeats)
+    batch_s = _best_of(batch, repeats)
+    identical = ([d.algorithm for d in batch()[:len(prefix)]]
+                 == scalar())
+    scalar_per_query = scalar_s / len(prefix)
+    batch_per_query = batch_s / len(queries)
+    return {
+        "serve_batch": {
+            "wall_s": batch_s,
+            "config": {
+                "cluster": spec.name,
+                "collective": BENCH_COLLECTIVE,
+                "n_queries": len(queries),
+                "distinct_keys": len({(q.nodes, q.ppn, q.msg_size)
+                                      for q in queries}),
+                "scalar_queries": len(prefix),
+                "scalar_wall_s": scalar_s,
+                "identical_to_scalar": bool(identical),
+                "speedup_batch_vs_scalar":
+                    scalar_per_query / batch_per_query
+                    if batch_per_query > 0 else float("inf"),
+            },
+        },
+    }
+
+
 def run_benchmarks(quick: bool = False, jobs: int = 4, repeats: int = 3,
                    lookups: int | None = None,
                    progress: bool = False) -> dict[str, dict]:
@@ -209,6 +275,12 @@ def run_benchmarks(quick: bool = False, jobs: int = 4, repeats: int = 3,
     sub = dataset.filter(collective=BENCH_COLLECTIVE)
     X, y = sub.feature_matrix(), sub.labels()
 
+    from .framework import offline_train
+    note("training the bench selector")
+    selector = offline_train(dataset, family="rf",
+                             collectives=(BENCH_COLLECTIVE,),
+                             n_jobs=jobs)
+
     tracer = get_tracer()
     results: dict[str, dict] = {}
     note(f"forest fit/predict ({n_estimators} trees, jobs={jobs})")
@@ -217,11 +289,16 @@ def run_benchmarks(quick: bool = False, jobs: int = 4, repeats: int = 3,
                                           n_estimators, predict_rows))
     note("tuning-table generation")
     with tracer.span("bench.table_generation"):
-        results.update(_table_generation_benchmark(dataset, repeats,
-                                                   jobs))
+        results.update(_table_generation_benchmark(selector, repeats))
     note(f"table lookup ({lookups} lookups)")
     with tracer.span("bench.lookup", lookups=lookups):
         results.update(_lookup_benchmark(lookups, repeats))
+    n_queries = 2_000 if quick else 10_000
+    scalar_queries = 500 if quick else 2_000
+    note(f"batched selection service ({n_queries} queries)")
+    with tracer.span("bench.serve_batch", queries=n_queries):
+        results.update(_batch_selection_benchmark(
+            selector, repeats, n_queries, scalar_queries))
     return results
 
 

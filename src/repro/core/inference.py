@@ -51,6 +51,34 @@ class PretrainedSelector(AlgorithmSelector):
                            msg_size)[None, :]
         return str(model.predict(X)[0])
 
+    def select_batch(self, queries: list[tuple[str, Machine, int]]
+                     ) -> list[str]:
+        """Vectorized batch selection: one ``predict_batch`` call per
+        distinct collective instead of one model inference per query.
+
+        Element-wise identical to the scalar loop — same validation
+        (first invalid query raises), same per-row feature vectors,
+        same packed-tree predictions.
+        """
+        for collective, machine, msg_size in queries:
+            validate_query(collective, machine, msg_size)
+            if collective not in self.models:
+                raise KeyError(
+                    f"no pre-trained model for {collective}; have "
+                    f"{', '.join(self.models)}")
+        out: list[str | None] = [None] * len(queries)
+        by_collective: dict[str, list[int]] = {}
+        for i, (collective, _, _) in enumerate(queries):
+            by_collective.setdefault(collective, []).append(i)
+        for collective, idx in by_collective.items():
+            rows = [(queries[i][1].spec, queries[i][1].nodes,
+                     queries[i][1].ppn, queries[i][2]) for i in idx]
+            predictions = self.models[collective].predict_batch(
+                feature_matrix(rows))
+            for i, algo in zip(idx, predictions):
+                out[i] = str(algo)
+        return out  # type: ignore[return-value]
+
     def describe(self) -> str:
         families = {c: m.family for c, m in self.models.items()}
         return f"PretrainedSelector({families})"
@@ -107,7 +135,7 @@ def generate_tuning_table(selector: PretrainedSelector, spec: ClusterSpec,
             model = selector.models[collective]
             with tracer.span("tune.predict", collective=collective,
                              configs=len(configs)):
-                predictions = model.predict(X)
+                predictions = model.predict_batch(X)
             for (nodes, ppn, msg), algo in zip(configs, predictions):
                 # TuningTable.add validates the predicted name, so a
                 # degraded model emitting garbage labels fails loudly

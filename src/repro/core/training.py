@@ -108,6 +108,16 @@ class TrainedModel:
         """Predict algorithm names from full 14-column feature rows."""
         return self.model.predict(self._prepare(X_full))
 
+    def predict_batch(self, X_full: np.ndarray) -> np.ndarray:
+        """Batch prediction from full 14-column feature rows through
+        the model's vectorized batch path (packed-tree traversal for
+        the ensembles) — element-wise identical to :meth:`predict`."""
+        X = self._prepare(X_full)
+        batch = getattr(self.model, "predict_batch", None)
+        if batch is not None:
+            return batch(X)
+        return self.model.predict(X)
+
     def predict_proba(self, X_full: np.ndarray) -> np.ndarray:
         return self.model.predict_proba(self._prepare(X_full))
 

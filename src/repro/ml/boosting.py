@@ -14,7 +14,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from .parallel import resolve_n_jobs
-from .tree import DecisionTreeRegressor
+from .tree import DecisionTreeRegressor, PackedTrees
 
 
 def _softmax(F: np.ndarray) -> np.ndarray:
@@ -133,7 +133,39 @@ class GradientBoostingClassifier:
             if pool is not None:
                 pool.shutdown()
         self.n_features_in_ = X.shape[1]
+        self._packed_ = None  # invalidate any batch arena of a prior fit
         return self
+
+    def _packed(self) -> PackedTrees:
+        packed = getattr(self, "_packed_", None)
+        if packed is None:
+            packed = PackedTrees(
+                [t for stage in self.estimators_ for t in stage])
+            self._packed_ = packed
+        return packed
+
+    def decision_function_batch(self, X: np.ndarray) -> np.ndarray:
+        """Per-class scores via one packed traversal of every stage's
+        trees — bit-identical to :meth:`decision_function` (same leaf
+        comparisons, same stage-order accumulation)."""
+        if not hasattr(self, "estimators_"):
+            raise RuntimeError("GradientBoostingClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        K = len(self.classes_)
+        # (n, stages * K) leaf values, stage-major to match fit order.
+        leaf = self._packed().leaf_values(X)[:, :, 0]
+        leaf = leaf.reshape(len(X), len(self.estimators_), K)
+        F = np.tile(self.init_score_, (len(X), 1))
+        for s in range(len(self.estimators_)):
+            F += self.learning_rate * leaf[:, s]
+        return F
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized batch prediction — element-wise identical to
+        :meth:`predict`, one arena descent instead of a Python loop
+        over ``stages * classes`` trees."""
+        scores = self.decision_function_batch(X)
+        return self.classes_[np.argmax(scores, axis=1)]
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         if not hasattr(self, "estimators_"):

@@ -78,5 +78,21 @@ class KNeighborsClassifier:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
 
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Batch prediction over an ``(N, F)`` matrix.
+
+        The brute-force distance path is already fully vectorized (and
+        chunked to bound memory), so this validates the batch shape and
+        delegates; it exists so every model family exposes the same
+        batch-serving entry point."""
+        if not hasattr(self, "_X"):
+            raise RuntimeError("KNeighborsClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"expected (n, {self.n_features_in_}) input, "
+                f"got {X.shape}")
+        return self.predict(X)
+
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         return float(np.mean(self.predict(X) == np.asarray(y)))

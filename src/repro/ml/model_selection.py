@@ -227,5 +227,18 @@ class GridSearchCV:
     def predict(self, X: np.ndarray) -> np.ndarray:
         return self.best_estimator_.predict(X)
 
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Batch prediction through the refit best estimator's packed
+        batch path, so a tuned ensemble serves (N, F) matrices with one
+        arena traversal instead of the per-tree scalar loop.  Falls
+        back to plain ``predict`` for estimators without a batch path
+        (element-wise identical either way)."""
+        if not hasattr(self, "best_estimator_"):
+            raise RuntimeError("GridSearchCV is not fitted")
+        batch = getattr(self.best_estimator_, "predict_batch", None)
+        if batch is not None:
+            return batch(X)
+        return self.best_estimator_.predict(X)
+
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         return _score(self.best_estimator_, X, y, "accuracy")

@@ -194,5 +194,21 @@ class SVC:
     def predict(self, X: np.ndarray) -> np.ndarray:
         return self.classes_[np.argmax(self.decision_function(X), axis=1)]
 
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Batch prediction over an ``(N, F)`` matrix.
+
+        OVR decision values are one kernel GEMM per class — already
+        vectorized over rows — so this validates the batch shape and
+        delegates; it exists so every model family exposes the same
+        batch-serving entry point."""
+        if not hasattr(self, "_binaries"):
+            raise RuntimeError("SVC is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"expected (n, {self.n_features_in_}) input, "
+                f"got {X.shape}")
+        return self.predict(X)
+
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -175,6 +175,83 @@ class _TreeBase:
         return int(depths.max(initial=0))
 
 
+class PackedTrees:
+    """Many fitted trees concatenated into one flat node arena.
+
+    Ensemble prediction over an ``(N, F)`` matrix normally walks the
+    trees one at a time — ``T`` vectorized descents of ``depth``
+    NumPy steps each.  Packing concatenates every tree's node arrays
+    (child indices shifted by the tree's offset) so *all* ``N * T``
+    (row, tree) traversals advance together: one descent of
+    ``max_depth`` steps over the whole ensemble, which is the batch
+    hot path of :meth:`RandomForestClassifier.predict_batch` and
+    :meth:`GradientBoostingClassifier.decision_function_batch`.
+
+    Traversal uses the same ``X[row, feature] <= threshold`` float64
+    comparison as :meth:`_TreeBase.apply`, so leaf assignments are
+    bit-identical to per-tree descent.
+    """
+
+    def __init__(self, trees: list) -> None:
+        if not trees:
+            raise ValueError("cannot pack an empty tree list")
+        widths = {t.values_.shape[1] for t in trees}
+        n_features = {t.n_features_in_ for t in trees}
+        if len(widths) != 1 or len(n_features) != 1:
+            raise ValueError("trees disagree on value width or "
+                             "feature count")
+        self.n_trees = len(trees)
+        self.n_features_in_ = trees[0].n_features_in_
+        roots = []
+        feature, threshold, left, right, values = [], [], [], [], []
+        offset = 0
+        for tree in trees:
+            roots.append(offset)
+            feature.append(tree.feature_)
+            threshold.append(tree.threshold_)
+            # Shift child pointers of inner nodes into the arena;
+            # leaves keep _LEAF (their children are never read).
+            inner = tree.feature_ != _LEAF
+            lt, rt = tree.left_.copy(), tree.right_.copy()
+            lt[inner] += offset
+            rt[inner] += offset
+            left.append(lt)
+            right.append(rt)
+            values.append(tree.values_)
+            offset += len(tree.feature_)
+        self.roots_ = np.asarray(roots, dtype=np.int64)
+        self.feature_ = np.concatenate(feature)
+        self.threshold_ = np.concatenate(threshold)
+        self.left_ = np.concatenate(left)
+        self.right_ = np.concatenate(right)
+        self.values_ = np.vstack(values)
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Arena leaf index of every (row, tree) pair: shape
+        ``(len(X), n_trees)``, one simultaneous descent."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"expected (n, {self.n_features_in_}) input, "
+                f"got {X.shape}")
+        n = len(X)
+        node = np.repeat(self.roots_[None, :], n, axis=0).ravel()
+        rows = np.repeat(np.arange(n), self.n_trees)
+        active = np.flatnonzero(self.feature_[node] != _LEAF)
+        while len(active):
+            cur = node[active]
+            go_left = (X[rows[active], self.feature_[cur]]
+                       <= self.threshold_[cur])
+            nxt = np.where(go_left, self.left_[cur], self.right_[cur])
+            node[active] = nxt
+            active = active[self.feature_[nxt] != _LEAF]
+        return node.reshape(n, self.n_trees)
+
+    def leaf_values(self, X: np.ndarray) -> np.ndarray:
+        """Per-(row, tree) leaf value rows: ``(len(X), n_trees, V)``."""
+        return self.values_[self.apply(X)]
+
+
 def _gini_from_counts(counts: np.ndarray) -> np.ndarray:
     """Gini impurity per row of a class-count matrix (paper Eq. 1).
 

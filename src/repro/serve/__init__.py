@@ -1,0 +1,32 @@
+"""Batched selection serving layer.
+
+:class:`SelectionService` answers batches of (collective, job shape,
+message size) queries for one cluster: quantized + LRU-memoized keys,
+one vectorized guard-ladder pass for the distinct misses, JSONL in/out
+for the ``pml-mpi select-batch`` subcommand.  See
+:mod:`repro.serve.service` for the full flow.
+"""
+
+from .cache import LRUCache
+from .service import (
+    ACTION_INVALID,
+    SERVE_COUNTER_KEYS,
+    SelectionDecision,
+    SelectionQuery,
+    SelectionService,
+    decisions_to_jsonl,
+    queries_from_jsonl,
+    quantize_msg_size,
+)
+
+__all__ = [
+    "ACTION_INVALID",
+    "LRUCache",
+    "SERVE_COUNTER_KEYS",
+    "SelectionDecision",
+    "SelectionQuery",
+    "SelectionService",
+    "decisions_to_jsonl",
+    "queries_from_jsonl",
+    "quantize_msg_size",
+]

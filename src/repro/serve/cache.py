@@ -1,0 +1,64 @@
+"""Bounded LRU memo used by the selection service.
+
+A thin, deterministic LRU on :class:`collections.OrderedDict`:
+``get`` marks recency, ``put`` evicts the least-recently-used entry
+once ``capacity`` is exceeded.  Hit/miss/eviction totals are plain
+integer attributes — the service mirrors them into its typed
+``serve.*`` counters so the memo itself stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["LRUCache"]
+
+#: Unique miss sentinel so ``None`` can be cached as a real value.
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with a hard capacity bound."""
+
+    def __init__(self, capacity: int) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool) \
+                or capacity < 1:
+            raise ValueError(
+                f"capacity must be a positive integer, got {capacity!r}")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most recent) or
+        *default*; counts a hit or a miss either way."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh *key* as most recent, evicting the oldest
+        entry if the cache would exceed its capacity."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def keys(self) -> list[Hashable]:
+        """Keys from least to most recently used (a snapshot)."""
+        return list(self._data)

@@ -1,0 +1,301 @@
+"""The batched selection service (the "serving layer").
+
+An MPI build farm or a tuning daemon does not ask one query at a time:
+it arrives with thousands of (collective, job shape, message size)
+queries for one cluster.  :class:`SelectionService` answers such
+batches efficiently without weakening any runtime-guard guarantee:
+
+1. **Quantize** — message sizes are snapped to the nearest power of
+   two (the paper's grids are power-of-two anyway), so near-identical
+   queries share one memo entry.  Disable with ``quantize=False``.
+2. **Deduplicate** — duplicate keys inside a batch are answered once;
+   keys seen in earlier batches are answered from a bounded
+   :class:`~repro.serve.cache.LRUCache` memo.
+3. **Batch-infer** — the distinct unanswered keys go through
+   :meth:`~repro.smpi.guard.GuardedSelector.explain_batch` in one
+   call, which routes them through the vectorized model path
+   (packed-tree traversal) while enforcing the full guard ladder
+   per query.
+4. **Never raise** — malformed queries (bad shapes, unknown
+   collectives, non-integer sizes) become decisions with
+   ``action="invalid"`` and ``algorithm=None`` instead of aborting
+   the batch.
+
+Health counters live under ``serve.*`` and satisfy the partition
+invariant ``serve.queries == serve.cache_hits + serve.deduped +
+serve.cache_misses`` (every query is answered exactly one way);
+``serve.invalid`` counts the subset of misses that turned out
+malformed, ``serve.evictions`` mirrors the memo's evictions, and the
+``serve.batch_size`` histogram records batch fan-in.  Each
+:meth:`SelectionService.select_batch` call runs under a
+``serve.batch`` span.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..hwmodel.specs import ClusterSpec
+from ..obs.telemetry import MetricsRegistry, get_tracer
+from ..simcluster.machine import Machine
+from ..smpi.guard import GuardedSelector
+from ..smpi.heuristics import (
+    AlgorithmSelector,
+    InvalidQueryError,
+    validate_query,
+)
+from .cache import LRUCache
+
+__all__ = [
+    "ACTION_INVALID",
+    "SERVE_COUNTER_KEYS",
+    "SelectionDecision",
+    "SelectionQuery",
+    "SelectionService",
+    "decisions_to_jsonl",
+    "queries_from_jsonl",
+    "quantize_msg_size",
+]
+
+#: Decision action for malformed queries (the guard's ACTION_* names
+#: cover everything the ladder can do with a *valid* query).
+ACTION_INVALID = "invalid"
+
+#: Counter names under ``serve.``, in reporting order.  The middle
+#: three partition ``queries`` exactly; ``invalid`` is a subset of
+#: ``cache_misses`` and ``evictions`` mirrors the memo.
+SERVE_COUNTER_KEYS = (
+    "queries",
+    "cache_hits",
+    "deduped",
+    "cache_misses",
+    "invalid",
+    "evictions",
+)
+
+
+@dataclass(frozen=True)
+class SelectionQuery:
+    """One selection request against the service's cluster."""
+
+    collective: str
+    nodes: int
+    ppn: int
+    msg_size: int
+
+
+@dataclass(frozen=True)
+class SelectionDecision:
+    """The service's answer to one :class:`SelectionQuery`.
+
+    ``algorithm`` is ``None`` exactly when ``action == "invalid"``;
+    otherwise ``action`` is one of the guard's ACTION_* values and the
+    algorithm is feasible for the queried communicator shape.
+    ``cached`` is true when the answer came from the memo or from an
+    earlier duplicate in the same batch.
+    """
+
+    collective: str
+    nodes: int
+    ppn: int
+    msg_size: int
+    algorithm: str | None
+    action: str
+    detail: str = ""
+    cached: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "collective": self.collective,
+            "nodes": self.nodes,
+            "ppn": self.ppn,
+            "msg_size": self.msg_size,
+            "algorithm": self.algorithm,
+            "action": self.action,
+            "detail": self.detail,
+            "cached": self.cached,
+        }
+
+
+def quantize_msg_size(msg_size: Any) -> Any:
+    """Snap a positive integer message size to the nearest power of two
+    (by log2 distance; exact midpoints round up).  Anything else —
+    bools, floats, non-positive values, junk types — passes through
+    unchanged so validation still sees the original value."""
+    if isinstance(msg_size, bool) or not isinstance(msg_size, int) \
+            or msg_size <= 0:
+        return msg_size
+    return 2 ** round(math.log2(msg_size))
+
+
+class SelectionService:
+    """Batched, memoized, guard-enforced algorithm selection for one
+    cluster.
+
+    *selector* may be a :class:`~repro.smpi.guard.GuardedSelector`
+    (used as-is) or any plain selector (wrapped in a fresh guard so
+    every served decision still passes the full ladder).
+    """
+
+    def __init__(self, selector: AlgorithmSelector, spec: ClusterSpec,
+                 cache_size: int = 4096, quantize: bool = True,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.guard = selector if isinstance(selector, GuardedSelector) \
+            else GuardedSelector(selector)
+        self.spec = spec
+        self.quantize = quantize
+        self.cache = LRUCache(cache_size)
+        #: Like GuardedSelector: a fresh per-instance registry unless
+        #: the caller passes one to aggregate (the CLI passes the
+        #: ambient registry so ``--trace`` captures serve.* metrics).
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._counters = {k: self.registry.counter(f"serve.{k}")
+                          for k in SERVE_COUNTER_KEYS}
+        self._batch_size = self.registry.histogram("serve.batch_size")
+
+    # -- the batched path ------------------------------------------------
+    def _key(self, query: SelectionQuery) -> tuple:
+        msg = quantize_msg_size(query.msg_size) if self.quantize \
+            else query.msg_size
+        return (query.collective, query.nodes, query.ppn, msg)
+
+    def _resolve(self, keys: list[tuple]) -> dict[tuple, SelectionDecision]:
+        """Answer each distinct key: malformed ones become ``invalid``
+        decisions, the rest go through the guard ladder in one
+        vectorized ``explain_batch`` call."""
+        resolved: dict[tuple, SelectionDecision] = {}
+        runnable: list[tuple] = []
+        triples: list[tuple[str, Machine, int]] = []
+        for key in keys:
+            collective, nodes, ppn, msg = key
+            try:
+                machine = Machine(self.spec, nodes, ppn)
+            except (TypeError, ValueError) as exc:
+                self._counters["invalid"].inc()
+                resolved[key] = SelectionDecision(
+                    collective, nodes, ppn, msg, None, ACTION_INVALID,
+                    f"bad job shape: {exc}")
+                continue
+            runnable.append(key)
+            triples.append((collective, machine, msg))
+        # The guard raises (by contract) on malformed queries; the
+        # service absorbs them per key so one junk line in a batch
+        # file cannot abort the other ten thousand queries.
+        pending: list[tuple] = []
+        valid_triples: list[tuple[str, Machine, int]] = []
+        for key, triple in zip(runnable, triples):
+            try:
+                validate_query(*triple)
+            except InvalidQueryError as exc:
+                self._counters["invalid"].inc()
+                resolved[key] = SelectionDecision(
+                    key[0], key[1], key[2], key[3], None, ACTION_INVALID,
+                    str(exc))
+            else:
+                pending.append(key)
+                valid_triples.append(triple)
+        if pending:
+            for key, decision in zip(
+                    pending, self.guard.explain_batch(valid_triples)):
+                resolved[key] = SelectionDecision(
+                    key[0], key[1], key[2], key[3], decision.algorithm,
+                    decision.action, decision.detail)
+        return resolved
+
+    def select_batch(self, queries: list[SelectionQuery]
+                     ) -> list[SelectionDecision]:
+        """Answer a whole batch of queries, one decision per query (in
+        order).  Never raises for malformed queries — see the module
+        docstring for the dedup/memo/guard flow."""
+        with get_tracer().span("serve.batch", queries=len(queries)):
+            self._counters["queries"].inc(len(queries))
+            self._batch_size.observe(len(queries))
+            out: list[SelectionDecision | None] = [None] * len(queries)
+            miss_indices: dict[tuple, list[int]] = {}
+            for i, query in enumerate(queries):
+                key = self._key(query)
+                if key in miss_indices:
+                    # Within-batch duplicate of a pending miss.
+                    self._counters["deduped"].inc()
+                    miss_indices[key].append(i)
+                    continue
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self._counters["cache_hits"].inc()
+                    out[i] = replace(hit, msg_size=query.msg_size,
+                                     cached=True)
+                else:
+                    self._counters["cache_misses"].inc()
+                    miss_indices[key] = [i]
+
+            if miss_indices:
+                resolved = self._resolve(list(miss_indices))
+                before = self.cache.evictions
+                for key, indices in miss_indices.items():
+                    decision = resolved[key]
+                    self.cache.put(key, decision)
+                    for rank, i in enumerate(indices):
+                        out[i] = replace(decision,
+                                         msg_size=queries[i].msg_size,
+                                         cached=rank > 0)
+                self._counters["evictions"].inc(
+                    self.cache.evictions - before)
+            return out  # type: ignore[return-value]
+
+    def select(self, query: SelectionQuery) -> SelectionDecision:
+        """Single-query convenience wrapper over :meth:`select_batch`."""
+        return self.select_batch([query])[0]
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the serve.* counters, in reporting order."""
+        return {k: c.value for k, c in self._counters.items()}
+
+
+# -- JSONL I/O --------------------------------------------------------------
+
+def queries_from_jsonl(text: str) -> list[SelectionQuery]:
+    """Parse one query per JSONL line.
+
+    Each line must be a JSON object with ``collective``, ``nodes``,
+    ``ppn`` and ``msg_size`` keys; values are passed through verbatim
+    (the service classifies malformed ones as ``invalid`` decisions
+    rather than this parser rejecting them), but a line that is not a
+    JSON object with those keys raises ``ValueError`` with its line
+    number — that is a broken file, not a malformed query.
+    """
+    queries: list[SelectionQuery] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON: {exc}") \
+                from None
+        if not isinstance(record, dict):
+            raise ValueError(f"line {lineno}: expected a JSON object, "
+                             f"got {type(record).__name__}")
+        missing = [k for k in ("collective", "nodes", "ppn", "msg_size")
+                   if k not in record]
+        if missing:
+            raise ValueError(
+                f"line {lineno}: missing key(s): {', '.join(missing)}")
+        queries.append(SelectionQuery(
+            collective=record["collective"], nodes=record["nodes"],
+            ppn=record["ppn"], msg_size=record["msg_size"]))
+    return queries
+
+
+def decisions_to_jsonl(decisions: list[SelectionDecision]) -> str:
+    """Serialize decisions as deterministic JSONL (sorted keys, compact
+    separators, trailing newline) — byte-identical for identical
+    decision lists, which the golden regression fixture relies on."""
+    lines = [json.dumps(d.to_dict(), sort_keys=True,
+                        separators=(",", ":"))
+             for d in decisions]
+    return "".join(line + "\n" for line in lines)

@@ -167,9 +167,76 @@ class GuardedSelector(AlgorithmSelector):
                msg_size: int) -> str:
         return self.explain(collective, machine, msg_size).algorithm
 
+    def select_batch(self, queries: list[tuple[str, Machine, int]]
+                     ) -> list[str]:
+        return [d.algorithm for d in self.explain_batch(queries)]
+
     def explain(self, collective: str, machine: Machine,
                 msg_size: int) -> GuardDecision:
         """Run the guard ladder, returning the full decision record."""
+        decision = self._intake(collective, machine, msg_size)
+        if decision is not None:
+            return self._finish(decision)
+        p = int(machine.nodes) * int(machine.ppn)
+        return self._finish(self._resolve_inner(
+            collective, machine, msg_size, p))
+
+    def explain_batch(self, queries: list[tuple[str, Machine, int]]
+                      ) -> list[GuardDecision]:
+        """Run the guard ladder over a whole batch of queries.
+
+        Queries pass the ladder's intake rungs (validate, OOD, breaker
+        admission) in order — the first malformed query raises, exactly
+        as the scalar loop would.  Every admitted query is answered by
+        *one* ``inner.select_batch`` call (the vectorized path); each
+        prediction is then feasibility-classified individually, so the
+        counter partition invariant holds query-for-query.  If the
+        batched inner call itself raises, the admitted queries are
+        replayed sequentially through the scalar inner path — without
+        re-consulting the breaker, whose admission they already hold.
+
+        With a healthy inner selector the decisions are element-wise
+        identical to ``[explain(*q) for q in queries]``.  Breaker
+        *admission* is decided at intake for the whole batch, so state
+        transitions caused by the batch's own outcomes affect later
+        batches, not later queries of the same batch.
+        """
+        decisions: list[GuardDecision | None] = [None] * len(queries)
+        pending: list[int] = []
+        for i, (collective, machine, msg_size) in enumerate(queries):
+            early = self._intake(collective, machine, msg_size)
+            if early is not None:
+                decisions[i] = self._finish(early)
+            else:
+                pending.append(i)
+        if pending:
+            batch = [queries[i] for i in pending]
+            try:
+                predictions = self.inner.select_batch(batch)
+                if len(predictions) != len(batch):
+                    raise RuntimeError(
+                        f"inner select_batch returned {len(predictions)} "
+                        f"predictions for {len(batch)} queries")
+            except Exception:
+                predictions = None
+            for j, i in enumerate(pending):
+                collective, machine, msg_size = queries[i]
+                p = int(machine.nodes) * int(machine.ppn)
+                if predictions is None:
+                    decisions[i] = self._finish(self._resolve_inner(
+                        collective, machine, msg_size, p))
+                else:
+                    decisions[i] = self._finish(self._classify(
+                        collective, machine, msg_size, p,
+                        predictions[j]))
+        return decisions  # type: ignore[return-value]
+
+    def _intake(self, collective: str, machine: Machine,
+                msg_size: int) -> GuardDecision | None:
+        """The ladder's pre-inference rungs: count the query, validate
+        it (raising on malformed input), and serve it from the fallback
+        if it is OOD or the breaker refuses admission.  Returns ``None``
+        when the query should proceed to the inner selector."""
         self._counters["queries"].inc()
         try:
             validate_query(collective, machine, msg_size)
@@ -184,15 +251,20 @@ class GuardedSelector(AlgorithmSelector):
         ood = self._ood_detail(collective, machine, msg_size)
         if ood is not None:
             self._counters["ood_fallback"].inc()
-            return self._finish(self._serve_fallback(
-                collective, machine, msg_size, p, ACTION_OOD, ood))
+            return self._serve_fallback(
+                collective, machine, msg_size, p, ACTION_OOD, ood)
 
         if not self.breaker.allow_request():
             self._counters["breaker_fallback"].inc()
-            return self._finish(self._serve_fallback(
+            return self._serve_fallback(
                 collective, machine, msg_size, p, ACTION_BREAKER,
-                f"breaker {self.breaker.state}"))
+                f"breaker {self.breaker.state}")
+        return None
 
+    def _resolve_inner(self, collective: str, machine: Machine,
+                       msg_size: int, p: int) -> GuardDecision:
+        """Consult the scalar inner selector (admission already granted)
+        and classify its answer."""
         try:
             predicted = self.inner.select(collective, machine, msg_size)
         except InvalidQueryError:
@@ -201,31 +273,37 @@ class GuardedSelector(AlgorithmSelector):
             # trip, served by the fallback.
             self.breaker.record_failure()
             self._counters["error_fallback"].inc()
-            return self._finish(self._serve_fallback(
+            return self._serve_fallback(
                 collective, machine, msg_size, p, ACTION_ERROR,
-                "inner selector rejected the query"))
+                "inner selector rejected the query")
         except Exception as exc:
             self.breaker.record_failure()
             self._counters["error_fallback"].inc()
-            return self._finish(self._serve_fallback(
+            return self._serve_fallback(
                 collective, machine, msg_size, p, ACTION_ERROR,
-                f"inner selector raised {type(exc).__name__}: {exc}"))
+                f"inner selector raised {type(exc).__name__}: {exc}")
+        return self._classify(collective, machine, msg_size, p, predicted)
 
+    def _classify(self, collective: str, machine: Machine,
+                  msg_size: int, p: int,
+                  predicted: object) -> GuardDecision:
+        """Feasibility-classify one inner prediction: ship it, or remap
+        an infeasible/unknown one (a guard trip either way recorded
+        against the breaker)."""
         problem = self._prediction_problem(collective, predicted, p)
         if problem is None:
             self.breaker.record_success()
             self._counters["served_model"].inc()
-            return self._finish(GuardDecision(
-                collective, predicted, ACTION_MODEL))
+            return GuardDecision(collective, str(predicted), ACTION_MODEL)
 
         # Infeasible or unknown prediction: a guard trip; remap to the
         # best feasible alternative instead of shipping it.
         self.breaker.record_failure()
         self._counters["remapped"].inc()
         remapped = self._best_feasible(collective, machine, msg_size, p)
-        return self._finish(GuardDecision(
+        return GuardDecision(
             collective, remapped, ACTION_REMAP,
-            f"predicted {predicted!r}: {problem}"))
+            f"predicted {predicted!r}: {problem}")
 
     # -- ladder rungs ----------------------------------------------------
     def _ood_detail(self, collective: str, machine: Machine,

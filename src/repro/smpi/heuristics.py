@@ -98,6 +98,18 @@ class AlgorithmSelector(abc.ABC):
                msg_size: int) -> str:
         """Return the registry name of the chosen algorithm."""
 
+    def select_batch(self, queries: list[tuple[str, Machine, int]]
+                     ) -> list[str]:
+        """Answer many ``(collective, machine, msg_size)`` queries.
+
+        The base implementation loops over :meth:`select`; selectors
+        with a vectorized inference path override it.  Either way the
+        result is element-wise identical to the scalar loop, and the
+        first invalid query raises just as the loop would.
+        """
+        return [self.select(collective, machine, msg_size)
+                for collective, machine, msg_size in queries]
+
     def describe(self) -> str:
         return type(self).__name__
 

@@ -13,7 +13,8 @@ from repro.core.bench import (
 )
 
 REQUIRED = {"forest_fit_serial", "forest_fit_parallel",
-            "forest_predict_batch", "table_generation", "table_lookup"}
+            "forest_predict_batch", "table_generation", "table_lookup",
+            "serve_batch"}
 
 
 @pytest.fixture(scope="module")
@@ -44,6 +45,16 @@ class TestRunBenchmarks:
         configs_ratio = cfg["stored_configs"] / cfg["small_table_configs"]
         assert configs_ratio >= 32
         assert cfg["per_lookup_ratio_large_vs_small"] < configs_ratio / 4
+
+    def test_serve_batch_identical_and_faster(self, results):
+        """The batched service must agree with the scalar guard loop
+        decision-for-decision, and its per-query cost must beat the
+        scalar path by a wide margin (the acceptance floor is 2x;
+        assert half of that to stay robust to container noise)."""
+        cfg = results["serve_batch"]["config"]
+        assert cfg["identical_to_scalar"] is True
+        assert cfg["n_queries"] >= cfg["scalar_queries"] > 0
+        assert cfg["speedup_batch_vs_scalar"] > 1.0
 
     def test_write_and_reload(self, results, tmp_path):
         path = write_bench_results(results, tmp_path / "b.json")

@@ -73,6 +73,79 @@ class TestTrainSelectTune:
         assert "reused" in capsys.readouterr().out
 
 
+class TestSelectBatch:
+    QUERY = '{"collective":"allgather","nodes":2,"ppn":4,"msg_size":%d}'
+
+    def _query_file(self, tmp_path, msgs=(64, 1024, 1024, 4096)):
+        path = tmp_path / "queries.jsonl"
+        path.write_text("".join(self.QUERY % m + "\n" for m in msgs))
+        return path
+
+    def test_writes_decisions_jsonl(self, bundle, tmp_path, capsys):
+        import json
+
+        queries = self._query_file(tmp_path)
+        out_path = tmp_path / "decisions.jsonl"
+        rc = main(["select-batch", "RI", "--bundle", str(bundle),
+                   "--input", str(queries), "--output", str(out_path)])
+        assert rc == 0
+        assert "answered 4 queries" in capsys.readouterr().out
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 4
+        records = [json.loads(line) for line in lines]
+        assert all(r["algorithm"] for r in records)
+        # Exact duplicate within the batch is answered from dedup.
+        assert records[2]["cached"] is True
+
+    def test_stdout_without_output_flag(self, bundle, tmp_path, capsys):
+        queries = self._query_file(tmp_path, msgs=(64,))
+        rc = main(["select-batch", "RI", "--bundle", str(bundle),
+                   "--input", str(queries)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"collective":"allgather"' in out
+
+    def test_agrees_with_single_select(self, bundle, tmp_path, capsys):
+        import json
+
+        queries = self._query_file(tmp_path, msgs=(1024,))
+        main(["select-batch", "RI", "--bundle", str(bundle),
+              "--input", str(queries), "--no-quantize"])
+        batch_algo = json.loads(
+            capsys.readouterr().out.splitlines()[0])["algorithm"]
+        main(["select", "RI", "allgather", "2", "4", "1024",
+              "--bundle", str(bundle)])
+        assert batch_algo == capsys.readouterr().out.strip()
+
+    def test_invalid_query_becomes_invalid_decision(self, bundle,
+                                                    tmp_path, capsys):
+        import json
+
+        path = tmp_path / "queries.jsonl"
+        path.write_text(
+            '{"collective":"nope","nodes":2,"ppn":4,"msg_size":64}\n')
+        rc = main(["select-batch", "RI", "--bundle", str(bundle),
+                   "--input", str(path)])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert record["action"] == "invalid"
+        assert record["algorithm"] is None
+
+    def test_broken_file_is_an_error(self, bundle, tmp_path, capsys):
+        path = tmp_path / "queries.jsonl"
+        path.write_text("this is not json\n")
+        rc = main(["select-batch", "RI", "--bundle", str(bundle),
+                   "--input", str(path)])
+        assert rc == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_missing_input_file(self, bundle, tmp_path, capsys):
+        rc = main(["select-batch", "RI", "--bundle", str(bundle),
+                   "--input", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
 class TestSweep:
     def test_oracle_sweep(self, capsys):
         rc = main(["sweep", "RI", "alltoall", "2", "4",

@@ -1,0 +1,340 @@
+"""Unit tests for the serving layer: LRU memo, quantization, the
+batched SelectionService, JSONL I/O, and the guard/selector batch
+paths it is built on."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import offline_train
+from repro.hwmodel import get_cluster
+from repro.serve import (
+    ACTION_INVALID,
+    LRUCache,
+    SelectionDecision,
+    SelectionQuery,
+    SelectionService,
+    decisions_to_jsonl,
+    queries_from_jsonl,
+    quantize_msg_size,
+)
+from repro.simcluster.machine import Machine
+from repro.smpi.guard import (
+    ACTION_ERROR,
+    ACTION_MODEL,
+    GuardedSelector,
+    InvalidQueryError,
+)
+from repro.smpi.heuristics import (
+    AlgorithmSelector,
+    MvapichDefaultSelector,
+    OpenMpiDefaultSelector,
+)
+
+
+class TestLRUCache:
+    def test_basic_get_put(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b", "missing") == "missing"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # a becomes most recent
+        cache.put("c", 3)       # evicts b
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_refresh_does_not_evict(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # refresh, not insert
+        assert len(cache) == 2 and cache.evictions == 0
+        assert cache.get("a") == 10
+
+    @pytest.mark.parametrize("bad", (0, -1, True, 2.5, "4"))
+    def test_bad_capacity_rejected(self, bad):
+        with pytest.raises(ValueError):
+            LRUCache(bad)
+
+
+class TestQuantize:
+    @pytest.mark.parametrize("msg,expected", (
+        (1, 1), (2, 2), (3, 4), (1000, 1024), (1024, 1024),
+        (1536, 2048), (1100, 1024), (5, 4), (6, 8),
+    ))
+    def test_snaps_to_nearest_power_of_two(self, msg, expected):
+        assert quantize_msg_size(msg) == expected
+
+    @pytest.mark.parametrize("junk", (0, -8, True, False, 2.5, "64",
+                                      None))
+    def test_junk_passes_through(self, junk):
+        assert quantize_msg_size(junk) is junk
+
+
+@pytest.fixture(scope="module")
+def ray_spec():
+    return get_cluster("Ray")
+
+
+@pytest.fixture()
+def service(ray_spec):
+    return SelectionService(MvapichDefaultSelector(), ray_spec,
+                            cache_size=64)
+
+
+class TestSelectionService:
+    def test_decisions_match_direct_guard(self, ray_spec, service):
+        queries = [SelectionQuery("allgather", 2, 4, 4096),
+                   SelectionQuery("bcast", 2, 8, 65536),
+                   SelectionQuery("alltoall", 1, 8, 128)]
+        decisions = service.select_batch(queries)
+        guard = GuardedSelector(MvapichDefaultSelector())
+        for q, d in zip(queries, decisions):
+            machine = Machine(ray_spec, q.nodes, q.ppn)
+            expected = guard.select(q.collective, machine,
+                                    quantize_msg_size(q.msg_size))
+            assert d.algorithm == expected
+            assert d.action == ACTION_MODEL
+            assert (d.collective, d.nodes, d.ppn, d.msg_size) == \
+                (q.collective, q.nodes, q.ppn, q.msg_size)
+
+    def test_memo_hit_on_second_batch(self, service):
+        q = SelectionQuery("allgather", 2, 4, 4096)
+        first = service.select_batch([q])[0]
+        second = service.select_batch([q])[0]
+        assert not first.cached and second.cached
+        assert second.algorithm == first.algorithm
+        assert service.counters["cache_hits"] == 1
+
+    def test_quantized_sizes_share_one_entry(self, service):
+        a, b = service.select_batch(
+            [SelectionQuery("allgather", 2, 4, 1000),
+             SelectionQuery("allgather", 2, 4, 1100)])
+        assert not a.cached and b.cached
+        assert a.msg_size == 1000 and b.msg_size == 1100
+        assert service.counters["deduped"] == 1
+
+    def test_no_quantize_keeps_sizes_distinct(self, ray_spec):
+        service = SelectionService(MvapichDefaultSelector(), ray_spec,
+                                   quantize=False)
+        service.select_batch([SelectionQuery("allgather", 2, 4, 1000),
+                              SelectionQuery("allgather", 2, 4, 1100)])
+        assert service.counters["cache_misses"] == 2
+        assert service.counters["deduped"] == 0
+
+    def test_invalid_queries_never_raise(self, service):
+        decisions = service.select_batch(
+            [SelectionQuery("nope", 2, 4, 64),
+             SelectionQuery("bcast", 0, 4, 64),
+             SelectionQuery("bcast", 10**9, 4, 64),
+             SelectionQuery("bcast", 2, 4, -1),
+             SelectionQuery("bcast", 2, 4, "big")])
+        assert all(d.action == ACTION_INVALID for d in decisions)
+        assert all(d.algorithm is None for d in decisions)
+        assert service.counters["invalid"] == 5
+
+    def test_empty_batch(self, service):
+        assert service.select_batch([]) == []
+        assert service.counters["queries"] == 0
+
+    def test_eviction_counter_mirrors_cache(self, ray_spec):
+        service = SelectionService(MvapichDefaultSelector(), ray_spec,
+                                   cache_size=2, quantize=False)
+        service.select_batch([SelectionQuery("allgather", 2, 4, m)
+                              for m in (64, 128, 256, 512)])
+        assert service.counters["evictions"] == 2
+        assert service.counters["evictions"] == service.cache.evictions
+
+    def test_single_query_wrapper(self, service):
+        decision = service.select(SelectionQuery("bcast", 2, 4, 512))
+        assert decision.action == ACTION_MODEL
+
+    def test_wraps_plain_selector_in_guard(self, ray_spec):
+        service = SelectionService(MvapichDefaultSelector(), ray_spec)
+        assert isinstance(service.guard, GuardedSelector)
+        guard = GuardedSelector(OpenMpiDefaultSelector())
+        assert SelectionService(guard, ray_spec).guard is guard
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        text = ('{"collective":"bcast","nodes":2,"ppn":4,"msg_size":64}\n'
+                "\n"
+                '{"collective":"allgather","nodes":1,"ppn":8,'
+                '"msg_size":1024}\n')
+        queries = queries_from_jsonl(text)
+        assert queries == [SelectionQuery("bcast", 2, 4, 64),
+                           SelectionQuery("allgather", 1, 8, 1024)]
+
+    @pytest.mark.parametrize("bad,excerpt", (
+        ("not json", "not valid JSON"),
+        ("[1,2]", "expected a JSON object"),
+        ('{"collective":"bcast","nodes":2}', "missing key"),
+    ))
+    def test_broken_lines_raise_with_line_number(self, bad, excerpt):
+        good = '{"collective":"bcast","nodes":2,"ppn":4,"msg_size":64}'
+        with pytest.raises(ValueError, match=f"line 2.*{excerpt}"):
+            queries_from_jsonl(f"{good}\n{bad}\n")
+
+    def test_decisions_jsonl_deterministic(self):
+        decisions = [SelectionDecision("bcast", 2, 4, 64, "binomial",
+                                       ACTION_MODEL),
+                     SelectionDecision("nope", 2, 4, 64, None,
+                                       ACTION_INVALID, "unknown")]
+        once = decisions_to_jsonl(decisions)
+        assert once == decisions_to_jsonl(list(decisions))
+        assert once.endswith("\n") and once.count("\n") == 2
+        assert '"algorithm":null' in once
+
+
+class _ExplodingBatchSelector(MvapichDefaultSelector):
+    """Scalar path works; the batch path always raises — forces the
+    guard's sequential replay."""
+
+    def select_batch(self, queries):
+        raise RuntimeError("vectorized path down")
+
+
+class _CountingSelector(MvapichDefaultSelector):
+    def __init__(self):
+        self.batch_calls = 0
+        self.scalar_calls = 0
+
+    def select(self, collective, machine, msg_size):
+        self.scalar_calls += 1
+        return super().select(collective, machine, msg_size)
+
+    def select_batch(self, queries):
+        self.batch_calls += 1
+        return [MvapichDefaultSelector.select(self, *q) for q in queries]
+
+
+class TestGuardBatch:
+    def _queries(self, spec, n=12):
+        rng = np.random.default_rng(0)
+        out = []
+        for _ in range(n):
+            nodes = int(rng.integers(1, 3))
+            ppn = int(2 ** rng.integers(1, 4))
+            msg = int(2 ** rng.integers(4, 20))
+            out.append(("allgather", Machine(spec, nodes, ppn), msg))
+        return out
+
+    def test_batch_matches_scalar_loop(self, ray_spec):
+        queries = self._queries(ray_spec)
+        batch_decisions = GuardedSelector(
+            MvapichDefaultSelector()).explain_batch(queries)
+        scalar_guard = GuardedSelector(MvapichDefaultSelector())
+        scalar_decisions = [scalar_guard.explain(*q) for q in queries]
+        assert batch_decisions == scalar_decisions
+
+    def test_one_inner_batch_call(self, ray_spec):
+        inner = _CountingSelector()
+        GuardedSelector(inner).explain_batch(self._queries(ray_spec))
+        assert inner.batch_calls == 1 and inner.scalar_calls == 0
+
+    def test_counter_partition_holds(self, ray_spec):
+        guard = GuardedSelector(MvapichDefaultSelector())
+        guard.explain_batch(self._queries(ray_spec))
+        c = guard.counters
+        assert c["queries"] == (c["invalid"] + c["served_model"]
+                                + c["remapped"] + c["ood_fallback"]
+                                + c["breaker_fallback"]
+                                + c["error_fallback"])
+
+    def test_failed_batch_replays_scalar(self, ray_spec):
+        queries = self._queries(ray_spec)
+        guard = GuardedSelector(_ExplodingBatchSelector())
+        decisions = guard.explain_batch(queries)
+        reference = [GuardedSelector(MvapichDefaultSelector()).explain(*q)
+                     for q in queries]
+        assert [d.algorithm for d in decisions] == \
+            [d.algorithm for d in reference]
+        assert all(d.action == ACTION_MODEL for d in decisions)
+
+    def test_malformed_query_raises_like_scalar(self, ray_spec):
+        machine = Machine(ray_spec, 2, 4)
+        guard = GuardedSelector(MvapichDefaultSelector())
+        with pytest.raises(InvalidQueryError):
+            guard.explain_batch([("allgather", machine, 64),
+                                 ("allgather", machine, -1)])
+        # The valid query before the malformed one was still counted.
+        assert guard.counters["queries"] == 2
+        assert guard.counters["invalid"] == 1
+
+    def test_wrong_length_batch_result_replays(self, ray_spec):
+        class ShortBatch(MvapichDefaultSelector):
+            def select_batch(self, queries):
+                return ["ring"]  # wrong length
+
+        queries = self._queries(ray_spec, n=4)
+        decisions = GuardedSelector(ShortBatch()).explain_batch(queries)
+        assert len(decisions) == 4
+        assert all(d.action == ACTION_MODEL for d in decisions)
+
+    def test_select_batch_returns_names(self, ray_spec):
+        queries = self._queries(ray_spec, n=3)
+        guard = GuardedSelector(MvapichDefaultSelector())
+        assert guard.select_batch(queries) == \
+            [d.algorithm for d in guard.explain_batch(queries)]
+
+
+class TestSelectorBatchDefault:
+    def test_base_class_loops_over_select(self, ray_spec):
+        selector = OpenMpiDefaultSelector()
+        machine = Machine(ray_spec, 2, 8)
+        queries = [("bcast", machine, 2 ** e) for e in range(4, 24, 2)]
+        assert selector.select_batch(queries) == \
+            [selector.select(*q) for q in queries]
+
+
+@pytest.fixture(scope="module")
+def trained_guard(mini_dataset):
+    selector = offline_train(mini_dataset, family="rf",
+                             collectives=("allgather", "alltoall"))
+    return GuardedSelector(selector), selector
+
+
+class TestPretrainedBatch:
+    def test_batch_matches_scalar(self, trained_guard):
+        _, selector = trained_guard
+        spec = get_cluster("Ray")
+        rng = np.random.default_rng(1)
+        queries = []
+        for _ in range(20):
+            machine = Machine(spec, int(rng.integers(1, 3)),
+                              int(2 ** rng.integers(1, 4)))
+            coll = ("allgather", "alltoall")[int(rng.integers(2))]
+            queries.append((coll, machine,
+                            int(2 ** rng.integers(4, 18))))
+        assert selector.select_batch(queries) == \
+            [selector.select(*q) for q in queries]
+
+    def test_missing_model_raises(self, trained_guard):
+        _, selector = trained_guard
+        machine = Machine(get_cluster("Ray"), 2, 4)
+        with pytest.raises(KeyError, match="bcast"):
+            selector.select_batch([("bcast", machine, 64)])
+
+    def test_service_over_trained_guard(self, trained_guard):
+        guard, _ = trained_guard
+        service = SelectionService(guard, get_cluster("Ray"))
+        decisions = service.select_batch(
+            [SelectionQuery("allgather", 2, 4, 4096),
+             SelectionQuery("alltoall", 1, 8, 1 << 20)])
+        assert all(d.algorithm is not None for d in decisions)
+
+    def test_guard_error_fallback_still_feasible(self, ray_spec):
+        class Exploding(AlgorithmSelector):
+            def select(self, collective, machine, msg_size):
+                raise RuntimeError("model file corrupt")
+
+        service = SelectionService(Exploding(), ray_spec)
+        decision = service.select(SelectionQuery("allgather", 2, 4, 64))
+        assert decision.action == ACTION_ERROR
+        assert decision.algorithm is not None
