@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Talk to the persistent selection daemon (`pml-mpi serve`).
+
+Trains a tiny bundle, starts a daemon for cluster RI on a Unix socket
+(in-process, on a background thread — a deployment would run
+`pml-mpi serve RI --bundle pml.json` as its own process), then drives
+it through the client: ping, a query batch, a deadline-bounded batch,
+hot-reload, stats, graceful shutdown.
+
+Run:  python examples/daemon_client.py
+"""
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.core import collect_dataset, save_selector
+from repro.core.inference import PretrainedSelector
+from repro.core.training import train_model
+from repro.hwmodel import get_cluster
+from repro.serve import DaemonClient, DaemonConfig, SelectionDaemon
+
+COLLECTIVES = ("allgather", "alltoall")
+
+
+def train_bundle(path: Path, seed: int = 0) -> None:
+    dataset = collect_dataset(clusters=[get_cluster("RI")])
+    selector = PretrainedSelector({
+        coll: train_model(dataset, coll, seed=seed,
+                          params={"n_estimators": 8})
+        for coll in COLLECTIVES})
+    save_selector(selector, path)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="pml-daemon-") as tmp:
+        root = Path(tmp)
+        bundle = root / "pml.json"
+        print("training a small RI bundle...")
+        train_bundle(bundle)
+
+        # 1. Boot and serve in the background.  `boot()` acquires the
+        #    state-dir lock, recovers any previous crash, and loads the
+        #    bundle; `run()` serves until drained.
+        daemon = SelectionDaemon(DaemonConfig(
+            spec=get_cluster("RI"),
+            socket_path=root / "daemon.sock",
+            state_dir=root / "state",
+            bundle=bundle,
+            ready_file=root / "ready.json",
+            reload_poll_s=0.1))
+        daemon.boot()
+        thread = threading.Thread(target=daemon.run, name="daemon")
+        thread.start()
+        while not (root / "ready.json").exists():
+            time.sleep(0.01)
+        print(f"daemon ready on {daemon.config.socket_path}")
+
+        with DaemonClient(daemon.config.socket_path) as client:
+            # 2. Ping: protocol version and current snapshot.
+            pong = client.ping()
+            print(f"ping: protocol v{pong['protocol']}, "
+                  f"snapshot {pong['snapshot']}")
+
+            # 3. A query batch.  Malformed queries never raise — they
+            #    come back as decisions with action="invalid".
+            response = client.select([
+                {"collective": "allgather", "nodes": 2, "ppn": 8,
+                 "msg_size": 4096},
+                {"collective": "alltoall", "nodes": 2, "ppn": 4,
+                 "msg_size": 65536},
+                {"collective": "allgather", "nodes": 2, "ppn": 8,
+                 "msg_size": -1},
+            ])
+            for d in response["decisions"]:
+                print(f"  {d['collective']:>9} msg={d['msg_size']:>6}"
+                      f" -> {d['algorithm']} ({d['action']})")
+
+            # 4. A deadline-bounded batch: if the model path cannot
+            #    answer in time, the daemon degrades to the heuristic
+            #    floor and says so (degraded="deadline-floor").
+            response = client.select(
+                [{"collective": "allgather", "nodes": 2, "ppn": 8,
+                  "msg_size": 512}], deadline_ms=250)
+            print(f"deadline batch answered by "
+                  f"{response.get('degraded', 'model snapshot')}")
+
+            # 5. Hot-reload: retrain, overwrite the bundle, reload.
+            #    A corrupt bundle would be rejected (old snapshot
+            #    keeps serving); a valid one swaps atomically.
+            train_bundle(bundle, seed=1)
+            result = client.reload()
+            print(f"reload: {result['status']} -> "
+                  f"snapshot {result['version']}")
+
+            # 6. Health counters: requests partition exactly into
+            #    ok + deadline_floor + bad_request + overloaded +
+            #    draining + internal.
+            counters = client.stats()["counters"]
+            daemon_counters = {
+                k.removeprefix("serve.daemon."): v
+                for k, v in counters.items()
+                if k.startswith("serve.daemon.")}
+            print(f"counters: {daemon_counters}")
+
+            # 7. Graceful drain: in-flight work finishes, socket and
+            #    lock are removed, the thread exits.
+            client.shutdown()
+        thread.join(timeout=30)
+        print("daemon drained; bye")
+
+
+if __name__ == "__main__":
+    main()

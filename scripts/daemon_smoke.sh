@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Daemon smoke stage: boot a real `pml-mpi serve` daemon and soak it
+# end-to-end under a hard wall-clock timeout.
+#
+# The soak (core/chaos.py::run_daemon_chaos) covers the full lifecycle:
+#   start      -> boot from a freshly trained bundle, ready-file wait
+#   storm      -> concurrent client threads: pings, stats, malformed
+#                 queries, sub-ms deadlines, valid batches
+#   hot-reload -> mid-storm atomic bundle swap (snapshot version bump),
+#                 then a corrupt swap that must be REJECTED while the
+#                 old snapshot keeps serving
+#   crash      -> SIGKILL + restart in the same state dir: stale lock
+#                 recovered, killer bundle quarantined, floor serving
+#   drain      -> graceful shutdown, exit 0, socket removed
+#
+# Invariants: zero raised client exceptions, internal == 0, and the
+# daemon/serve/guard counter partitions hold.  Exit 1 on any violation.
+#
+# Run from anywhere: scripts/daemon_smoke.sh
+# HARD_TIMEOUT_S (default 600) bounds the whole stage; a hung daemon
+# fails the build instead of wedging it.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+HARD_TIMEOUT_S="${HARD_TIMEOUT_S:-600}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+export PML_MPI_CACHE="$workdir/cache"
+
+echo "== daemon chaos soak (hard timeout ${HARD_TIMEOUT_S}s) =="
+timeout --kill-after=30 "$HARD_TIMEOUT_S" \
+    python -m repro.cli chaos --daemon --seed 0 \
+    --clients 3 --requests-per-client 25 \
+    | tee "$workdir/daemon_chaos.out"
+
+grep -q "DAEMON CHAOS OK" "$workdir/daemon_chaos.out"
+if grep -q "VIOLATION:" "$workdir/daemon_chaos.out"; then
+    echo "daemon soak recorded violations" >&2
+    exit 1
+fi
+
+echo "DAEMON SMOKE OK"

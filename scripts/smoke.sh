@@ -12,6 +12,9 @@
 #              unguarded exceptions, breaker must cycle)
 #   -> select-batch (JSONL queries through the batched service:
 #              quantized memoization, invalid queries answered inline)
+#   -> serve  (persistent daemon: boot from the bundle, socket
+#              queries, hot-reload, counter partition, graceful drain;
+#              the full lifecycle soak is scripts/daemon_smoke.sh)
 #   -> telemetry (traced collect/train/tune/select accumulate one
 #              trace; `pml-mpi report` renders every stage; a corrupted
 #              trace must be rejected)
@@ -130,6 +133,52 @@ assert records[3]["algorithm"] is None
 assert all(r["algorithm"] for r in records[:3])
 print("select-batch OK")
 EOF
+
+echo "== serve daemon (boot -> queries -> hot-reload -> drain) =="
+pml serve RI --bundle "$workdir/bundle.json" \
+    --state-dir "$workdir/serve_state" \
+    --ready-file "$workdir/ready.json" --reload-poll-s 0.2 \
+    > "$workdir/serve.out" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 300); do
+    [ -f "$workdir/ready.json" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$workdir/serve.out" >&2; exit 1; }
+    sleep 0.1
+done
+[ -f "$workdir/ready.json" ] || { echo "daemon never ready" >&2; exit 1; }
+python - "$workdir/serve_state/daemon.sock" "$workdir/bundle.json" <<'EOF'
+import sys
+from repro.serve import DaemonClient
+
+socket_path, bundle = sys.argv[1], sys.argv[2]
+with DaemonClient(socket_path) as client:
+    assert client.ping()["protocol"] == 1
+    response = client.select([
+        {"collective": "allgather", "nodes": 2, "ppn": 8,
+         "msg_size": 4096},
+        {"collective": "allgather", "nodes": 2, "ppn": 8,
+         "msg_size": -1},
+    ], deadline_ms=5000)
+    actions = [d["action"] for d in response["decisions"]]
+    assert actions[0] != "invalid" and actions[1] == "invalid", actions
+    # Touch the bundle (same bytes, fresh file): explicit reload swaps.
+    assert client.reload()["status"] in ("reloaded", "unchanged")
+    counters = client.stats()["counters"]
+    assert counters["serve.daemon.internal"] == 0
+    assert counters["serve.daemon.requests"] == (
+        counters["serve.daemon.ok"]
+        + counters["serve.daemon.deadline_floor"]
+        + counters["serve.daemon.bad_request"]
+        + counters["serve.daemon.overloaded"]
+        + counters["serve.daemon.draining"]
+        + counters["serve.daemon.internal"])
+    client.shutdown()
+print("daemon stage OK")
+EOF
+wait "$serve_pid"
+[ ! -S "$workdir/serve_state/daemon.sock" ] || { echo "socket left behind" >&2; exit 1; }
+[ ! -f "$workdir/serve_state/daemon.lock" ] || { echo "lock left behind" >&2; exit 1; }
+grep -q "drained" "$workdir/serve.out"
 
 echo "== telemetry (traced run + report) =="
 trace="$workdir/trace.jsonl"

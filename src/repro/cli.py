@@ -17,6 +17,10 @@ build system:
     them through the guard ladder's vectorized batch path (with
     LRU memoization + power-of-two size quantization), write one
     JSONL decision per line.
+``pml-mpi serve``
+    Run the persistent selection daemon: many concurrent clients over
+    a Unix-socket NDJSON protocol, with admission control, per-request
+    deadlines, atomic bundle hot-reload and crash-safe restart.
 ``pml-mpi sweep``
     OSU-style sweep under a chosen selector, printed as a table.
 ``pml-mpi info``
@@ -185,6 +189,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.daemon:
+        from .core.chaos import run_daemon_chaos
+
+        report = run_daemon_chaos(
+            seed=args.seed, clients=args.clients,
+            requests_per_client=args.requests_per_client,
+            progress=not args.quiet)
+        print(report.describe())
+        return 0 if report.ok else 1
     from .core.chaos import run_chaos
 
     report = run_chaos(queries=args.queries, seed=args.seed,
@@ -195,6 +208,43 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                        progress=not args.quiet)
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .core.resilience import LockTimeoutError
+    from .serve.daemon import DaemonConfig, SelectionDaemon
+
+    state_dir = args.state_dir
+    config = DaemonConfig(
+        spec=get_cluster(args.cluster),
+        socket_path=args.socket if args.socket is not None
+        else state_dir / "daemon.sock",
+        state_dir=state_dir,
+        bundle=args.bundle,
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+        max_batch=args.max_batch,
+        cache_size=args.cache_size,
+        quantize=not args.no_quantize,
+        reload_poll_s=args.reload_poll_s,
+        drain_timeout_s=args.drain_timeout_s,
+        ready_file=args.ready_file,
+    )
+    daemon = SelectionDaemon(config)
+    try:
+        daemon.boot()
+    except LockTimeoutError as exc:
+        print(f"cannot start: {exc}", file=sys.stderr)
+        return 1
+    snapshot = daemon.store.current()
+    print(f"serving {args.cluster} on {config.socket_path} "
+          f"({snapshot.describe()})", flush=True)
+    rc = daemon.run()
+    c = daemon.counters
+    print(f"drained: {c['requests']} requests "
+          f"({c['ok']} ok, {c['deadline_floor']} deadline-floored, "
+          f"{c['overloaded']} shed, {c['reloads']} reloads)")
+    return rc
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -417,8 +467,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--storm-length", type=int, default=60, metavar="N",
                    help="length of each scripted failure storm "
                         "(default 60 queries)")
+    p.add_argument("--daemon", action="store_true",
+                   help="soak the serving daemon instead: client "
+                        "storms, mid-storm hot-reload, corrupt-bundle "
+                        "swap, daemon kill + crash-safe restart")
+    p.add_argument("--clients", type=int, default=4, metavar="N",
+                   help="concurrent storm clients (--daemon; default 4)")
+    p.add_argument("--requests-per-client", type=int, default=40,
+                   metavar="N",
+                   help="requests each storm client fires "
+                        "(--daemon; default 40)")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve", parents=[common],
+        help="run the persistent selection daemon on a Unix socket")
+    p.add_argument("cluster", choices=CLUSTER_NAMES)
+    p.add_argument("--bundle", type=Path, default=None,
+                   help="model bundle to serve (hot-reloaded on "
+                        "change); omit to serve the heuristic floor")
+    p.add_argument("--state-dir", type=Path,
+                   default=Path("serve_state"),
+                   help="lock / sentinel / default-socket directory "
+                        "(default serve_state)")
+    p.add_argument("--socket", type=Path, default=None, metavar="PATH",
+                   help="Unix socket path "
+                        "(default STATE_DIR/daemon.sock)")
+    p.add_argument("--ready-file", type=Path, default=None,
+                   metavar="PATH",
+                   help="write a JSON readiness record here once "
+                        "listening (for supervisors and tests)")
+    p.add_argument("--max-inflight", type=int, default=4, metavar="N",
+                   help="select requests in flight before shedding "
+                        "with 'overloaded' (default 4)")
+    p.add_argument("--deadline-ms", type=float, default=1000.0,
+                   metavar="MS",
+                   help="default per-request deadline before "
+                        "degrading to the heuristic floor "
+                        "(default 1000)")
+    p.add_argument("--max-batch", type=int, default=10_000, metavar="N",
+                   help="max queries per select request "
+                        "(default 10000)")
+    p.add_argument("--cache-size", type=int, default=4096, metavar="N",
+                   help="LRU memo capacity in distinct keys "
+                        "(default 4096)")
+    p.add_argument("--no-quantize", action="store_true",
+                   help="memoize exact message sizes instead of "
+                        "snapping to the nearest power of two")
+    p.add_argument("--reload-poll-s", type=float, default=2.0,
+                   metavar="S",
+                   help="bundle checksum poll interval (default 2)")
+    p.add_argument("--drain-timeout-s", type=float, default=5.0,
+                   metavar="S",
+                   help="max wait for in-flight requests on shutdown "
+                        "(default 5)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "bench", parents=[common],

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -362,3 +363,588 @@ def run_chaos(queries: int = 10_000, seed: int = 0,
         report.violations.append(
             "breaker never completed an open->half-open->closed cycle")
     return report
+
+
+# ---------------------------------------------------------------------------
+# Daemon soak (``pml-mpi chaos --daemon``)
+# ---------------------------------------------------------------------------
+
+#: Daemon error codes a storm client may legitimately receive.
+ALLOWED_DAEMON_ERRORS = ("overloaded", "draining")
+
+
+@dataclass
+class DaemonChaosReport:
+    """Outcome of one daemon soak; ``ok`` is the pass/fail verdict."""
+
+    seed: int
+    clients: int
+    requests_per_client: int
+    wall_s: float = 0.0
+    requests_sent: int = 0
+    ok_responses: int = 0
+    deadline_floored: int = 0
+    shed: int = 0
+    invalid_decisions: int = 0
+    reloads_observed: int = 0
+    phases: list[str] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "clients": self.clients,
+            "requests_per_client": self.requests_per_client,
+            "wall_s": self.wall_s,
+            "requests_sent": self.requests_sent,
+            "ok_responses": self.ok_responses,
+            "deadline_floored": self.deadline_floored,
+            "shed": self.shed,
+            "invalid_decisions": self.invalid_decisions,
+            "reloads_observed": self.reloads_observed,
+            "phases": list(self.phases),
+            "counters": dict(self.counters),
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"seed:               {self.seed}",
+            f"clients:            {self.clients} x "
+            f"{self.requests_per_client} requests",
+            f"wall:               {self.wall_s:.2f} s",
+            f"requests sent:      {self.requests_sent}",
+            f"ok responses:       {self.ok_responses}",
+            f"deadline-floored:   {self.deadline_floored}",
+            f"shed (overloaded):  {self.shed}",
+            f"invalid decisions:  {self.invalid_decisions}",
+            f"reloads observed:   {self.reloads_observed}",
+        ]
+        for phase in self.phases:
+            lines.append(f"  phase: {phase}")
+        for name in sorted(self.counters):
+            if name.startswith("serve.daemon."):
+                lines.append(f"  {name:<32} {self.counters[name]}")
+        for v in self.violations[:20]:
+            lines.append(f"VIOLATION: {v}")
+        if len(self.violations) > 20:
+            lines.append(f"... {len(self.violations) - 20} more")
+        lines.append("DAEMON CHAOS OK" if self.ok
+                     else "DAEMON CHAOS FAILED")
+        return "\n".join(lines)
+
+
+def _train_chaos_bundle(path, seed: int, n_estimators: int = 8) -> None:
+    """Write a small RI bundle (the harness's hot-swappable artifact)."""
+    from .bundle import save_selector
+
+    spec = get_cluster(CHAOS_TRAIN_CLUSTER)
+    dataset = collect_dataset(clusters=[spec],
+                              collectives=CHAOS_COLLECTIVES,
+                              progress=False)
+    models = {coll: train_model(dataset, coll, seed=seed,
+                                params={"n_estimators": n_estimators})
+              for coll in CHAOS_COLLECTIVES}
+    save_selector(PretrainedSelector(models), path)
+
+
+def _daemon_env() -> dict[str, str]:
+    """Subprocess env whose PYTHONPATH can import this very ``repro``."""
+    import os
+
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+def _start_daemon(bundle: Path, socket_path: Path, state_dir: Path,
+                  ready: Path, log_path: Path):
+    """Launch ``pml-mpi serve`` as a real subprocess (SIGKILL-able)."""
+    import subprocess
+    import sys
+
+    cmd = [sys.executable, "-m", "repro.cli", "serve",
+           CHAOS_TRAIN_CLUSTER,
+           "--bundle", str(bundle),
+           "--state-dir", str(state_dir),
+           "--socket", str(socket_path),
+           "--ready-file", str(ready),
+           "--reload-poll-s", "0.1",
+           "--max-inflight", "2",
+           "--deadline-ms", "10000",
+           "--drain-timeout-s", "5"]
+    log = open(log_path, "ab")
+    try:
+        return subprocess.Popen(cmd, stdout=log,
+                                stderr=subprocess.STDOUT,
+                                env=_daemon_env())
+    finally:
+        log.close()  # the child holds its own duplicated fd
+
+
+def _wait_ready(ready: Path, proc, timeout_s: float = 120.0
+                ) -> dict[str, Any] | None:
+    """Poll for the daemon's readiness record; ``None`` on death or
+    timeout."""
+    import json
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if ready.exists():
+            try:
+                return json.loads(ready.read_text())
+            except (OSError, json.JSONDecodeError):
+                pass  # mid-write; retry
+        if proc.poll() is not None:
+            return None
+        time.sleep(0.05)
+    return None
+
+
+def _daemon_partition_violations(counters: dict[str, int],
+                                 context: str,
+                                 quiescent: bool) -> list[str]:
+    """Counter-partition invariants over one ``stats`` snapshot.
+
+    The daemon partition holds at *every* observation (terminal
+    counters are bumped atomically with ``requests``); the serve/guard
+    partitions only at quiescence (a mid-batch service has counted the
+    query but not yet its outcome).
+    """
+    out: list[str] = []
+    d = {k: counters.get(f"serve.daemon.{k}", 0)
+         for k in ("requests", "ok", "deadline_floor", "bad_request",
+                   "overloaded", "draining", "internal")}
+    parts = (d["ok"] + d["deadline_floor"] + d["bad_request"]
+             + d["overloaded"] + d["draining"] + d["internal"])
+    if parts != d["requests"]:
+        out.append(f"{context}: daemon partition {parts} != "
+                   f"requests {d['requests']} ({d})")
+    if d["internal"]:
+        out.append(f"{context}: internal errors served: "
+                   f"{d['internal']}")
+    if not quiescent:
+        return out
+    s = {k: counters.get(f"serve.{k}", 0)
+         for k in ("queries", "cache_hits", "deduped", "cache_misses")}
+    if s["cache_hits"] + s["deduped"] + s["cache_misses"] \
+            != s["queries"]:
+        out.append(f"{context}: serve partition does not reconcile "
+                   f"({s})")
+    g = {k: counters.get(f"guard.{k}", 0)
+         for k in ("queries", "invalid", "served_model", "remapped",
+                   "ood_fallback", "breaker_fallback",
+                   "error_fallback")}
+    if (g["invalid"] + g["served_model"] + g["remapped"]
+            + g["ood_fallback"] + g["breaker_fallback"]
+            + g["error_fallback"]) != g["queries"]:
+        out.append(f"{context}: guard partition does not reconcile "
+                   f"({g})")
+    return out
+
+
+class _StormStats:
+    """Thread-safe tally shared by the storm clients."""
+
+    def __init__(self) -> None:
+        import threading
+
+        self.lock = threading.Lock()
+        self.sent = 0
+        self.ok = 0
+        self.floored = 0
+        self.shed = 0
+        self.invalid = 0
+        self.violations: list[str] = []
+
+    def violation(self, message: str) -> None:
+        with self.lock:
+            self.violations.append(message)
+
+
+def _check_select_response(response: dict[str, Any], n_queries: int,
+                           context: str, stats: _StormStats) -> None:
+    decisions = response.get("decisions")
+    if not isinstance(decisions, list) or len(decisions) != n_queries:
+        stats.violation(
+            f"{context}: expected {n_queries} decisions, got "
+            f"{type(decisions).__name__}")
+        return
+    if "snapshot" not in response:
+        stats.violation(f"{context}: response has no snapshot version")
+    for j, d in enumerate(decisions):
+        invalid = d.get("action") == "invalid"
+        if (d.get("algorithm") is None) != invalid:
+            stats.violation(
+                f"{context}: decision {j} breaks the algorithm/action "
+                f"invariant: {d!r}")
+        if invalid:
+            with stats.lock:
+                stats.invalid += 1
+
+
+def _storm_worker(socket_path: Path, cid: int, requests: int,
+                  seed: int, stats: _StormStats) -> None:
+    """One storm client: a seeded mix of valid batches, semantically
+    invalid queries, tiny-deadline requests, pings and stats calls.
+    Transport errors and non-allowed error codes are violations — a
+    serving daemon never slams the door on a well-behaved client."""
+    from ..serve.client import DaemonClient, DaemonError
+
+    try:
+        client = DaemonClient(socket_path, timeout_s=60.0)
+    except OSError as exc:
+        stats.violation(f"client {cid}: cannot connect: {exc}")
+        return
+    try:
+        for i in range(requests):
+            rng = _rng(seed, "daemon-client", cid, i)
+            u = float(rng.uniform())
+            context = f"client {cid} request {i}"
+            with stats.lock:
+                stats.sent += 1
+            try:
+                if u < 0.08:
+                    client.ping()
+                elif u < 0.16:
+                    response = client.stats()
+                    for v in _daemon_partition_violations(
+                            response.get("counters", {}), context,
+                            quiescent=False):
+                        stats.violation(v)
+                elif u < 0.28:
+                    # Semantic junk must come back as invalid
+                    # *decisions*, never as a protocol error.
+                    response = client.select([{
+                        "collective": "allgather", "nodes": 2,
+                        "ppn": 8,
+                        "msg_size": -int(rng.integers(1, 1 << 20)),
+                    }])
+                    _check_select_response(response, 1, context, stats)
+                elif u < 0.40:
+                    queries = _valid_queries(rng, 1)
+                    response = client.select(queries,
+                                             deadline_ms=0.001)
+                    _check_select_response(response, len(queries),
+                                           context, stats)
+                    if response.get("degraded") == "deadline-floor":
+                        with stats.lock:
+                            stats.floored += 1
+                else:
+                    queries = _valid_queries(
+                        rng, int(rng.integers(1, 9)))
+                    response = client.select(queries)
+                    _check_select_response(response, len(queries),
+                                           context, stats)
+                with stats.lock:
+                    stats.ok += 1
+            except DaemonError as exc:
+                if exc.code in ALLOWED_DAEMON_ERRORS:
+                    with stats.lock:
+                        stats.shed += 1
+                else:
+                    stats.violation(
+                        f"{context}: daemon error [{exc.code}] "
+                        f"{exc.detail}")
+            except Exception as exc:
+                stats.violation(
+                    f"{context}: transport failure "
+                    f"{type(exc).__name__}: {exc}")
+    finally:
+        client.close()
+
+
+def _valid_queries(rng: np.random.Generator,
+                   n: int) -> list[dict[str, Any]]:
+    """Well-formed RI-shaped query dicts (in-distribution sizes)."""
+    return [{
+        "collective": CHAOS_COLLECTIVES[int(rng.integers(
+            len(CHAOS_COLLECTIVES)))],
+        "nodes": 2,
+        "ppn": int(rng.choice([4, 8])),
+        "msg_size": int(2 ** rng.integers(0, 21)),
+    } for _ in range(n)]
+
+
+def _poll_stats(socket_path: Path, predicate, timeout_s: float = 30.0
+                ) -> dict[str, Any] | None:
+    """Fresh-connection stats polls until *predicate* accepts one."""
+    from ..serve.client import DaemonClient
+
+    deadline = time.monotonic() + timeout_s
+    last: dict[str, Any] | None = None
+    while time.monotonic() < deadline:
+        try:
+            with DaemonClient(socket_path, timeout_s=30.0) as client:
+                last = client.stats()
+        except Exception:
+            last = None
+        if last is not None and predicate(last):
+            return last
+        time.sleep(0.1)
+    return None
+
+
+def run_daemon_chaos(seed: int = 0, clients: int = 4,
+                     requests_per_client: int = 40,
+                     progress: bool = False) -> DaemonChaosReport:
+    """End-to-end soak of the serving daemon, as a real subprocess.
+
+    Phases: boot from a freshly trained bundle → concurrent client
+    storm (valid/invalid/tiny-deadline/ping/stats mix) with a
+    mid-storm atomic hot-swap to a retrained bundle → corrupt-bundle
+    swap (reload must reject, old snapshot keeps serving) → SIGKILL →
+    crash-safe restart in the same state dir (stale lock recovered,
+    the killer bundle quarantined, heuristic floor serving) →
+    graceful ``shutdown`` drain.  Violations are recorded, never
+    raised, so CI prints all of them.
+    """
+    import json
+    import os
+    import shutil
+    import subprocess
+    import tempfile
+    import threading
+
+    from ..serve.client import DaemonClient
+    from .resilience import atomic_write_text
+
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("clients and requests_per_client must be >= 1")
+    report = DaemonChaosReport(seed=seed, clients=clients,
+                               requests_per_client=requests_per_client)
+    t0 = time.perf_counter()
+    tmp = Path(tempfile.mkdtemp(prefix="pml-daemon-chaos-"))
+    proc = None
+
+    def phase(name: str) -> None:
+        report.phases.append(name)
+        if progress:
+            print(f"  phase: {name}")
+
+    try:
+        bundle = tmp / "bundle.json"
+        next_bundle = tmp / "bundle.v2.json"
+        socket_path = tmp / "daemon.sock"
+        state_dir = tmp / "state"
+        ready = tmp / "ready.json"
+        log_path = tmp / "daemon.log"
+
+        phase("train bundles (v1, v2)")
+        _train_chaos_bundle(bundle, seed=seed)
+        _train_chaos_bundle(next_bundle, seed=seed + 1)
+        if file_checksum_equal(bundle, next_bundle):
+            report.violations.append(
+                "v1 and v2 bundles are byte-identical; hot-swap "
+                "cannot be observed")
+
+        phase("boot daemon")
+        proc = _start_daemon(bundle, socket_path, state_dir, ready,
+                             log_path)
+        boot = _wait_ready(ready, proc)
+        if boot is None:
+            report.violations.append(
+                "daemon never became ready: "
+                + _tail(log_path))
+            return report
+        v0 = int(boot.get("snapshot", 0))
+        if boot.get("source") != "bundle":
+            report.violations.append(
+                f"boot source {boot.get('source')!r}, expected "
+                f"'bundle'")
+
+        phase(f"client storm ({clients} x {requests_per_client})")
+        stats = _StormStats()
+        threads = [
+            threading.Thread(
+                target=_storm_worker,
+                args=(socket_path, cid, requests_per_client, seed,
+                      stats),
+                name=f"storm-{cid}")
+            for cid in range(clients)]
+        for t in threads:
+            t.start()
+
+        phase("mid-storm hot-reload (atomic swap to v2)")
+        time.sleep(0.3)  # let the storm develop
+        os.replace(next_bundle, bundle)
+        swapped = _poll_stats(
+            socket_path,
+            lambda s: int(s["snapshot"]["version"]) > v0)
+        if swapped is None:
+            report.violations.append(
+                "hot-reload to the v2 bundle was never observed")
+        else:
+            report.reloads_observed += 1
+
+        for t in threads:
+            t.join()
+        report.requests_sent = stats.sent
+        report.ok_responses = stats.ok
+        report.deadline_floored = stats.floored
+        report.shed = stats.shed
+        report.invalid_decisions = stats.invalid
+        copied_violations = len(stats.violations)
+        report.violations.extend(stats.violations[:copied_violations])
+
+        phase("quiescent partition check")
+        time.sleep(1.0)  # abandoned deadline batches finish
+        quiet = _poll_stats(socket_path, lambda s: True,
+                            timeout_s=10.0)
+        if quiet is None:
+            report.violations.append("stats unavailable after storm")
+        else:
+            report.violations.extend(_daemon_partition_violations(
+                quiet.get("counters", {}), "post-storm",
+                quiescent=True))
+
+        phase("corrupt-bundle swap (reload must reject)")
+        atomic_write_text(bundle, '{"broken')
+        try:
+            with DaemonClient(socket_path, timeout_s=30.0) as client:
+                result = client.reload()
+                if result.get("status") != "rejected":
+                    report.violations.append(
+                        f"corrupt reload not rejected: {result!r}")
+                response = client.select(_valid_queries(
+                    _rng(seed, "post-corrupt"), 4))
+                _check_select_response(response, 4, "post-corrupt",
+                                       stats)
+        except Exception as exc:
+            report.violations.append(
+                f"daemon unusable after corrupt swap: "
+                f"{type(exc).__name__}: {exc}")
+
+        phase("SIGKILL daemon")
+        proc.kill()
+        proc.wait(timeout=30)
+
+        phase("crash-safe restart (same state dir, corrupt bundle)")
+        ready.unlink(missing_ok=True)
+        proc = _start_daemon(bundle, socket_path, state_dir, ready,
+                             log_path)
+        reboot = _wait_ready(ready, proc)
+        if reboot is None:
+            report.violations.append(
+                "daemon did not recover after SIGKILL: "
+                + _tail(log_path))
+            return report
+        if reboot.get("source") != "heuristic-floor":
+            report.violations.append(
+                f"restart source {reboot.get('source')!r}, expected "
+                f"'heuristic-floor' (corrupt bundle must not load)")
+        if bundle.exists():
+            report.violations.append(
+                "corrupt bundle was not quarantined at boot")
+        if not any(p.name.startswith("bundle.json.corrupt")
+                   for p in tmp.iterdir()):
+            report.violations.append(
+                "no *.corrupt quarantine file after crash restart")
+        try:
+            with DaemonClient(socket_path, timeout_s=30.0) as client:
+                after = client.stats()
+                counters = after.get("counters", {})
+                if counters.get("serve.daemon.crash_recovered", 0) < 1:
+                    report.violations.append(
+                        "restart did not count crash_recovered")
+                if counters.get("serve.daemon.quarantined_boot", 0) < 1:
+                    report.violations.append(
+                        "restart did not count quarantined_boot")
+                response = client.select(_valid_queries(
+                    _rng(seed, "post-restart"), 4))
+                _check_select_response(response, 4, "post-restart",
+                                       stats)
+                report.violations.extend(
+                    _daemon_partition_violations(
+                        client.stats().get("counters", {}),
+                        "post-restart", quiescent=True))
+        except Exception as exc:
+            report.violations.append(
+                f"restarted daemon unusable: "
+                f"{type(exc).__name__}: {exc}")
+
+        phase("protocol garbage (must answer bad-request)")
+        try:
+            with DaemonClient(socket_path, timeout_s=30.0) as client:
+                client._file.write(b"this is not json\n")
+                client._file.flush()
+                raw = client._file.readline()
+                answer = json.loads(raw) if raw else {}
+                code = (answer.get("error") or {}).get("code")
+                if answer.get("ok") is not False \
+                        or code != "bad-request":
+                    report.violations.append(
+                        f"garbage line answered with {answer!r}")
+        except Exception as exc:
+            report.violations.append(
+                f"garbage line killed the connection: "
+                f"{type(exc).__name__}: {exc}")
+
+        phase("graceful shutdown (drain)")
+        try:
+            with DaemonClient(socket_path, timeout_s=30.0) as client:
+                client.shutdown()
+        except Exception as exc:
+            report.violations.append(
+                f"shutdown op failed: {type(exc).__name__}: {exc}")
+        try:
+            rc = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=30)
+            report.violations.append(
+                "daemon did not exit within 30 s of shutdown")
+        else:
+            if rc != 0:
+                report.violations.append(
+                    f"drained daemon exited with rc={rc}: "
+                    + _tail(log_path))
+        if socket_path.exists():
+            report.violations.append(
+                "socket file left behind after drain")
+        proc = None
+        # Post-storm checks reuse the storm tally object; pick up any
+        # violations they appended after the first copy.
+        report.violations.extend(stats.violations[copied_violations:])
+        report.counters = dict(
+            (quiet or {}).get("counters", {})) if quiet else {}
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        report.wall_s = time.perf_counter() - t0
+        # Mirror headline tallies into the ambient registry so a
+        # traced soak exports them alongside the spans.
+        registry = get_registry()
+        registry.counter("chaos.daemon.requests").inc(
+            report.requests_sent)
+        registry.counter("chaos.daemon.violations").inc(
+            len(report.violations))
+        shutil.rmtree(tmp, ignore_errors=True)
+    return report
+
+
+def _tail(log_path: Path, lines: int = 12) -> str:
+    try:
+        return " | ".join(
+            log_path.read_text(errors="replace").splitlines()[-lines:])
+    except OSError:
+        return "(no daemon log)"
+
+
+def file_checksum_equal(a: Path, b: Path) -> bool:
+    """Byte-equality of two files (missing file counts as unequal)."""
+    try:
+        return a.read_bytes() == b.read_bytes()
+    except OSError:
+        return False

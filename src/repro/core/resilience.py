@@ -233,21 +233,111 @@ def quarantine(path: str | Path) -> Path:
 class FileLock:
     """Advisory inter-process lock around a lock file.
 
-    Uses ``fcntl.flock`` where available (lock dies with the process, so
-    no stale-lock cleanup is needed); falls back to ``O_CREAT|O_EXCL``
-    with mtime-based stale detection elsewhere.
+    Uses ``fcntl.flock`` where available (the kernel releases the lock
+    when the holder dies, even on SIGKILL); falls back to
+    ``O_CREAT|O_EXCL`` elsewhere.  Either way the holder's identity —
+    PID and acquisition time — is written *into* the lock file, which
+    buys two things:
+
+    * **stale-lock breaking** — the ``O_EXCL`` fallback (where a killed
+      process really does leave a dead lock behind) breaks a lock whose
+      recorded owner PID no longer exists, or whose file is unreadably
+      old (:data:`STALE_AFTER_S`), instead of deadlocking every later
+      start;
+    * **crash detection** — a lock file that still exists with a dead
+      owner PID is forensic evidence of an unclean shutdown.  The
+      serving daemon reads it via :meth:`read_owner` /
+      :meth:`owner_is_stale` before re-acquiring, so a crash-restart is
+      *recognized* (and recovery counted) rather than silent.
+
+    ``unlink_on_release=True`` removes the lock file on a clean release
+    — single-instance owners (the daemon pidfile) use it so "file
+    exists with dead PID" unambiguously means "crashed".  Leave it off
+    (the default) for contended locks: unlinking a contended ``flock``
+    file opens the classic two-holders race.
     """
 
-    #: A fallback lock file older than this is considered abandoned.
+    #: A lock file with an unreadable owner record older than this is
+    #: considered abandoned (fallback path only).
     STALE_AFTER_S = 300.0
 
     def __init__(self, path: str | Path, timeout_s: float = 10.0,
-                 poll_s: float = 0.02) -> None:
+                 poll_s: float = 0.02,
+                 unlink_on_release: bool = False) -> None:
         self.path = Path(path)
         self.timeout_s = timeout_s
         self.poll_s = poll_s
+        self.unlink_on_release = unlink_on_release
         self._fd: int | None = None
 
+    # -- owner records ---------------------------------------------------
+    @staticmethod
+    def pid_alive(pid: int) -> bool:
+        """Does a process with this PID currently exist?"""
+        if not isinstance(pid, int) or isinstance(pid, bool) or pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # pragma: no cover - exists, not ours
+            return True
+        except OSError:  # pragma: no cover - e.g. pid > pid_max
+            return False
+        return True
+
+    @classmethod
+    def read_owner(cls, path: str | Path) -> dict[str, Any] | None:
+        """The ``{"pid": ..., "acquired_at": ...}`` record of the lock's
+        last holder, or ``None`` if the file is missing or unreadable
+        (pre-record lock files, half-written junk)."""
+        try:
+            record = json.loads(Path(path).read_text())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) \
+                or not isinstance(record.get("pid"), int):
+            return None
+        return record
+
+    @classmethod
+    def owner_is_stale(cls, path: str | Path,
+                       stale_after_s: float | None = None) -> bool:
+        """Is the lock file at *path* abandoned?
+
+        True when the recorded owner PID is dead, or — for lock files
+        without a readable owner record — when the file's mtime is
+        older than *stale_after_s* (default :data:`STALE_AFTER_S`).
+        A missing file is not stale (there is nothing to break).
+        """
+        path = Path(path)
+        owner = cls.read_owner(path)
+        if owner is not None:
+            return not cls.pid_alive(owner["pid"])
+        limit = cls.STALE_AFTER_S if stale_after_s is None else stale_after_s
+        try:
+            return time.time() - path.stat().st_mtime > limit
+        except OSError:
+            return False
+
+    def break_stale(self) -> bool:
+        """Remove the lock file if it is stale; returns whether it was."""
+        if not self.owner_is_stale(self.path):
+            return False
+        self.path.unlink(missing_ok=True)
+        return True
+
+    def _write_owner(self, fd: int) -> None:
+        record = json.dumps({"pid": os.getpid(),
+                             "acquired_at": time.time()})
+        try:
+            os.ftruncate(fd, 0)
+            os.lseek(fd, 0, os.SEEK_SET)
+            os.write(fd, record.encode())
+        except OSError:  # pragma: no cover - lock still works without
+            pass
+
+    # -- acquire / release ----------------------------------------------
     def acquire(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         deadline = time.monotonic() + self.timeout_s
@@ -269,24 +359,26 @@ class FileLock:
                 os.close(fd)
                 return False
             self._fd = fd
+            self._write_owner(fd)
             return True
+        # Non-flock fallback: a killed holder leaves the file behind,
+        # so a dead recorded PID (or an unreadably old file) is broken
+        # here instead of deadlocking every later start.
+        self.break_stale()
         try:  # pragma: no cover - non-POSIX fallback
-            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_EXCL)
         except FileExistsError:
-            try:
-                age = time.time() - self.path.stat().st_mtime
-                if age > self.STALE_AFTER_S:
-                    self.path.unlink(missing_ok=True)
-            except OSError:
-                pass
             return False
         self._fd = fd
+        self._write_owner(fd)
         return True
 
     def release(self) -> None:
         if self._fd is None:
             return
         if fcntl is not None:
+            if self.unlink_on_release:
+                self.path.unlink(missing_ok=True)
             fcntl.flock(self._fd, fcntl.LOCK_UN)
             os.close(self._fd)
         else:  # pragma: no cover

@@ -100,7 +100,11 @@ class GradientBoostingClassifier:
         F = np.tile(self.init_score_, (n, 1))
 
         self.estimators_: list[list[DecisionTreeRegressor]] = []
-        jobs = resolve_n_jobs(self.n_jobs)
+        # The pool is reused across all boosting rounds, so its spawn
+        # cost amortizes over the whole fit: rows x rounds x classes
+        # is the relevant work size for adaptive engagement.
+        jobs = resolve_n_jobs(self.n_jobs,
+                              work_units=n * self.n_estimators * K)
         pool = (ProcessPoolExecutor(max_workers=min(jobs, K))
                 if jobs > 1 and K > 1 else None)
         try:

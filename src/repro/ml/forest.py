@@ -94,12 +94,16 @@ class RandomForestClassifier:
             "min_samples_leaf": self.min_samples_leaf,
             "max_features": self.max_features,
         }
-        jobs = resolve_n_jobs(self.n_jobs)
+        # Adaptive engagement: rows x trees is the fit's work size; the
+        # pool only spins up when each worker gets enough of it to
+        # amortize fork + pickle cost (never worse than serial).
+        jobs = resolve_n_jobs(self.n_jobs,
+                              work_units=n * self.n_estimators)
         chunks = chunk_evenly(draws, jobs)
         fitted = parallel_map(
             _fit_tree_chunk,
             [(X, y_enc, params, chunk) for chunk in chunks],
-            self.n_jobs)
+            jobs)
         self.estimators_: list[DecisionTreeClassifier] = []
         importances = np.zeros(X.shape[1])
         for tree in (t for chunk in fitted for t in chunk):

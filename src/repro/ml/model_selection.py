@@ -209,7 +209,8 @@ class GridSearchCV:
             _evaluate_candidate,
             [(self.estimator, params, X, y, self.cv, self.scoring,
               self.random_state) for params in candidates],
-            self.n_jobs)
+            self.n_jobs,
+            work_units=len(candidates) * self.cv * len(X))
         self.results_: list[GridSearchResult] = []
         best: GridSearchResult | None = None
         for params, scores in zip(candidates, fold_scores):

@@ -31,6 +31,7 @@ this module at module level without creating cycles with ``core``.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -198,18 +199,26 @@ class Tracer:
 # ---------------------------------------------------------------------------
 
 class Counter:
-    """Monotonically increasing integer."""
+    """Monotonically increasing integer.
 
-    __slots__ = ("name", "value")
+    Increments are lock-protected: the serving daemon bumps shared
+    counters from its event-loop thread and its worker threads, and
+    the partition invariants the chaos harness asserts (``serve.*``,
+    ``guard.*``, ``serve.daemon.*``) tolerate no lost update.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "counter", "name": self.name,
@@ -260,13 +269,14 @@ class Histogram:
     deterministic for a deterministic observation sequence.
     """
 
-    __slots__ = ("name", "count", "total", "buckets")
+    __slots__ = ("name", "count", "total", "buckets", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.buckets: dict[int, int] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -274,9 +284,10 @@ class Histogram:
             raise ValueError(f"histogram {self.name} observation must "
                              f"be finite, got {value!r}")
         e = log2_bucket(value)
-        self.buckets[e] = self.buckets.get(e, 0) + 1
-        self.count += 1
-        self.total += value
+        with self._lock:
+            self.buckets[e] = self.buckets.get(e, 0) + 1
+            self.count += 1
+            self.total += value
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -299,22 +310,24 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls: type) -> Any:
         if not name or not isinstance(name, str):
             raise ValueError(f"metric name must be a non-empty string, "
                              f"got {name!r}")
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}, requested "
-                    f"{cls.__name__}")
-            return existing
-        metric = cls(name)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, requested "
+                        f"{cls.__name__}")
+                return existing
+            metric = cls(name)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)

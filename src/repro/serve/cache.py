@@ -5,10 +5,16 @@ A thin, deterministic LRU on :class:`collections.OrderedDict`:
 once ``capacity`` is exceeded.  Hit/miss/eviction totals are plain
 integer attributes — the service mirrors them into its typed
 ``serve.*`` counters so the memo itself stays dependency-free.
+
+Thread-safe: every operation holds one internal lock, so the daemon's
+worker threads can share a cache without torn recency updates or lost
+counter increments (``get`` both reads and reorders, which is *not*
+atomic on a bare OrderedDict).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -28,6 +34,7 @@ class LRUCache:
                 f"capacity must be a positive integer, got {capacity!r}")
         self.capacity = capacity
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -35,30 +42,35 @@ class LRUCache:
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (marking it most recent) or
         *default*; counts a hit or a miss either way."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh *key* as most recent, evicting the oldest
         entry if the cache would exceed its capacity."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def keys(self) -> list[Hashable]:
         """Keys from least to most recently used (a snapshot)."""
-        return list(self._data)
+        with self._lock:
+            return list(self._data)

@@ -1,0 +1,100 @@
+"""Blocking client for the selection daemon.
+
+A deliberately small synchronous client over the daemon's Unix-socket
+NDJSON protocol (:mod:`repro.serve.protocol`): one socket, one request
+per call, responses matched by id.  Used by the chaos soak's client
+storm threads, the daemon tests, and ``examples/daemon_client.py`` —
+and small enough to transliterate into any language a build system
+speaks.
+
+:class:`DaemonError` is raised for error responses (it carries the
+typed ``code``); transport problems raise the underlying ``OSError``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Any
+
+__all__ = ["DaemonClient", "DaemonError"]
+
+
+class DaemonError(RuntimeError):
+    """An ``ok: false`` response from the daemon."""
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"[{code}] {detail}")
+        self.code = code
+        self.detail = detail
+
+
+class DaemonClient:
+    """One blocking connection to a selection daemon."""
+
+    def __init__(self, socket_path: str | Path,
+                 timeout_s: float = 30.0) -> None:
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout_s)
+        self._sock.connect(self.socket_path)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 1
+
+    # -- plumbing --------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request, wait for its response, return the payload
+        of an ``ok`` response; raises :class:`DaemonError` otherwise."""
+        req_id, self._next_id = self._next_id, self._next_id + 1
+        line = json.dumps({"id": req_id, "op": op, **fields},
+                          sort_keys=True, separators=(",", ":"))
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionError("daemon closed the connection")
+        response = json.loads(raw)
+        if not isinstance(response, dict):
+            raise ConnectionError(
+                f"malformed response: {raw[:200]!r}")
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        raise DaemonError(str(error.get("code", "internal")),
+                          str(error.get("detail", "")))
+
+    # -- convenience ops -------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    def reload(self) -> dict[str, Any]:
+        return self.request("reload")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")
+
+    def select(self, queries: list[dict[str, Any]],
+               deadline_ms: float | None = None) -> dict[str, Any]:
+        """Answer a batch of query dicts (collective/nodes/ppn/msg_size
+        keys); returns the full response (``decisions``, ``snapshot``,
+        optional ``degraded``)."""
+        fields: dict[str, Any] = {"queries": queries}
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        return self.request("select", **fields)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

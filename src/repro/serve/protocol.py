@@ -1,0 +1,191 @@
+"""Wire protocol of the selection daemon.
+
+Newline-delimited JSON over a Unix domain socket: each request is one
+JSON object on one line, each response is one JSON object on one line,
+and responses carry the request's ``id`` so a pipelining client can
+match them up.  Plain text + stdlib ``json`` keeps the daemon
+dependency-free and debuggable with ``socat`` / ``nc``.
+
+Requests::
+
+    {"id": 1, "op": "select", "queries": [{"collective": "allgather",
+     "nodes": 2, "ppn": 8, "msg_size": 4096}], "deadline_ms": 50}
+    {"id": 2, "op": "ping"}
+    {"id": 3, "op": "stats"}
+    {"id": 4, "op": "reload"}
+    {"id": 5, "op": "shutdown"}
+
+Responses are ``{"id": ..., "ok": true, ...}`` on success or
+``{"id": ..., "ok": false, "error": {"code": ..., "detail": ...}}``
+on failure, with ``code`` drawn from a small closed set
+(:data:`ERROR_CODES`) so clients can switch on it:
+
+``bad-request``
+    The line was not a well-formed request (parse error, unknown op,
+    oversized line or batch).  Note the asymmetry with *malformed
+    queries*: a syntactically valid ``select`` whose queries are
+    semantically junk still succeeds — each junk query comes back as a
+    decision with ``action="invalid"``, exactly like the offline
+    ``select-batch`` path.
+``overloaded``
+    Admission control refused the request (breaker open or the
+    in-flight cap reached).  Back off and retry; do not queue.
+``draining``
+    The daemon is shutting down and no longer admits work.
+``internal``
+    The never-raises contract was violated inside the daemon.  Counted
+    separately so the chaos harness can assert it stays at zero.
+
+Parsing is strict and total: :func:`parse_request` raises only
+:class:`ProtocolError` (carrying the error code for the response), and
+:func:`encode` emits deterministic JSON (sorted keys, compact
+separators) so byte-identical requests get byte-identical responses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .service import SelectionQuery
+
+__all__ = [
+    "DEFAULT_MAX_BATCH",
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "encode",
+    "error_response",
+    "ok_response",
+    "parse_request",
+]
+
+PROTOCOL_VERSION = 1
+
+#: A request line longer than this is rejected before JSON parsing —
+#: the daemon's read buffer is bounded, so a hostile client cannot
+#: balloon memory with one endless line.
+MAX_LINE_BYTES = 1 << 20
+
+#: Default cap on queries per ``select`` request.
+DEFAULT_MAX_BATCH = 10_000
+
+OPS = ("select", "ping", "stats", "reload", "shutdown")
+
+ERROR_CODES = ("bad-request", "overloaded", "draining", "internal")
+
+
+class ProtocolError(ValueError):
+    """A request the daemon must answer with an error response."""
+
+    def __init__(self, detail: str, code: str = "bad-request") -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(detail)
+        self.code = code
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed client request."""
+
+    id: Any
+    op: str
+    queries: tuple[SelectionQuery, ...] = field(default_factory=tuple)
+    deadline_ms: float | None = None
+
+
+def _parse_query(index: int, record: Any) -> SelectionQuery:
+    if not isinstance(record, dict):
+        raise ProtocolError(
+            f"queries[{index}] must be a JSON object, "
+            f"got {type(record).__name__}")
+    missing = [k for k in ("collective", "nodes", "ppn", "msg_size")
+               if k not in record]
+    if missing:
+        raise ProtocolError(
+            f"queries[{index}] missing key(s): {', '.join(missing)}")
+    # Values pass through verbatim: semantic junk (negative sizes,
+    # bogus shapes) is the *service's* job to classify as invalid
+    # decisions, not the protocol's job to reject.
+    return SelectionQuery(
+        collective=record["collective"], nodes=record["nodes"],
+        ppn=record["ppn"], msg_size=record["msg_size"])
+
+
+def parse_request(line: str | bytes,
+                  max_batch: int = DEFAULT_MAX_BATCH) -> Request:
+    """Parse one request line; raises :class:`ProtocolError` only."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"request line exceeds {MAX_LINE_BYTES} bytes")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request is not UTF-8: {exc}") from None
+    elif len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") \
+            from None
+    if not isinstance(record, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, "
+            f"got {type(record).__name__}")
+    op = record.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of {', '.join(OPS)})")
+    req_id = record.get("id")
+    if not isinstance(req_id, (str, int)) or isinstance(req_id, bool):
+        raise ProtocolError("request id must be a string or integer")
+
+    deadline_ms = record.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) \
+                or not isinstance(deadline_ms, (int, float)) \
+                or deadline_ms <= 0:
+            raise ProtocolError(
+                f"deadline_ms must be a positive number, "
+                f"got {deadline_ms!r}")
+        deadline_ms = float(deadline_ms)
+
+    queries: tuple[SelectionQuery, ...] = ()
+    if op == "select":
+        raw = record.get("queries")
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError(
+                "select requires a non-empty queries array")
+        if len(raw) > max_batch:
+            raise ProtocolError(
+                f"batch of {len(raw)} exceeds max_batch={max_batch}")
+        queries = tuple(_parse_query(i, r) for i, r in enumerate(raw))
+    return Request(id=req_id, op=op, queries=queries,
+                   deadline_ms=deadline_ms)
+
+
+def encode(payload: dict[str, Any]) -> bytes:
+    """One response as a deterministic JSON line (sorted keys,
+    compact separators, trailing newline)."""
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def ok_response(req_id: Any, **payload: Any) -> dict[str, Any]:
+    return {"id": req_id, "ok": True, **payload}
+
+
+def error_response(req_id: Any, code: str, detail: str) -> dict[str, Any]:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {"id": req_id, "ok": False,
+            "error": {"code": code, "detail": detail}}

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from dataclasses import dataclass, replace
 from typing import Any
 
@@ -156,6 +157,13 @@ class SelectionService:
         self._counters = {k: self.registry.counter(f"serve.{k}")
                           for k in SERVE_COUNTER_KEYS}
         self._batch_size = self.registry.histogram("serve.batch_size")
+        # Batches are serialized per service: the guard ladder mutates
+        # breaker state and counters with no internal locking, and the
+        # partition invariant (queries == hits + deduped + misses) must
+        # hold at every observable instant.  Concurrent callers (the
+        # daemon's worker threads) queue here; the memoized hot path
+        # makes serialized batches cheap.
+        self._batch_lock = threading.Lock()
 
     # -- the batched path ------------------------------------------------
     def _key(self, query: SelectionQuery) -> tuple:
@@ -210,8 +218,10 @@ class SelectionService:
                      ) -> list[SelectionDecision]:
         """Answer a whole batch of queries, one decision per query (in
         order).  Never raises for malformed queries — see the module
-        docstring for the dedup/memo/guard flow."""
-        with get_tracer().span("serve.batch", queries=len(queries)):
+        docstring for the dedup/memo/guard flow.  Thread-safe: batches
+        from concurrent callers are serialized."""
+        with self._batch_lock, \
+                get_tracer().span("serve.batch", queries=len(queries)):
             self._counters["queries"].inc(len(queries))
             self._batch_size.observe(len(queries))
             out: list[SelectionDecision | None] = [None] * len(queries)

@@ -10,8 +10,10 @@ import pytest
 from repro.core.chaos import (
     CORRUPT_LABEL,
     ChaosReport,
+    DaemonChaosReport,
     FlakySelector,
     run_chaos,
+    run_daemon_chaos,
 )
 from repro.hwmodel import get_cluster
 from repro.simcluster.conditions import FaultProfile
@@ -85,6 +87,37 @@ class TestRunChaos:
         report.violations.append("boom")
         assert not report.ok
         assert "CHAOS FAILED" in report.describe()
+
+
+class TestDaemonChaosReport:
+    def test_report_round_trips_and_flags_violations(self):
+        report = DaemonChaosReport(seed=1, clients=2,
+                                   requests_per_client=4)
+        assert report.ok
+        assert "DAEMON CHAOS OK" in report.describe()
+        report.violations.append("boom")
+        assert not report.ok
+        assert "DAEMON CHAOS FAILED" in report.describe()
+        assert report.to_dict()["violations"] == ["boom"]
+
+
+@pytest.mark.chaos
+def test_daemon_soak_full_lifecycle():
+    """A real daemon subprocess soaked through its whole lifecycle:
+    storm, mid-storm hot-reload, corrupt-bundle rejection, SIGKILL +
+    crash-safe restart, protocol garbage, graceful drain — with zero
+    raised client exceptions and exact counter partitions."""
+    report = run_daemon_chaos(seed=0, clients=2,
+                              requests_per_client=10)
+    assert report.ok, "\n".join(report.violations)
+    assert report.requests_sent == 2 * 10
+    assert report.counters["serve.daemon.internal"] == 0
+    phases = " | ".join(report.phases)
+    assert "client storm" in phases
+    assert "mid-storm hot-reload" in phases
+    assert "corrupt-bundle swap" in phases
+    assert "crash-safe restart" in phases
+    assert "graceful shutdown" in phases
 
 
 @pytest.mark.chaos

@@ -39,6 +39,14 @@ class TestFastExamples:
         assert "two-level vs best flat" in out
         assert "allreduce" in out and "bcast" in out
 
+    def test_daemon_client(self):
+        out = _run("daemon_client.py")
+        assert "daemon ready on" in out
+        assert "(model)" in out and "(invalid)" in out
+        assert "reload: reloaded" in out
+        assert "'internal': 0" in out
+        assert "daemon drained; bye" in out
+
 
 class TestHeavyExamplesImportable:
     @pytest.mark.parametrize("name", ["tune_new_cluster.py",
@@ -51,4 +59,5 @@ class TestHeavyExamplesImportable:
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {"quickstart.py", "tune_new_cluster.py",
                 "application_speedup.py", "compare_algorithms.py",
-                "future_work_collectives.py"} <= names
+                "future_work_collectives.py",
+                "daemon_client.py"} <= names

@@ -4,7 +4,11 @@ injection, and the artifact doctor."""
 
 import gzip
 import json
+import os
+import subprocess
+import sys
 import threading
+import time
 
 import pytest
 
@@ -406,6 +410,101 @@ class TestFileLock:
             assert isinstance(sel, TableSelector)
         assert len(list(tmp_path.glob("*.tuning.json"))) == 1
         assert not list(tmp_path.glob("*.tmp"))
+
+    def test_owner_record_written_and_read(self, tmp_path):
+        lock = tmp_path / "x.lock"
+        with FileLock(lock):
+            owner = FileLock.read_owner(lock)
+            assert owner is not None
+            assert owner["pid"] == os.getpid()
+            assert owner["acquired_at"] <= time.time()
+            assert not FileLock.owner_is_stale(lock)
+
+    def test_unlink_on_release_removes_file(self, tmp_path):
+        lock = tmp_path / "x.lock"
+        with FileLock(lock, unlink_on_release=True):
+            assert lock.exists()
+        assert not lock.exists()
+        # Default: the file stays (contended-lock mode).
+        with FileLock(lock):
+            pass
+        assert lock.exists()
+
+    def test_dead_pid_owner_is_stale(self, tmp_path):
+        """The corpse of a crashed process — a lock file recording a
+        PID that no longer exists — must be recognized as stale."""
+        lock = tmp_path / "x.lock"
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()  # reaped: the PID is guaranteed dead
+        lock.write_text(json.dumps(
+            {"pid": proc.pid, "acquired_at": 0.0}))
+        assert FileLock.owner_is_stale(lock)
+        assert FileLock(lock).break_stale()
+        assert not lock.exists()
+
+    def test_live_pid_owner_is_not_stale(self, tmp_path):
+        lock = tmp_path / "x.lock"
+        lock.write_text(json.dumps(
+            {"pid": os.getpid(), "acquired_at": 0.0}))
+        assert not FileLock.owner_is_stale(lock)
+        assert not FileLock(lock).break_stale()
+        assert lock.exists()
+
+    def test_unreadable_record_stale_only_when_old(self, tmp_path):
+        lock = tmp_path / "x.lock"
+        lock.write_text("not json at all")
+        assert FileLock.read_owner(lock) is None
+        # Fresh mtime: give the holder the benefit of the doubt.
+        assert not FileLock.owner_is_stale(lock)
+        # Age the file past the cutoff: abandoned.
+        old = time.time() - 10_000.0
+        os.utime(lock, (old, old))
+        assert FileLock.owner_is_stale(lock)
+        assert FileLock.owner_is_stale(lock, stale_after_s=5_000.0)
+        assert not FileLock.owner_is_stale(lock,
+                                           stale_after_s=20_000.0)
+
+    def test_missing_file_is_not_stale(self, tmp_path):
+        lock = tmp_path / "x.lock"
+        assert not FileLock.owner_is_stale(lock)
+        assert not FileLock(lock).break_stale()
+
+    def test_pid_alive_rejects_junk(self):
+        assert FileLock.pid_alive(os.getpid())
+        assert not FileLock.pid_alive(-1)
+        assert not FileLock.pid_alive(0)
+        assert not FileLock.pid_alive(True)
+        assert not FileLock.pid_alive("7")
+
+    def test_fallback_path_breaks_stale_lock(self, tmp_path,
+                                             monkeypatch):
+        """Without flock (O_EXCL fallback) a killed holder's lock file
+        would deadlock every later start; a dead recorded PID must be
+        broken on acquire instead."""
+        import repro.core.resilience as resilience
+
+        monkeypatch.setattr(resilience, "fcntl", None)
+        lock = tmp_path / "x.lock"
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        lock.write_text(json.dumps(
+            {"pid": proc.pid, "acquired_at": 0.0}))
+        with FileLock(lock, timeout_s=0.5, poll_s=0.01):
+            owner = FileLock.read_owner(lock)
+            assert owner is not None and owner["pid"] == os.getpid()
+        assert not lock.exists()  # fallback always unlinks on release
+
+    def test_fallback_path_respects_live_lock(self, tmp_path,
+                                              monkeypatch):
+        import repro.core.resilience as resilience
+
+        monkeypatch.setattr(resilience, "fcntl", None)
+        lock = tmp_path / "x.lock"
+        lock.write_text(json.dumps(
+            {"pid": os.getpid(), "acquired_at": 0.0}))
+        blocked = FileLock(lock, timeout_s=0.05, poll_s=0.01)
+        with pytest.raises(LockTimeoutError):
+            blocked.acquire()
 
 
 # ---------------------------------------------------------------------------
