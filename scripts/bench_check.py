@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""CI gate for the columnar serving benchmark.
+
+Reads the committed ``BENCH_results.json``, re-runs the benchmark
+harness in ``--quick`` mode on this machine, and fails when the
+``serve_batch_columnar`` entry regresses against the committed floor:
+
+* ``identical_to_scalar`` must be ``true`` both in the committed file
+  and in the fresh quick run — decision identity is machine-independent
+  and holds at any batch size, so any ``false`` is a real bug, never
+  noise.
+* The committed speedup must itself clear ``--min-speedup`` (the
+  acceptance floor of the columnar pipeline), so a regressed results
+  file cannot be committed quietly.
+* The quick run's speedup must clear ``derate * committed_speedup``.
+  CI boxes are slower and noisier than the machine that produced the
+  committed figure, and quick mode times a smaller batch, so the gate
+  derates the floor rather than demanding the committed number; the
+  default still fails hard when the columnar path silently degrades to
+  scalar-equivalent cost (speedup ~1).
+
+Exit codes: 0 = gate passed, 1 = regression detected, 2 = missing or
+invalid results file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.bench import run_benchmarks, validate_bench_file  # noqa: E402
+
+ENTRY = "serve_batch_columnar"
+
+
+def _entry_config(results: dict, source: str) -> dict:
+    entry = results.get(ENTRY)
+    if entry is None:
+        print(f"bench-check: FAIL: {source} has no {ENTRY!r} entry")
+        raise SystemExit(2)
+    return entry["config"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default="BENCH_results.json",
+                        help="committed results file (default: %(default)s)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="floor the committed speedup must clear "
+                             "(default: %(default)s)")
+    parser.add_argument("--derate", type=float, default=0.33,
+                        help="fraction of the committed speedup the "
+                             "quick re-run must reach (default: "
+                             "%(default)s)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the bench selector "
+                             "fit (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    try:
+        committed = validate_bench_file(args.results)
+    except (OSError, ValueError) as exc:
+        print(f"bench-check: FAIL: cannot load {args.results}: {exc}")
+        return 2
+    ccfg = _entry_config(committed, args.results)
+
+    failures: list[str] = []
+    if ccfg.get("identical_to_scalar") is not True:
+        failures.append(
+            f"committed identical_to_scalar is "
+            f"{ccfg.get('identical_to_scalar')!r}, expected True")
+    committed_speedup = ccfg.get("speedup_vs_serve_batch")
+    if not isinstance(committed_speedup, (int, float)) \
+            or committed_speedup < args.min_speedup:
+        failures.append(
+            f"committed speedup_vs_serve_batch {committed_speedup!r} "
+            f"is below the {args.min_speedup:g}x acceptance floor")
+    if failures:
+        for f in failures:
+            print(f"bench-check: FAIL: {f}")
+        return 1
+
+    print(f"bench-check: committed {ENTRY}: "
+          f"{committed_speedup:.2f}x, identical_to_scalar=true")
+    print("bench-check: running quick benchmark ...")
+    fresh = run_benchmarks(quick=True, jobs=args.jobs, progress=True)
+    fcfg = _entry_config(fresh, "the quick bench run")
+    fresh_speedup = fcfg["speedup_vs_serve_batch"]
+    floor = args.derate * committed_speedup
+    print(f"bench-check: quick run: {fresh_speedup:.2f}x "
+          f"(floor {floor:.2f}x), identical_to_scalar="
+          f"{str(fcfg['identical_to_scalar']).lower()}")
+
+    if fcfg["identical_to_scalar"] is not True:
+        failures.append("quick run decisions diverge from the scalar "
+                        "ladder (identical_to_scalar=false)")
+    if fresh_speedup < floor:
+        failures.append(
+            f"quick run speedup {fresh_speedup:.2f}x fell below "
+            f"{floor:.2f}x ({args.derate:g} x committed "
+            f"{committed_speedup:.2f}x)")
+    if failures:
+        for f in failures:
+            print(f"bench-check: FAIL: {f}")
+        return 1
+    print("bench-check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

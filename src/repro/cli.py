@@ -296,7 +296,7 @@ def cmd_select_batch(args: argparse.Namespace) -> int:
         selector, get_cluster(args.cluster),
         cache_size=args.cache_size, quantize=not args.no_quantize,
         registry=get_registry())
-    decisions = service.select_batch(queries)
+    decisions = service.select_block(queries).to_decisions()
     payload = decisions_to_jsonl(decisions)
     if args.output is not None:
         atomic_write_text(args.output, payload)

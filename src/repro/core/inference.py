@@ -21,7 +21,7 @@ from ..obs.telemetry import get_registry, get_tracer
 from ..simcluster.machine import Machine
 from ..smpi.heuristics import AlgorithmSelector, validate_query
 from ..smpi.tuning import TuningTable
-from .features import feature_matrix, feature_vector
+from .features import feature_block, feature_matrix, feature_vector
 from .training import TrainedModel
 
 log = logging.getLogger(__name__)
@@ -78,6 +78,30 @@ class PretrainedSelector(AlgorithmSelector):
             for i, algo in zip(idx, predictions):
                 out[i] = str(algo)
         return out  # type: ignore[return-value]
+
+    def select_block(self, spec: ClusterSpec, collectives: np.ndarray,
+                     nodes: np.ndarray, ppn: np.ndarray,
+                     msg_size: np.ndarray) -> np.ndarray:
+        """Columnar selection over prevalidated rows for one cluster:
+        one :func:`feature_block` build and one ``predict_batch`` per
+        distinct collective, no per-row Python work.  Predictions are
+        identical to :meth:`select_batch` (same float64 feature values,
+        same packed-tree traversal); like it, raises ``KeyError`` when
+        any row's collective has no model."""
+        out = np.empty(len(msg_size), dtype=object)
+        for collective in dict.fromkeys(collectives.tolist()):
+            if collective not in self.models:
+                raise KeyError(
+                    f"no pre-trained model for {collective}; have "
+                    f"{', '.join(self.models)}")
+        for collective in self.models:
+            rows = collectives == collective
+            if not rows.any():
+                continue
+            X = feature_block(spec, nodes[rows], ppn[rows],
+                              msg_size[rows])
+            out[rows] = self.models[collective].predict_batch(X)
+        return out
 
     def describe(self) -> str:
         families = {c: m.family for c, m in self.models.items()}

@@ -141,11 +141,8 @@ class RandomForestClassifier:
         """
         if not hasattr(self, "estimators_"):
             raise RuntimeError("RandomForestClassifier is not fitted")
-        leaves = self._packed().leaf_values(X)  # (n, T, K)
-        proba = np.zeros((len(leaves), len(self.classes_)))
-        for t in range(self.n_estimators):
-            proba += leaves[:, t]
-        return proba / self.n_estimators
+        # Tree-order accumulation lives with the arena itself.
+        return self._packed().mean_values(X)
 
     def predict_batch(self, X: np.ndarray) -> np.ndarray:
         """Vectorized batch prediction over an ``(N, F)`` matrix —

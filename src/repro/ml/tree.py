@@ -178,18 +178,24 @@ class _TreeBase:
 class PackedTrees:
     """Many fitted trees concatenated into one flat node arena.
 
-    Ensemble prediction over an ``(N, F)`` matrix normally walks the
-    trees one at a time — ``T`` vectorized descents of ``depth``
-    NumPy steps each.  Packing concatenates every tree's node arrays
-    (child indices shifted by the tree's offset) so *all* ``N * T``
-    (row, tree) traversals advance together: one descent of
-    ``max_depth`` steps over the whole ensemble, which is the batch
-    hot path of :meth:`RandomForestClassifier.predict_batch` and
+    Packing concatenates every tree's node arrays (child indices
+    shifted by the tree's offset) into one address space, so a single
+    ``values_`` matrix serves the whole ensemble and every descent
+    speaks arena indices.  This is the batch hot path of
+    :meth:`RandomForestClassifier.predict_batch` and
     :meth:`GradientBoostingClassifier.decision_function_batch`.
 
-    Traversal uses the same ``X[row, feature] <= threshold`` float64
+    Traversal is organized around what the ensembles this framework
+    trains actually look like (shallow, stump-heavy): stump trees
+    resolve slab-wise grouped by root feature, deeper trees take a
+    slab-wise root step and then walk jointly through one flat
+    (tree, row) lane pool, and :meth:`mean_values` deduplicates large
+    batches by threshold cell before descending at all.  Every lane
+    still performs the same ``X[row, feature] <= threshold`` float64
     comparison as :meth:`_TreeBase.apply`, so leaf assignments are
-    bit-identical to per-tree descent.
+    bit-identical to per-tree descent; :meth:`mean_values` accumulates
+    in tree order, so ensemble probabilities are bit-identical to the
+    scalar loop.
     """
 
     def __init__(self, trees: list) -> None:
@@ -225,31 +231,178 @@ class PackedTrees:
         self.left_ = np.concatenate(left)
         self.right_ = np.concatenate(right)
         self.values_ = np.vstack(values)
+        # Classify trees once at pack time: stumps (an internal root
+        # whose both children are leaves) resolve with one column
+        # compare and are batched per root feature in _leaf_columns;
+        # deeper trees take the generic descent.
+        root_feat = self.feature_[self.roots_]
+        lchild = self.left_[self.roots_]
+        rchild = self.right_[self.roots_]
+        internal = root_feat != _LEAF
+        # Leaf roots carry _LEAF (= -1) children; the gather then reads
+        # the last arena node, which the `internal` mask discards.
+        stump = internal & (self.feature_[lchild] == _LEAF) \
+            & (self.feature_[rchild] == _LEAF)
+        self._stump_groups = []
+        stump_idx = np.flatnonzero(stump)
+        for f in np.unique(root_feat[stump_idx]):
+            tidx = stump_idx[root_feat[stump_idx] == f]
+            roots_f = self.roots_[tidx]
+            self._stump_groups.append(
+                (int(f), tidx,
+                 self.threshold_[roots_f][:, None],
+                 self.left_[roots_f][:, None],
+                 self.right_[roots_f][:, None]))
+        # Deeper trees descend jointly (one flat lane pool); ordering
+        # them by root feature makes each root-step write a contiguous
+        # slab of the lane matrix.
+        deep_idx = np.flatnonzero(internal & ~stump)
+        order = np.argsort(root_feat[deep_idx], kind="stable")
+        self._deep_order = deep_idx[order]
+        self._deep_groups = []
+        dfo = root_feat[self._deep_order]
+        start = 0
+        for f in np.unique(dfo):
+            cnt = int((dfo == f).sum())
+            sl = slice(start, start + cnt)
+            roots_f = self.roots_[self._deep_order[sl]]
+            self._deep_groups.append(
+                (int(f), sl,
+                 self.threshold_[roots_f][:, None],
+                 self.left_[roots_f][:, None],
+                 self.right_[roots_f][:, None]))
+            start += cnt
+        # Per-feature sorted threshold sets: rows whose every
+        # ``x <= thr`` compare agrees land in identical leaves in every
+        # tree, so mean_values dedups rows by threshold cell.  Horner
+        # cell codes need the digit-size product to fit int64;
+        # pathological forests disable the dedup instead of risking
+        # overflow.
+        self._feat_thresholds = [
+            np.unique(self.threshold_[self.feature_ == f])
+            for f in range(self.n_features_in_)]
+        n_cells = 1
+        for thr in self._feat_thresholds:
+            n_cells *= len(thr) + 1
+        self._cell_dedup = n_cells <= (1 << 62)
 
-    def apply(self, X: np.ndarray) -> np.ndarray:
-        """Arena leaf index of every (row, tree) pair: shape
-        ``(len(X), n_trees)``, one simultaneous descent."""
-        X = np.asarray(X, dtype=np.float64)
+    def _check(self, X: np.ndarray) -> np.ndarray:
+        X = np.ascontiguousarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"expected (n, {self.n_features_in_}) input, "
                 f"got {X.shape}")
-        n = len(X)
-        node = np.repeat(self.roots_[None, :], n, axis=0).ravel()
-        rows = np.repeat(np.arange(n), self.n_trees)
-        active = np.flatnonzero(self.feature_[node] != _LEAF)
-        while len(active):
-            cur = node[active]
-            go_left = (X[rows[active], self.feature_[cur]]
-                       <= self.threshold_[cur])
-            nxt = np.where(go_left, self.left_[cur], self.right_[cur])
-            node[active] = nxt
-            active = active[self.feature_[nxt] != _LEAF]
-        return node.reshape(n, self.n_trees)
+        return X
+
+    def _leaf_columns(self, Xc: np.ndarray,
+                      Xt: np.ndarray) -> list:
+        """Per-tree arena leaf arrays (``None`` for single-leaf trees).
+
+        Stump trees sharing a root feature resolve together: one
+        ``(n_stumps, n_rows)`` compare-and-select per distinct feature
+        replaces a descent per tree, and each tree's result is a
+        contiguous row of it.  Deeper trees take their root step the
+        same slab-wise way, then walk *jointly*: all still-internal
+        (tree, row) lanes form one flat pool, so the loop runs
+        max-depth iterations over a shrinking pool instead of a
+        Python-level descent per tree.  Every lane performs the same
+        ``X[row, feature] <= threshold`` float64 compare as
+        :meth:`_TreeBase.apply`, so leaf assignments are bit-identical
+        to per-tree descent.
+        """
+        cols: list = [None] * self.n_trees
+        for f, tidx, thr, lt, rt in self._stump_groups:
+            nodes = np.where(Xt[f][None, :] <= thr, lt, rt)
+            for j, t in enumerate(tidx.tolist()):
+                cols[t] = nodes[j]
+        deep = self._deep_order
+        if len(deep):
+            n = Xc.shape[0]
+            feature, threshold = self.feature_, self.threshold_
+            left, right = self.left_, self.right_
+            lanes = np.empty((len(deep), n), dtype=np.int64)
+            for f, sl, thr, lt, rt in self._deep_groups:
+                lanes[sl] = np.where(Xt[f][None, :] <= thr, lt, rt)
+            flat = lanes.ravel()  # view: writes land in `lanes`
+            act = np.flatnonzero(feature[flat] != _LEAF)
+            while len(act):
+                cur = flat[act]
+                go_left = Xc[act % n, feature[cur]] <= threshold[cur]
+                nxt = np.where(go_left, left[cur], right[cur])
+                flat[act] = nxt
+                act = act[feature[nxt] != _LEAF]
+            for j, t in enumerate(deep.tolist()):
+                cols[t] = lanes[j]
+        return cols
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Arena leaf index of every (row, tree) pair: shape
+        ``(len(X), n_trees)``."""
+        Xc = self._check(X)
+        Xt = np.ascontiguousarray(Xc.T)
+        out = np.empty((len(Xc), self.n_trees), dtype=np.int64)
+        for t, node in enumerate(self._leaf_columns(Xc, Xt)):
+            out[:, t] = self.roots_[t] if node is None else node
+        return out
 
     def leaf_values(self, X: np.ndarray) -> np.ndarray:
         """Per-(row, tree) leaf value rows: ``(len(X), n_trees, V)``."""
         return self.values_[self.apply(X)]
+
+    def _cell_codes(self, Xc: np.ndarray) -> np.ndarray:
+        """Threshold-cell id per row (Horner over per-feature digits).
+
+        Two rows share a code iff ``x <= thr`` agrees between them for
+        every threshold the ensemble compares that feature against —
+        which makes their descents, leaves, and value sums *provably
+        identical*, not merely close.
+        """
+        codes = np.zeros(len(Xc), dtype=np.int64)
+        for f, thr in enumerate(self._feat_thresholds):
+            if len(thr):
+                codes *= len(thr) + 1
+                codes += np.searchsorted(thr, Xc[:, f], side="left")
+        return codes
+
+    def mean_values(self, X: np.ndarray) -> np.ndarray:
+        """Per-row mean of the leaf-value rows across the ensemble:
+        ``(len(X), V)``.  The accumulation runs in tree order (t = 0,
+        1, ...) so the float result is bit-identical to the scalar
+        per-tree loop.  The ``(n, T, V)`` value cube is never
+        materialized — each value column accumulates through a
+        contiguous 1-D gather of the tree's leaf array.
+
+        Large batches are deduplicated by threshold cell first (see
+        :meth:`_cell_codes`): the ensemble runs once per *distinct*
+        cell and the result rows are scattered back — same floats,
+        because every member of a cell takes identical descents.
+        """
+        Xc = self._check(X)
+        if self._cell_dedup and len(Xc) > 64:
+            _, rep, inverse = np.unique(
+                self._cell_codes(Xc), return_index=True,
+                return_inverse=True)
+            if len(rep) * 2 <= len(Xc):
+                return self._mean_values_all(Xc[rep])[inverse]
+        return self._mean_values_all(Xc)
+
+    def _mean_values_all(self, Xc: np.ndarray) -> np.ndarray:
+        Xt = np.ascontiguousarray(Xc.T)
+        values = self.values_
+        n_values = values.shape[1]
+        vcols = [np.ascontiguousarray(values[:, j])
+                 for j in range(n_values)]
+        out = np.zeros((len(Xc), n_values))
+        ocols = [out[:, j] for j in range(n_values)]
+        for t, node in enumerate(self._leaf_columns(Xc, Xt)):
+            if node is None:
+                root = self.roots_[t]
+                for j in range(n_values):
+                    ocols[j] += vcols[j][root]
+            else:
+                for j in range(n_values):
+                    ocols[j] += vcols[j][node]
+        return out / self.n_trees
 
 
 def _gini_from_counts(counts: np.ndarray) -> np.ndarray:

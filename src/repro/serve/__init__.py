@@ -15,6 +15,7 @@ per-request deadlines, atomic bundle hot-reload
 
 from .cache import LRUCache
 from .client import DaemonClient, DaemonError
+from .columnar import QueryBlock
 from .daemon import (
     DAEMON_COUNTER_KEYS,
     DaemonConfig,
@@ -25,6 +26,7 @@ from .reload import ReloadResult, Snapshot, SnapshotStore, file_crc32
 from .service import (
     ACTION_INVALID,
     SERVE_COUNTER_KEYS,
+    DecisionBlock,
     SelectionDecision,
     SelectionQuery,
     SelectionService,
@@ -39,9 +41,11 @@ __all__ = [
     "DaemonClient",
     "DaemonConfig",
     "DaemonError",
+    "DecisionBlock",
     "LRUCache",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "QueryBlock",
     "ReloadResult",
     "SERVE_COUNTER_KEYS",
     "SelectionDaemon",

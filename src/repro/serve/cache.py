@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from itertools import repeat
 from typing import Any, Hashable
 
 __all__ = ["LRUCache"]
@@ -61,6 +62,58 @@ class LRUCache:
             if len(self._data) > self.capacity:
                 self._data.popitem(last=False)
                 self.evictions += 1
+
+    def get_many(self, keys: list[Hashable],
+                 counts: list[int] | None = None) -> list[Any]:
+        """Probe many distinct keys under one lock acquisition.
+
+        Returns one value (or ``None``) per key.  A hit counts
+        ``counts[i]`` hits (a batch answering several duplicates from
+        one entry counts each of them, matching the scalar per-query
+        ``get`` accounting); a miss always counts once, because the
+        scalar path consults the memo only for the *first* occurrence
+        of a missing key.  Recency is marked once per distinct hit key,
+        in the order given — the one observable divergence from
+        per-query ``get`` calls (see the service docs).
+        """
+        with self._lock:
+            out = list(map(self._data.get, keys, repeat(_MISSING)))
+            nmiss = out.count(_MISSING)
+            self.misses += nmiss
+            if nmiss == len(out):
+                # All-miss probe (a cold batch): nothing to re-rank.
+                return [None] * len(out)
+            move = self._data.move_to_end
+            for i, value in enumerate(out):
+                if value is _MISSING:
+                    out[i] = None
+                else:
+                    self.hits += counts[i] if counts is not None else 1
+                    move(keys[i])
+            return out
+
+    def put_many(self, items: list[tuple[Hashable, Any]]) -> int:
+        """Insert many entries under one lock acquisition, in order;
+        returns how many evictions they caused."""
+        with self._lock:
+            if not self._data and len(items) <= self.capacity:
+                # Empty cache, everything fits: a plain dict build is
+                # loop-equivalent as long as the keys are distinct
+                # (with duplicates the per-item loop would rank the
+                # *last* occurrence, so fall through for those).
+                staged = dict(items)
+                if len(staged) == len(items):
+                    self._data.update(staged)
+                    return 0
+            before = self.evictions
+            for key, value in items:
+                if key in self._data:
+                    self._data.move_to_end(key)
+                self._data[key] = value
+                if len(self._data) > self.capacity:
+                    self._data.popitem(last=False)
+                    self.evictions += 1
+            return self.evictions - before
 
     def __len__(self) -> int:
         with self._lock:

@@ -494,7 +494,7 @@ class SelectionDaemon:
         self._inflight += 1
         try:
             future = self._pool.submit(
-                self._run_batch, snapshot, request.queries)
+                self._run_batch, snapshot, request.records)
             future.add_done_callback(_consume_result)
             try:
                 decisions = await asyncio.wait_for(
@@ -506,11 +506,11 @@ class SelectionDaemon:
                 # abandoned model batch finishes in the background; a
                 # miss counts against admission health.
                 self.admission.record_failure()
-                floor = snapshot.floor.select_batch(
-                    list(request.queries))
+                floor = snapshot.floor.select_block(
+                    list(request.records))
                 return ok_response(
                     request.id,
-                    decisions=[d.to_dict() for d in floor],
+                    decisions=floor.to_dicts(),
                     snapshot=snapshot.version,
                     degraded="deadline-floor"), "deadline_floor"
             self.admission.record_success()
@@ -522,9 +522,10 @@ class SelectionDaemon:
 
     @staticmethod
     def _run_batch(snapshot: Snapshot,
-                   queries: tuple) -> list[dict[str, Any]]:
-        return [d.to_dict()
-                for d in snapshot.service.select_batch(list(queries))]
+                   records: tuple) -> list[dict[str, Any]]:
+        # Raw protocol records flow straight into the columnar path —
+        # no per-query object is built anywhere on the daemon hot path.
+        return snapshot.service.select_block(records).to_dicts()
 
     # -- teardown --------------------------------------------------------
     def _cleanup(self) -> None:

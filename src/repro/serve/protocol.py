@@ -92,15 +92,35 @@ class ProtocolError(ValueError):
 
 @dataclass(frozen=True)
 class Request:
-    """One parsed client request."""
+    """One parsed client request.
+
+    ``records`` holds the raw (shape-checked) query dicts: the daemon
+    feeds them straight into the service's columnar path, so parsing a
+    10k-query line allocates no per-query objects.  ``queries`` builds
+    :class:`SelectionQuery` objects lazily for callers that want them.
+    """
 
     id: Any
     op: str
-    queries: tuple[SelectionQuery, ...] = field(default_factory=tuple)
+    records: tuple[dict, ...] = field(default_factory=tuple)
     deadline_ms: float | None = None
 
+    @property
+    def queries(self) -> tuple[SelectionQuery, ...]:
+        """The records as :class:`SelectionQuery` objects (built on
+        first access, then cached)."""
+        cached = getattr(self, "_queries", None)
+        if cached is None:
+            cached = tuple(
+                SelectionQuery(
+                    collective=r["collective"], nodes=r["nodes"],
+                    ppn=r["ppn"], msg_size=r["msg_size"])
+                for r in self.records)
+            object.__setattr__(self, "_queries", cached)
+        return cached
 
-def _parse_query(index: int, record: Any) -> SelectionQuery:
+
+def _check_query(index: int, record: Any) -> dict:
     if not isinstance(record, dict):
         raise ProtocolError(
             f"queries[{index}] must be a JSON object, "
@@ -113,9 +133,7 @@ def _parse_query(index: int, record: Any) -> SelectionQuery:
     # Values pass through verbatim: semantic junk (negative sizes,
     # bogus shapes) is the *service's* job to classify as invalid
     # decisions, not the protocol's job to reject.
-    return SelectionQuery(
-        collective=record["collective"], nodes=record["nodes"],
-        ppn=record["ppn"], msg_size=record["msg_size"])
+    return record
 
 
 def parse_request(line: str | bytes,
@@ -159,7 +177,7 @@ def parse_request(line: str | bytes,
                 f"got {deadline_ms!r}")
         deadline_ms = float(deadline_ms)
 
-    queries: tuple[SelectionQuery, ...] = ()
+    records: tuple[dict, ...] = ()
     if op == "select":
         raw = record.get("queries")
         if not isinstance(raw, list) or not raw:
@@ -168,8 +186,8 @@ def parse_request(line: str | bytes,
         if len(raw) > max_batch:
             raise ProtocolError(
                 f"batch of {len(raw)} exceeds max_batch={max_batch}")
-        queries = tuple(_parse_query(i, r) for i, r in enumerate(raw))
-    return Request(id=req_id, op=op, queries=queries,
+        records = tuple(_check_query(i, r) for i, r in enumerate(raw))
+    return Request(id=req_id, op=op, records=records,
                    deadline_ms=deadline_ms)
 
 

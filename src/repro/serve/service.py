@@ -34,10 +34,11 @@ malformed, ``serve.evictions`` mirrors the memo's evictions, and the
 from __future__ import annotations
 
 import json
-import math
 import threading
-from dataclasses import dataclass, replace
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from ..hwmodel.specs import ClusterSpec
 from ..obs.telemetry import MetricsRegistry, get_tracer
@@ -49,10 +50,17 @@ from ..smpi.heuristics import (
     validate_query,
 )
 from .cache import LRUCache
+from .columnar import (
+    QUANTIZE_MAX,
+    QueryBlock,
+    collective_names,
+    quantize_block,
+)
 
 __all__ = [
     "ACTION_INVALID",
     "SERVE_COUNTER_KEYS",
+    "DecisionBlock",
     "SelectionDecision",
     "SelectionQuery",
     "SelectionService",
@@ -121,15 +129,131 @@ class SelectionDecision:
         }
 
 
+class DecisionBlock:
+    """Columnar result of :meth:`SelectionService.select_block`.
+
+    Holds the four original query columns plus object arrays of
+    ``algorithm`` / ``action`` / ``detail`` and a bool ``cached`` array,
+    all row-aligned with the input batch.  :meth:`to_decisions` /
+    :meth:`to_dicts` materialize per-row Python objects on demand — the
+    selection pipeline itself never does.
+    """
+
+    __slots__ = ("n", "cols", "algorithms", "actions", "details",
+                 "cached", "_decisions")
+
+    def __init__(self, cols: tuple[list, list, list, list],
+                 algorithms: np.ndarray, actions: np.ndarray,
+                 details: np.ndarray, cached: np.ndarray,
+                 _decisions: list[SelectionDecision] | None = None) -> None:
+        self.n = len(cols[0])
+        self.cols = cols
+        self.algorithms = algorithms
+        self.actions = actions
+        self.details = details
+        self.cached = cached
+        self._decisions = _decisions
+
+    @classmethod
+    def from_decisions(cls, cols: tuple[list, list, list, list],
+                       decisions: list[SelectionDecision]
+                       ) -> "DecisionBlock":
+        """Wrap scalar-path decisions (the service's overflow/aliasing
+        fallback) so callers see one return type."""
+        n = len(decisions)
+        alg = np.empty(n, dtype=object)
+        act = np.empty(n, dtype=object)
+        det = np.empty(n, dtype=object)
+        cached = np.zeros(n, dtype=bool)
+        for i, d in enumerate(decisions):
+            alg[i] = d.algorithm
+            act[i] = d.action
+            det[i] = d.detail
+            cached[i] = d.cached
+        return cls(cols, alg, act, det, cached,
+                   _decisions=list(decisions))
+
+    def to_decisions(self) -> list[SelectionDecision]:
+        """One :class:`SelectionDecision` per input row, in order.
+
+        Columnar rows echo the row's *own* query values; the scalar
+        path instead echoes the first-seen key representative, which
+        differs only in spelling under cross-type key aliasing
+        (``True == 1``, ``4.0 == 4``) — and the service routes those
+        batches through the scalar path anyway.
+        """
+        if self._decisions is not None:
+            return list(self._decisions)
+        c_col, n_col, p_col, m_col = self.cols
+        # Frozen-dataclass __init__ pays one guarded object.__setattr__
+        # per field; swapping in the instance dict wholesale builds the
+        # same (equal, hashable, repr-identical) objects at under half
+        # the cost — this is the only per-row work left on a 10k block.
+        new = SelectionDecision.__new__
+        set_ = object.__setattr__
+        out = []
+        append = out.append
+        for i, (a, act, det, cf) in enumerate(zip(
+                self.algorithms.tolist(), self.actions.tolist(),
+                self.details.tolist(), self.cached.tolist())):
+            d = new(SelectionDecision)
+            set_(d, "__dict__", {
+                "collective": c_col[i], "nodes": n_col[i],
+                "ppn": p_col[i], "msg_size": m_col[i],
+                "algorithm": a, "action": act, "detail": det,
+                "cached": cf,
+            })
+            append(d)
+        return out
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Per-row dicts shaped like :meth:`SelectionDecision.to_dict`
+        (what the daemon serializes), without building decisions."""
+        if self._decisions is not None:
+            return [d.to_dict() for d in self._decisions]
+        c_col, n_col, p_col, m_col = self.cols
+        return [
+            {
+                "collective": c_col[i],
+                "nodes": n_col[i],
+                "ppn": p_col[i],
+                "msg_size": m_col[i],
+                "algorithm": a,
+                "action": act,
+                "detail": det,
+                "cached": cf,
+            }
+            for i, (a, act, det, cf) in enumerate(zip(
+                self.algorithms.tolist(), self.actions.tolist(),
+                self.details.tolist(), self.cached.tolist()))
+        ]
+
+
 def quantize_msg_size(msg_size: Any) -> Any:
     """Snap a positive integer message size to the nearest power of two
-    (by log2 distance; exact midpoints round up).  Anything else —
-    bools, floats, non-positive values, junk types — passes through
-    unchanged so validation still sees the original value."""
-    if isinstance(msg_size, bool) or not isinstance(msg_size, int) \
+    by log2 distance, rounding *up* from the geometric midpoint
+    (``m >= 2^e * sqrt(2)`` rounds to ``2^(e+1)``).  Accepts plain and
+    NumPy integers — ``validate_query`` treats them as one type, so
+    they must share memo keys — and always returns a plain ``int``.
+    Anything else — bools, floats, non-positive values, junk types —
+    passes through unchanged so validation still sees the original
+    value.
+
+    The comparison is exact integer arithmetic (``m*m >= 2^(2e+1)``),
+    not ``round(log2(m))``: float log2 misrounds near midpoints for
+    large ``m`` (e.g. 398065729532861 is above the geometric midpoint
+    of [2**48, 2**49] but its float log2 is exactly 48.5, which
+    banker's rounding would send *down*).
+    """
+    if isinstance(msg_size, bool) \
+            or not isinstance(msg_size, (int, np.integer)) \
             or msg_size <= 0:
         return msg_size
-    return 2 ** round(math.log2(msg_size))
+    m = int(msg_size)
+    e = m.bit_length() - 1
+    if m * m >= 1 << (2 * e + 1):
+        e += 1
+    return 1 << e
 
 
 class SelectionService:
@@ -220,8 +344,15 @@ class SelectionService:
         order).  Never raises for malformed queries — see the module
         docstring for the dedup/memo/guard flow.  Thread-safe: batches
         from concurrent callers are serialized."""
-        with self._batch_lock, \
-                get_tracer().span("serve.batch", queries=len(queries)):
+        with self._batch_lock:
+            return self._select_batch_locked(queries)
+
+    def _select_batch_locked(self, queries: list[SelectionQuery]
+                             ) -> list[SelectionDecision]:
+        """The scalar per-row walk (batch lock already held).  Memo
+        values are ``(collective, nodes, ppn, algorithm, action,
+        detail)`` tuples shared with the columnar path."""
+        with get_tracer().span("serve.batch", queries=len(queries)):
             self._counters["queries"].inc(len(queries))
             self._batch_size.observe(len(queries))
             out: list[SelectionDecision | None] = [None] * len(queries)
@@ -236,8 +367,9 @@ class SelectionService:
                 hit = self.cache.get(key)
                 if hit is not None:
                     self._counters["cache_hits"].inc()
-                    out[i] = replace(hit, msg_size=query.msg_size,
-                                     cached=True)
+                    out[i] = SelectionDecision(
+                        hit[0], hit[1], hit[2], query.msg_size,
+                        hit[3], hit[4], hit[5], cached=True)
                 else:
                     self._counters["cache_misses"].inc()
                     miss_indices[key] = [i]
@@ -246,15 +378,268 @@ class SelectionService:
                 resolved = self._resolve(list(miss_indices))
                 before = self.cache.evictions
                 for key, indices in miss_indices.items():
-                    decision = resolved[key]
-                    self.cache.put(key, decision)
+                    d = resolved[key]
+                    self.cache.put(key, (d.collective, d.nodes, d.ppn,
+                                         d.algorithm, d.action, d.detail))
                     for rank, i in enumerate(indices):
-                        out[i] = replace(decision,
-                                         msg_size=queries[i].msg_size,
-                                         cached=rank > 0)
+                        out[i] = SelectionDecision(
+                            d.collective, d.nodes, d.ppn,
+                            queries[i].msg_size, d.algorithm, d.action,
+                            d.detail, cached=rank > 0)
                 self._counters["evictions"].inc(
                     self.cache.evictions - before)
             return out  # type: ignore[return-value]
+
+    # -- the columnar path -----------------------------------------------
+    def _invalid_detail(self, collective: Any, nodes: Any, ppn: Any,
+                        msg: Any) -> str:
+        """Why the scalar ladder rejects this (known-invalid) key —
+        the same two rungs, in the same order, as :meth:`_resolve`."""
+        try:
+            machine = Machine(self.spec, nodes, ppn)
+        except (TypeError, ValueError) as exc:
+            return f"bad job shape: {exc}"
+        try:
+            validate_query(collective, machine, msg)
+        except InvalidQueryError as exc:
+            return str(exc)
+        raise RuntimeError(
+            "key classified invalid but validates: "
+            f"{(collective, nodes, ppn, msg)!r}")
+
+    def select_block(self, queries: Sequence[SelectionQuery]
+                     | Iterable[Mapping[str, Any]]) -> DecisionBlock:
+        """Columnar :meth:`select_batch`: same decisions, same counter
+        partitions, no per-row Python between validation and the
+        decision scatter.
+
+        Accepts :class:`SelectionQuery`-shaped objects or raw mapping
+        records (the daemon feeds parsed JSON straight in).  The batch
+        is deduplicated with a stable lexsort group-by over the four
+        key columns,
+        memo-probed in one lock acquisition, and the distinct missed
+        valid keys run through the guard's vectorized
+        ``explain_block``.  Batches the block cannot represent exactly
+        (int64 msg_size overflow, or an object-typed field whose memo
+        key aliases a columnar key across types, e.g. ``4.0 == 4``)
+        fall back to the scalar walk wholesale, so behavior is defined
+        by one implementation in every corner.
+        """
+        rows = list(queries)
+        blk = QueryBlock.from_records(rows) \
+            if rows and isinstance(rows[0], Mapping) \
+            else QueryBlock.from_queries(rows)
+        with self._batch_lock:
+            plan = None if blk.needs_scalar else self._plan_block(blk)
+            if plan is None:
+                qlist = [SelectionQuery(*row) for row in zip(*blk.cols)]
+                return DecisionBlock.from_decisions(
+                    blk.cols, self._select_batch_locked(qlist))
+            with get_tracer().span("serve.batch", queries=blk.n):
+                return self._execute_block(blk, plan)
+
+    def _plan_block(self, blk: QueryBlock) -> tuple | None:
+        """Pure dedup planning (no counters, no cache traffic).
+
+        Returns ``None`` when the batch must take the scalar path:
+        quantization would overflow int64, or an object row's key
+        aliases a columnar key — there the decision depends on which
+        spelling of the key occurred first, and only the scalar walk
+        tracks that.
+        """
+        colrows = np.flatnonzero(blk.columnar)
+        k = len(colrows)
+        cid = blk.cids[colrows]
+        nod = blk.nodes64[colrows]
+        ppn = blk.ppn64[colrows]
+        msgq = blk.msg64[colrows]
+        if self.quantize and k:
+            pos = msgq >= 1
+            if bool((msgq[pos] > QUANTIZE_MAX).any()):
+                return None
+            msgq = msgq.copy()
+            msgq[pos] = quantize_block(msgq[pos])
+        # Group-by over the four key columns via one stable lexsort —
+        # ~10x cheaper than ``np.unique`` on a structured dtype (void
+        # comparisons sort byte-wise).  Stability means the original
+        # indices inside each sorted group stay ascending, so the group
+        # head IS the key's first occurrence.
+        if k:
+            so = np.lexsort((msgq, ppn, nod, cid))
+            cs, ns, ps, ms = cid[so], nod[so], ppn[so], msgq[so]
+            new = np.empty(k, dtype=bool)
+            new[0] = True
+            new[1:] = ((cs[1:] != cs[:-1]) | (ns[1:] != ns[:-1])
+                       | (ps[1:] != ps[:-1]) | (ms[1:] != ms[:-1]))
+            gid = np.cumsum(new) - 1
+            nuniq = int(gid[-1]) + 1
+            inverse = np.empty(k, dtype=np.int64)
+            inverse[so] = gid
+            counts = np.bincount(gid, minlength=nuniq)
+            first = so[np.flatnonzero(new)]
+            # Reorder the distinct keys to first-occurrence order so
+            # memo probes and puts happen in the same order as the
+            # scalar walk.
+            order = np.argsort(first, kind="stable")
+            rank = np.empty(nuniq, dtype=np.int64)
+            rank[order] = np.arange(nuniq)
+            first, counts = first[order], counts[order]
+            inv = rank[inverse]
+        else:
+            first = counts = inv = np.empty(0, dtype=np.int64)
+        ukey_cols = (cid[first], nod[first], ppn[first], msgq[first])
+        ukeys = list(zip(collective_names(ukey_cols[0]).tolist(),
+                         ukey_cols[1].tolist(), ukey_cols[2].tolist(),
+                         ukey_cols[3].tolist()))
+        # Object rows (always invalid): scalar-style dict dedup on the
+        # original values.
+        groups: dict[tuple, list[int]] = {}
+        for r in np.flatnonzero(~blk.columnar).tolist():
+            msg = quantize_msg_size(blk.cols[3][r]) if self.quantize \
+                else blk.cols[3][r]
+            key = (blk.cols[0][r], blk.cols[1][r], blk.cols[2][r], msg)
+            groups.setdefault(key, []).append(r)
+        if groups:
+            kset = set(ukeys)
+            if any(key in kset for key in groups):
+                return None
+        return colrows, ukey_cols, first, counts, inv, ukeys, groups
+
+    def _execute_block(self, blk: QueryBlock, plan: tuple
+                       ) -> DecisionBlock:
+        colrows, ukey_cols, first, counts, inv, ukeys, groups = plan
+        n = blk.n
+        self._counters["queries"].inc(n)
+        self._batch_size.observe(n)
+        alg = np.empty(n, dtype=object)
+        act = np.empty(n, dtype=object)
+        det = np.empty(n, dtype=object)
+        cached = np.zeros(n, dtype=bool)
+        if len(ukeys):
+            self._bulk_uniques(blk, colrows, ukey_cols, first, counts,
+                               inv, ukeys, alg, act, det, cached)
+        if groups:
+            self._object_uniques(blk, groups, alg, act, det, cached)
+        return DecisionBlock(blk.cols, alg, act, det, cached)
+
+    def _bulk_uniques(self, blk: QueryBlock, colrows: np.ndarray,
+                      ukey_cols: tuple[np.ndarray, ...],
+                      first: np.ndarray, counts: np.ndarray,
+                      inv: np.ndarray, ukeys: list[tuple],
+                      alg: np.ndarray, act: np.ndarray,
+                      det: np.ndarray, cached: np.ndarray) -> None:
+        """Resolve the deduplicated columnar keys and scatter their
+        decisions back over the batch rows."""
+        nuniq = len(ukeys)
+        values = self.cache.get_many(ukeys, counts.tolist())
+        hit = np.fromiter((v is not None for v in values),
+                          np.bool_, nuniq)
+        # Per-occurrence accounting, exactly as the scalar walk: every
+        # duplicate of a hit key re-counts as a hit; a missed key costs
+        # one miss plus one dedup per extra occurrence.
+        self._counters["cache_hits"].inc(int(counts[hit].sum()))
+        self._counters["cache_misses"].inc(int(nuniq - hit.sum()))
+        self._counters["deduped"].inc(int((counts[~hit] - 1).sum()))
+
+        ualg = np.empty(nuniq, dtype=object)
+        uact = np.empty(nuniq, dtype=object)
+        udet = np.empty(nuniq, dtype=object)
+        hidx = np.flatnonzero(hit)
+        if len(hidx):
+            hvals = [values[i] for i in hidx.tolist()]
+            ualg[hidx] = np.fromiter((v[3] for v in hvals),
+                                     dtype=object, count=len(hvals))
+            uact[hidx] = np.fromiter((v[4] for v in hvals),
+                                     dtype=object, count=len(hvals))
+            udet[hidx] = np.fromiter((v[5] for v in hvals),
+                                     dtype=object, count=len(hvals))
+
+        # Validity of a key is judged from its first-occurrence row
+        # (the scalar dict resolves a shared key from whichever spelling
+        # arrived first — relevant under bool/int aliasing).
+        urep = colrows[first]
+        ucid, unodes, uppn, umsg = ukey_cols
+        uvalid = ((unodes >= 1) & (unodes <= self.spec.max_nodes)
+                  & (uppn >= 1)
+                  & (uppn <= self.spec.node.cpu.threads_per_node)
+                  & (umsg >= 1) & ~blk.boolish[urep])
+        pend = np.flatnonzero(~hit & uvalid)
+        if len(pend):
+            unames = collective_names(ucid)
+            g_alg, g_act, g_det = self.guard.explain_block(
+                self.spec, unames[pend], unodes[pend], uppn[pend],
+                umsg[pend])
+            ualg[pend] = g_alg
+            uact[pend] = g_act
+            udet[pend] = g_det
+        bad = np.flatnonzero(~hit & ~uvalid)
+        if len(bad):
+            self._counters["invalid"].inc(len(bad))
+            c_col, n_col, p_col, m_col = blk.cols
+            for ui in bad.tolist():
+                r = int(urep[ui])
+                msg = quantize_msg_size(m_col[r]) if self.quantize \
+                    else m_col[r]
+                ualg[ui] = None
+                uact[ui] = ACTION_INVALID
+                udet[ui] = self._invalid_detail(
+                    c_col[r], n_col[r], p_col[r], msg)
+
+        miss = np.flatnonzero(~hit)
+        if len(miss):
+            # Reuse the probe-key tuples (all of them on a cold batch)
+            # instead of rebuilding them column-by-column.
+            mkeys = ukeys if len(miss) == nuniq \
+                else [ukeys[i] for i in miss.tolist()]
+            mnames, mnodes, mppn, _ = zip(*mkeys)
+            mvals = zip(mnames, mnodes, mppn, ualg[miss].tolist(),
+                        uact[miss].tolist(), udet[miss].tolist())
+            self._counters["evictions"].inc(
+                self.cache.put_many(list(zip(mkeys, mvals))))
+
+        pos = np.arange(len(colrows))
+        alg[colrows] = ualg[inv]
+        act[colrows] = uact[inv]
+        det[colrows] = udet[inv]
+        cached[colrows] = hit[inv] | (pos != first[inv])
+
+    def _object_uniques(self, blk: QueryBlock,
+                        groups: dict[tuple, list[int]], alg: np.ndarray,
+                        act: np.ndarray, det: np.ndarray,
+                        cached: np.ndarray) -> None:
+        """Scalar-style resolution of the (rare, always-invalid) object
+        rows, per distinct key."""
+        keys = list(groups)
+        values = self.cache.get_many(
+            keys, [len(groups[k]) for k in keys])
+        nhits = nmiss = ndedup = 0
+        items: list[tuple[tuple, tuple]] = []
+        for key, value in zip(keys, values):
+            rows = groups[key]
+            if value is not None:
+                nhits += len(rows)
+                for r in rows:
+                    alg[r] = value[3]
+                    act[r] = value[4]
+                    det[r] = value[5]
+                    cached[r] = True
+                continue
+            nmiss += 1
+            ndedup += len(rows) - 1
+            self._counters["invalid"].inc()
+            detail = self._invalid_detail(*key)
+            for i, r in enumerate(rows):
+                alg[r] = None
+                act[r] = ACTION_INVALID
+                det[r] = detail
+                cached[r] = i > 0
+            items.append((key, (key[0], key[1], key[2], None,
+                                ACTION_INVALID, detail)))
+        self._counters["cache_hits"].inc(nhits)
+        self._counters["cache_misses"].inc(nmiss)
+        self._counters["deduped"].inc(ndedup)
+        if items:
+            self._counters["evictions"].inc(self.cache.put_many(items))
 
     def select(self, query: SelectionQuery) -> SelectionDecision:
         """Single-query convenience wrapper over :meth:`select_batch`."""

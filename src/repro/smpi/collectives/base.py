@@ -219,3 +219,21 @@ def full_copy_round(p: int, nbytes: float) -> Round:
 
 def is_power_of_two(n: int) -> bool:
     return n >= 1 and (n & (n - 1)) == 0
+
+
+def power_of_two_mask(p: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`is_power_of_two` over an integer array."""
+    p = np.asarray(p)
+    return (p >= 1) & ((p & (p - 1)) == 0)
+
+
+def feasible_mask(collective: str, name: str, p: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`is_feasible`: one named algorithm against an
+    array of rank counts.  Row-for-row identical to the scalar
+    predicate (same ``min_processes`` / power-of-two declarations)."""
+    algo = get_algorithm(collective, name)
+    p = np.asarray(p)
+    mask = p >= algo.min_processes
+    if algo.requires_power_of_two:
+        mask &= power_of_two_mask(p)
+    return mask

@@ -43,7 +43,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..core.resilience import CircuitBreaker, HealthReport
+import numpy as np
+
+from ..core.resilience import BREAKER_CLOSED, CircuitBreaker, HealthReport
 from ..obs.telemetry import MetricsRegistry
 from ..simcluster.machine import Machine
 from .collectives import base
@@ -230,6 +232,218 @@ class GuardedSelector(AlgorithmSelector):
                         collective, machine, msg_size, p,
                         predictions[j]))
         return decisions  # type: ignore[return-value]
+
+    def explain_block(self, spec: object, collectives: np.ndarray,
+                      nodes: np.ndarray, ppn: np.ndarray,
+                      msg_size: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar :meth:`explain_batch` over **prevalidated** rows.
+
+        The caller (the columnar serving layer) guarantees every row
+        already satisfies :func:`validate_query` and fits *spec*'s
+        machine bounds, so the bulk path raises no exceptions and
+        builds no per-row Python objects: the OOD check runs
+        array-at-a-time, breaker admission collapses to one state read
+        while the breaker is closed (``allow_request`` is pure in that
+        state), inference goes through the inner selector's
+        ``select_block`` when it has one, and feasibility
+        classification is vectorized per collective.  Rare rows — OOD,
+        refused, infeasible, or any row once the inner call fails or
+        the breaker leaves the closed state — are replayed through the
+        *same scalar rungs* in row order, so decisions, counters and
+        breaker/clock consumption are identical to the scalar ladder.
+
+        Returns ``(algorithms, actions, details)`` object arrays,
+        row-for-row identical to ``explain_batch`` on the same rows.
+        """
+        n = len(msg_size)
+        self._counters["queries"].inc(n)
+        algorithms = np.empty(n, dtype=object)
+        actions = np.empty(n, dtype=object)
+        details = np.empty(n, dtype=object)
+        details[:] = ""
+        if n == 0:
+            return algorithms, actions, details
+        p64 = nodes * ppn
+        machines: dict[tuple[int, int], Machine] = {}
+
+        def machine_at(i: int) -> Machine:
+            key = (int(nodes[i]), int(ppn[i]))
+            m = machines.get(key)
+            if m is None:
+                m = machines[key] = Machine(spec, key[0], key[1])
+            return m
+
+        def put(i: int, d: GuardDecision) -> None:
+            algorithms[i] = d.algorithm
+            actions[i] = d.action
+            details[i] = d.detail
+
+        # OOD rungs: vectorized mask, scalar `_ood_detail` replay for
+        # the flagged rows (byte-identical detail strings; a row the
+        # scalar rung would keep is un-flagged again).
+        ood = np.zeros(n, dtype=bool)
+        for collective in dict.fromkeys(collectives.tolist()):
+            rows = collectives == collective
+            ood[rows] = self._ood_mask(collective, nodes[rows],
+                                       ppn[rows], msg_size[rows])
+        for i in np.flatnonzero(ood):
+            detail = self._ood_detail(collectives[i], machine_at(i),
+                                      int(msg_size[i]))
+            if detail is None:
+                ood[i] = False
+                continue
+            self._counters["ood_fallback"].inc()
+            put(i, self._serve_fallback(
+                collectives[i], machine_at(i), int(msg_size[i]),
+                int(p64[i]), ACTION_OOD, detail))
+
+        # Breaker admission: while closed, allow_request() returns True
+        # without touching state or the (injectable) clock, so the
+        # whole block is admitted on one state read.  Any other state
+        # replays per-row admission in row order — refusal details
+        # capture the state *at refusal time*, as the scalar rung does.
+        candidates = ~ood
+        if self.breaker.state == BREAKER_CLOSED:
+            admitted = candidates
+        else:
+            admitted = np.zeros(n, dtype=bool)
+            for i in np.flatnonzero(candidates):
+                if self.breaker.allow_request():
+                    admitted[i] = True
+                else:
+                    self._counters["breaker_fallback"].inc()
+                    put(i, self._serve_fallback(
+                        collectives[i], machine_at(i), int(msg_size[i]),
+                        int(p64[i]), ACTION_BREAKER,
+                        f"breaker {self.breaker.state}"))
+        idx = np.flatnonzero(admitted)
+
+        if len(idx):
+            block_fn = getattr(self.inner, "select_block", None)
+            predictions: np.ndarray | None
+            try:
+                if block_fn is not None:
+                    predictions = np.asarray(block_fn(
+                        spec, collectives[idx], nodes[idx], ppn[idx],
+                        msg_size[idx]), dtype=object)
+                else:
+                    batch = [(collectives[i], machine_at(i),
+                              int(msg_size[i])) for i in idx]
+                    preds_list = self.inner.select_batch(batch)
+                    predictions = np.empty(len(idx), dtype=object)
+                    for j, value in enumerate(preds_list):
+                        predictions[j] = value
+                if len(predictions) != len(idx):
+                    raise RuntimeError(
+                        f"inner returned {len(predictions)} predictions "
+                        f"for {len(idx)} queries")
+            except Exception:
+                predictions = None
+            if predictions is None:
+                # Same sequential replay as explain_batch: admission is
+                # already held, each row consults the scalar inner path.
+                for i in idx:
+                    put(i, self._resolve_inner(
+                        collectives[i], machine_at(i), int(msg_size[i]),
+                        int(p64[i])))
+            else:
+                self._classify_block(collectives, p64, msg_size,
+                                     machine_at, idx, predictions,
+                                     block_fn is not None,
+                                     algorithms, actions, details)
+
+        # last_decision parity with explain_batch (diagnostics): the
+        # final _finish there is the highest-index admitted row, or the
+        # last row overall when nothing reached the inner selector.
+        last = int(idx[-1]) if len(idx) else n - 1
+        self.last_decision = GuardDecision(
+            str(collectives[last]), str(algorithms[last]),
+            str(actions[last]), str(details[last]))
+        return algorithms, actions, details
+
+    def _classify_block(self, collectives: np.ndarray, p64: np.ndarray,
+                        msg_size: np.ndarray, machine_at, idx: np.ndarray,
+                        predictions: np.ndarray, via_block: bool,
+                        algorithms: np.ndarray, actions: np.ndarray,
+                        details: np.ndarray) -> None:
+        """Vectorized feasibility classification of the admitted rows'
+        predictions, with scalar replay of every guard trip."""
+        ok = np.zeros(len(idx), dtype=bool)
+        sub_coll = collectives[idx]
+        pp = p64[idx]
+        for collective in dict.fromkeys(sub_coll.tolist()):
+            rows = sub_coll == collective
+            labels = np.array(base.algorithm_names(collective))
+            # Truncation at 64 chars cannot alias a (short) real label.
+            ps = predictions[rows].astype("U64")
+            kidx = np.minimum(np.searchsorted(labels, ps),
+                              len(labels) - 1)
+            known = labels[kidx] == ps
+            min_p = np.array([base.get_algorithm(collective, name)
+                              .min_processes for name in labels])
+            pow2_req = np.array([base.get_algorithm(collective, name)
+                                 .requires_power_of_two
+                                 for name in labels])
+            pr = pp[rows]
+            feas = known & (pr >= min_p[kidx])
+            feas &= ~pow2_req[kidx] | base.power_of_two_mask(pr)
+            ok[rows] = feas
+        if not via_block:
+            # select_batch may return arbitrary objects; select_block
+            # returns name strings by contract.
+            ok &= np.fromiter((isinstance(v, str) for v in predictions),
+                              np.bool_, len(idx))
+        n_ok = int(ok.sum())
+        self._counters["served_model"].inc(n_ok)
+        self._counters["remapped"].inc(len(idx) - n_ok)
+        ok_rows = idx[ok]
+        algorithms[ok_rows] = predictions[ok]
+        actions[ok_rows] = ACTION_MODEL
+        if n_ok == len(idx) and self.breaker.state == BREAKER_CLOSED:
+            # n consecutive record_success() calls from closed are one.
+            if len(idx):
+                self.breaker.record_success()
+            return
+        # Guard trips present (or non-closed breaker): replay outcomes
+        # in row order so breaker transitions match the scalar ladder.
+        for j, i in enumerate(idx):
+            if ok[j]:
+                self.breaker.record_success()
+                continue
+            self.breaker.record_failure()
+            predicted = predictions[j]
+            if via_block and isinstance(predicted, str):
+                # The scalar path str()-converts inner predictions;
+                # match its repr in the detail string.
+                predicted = str(predicted)
+            problem = self._prediction_problem(
+                collectives[i], predicted, int(p64[i]))
+            algorithms[i] = self._best_feasible(
+                collectives[i], machine_at(i), int(msg_size[i]),
+                int(p64[i]))
+            actions[i] = ACTION_REMAP
+            details[i] = f"predicted {predicted!r}: {problem}"
+
+    def _ood_mask(self, collective: str, nodes: np.ndarray,
+                  ppn: np.ndarray, msg_size: np.ndarray) -> np.ndarray:
+        """Vectorized is-OOD decision of :meth:`_ood_detail` (same
+        divisions, same log2, same strict-margin comparison)."""
+        mask = np.zeros(len(nodes), dtype=bool)
+        env = self.envelopes.get(collective)
+        if not env:
+            return mask
+        values = {"nodes": nodes, "ppn": ppn, "msg_size": msg_size}
+        margin = self.ood_margin_log2
+        for dim, (lo, hi) in env.items():
+            v = values.get(dim)
+            if v is None or lo <= 0:
+                continue
+            v = v.astype(np.float64)
+            offset = np.where(v < lo, np.log2(v / lo),
+                              np.where(v > hi, np.log2(v / hi), 0.0))
+            mask |= np.abs(offset) > margin
+        return mask
 
     def _intake(self, collective: str, machine: Machine,
                 msg_size: int) -> GuardDecision | None:

@@ -106,6 +106,15 @@ class AlgorithmSelector(abc.ABC):
         with a vectorized inference path override it.  Either way the
         result is element-wise identical to the scalar loop, and the
         first invalid query raises just as the loop would.
+
+        Selectors that can answer *columnar* batches additionally
+        implement ``select_block(spec, collectives, nodes, ppn,
+        msg_size)`` taking per-row NumPy arrays of **prevalidated**
+        queries for one cluster spec and returning an object array of
+        algorithm-name strings, row-for-row identical to the scalar
+        loop.  The columnar serving pipeline probes for that method
+        with ``getattr`` and falls back to :meth:`select_batch` (via
+        per-row ``Machine`` construction) when it is absent.
         """
         return [self.select(collective, machine, msg_size)
                 for collective, machine, msg_size in queries]
@@ -169,6 +178,55 @@ class MvapichDefaultSelector(AlgorithmSelector):
         raise UnknownCollectiveError(
             f"unknown collective {collective!r}")  # pragma: no cover
 
+    def select_block(self, spec: object, collectives: np.ndarray,
+                     nodes: np.ndarray, ppn: np.ndarray,
+                     msg_size: np.ndarray) -> np.ndarray:
+        """Columnar :meth:`select` over prevalidated rows.
+
+        Each branch mirrors the scalar threshold order exactly; the
+        mask assignments run lowest-precedence first so the last write
+        reproduces the scalar ``if`` chain.  Total-size products are
+        compared in float64, which agrees with the exact integer
+        comparison everywhere (products below 2**53 are exact; larger
+        ones are astronomically above every threshold).
+        """
+        out = np.empty(len(msg_size), dtype=object)
+        p = nodes * ppn
+        for collective in ALL_COLLECTIVES:
+            rows = collectives == collective
+            if not rows.any():
+                continue
+            m, pp = msg_size[rows], p[rows]
+            if collective == ALLGATHER:
+                total = pp.astype(np.float64) * m.astype(np.float64)
+                sel = np.full(len(m), "ring", dtype=object)
+                sel[total < self.ALLGATHER_SHORT_TOTAL] = "bruck"
+                sel[base.feasible_mask(ALLGATHER, "recursive_doubling", pp)
+                    & (total < self.ALLGATHER_MEDIUM_TOTAL)] \
+                    = "recursive_doubling"
+            elif collective == ALLTOALL:
+                sel = np.full(len(m), "pairwise", dtype=object)
+                sel[m <= self.ALLTOALL_MEDIUM_MSG] = "scatter_dest"
+                sel[(m <= self.ALLTOALL_SHORT_MSG)
+                    & (pp >= self.ALLTOALL_BRUCK_MIN_P)] = "bruck"
+            elif collective == ALLREDUCE:
+                sel = np.full(len(m), "ring_rsag", dtype=object)
+                sel[base.feasible_mask(ALLREDUCE, "rabenseifner", pp)] \
+                    = "rabenseifner"
+                sel[(m <= 2048) | (pp < 4)] = "recursive_doubling"
+            elif collective == BCAST:
+                sel = np.full(len(m), "scatter_allgather", dtype=object)
+                sel[(m < 12 * 1024) | (pp < 8)] = "binomial"
+            else:  # REDUCE_SCATTER
+                sel = np.full(len(m), "pairwise", dtype=object)
+                sel[base.feasible_mask(
+                    REDUCE_SCATTER, "recursive_halving", pp)] \
+                    = "recursive_halving"
+                sel[pp.astype(np.float64) * m.astype(np.float64) < 512] \
+                    = "reduce_scatterv"
+            out[rows] = sel
+        return out
+
 
 class OpenMpiDefaultSelector(AlgorithmSelector):
     """Open MPI 5.x-style fixed decision rules (per-message cutoffs)."""
@@ -214,6 +272,40 @@ class OpenMpiDefaultSelector(AlgorithmSelector):
             return "pairwise"
         raise UnknownCollectiveError(
             f"unknown collective {collective!r}")  # pragma: no cover
+
+    def select_block(self, spec: object, collectives: np.ndarray,
+                     nodes: np.ndarray, ppn: np.ndarray,
+                     msg_size: np.ndarray) -> np.ndarray:
+        """Columnar :meth:`select` over prevalidated rows (see
+        :meth:`MvapichDefaultSelector.select_block`).  Open MPI's rules
+        are pure per-message cutoffs, so every branch is a direct
+        integer comparison."""
+        out = np.empty(len(msg_size), dtype=object)
+        for collective in ALL_COLLECTIVES:
+            rows = collectives == collective
+            if not rows.any():
+                continue
+            m = msg_size[rows]
+            if collective == ALLGATHER:
+                sel = np.full(len(m), "ring", dtype=object)
+                sel[m <= self.ALLGATHER_RD_MAX_MSG] = "recursive_doubling"
+                sel[m <= self.ALLGATHER_BRUCK_MAX_MSG] = "bruck"
+            elif collective == ALLTOALL:
+                sel = np.full(len(m), "pairwise", dtype=object)
+                sel[m < self.ALLTOALL_LINEAR_MAX_MSG] = "scatter_dest"
+                sel[m <= self.ALLTOALL_BRUCK_MAX_MSG] = "bruck"
+            elif collective == ALLREDUCE:
+                sel = np.full(len(m), "ring_rsag", dtype=object)
+                sel[m <= 4096] = "recursive_doubling"
+            elif collective == BCAST:
+                sel = np.full(len(m), "ring_pipelined", dtype=object)
+                sel[m <= 128 * 1024] = "scatter_allgather"
+                sel[m <= 2048] = "binomial"
+            else:  # REDUCE_SCATTER
+                sel = np.full(len(m), "pairwise", dtype=object)
+                sel[m <= 1024] = "reduce_scatterv"
+            out[rows] = sel
+        return out
 
 
 class RandomSelector(AlgorithmSelector):

@@ -1,0 +1,334 @@
+"""Differential hardening of the columnar serving pipeline.
+
+The contract under test: :meth:`SelectionService.select_block` is
+*decision-for-decision identical* to :meth:`select_batch` — same
+algorithm/action/detail/cached per row, same ``serve.*`` counter
+partition, same ``guard.*`` counter partition, same breaker state —
+for every batch shape we can throw at it: mixed valid/invalid/OOD/
+infeasible rows in one block, NumPy-typed fields, bools, junk objects,
+empty blocks, single rows, and all-duplicate blocks.
+
+Every test runs the same inputs through two independently constructed
+services (one per path) and compares exhaustively; nothing here
+depends on which path is "right" — the scalar walk is the oracle.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.inference import PretrainedSelector
+from repro.core.training import train_model
+from repro.hwmodel import get_cluster
+from repro.serve import (
+    DecisionBlock,
+    QueryBlock,
+    SelectionQuery,
+    SelectionService,
+    decisions_to_jsonl,
+    quantize_msg_size,
+)
+from repro.serve.columnar import QUANTIZE_MAX, quantize_block
+from repro.smpi.guard import COUNTER_KEYS, GuardedSelector
+from repro.smpi.heuristics import (
+    FixedSelector,
+    MvapichDefaultSelector,
+    OpenMpiDefaultSelector,
+)
+
+
+@pytest.fixture(scope="module")
+def ri_spec():
+    return get_cluster("RI")
+
+
+def _pair(make_selector, spec, cache_size=4096, quantize=True):
+    """Two identical services: drive one scalar, one columnar."""
+    a = SelectionService(make_selector(), spec, cache_size=cache_size,
+                         quantize=quantize)
+    b = SelectionService(make_selector(), spec, cache_size=cache_size,
+                         quantize=quantize)
+    return a, b
+
+
+def _assert_identical(scalar_svc, block_svc, batches):
+    """Feed *batches* to both services and compare everything."""
+    for batch in batches:
+        expected = scalar_svc.select_batch(list(batch))
+        got = block_svc.select_block(list(batch)).to_decisions()
+        assert len(got) == len(expected)
+        for q, x, y in zip(batch, expected, got):
+            assert (x.algorithm, x.action, x.detail, x.cached) == \
+                (y.algorithm, y.action, y.detail, y.cached), q
+            assert x.collective == y.collective and x.nodes == y.nodes \
+                and x.ppn == y.ppn and x.msg_size == y.msg_size, q
+    assert scalar_svc.counters == block_svc.counters
+    assert scalar_svc.guard.counters == block_svc.guard.counters
+    assert scalar_svc.guard.breaker.state == \
+        block_svc.guard.breaker.state
+    for svc in (scalar_svc, block_svc):
+        c = svc.counters
+        assert c["queries"] == c["cache_hits"] + c["deduped"] \
+            + c["cache_misses"]
+        assert c["invalid"] <= c["cache_misses"]
+        g = svc.guard.counters
+        assert g["queries"] == sum(g[k] for k in COUNTER_KEYS[1:7])
+
+
+# ---------------------------------------------------------------------------
+# Deterministic adversarial blocks
+# ---------------------------------------------------------------------------
+
+class TestAdversarialBlocks:
+    def test_mixed_everything_single_block(self, ri_spec):
+        """One block holding every row class at once: served, duplicate,
+        NumPy-typed, bool-typed, out-of-range, unknown collective, and
+        object junk."""
+        batch = [
+            SelectionQuery("allgather", 2, 8, 4096),          # model
+            SelectionQuery("allgather", 2, 8, 4096),          # dup
+            SelectionQuery("allgather", 2, 8, 4100),          # quantize-dup
+            SelectionQuery("allgather", np.int64(2), np.int64(8),
+                           np.int64(4096)),                   # np dup
+            SelectionQuery("alltoall", 1, 16, 64),            # model
+            SelectionQuery("allreduce", 2, 3, 1024),          # model
+            SelectionQuery("bogus", 2, 8, 64),                # unknown
+            SelectionQuery("allgather", 99, 8, 64),           # bad nodes
+            SelectionQuery("allgather", 2, 0, 64),            # bad ppn
+            SelectionQuery("allgather", 2, 8, -5),            # bad size
+            SelectionQuery("allgather", True, 8, 64),         # bool nodes
+            SelectionQuery("allgather", 2, 8, False),         # bool size
+            SelectionQuery("allgather", None, 8, 64),         # junk
+            SelectionQuery("allgather", 2, "8", 64),          # junk
+            SelectionQuery(42, 2, 8, 64),                     # junk coll
+            SelectionQuery("allgather", 2, 8, 10**25),        # overflow
+        ]
+        a, b = _pair(MvapichDefaultSelector, ri_spec)
+        _assert_identical(a, b, [batch])
+        assert a.counters["invalid"] > 0
+
+    @pytest.mark.parametrize("quantize", (True, False))
+    def test_empty_single_and_all_duplicates(self, ri_spec, quantize):
+        q = SelectionQuery("bcast", 1, 4, 32768)
+        a, b = _pair(OpenMpiDefaultSelector, ri_spec, quantize=quantize)
+        _assert_identical(a, b, [[], [q], [q] * 50])
+        # all-duplicate block: one miss (already resolved), rest dedup
+        # or hits depending on the earlier batches — partition checked
+        # inside _assert_identical either way.
+        assert a.counters["queries"] == 51
+
+    def test_numpy_typed_fields_share_keys_with_plain_ints(self, ri_spec):
+        """np.integer fields must land on the same memo entries as the
+        equal plain ints — across both paths and both directions."""
+        plain = SelectionQuery("allgather", 2, 8, 1000)
+        typed = SelectionQuery("allgather", np.int64(2), np.int32(8),
+                               np.int64(1000))
+        svc = SelectionService(MvapichDefaultSelector(), ri_spec,
+                               cache_size=64)
+        first = svc.select_batch([plain])[0]
+        assert first.cached is False
+        via_block = svc.select_block([typed]).to_decisions()[0]
+        assert via_block.cached is True
+        assert via_block.algorithm == first.algorithm
+        assert svc.counters["cache_hits"] == 1
+
+    def test_infeasible_predictions_and_breaker_replay(self, ri_spec):
+        """Valid-but-infeasible predictions trip the guard per unique
+        key; once the breaker opens, refusals replay per row — both
+        must match the scalar ladder exactly."""
+        rng = random.Random(5)
+        mk = lambda: GuardedSelector(
+            FixedSelector("allgather", "recursive_doubling"))
+        a, b = _pair(mk, ri_spec, quantize=False)
+        batches = [
+            [SelectionQuery("allgather", 1, 3, rng.randint(1, 10**6))
+             for _ in range(rng.randint(5, 60))]
+            for _ in range(6)
+        ]
+        _assert_identical(a, b, batches)
+        assert a.guard.breaker.state == "open"
+        assert a.guard.counters["breaker_fallback"] > 0
+        assert a.guard.counters["remapped"] > 0
+
+    def test_cross_path_memo_interop(self, ri_spec):
+        """A key resolved by one path is a hit for the other."""
+        q = SelectionQuery("alltoall", 2, 8, 2048)
+        svc = SelectionService(MvapichDefaultSelector(), ri_spec,
+                               cache_size=64)
+        d1 = svc.select_block([q]).to_decisions()[0]
+        assert d1.cached is False
+        d2 = svc.select_batch([q])[0]
+        assert d2.cached is True
+        assert d2.algorithm == d1.algorithm
+        assert d2.detail == d1.detail
+
+    def test_records_and_queries_agree(self, ri_spec):
+        """The daemon's raw-dict ingestion is the same pipeline."""
+        records = [
+            {"collective": "allgather", "nodes": 2, "ppn": 8,
+             "msg_size": 4096},
+            {"collective": "bogus", "nodes": 2, "ppn": 8, "msg_size": 1},
+            {"collective": "bcast", "nodes": 1, "ppn": 4,
+             "msg_size": 123},
+        ]
+        queries = [SelectionQuery(r["collective"], r["nodes"], r["ppn"],
+                                  r["msg_size"]) for r in records]
+        a, b = _pair(MvapichDefaultSelector, ri_spec)
+        da = a.select_block(queries).to_dicts()
+        db = b.select_block(records).to_dicts()
+        assert da == db
+        assert a.counters == b.counters
+
+    def test_jsonl_byte_identical_on_clean_batch(self, ri_spec):
+        """For JSON-shaped inputs (the daemon's case) the serialized
+        decisions are byte-identical between paths."""
+        batch = [SelectionQuery("allreduce", 2, 8, m)
+                 for m in (1, 64, 1000, 1024, 1100, 2**18)]
+        batch += [SelectionQuery("bogus", 1, 1, 1),
+                  SelectionQuery("allreduce", 0, 8, 64)]
+        a, b = _pair(MvapichDefaultSelector, ri_spec)
+        assert decisions_to_jsonl(a.select_batch(list(batch))) == \
+            decisions_to_jsonl(b.select_block(list(batch)).to_decisions())
+
+
+# ---------------------------------------------------------------------------
+# Seeded fuzz across both heuristic families
+# ---------------------------------------------------------------------------
+
+JUNK = (None, "x", 3.5, -1, 0, True, False, 10**25, -(10**25), "8")
+COLLECTIVES = ("allgather", "alltoall", "allreduce", "bcast",
+               "reduce_scatter")
+
+
+def _random_batch(rng, n):
+    batch = []
+    for _ in range(n):
+        if rng.random() < 0.25:
+            batch.append(SelectionQuery(
+                rng.choice(COLLECTIVES + ("bogus", 42)),
+                rng.choice(JUNK + (1, 2, np.int64(2))),
+                rng.choice(JUNK + (1, 8, np.int64(16))),
+                rng.choice(JUNK + (64, np.int64(1024)))))
+        else:
+            batch.append(SelectionQuery(
+                rng.choice(COLLECTIVES), rng.randint(1, 3),
+                rng.randint(1, 20),
+                rng.choice([1, 64, 1000, 1024, 4096, 2**18,
+                            rng.randint(1, 10**7)])))
+    return batch
+
+
+class TestFuzzDifferential:
+    @pytest.mark.parametrize("make_selector,quantize", (
+        (MvapichDefaultSelector, True),
+        (MvapichDefaultSelector, False),
+        (OpenMpiDefaultSelector, True),
+    ))
+    def test_heuristic_batches(self, ri_spec, make_selector, quantize):
+        rng = random.Random(13)
+        a, b = _pair(make_selector, ri_spec, quantize=quantize)
+        batches = [_random_batch(rng, rng.randint(0, 200))
+                   for _ in range(5)]
+        _assert_identical(a, b, batches)
+
+    def test_pretrained_with_ood_and_missing_models(self, ri_spec,
+                                                    mini_dataset):
+        """Model path + OOD envelope routing + error fallback (queries
+        for collectives the bundle lacks raise inside the inner
+        selector) — all in the same blocks."""
+        def mk():
+            models = {c: train_model(mini_dataset, c, seed=0,
+                                     params={"n_estimators": 4})
+                      for c in ("allgather", "alltoall")}
+            return GuardedSelector(PretrainedSelector(models))
+
+        rng = random.Random(29)
+        a, b = _pair(mk, ri_spec, cache_size=8192)
+        batches = []
+        for _ in range(4):
+            batch = _random_batch(rng, rng.randint(1, 150))
+            # far-OOD shapes/sizes relative to the trained grid
+            batch += [SelectionQuery("allgather", 1, 1, 2**30),
+                      SelectionQuery("alltoall", 2, 16, 1)]
+            batches.append(batch)
+        _assert_identical(a, b, batches)
+        assert a.guard.counters["ood_fallback"] > 0
+        assert a.guard.counters["error_fallback"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Columnar building blocks
+# ---------------------------------------------------------------------------
+
+class TestQuantizeBlock:
+    def test_matches_scalar_exhaustively_near_boundaries(self):
+        import math
+        vals = [1, 2, 3, 5, 6, 7, 1023, 1024, 1025,
+                398065729532861, 199032864766430,
+                QUANTIZE_MAX, QUANTIZE_MAX - 1]
+        vals += [(1 << e) + d for e in range(1, 62) for d in (-1, 0, 1)]
+        vals += [math.isqrt(1 << (2 * e + 1)) + d
+                 for e in range(62) for d in (-1, 0, 1, 2)]
+        vals = [v for v in vals if v >= 1]
+        arr = np.array(vals, dtype=np.int64)
+        got = quantize_block(arr)
+        for v, g in zip(vals, got.tolist()):
+            assert g == quantize_msg_size(v), v
+
+    def test_random_values_match_scalar(self):
+        rng = random.Random(0)
+        vals = [rng.randrange(1, QUANTIZE_MAX) for _ in range(20_000)]
+        got = quantize_block(np.array(vals, dtype=np.int64))
+        for v, g in zip(vals, got.tolist()):
+            assert g == quantize_msg_size(v), v
+
+
+class TestQueryBlock:
+    def test_row_classification(self):
+        blk = QueryBlock.from_queries([
+            SelectionQuery("allgather", 2, 8, 64),
+            SelectionQuery("allgather", np.int64(2), 8, 64),
+            SelectionQuery("allgather", True, 8, 64),
+            SelectionQuery("bogus", 2, 8, 64),
+            SelectionQuery("allgather", 2.0, 8, 64),
+            SelectionQuery("allgather", 2, 8, 10**25),
+        ])
+        assert blk.columnar.tolist() == [True, True, True, False,
+                                         False, False]
+        assert blk.boolish.tolist() == [False, False, True, False,
+                                        False, False]
+        assert blk.needs_scalar  # positive msg_size overflow
+        assert blk.nodes64[:3].tolist() == [2, 2, 1]
+
+    def test_overflow_batch_falls_back_but_answers(self, ri_spec):
+        a, b = _pair(MvapichDefaultSelector, ri_spec)
+        batch = [SelectionQuery("allgather", 2, 8, 10**25),
+                 SelectionQuery("allgather", 2, 8, 64)]
+        _assert_identical(a, b, [batch])
+
+    def test_float_int_key_aliasing_falls_back(self, ri_spec):
+        """4.0 == 4 shares a scalar memo key; the block detects the
+        cross-type alias and routes the batch through the scalar walk
+        so first-occurrence semantics are preserved."""
+        batches = [
+            [SelectionQuery("allgather", 2, 8, 64),
+             SelectionQuery("allgather", 2.0, 8, 64)],
+            [SelectionQuery("allgather", 2.0, 8, 128),
+             SelectionQuery("allgather", 2, 8, 128)],
+        ]
+        a, b = _pair(MvapichDefaultSelector, ri_spec)
+        _assert_identical(a, b, batches)
+
+
+class TestDecisionBlock:
+    def test_to_dicts_matches_to_decisions(self, ri_spec):
+        svc = SelectionService(MvapichDefaultSelector(), ri_spec,
+                               cache_size=64)
+        batch = [SelectionQuery("allgather", 2, 8, 4096),
+                 SelectionQuery("bogus", 1, 1, 1)]
+        block = svc.select_block(batch)
+        assert isinstance(block, DecisionBlock)
+        assert block.to_dicts() == [d.to_dict()
+                                    for d in block.to_decisions()]
+        assert block.n == 2

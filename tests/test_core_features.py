@@ -44,6 +44,35 @@ class TestFeatureVector:
         with pytest.raises(KeyError, match="unknown feature"):
             feature_indices(("bogus",))
 
+    def test_cache_keys_on_spec_identity_not_name(self):
+        """Regression: the hardware-row cache was keyed on spec.name,
+        so two specs sharing a name aliased each other's hardware
+        features.  Identity keying must keep them apart."""
+        import dataclasses
+
+        ri = get_cluster("RI")
+        impostor = dataclasses.replace(get_cluster("Sierra"), name="RI")
+        # Warm the cache with the real RI first, then ask for the
+        # impostor under the same name.
+        mat = feature_matrix([(ri, 2, 4, 64), (impostor, 2, 4, 64)])
+        np.testing.assert_allclose(mat[0], feature_vector(ri, 2, 4, 64))
+        np.testing.assert_allclose(
+            mat[1], feature_vector(impostor, 2, 4, 64))
+        # The two rows genuinely differ in their hardware features.
+        assert not np.allclose(mat[0], mat[1])
+
+    def test_feature_block_matches_matrix(self):
+        from repro.core.features import feature_block
+
+        spec = get_cluster("RI")
+        nodes = np.array([1, 2, 2], dtype=np.int64)
+        ppn = np.array([4, 8, 16], dtype=np.int64)
+        msg = np.array([64, 1024, 2**20], dtype=np.int64)
+        blk = feature_block(spec, nodes, ppn, msg)
+        rows = [(spec, int(n), int(p), int(m))
+                for n, p, m in zip(nodes, ppn, msg)]
+        np.testing.assert_allclose(blk, feature_matrix(rows))
+
 
 class TestTopK:
     def test_selects_highest(self):

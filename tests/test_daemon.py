@@ -447,13 +447,13 @@ class TestDaemonEndToEnd:
         # deadline; the floor must answer instead, within the same
         # snapshot, and the response says so.
         service = running_daemon.store.current().service
-        original = service.select_batch
+        original = service.select_block
 
-        def slow_select_batch(queries):
+        def slow_select_block(records):
             time.sleep(0.3)
-            return original(queries)
+            return original(records)
 
-        service.select_batch = slow_select_batch
+        service.select_block = slow_select_block
         try:
             with DaemonClient(
                     running_daemon.config.socket_path) as client:
@@ -463,7 +463,7 @@ class TestDaemonEndToEnd:
                 for d in response["decisions"]:
                     assert isinstance(d["algorithm"], str)
         finally:
-            service.select_batch = original
+            service.select_block = original
         assert running_daemon.counters["deadline_floor"] >= 1
 
     def test_overload_sheds_with_typed_error(self, ri_spec, tmp_path,

@@ -61,6 +61,19 @@ def test_decisions_byte_identical(golden_service):
         "diff")
 
 
+def test_columnar_decisions_byte_identical():
+    """The columnar block path must reproduce the golden bytes too.
+    Uses a fresh service (the module fixture's memo is already warm,
+    which would flip the ``cached`` flags)."""
+    service = make_golden.build_service()
+    queries = _queries_from_fixture()
+    payload = decisions_to_jsonl(
+        service.select_block(queries).to_decisions())
+    expected = (GOLDEN_DIR / "expected_decisions.jsonl").read_text()
+    assert payload == expected, (
+        "columnar serving output drifted from the golden fixture")
+
+
 def test_expected_decisions_internally_consistent():
     """Sanity on the checked-in expectation itself: one decision per
     query, invalid queries answered (not dropped), every line is

@@ -75,6 +75,28 @@ class TestQuantize:
     def test_junk_passes_through(self, junk):
         assert quantize_msg_size(junk) is junk
 
+    def test_numpy_integers_quantize_like_plain_ints(self):
+        """Regression: np.integer message sizes used to fall through
+        the junk-passthrough and bypass the memo-key quantization."""
+        for msg in (3, 1000, 1536, 2**40 + 7):
+            out = quantize_msg_size(np.int64(msg))
+            assert out == quantize_msg_size(msg)
+            assert type(out) is int
+
+    @pytest.mark.parametrize("msg,expected", (
+        # float log2(msg) is exactly *.5 for these, so a float
+        # midpoint test (or banker's rounding) snaps them down; the
+        # exact integer rule rounds half up.
+        (398065729532861, 2**49),
+        (199032864766430, 2**47),
+        # true geometric midpoints: isqrt(2^(2e+1)) sits below the
+        # midpoint, its successor at-or-above.
+        (181, 128), (182, 256),
+        (46340, 32768), (46341, 65536),
+    ))
+    def test_midpoints_round_half_up_exactly(self, msg, expected):
+        assert quantize_msg_size(msg) == expected
+
 
 @pytest.fixture(scope="module")
 def ray_spec():
