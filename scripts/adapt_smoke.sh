@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Adaptation smoke stage: soak the online-adaptation loop end-to-end
+# under a hard wall-clock timeout.
+#
+# The soak (core/chaos.py::run_adapt_chaos) covers the full loop:
+#   feedback   -> poisoned rows quarantined, healthy log replayed
+#   drift      -> degraded-fabric storm trips Page-Hinkley
+#   promote    -> challenger shadow-evaluated behind the guard and
+#                 promoted through the crash-safe gate transaction
+#   probation  -> confirmed on matching feedback; a deliberately-worse
+#                 challenger must be REJECTED by the sign test
+#   crash      -> SIGKILL mid-promotion: sentinel recovery restores the
+#                 champion and quarantines the half-promoted bundle
+#   replay     -> the whole decision log must be byte-identical on a
+#                 second fold from the same seed + feedback
+#
+# Invariants: the champion is always restorable, zero client-visible
+# exceptions, and the adapt/gate/feedback counter partitions hold.
+# Exit 1 on any violation.
+#
+# Run from anywhere: scripts/adapt_smoke.sh
+# HARD_TIMEOUT_S (default 600) bounds the whole stage; a wedged loop
+# (deadlocked lock, hung training) fails the build instead of stalling.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+HARD_TIMEOUT_S="${HARD_TIMEOUT_S:-600}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+export PML_MPI_CACHE="$workdir/cache"
+
+echo "== adaptation chaos soak (hard timeout ${HARD_TIMEOUT_S}s) =="
+timeout --kill-after=30 "$HARD_TIMEOUT_S" \
+    python -m repro.cli chaos --adapt --seed 0 \
+    | tee "$workdir/adapt_chaos.out"
+
+grep -q "ADAPT CHAOS OK" "$workdir/adapt_chaos.out"
+if grep -q "VIOLATION:" "$workdir/adapt_chaos.out"; then
+    echo "adaptation soak recorded violations" >&2
+    exit 1
+fi
+
+echo "ADAPT SMOKE OK"

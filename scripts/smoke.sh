@@ -15,6 +15,10 @@
 #   -> serve  (persistent daemon: boot from the bundle, socket
 #              queries, hot-reload, counter partition, graceful drain;
 #              the full lifecycle soak is scripts/daemon_smoke.sh)
+#   -> adapt  (online adaptation on both clusters: drifted-fabric
+#              feedback -> drift detected -> challenger promoted ->
+#              probation confirmed -> mid-promotion crash rolled back;
+#              the adversarial soak is scripts/adapt_smoke.sh)
 #   -> telemetry (traced collect/train/tune/select accumulate one
 #              trace; `pml-mpi report` renders every stage; a corrupted
 #              trace must be rejected)
@@ -175,10 +179,88 @@ with DaemonClient(socket_path) as client:
     client.shutdown()
 print("daemon stage OK")
 EOF
-wait "$serve_pid"
+# Bound the drain: a daemon that never exits must fail the stage, not
+# wedge the whole build on an unbounded `wait`.
+( sleep 30; kill -9 "$serve_pid" 2>/dev/null ) &
+drain_watchdog=$!
+drain_rc=0
+wait "$serve_pid" || drain_rc=$?
+kill "$drain_watchdog" 2>/dev/null || true
+[ "$drain_rc" -eq 0 ] || { echo "daemon did not drain cleanly (rc=$drain_rc)" >&2; exit 1; }
 [ ! -S "$workdir/serve_state/daemon.sock" ] || { echo "socket left behind" >&2; exit 1; }
 [ ! -f "$workdir/serve_state/daemon.lock" ] || { echo "lock left behind" >&2; exit 1; }
 grep -q "drained" "$workdir/serve.out"
+
+echo "== adapt (drift -> promote -> confirm -> crash rollback, both clusters) =="
+# One feedback-synthesis helper: replay the serving selector on a
+# badly degraded fabric so its choices are measurably wrong, and append
+# the measurements to the pml-mpi/feedback log.  Prints the next tick.
+# The degradation is harsher than the soak's DRIFT_CONDITIONS_KW: it
+# must flip the argmin on a well-trained two-cluster bundle for BOTH
+# clusters, not just RI.
+synth_feedback() { # cluster bundle feedback_log tick0
+    python - "$1" "$2" "$3" "$4" <<'EOF'
+import sys
+from pathlib import Path
+
+from repro.adapt import FeedbackLog
+from repro.core.bundle import load_selector
+from repro.core.chaos import synthesize_feedback
+from repro.hwmodel import get_cluster
+from repro.simcluster.conditions import NetworkConditions
+
+cluster, bundle, fb, tick0 = (sys.argv[1], sys.argv[2],
+                              Path(sys.argv[3]), int(sys.argv[4]))
+fb.parent.mkdir(parents=True, exist_ok=True)
+records, next_tick = synthesize_feedback(
+    get_cluster(cluster), load_selector(bundle),
+    conditions=NetworkConditions(background_load=0.9, latency_jitter=4.0,
+                                 link_width_factor=0.125),
+    tick0=tick0, repeat=3)
+FeedbackLog(fb).append(records)
+print(next_tick)
+EOF
+}
+for cluster in RI Ray; do
+    adir="$workdir/adapt_$cluster"
+    mkdir -p "$adir"
+    cp "$workdir/bundle.json" "$adir/bundle.json"
+    champion_crc="$(cksum "$adir/bundle.json")"
+
+    # Drifted fabric -> the loop must detect drift, train a challenger,
+    # and promote it behind the gate.
+    tick="$(synth_feedback "$cluster" "$adir/bundle.json" "$adir/feedback.jsonl" 0)"
+    pml adapt "$cluster" --bundle "$adir/bundle.json" \
+        --feedback "$adir/feedback.jsonl" --state-dir "$adir/state" \
+        --window 600 | tee "$adir/adapt1.out"
+    grep -q "adapt: promoted" "$adir/adapt1.out"
+    [ -f "$adir/state/champion.backup.json" ] \
+        || { echo "no champion backup after promotion ($cluster)" >&2; exit 1; }
+    [ "$(cksum "$adir/bundle.json")" != "$champion_crc" ] \
+        || { echo "promotion left serving bundle unchanged ($cluster)" >&2; exit 1; }
+
+    # Probation: the challenger was trained on this fabric, so fresh
+    # feedback confirms it.
+    synth_feedback "$cluster" "$adir/bundle.json" "$adir/feedback.jsonl" "$tick" > /dev/null
+    pml adapt "$cluster" --bundle "$adir/bundle.json" \
+        --feedback "$adir/feedback.jsonl" --state-dir "$adir/state" \
+        --window 600 | tee "$adir/adapt2.out"
+    grep -q "adapt: confirmed" "$adir/adapt2.out"
+
+    # Crash mid-promotion: torn sentinel + half-written serving bundle.
+    # The next pass must roll back to the backed-up champion.
+    backup_crc="$(cksum "$adir/state/champion.backup.json" | cut -d' ' -f1-2)"
+    echo '{ "torn": ' > "$adir/bundle.json"
+    echo '{ "torn": ' > "$adir/state/promotion.json"
+    pml adapt "$cluster" --bundle "$adir/bundle.json" \
+        --feedback "$adir/feedback.jsonl" --state-dir "$adir/state" \
+        --window 600 | tee "$adir/adapt3.out"
+    grep -q "adapt: recovered" "$adir/adapt3.out"
+    [ "$(cksum "$adir/bundle.json" | cut -d' ' -f1-2)" = "$backup_crc" ] \
+        || { echo "rollback did not restore the champion ($cluster)" >&2; exit 1; }
+    ls "$adir"/*.corrupt* >/dev/null 2>&1 \
+        || { echo "crashed promotion not quarantined ($cluster)" >&2; exit 1; }
+done
 
 echo "== telemetry (traced run + report) =="
 trace="$workdir/trace.jsonl"

@@ -1,0 +1,56 @@
+"""Online adaptation: feedback ingestion, drift detection, and
+champion/challenger guarded rollout.
+
+The paper's central contrast is pre-training vs ACCLAiM-style online
+learning (Figs. 1, 7); this package implements the hybrid regime the
+related work argues for — a shipped model that *adapts* when runtime
+reality drifts away from its training envelope, but can never make
+production selection worse than the champion it replaces:
+
+* :mod:`~repro.adapt.feedback` — the versioned, checksummed
+  ``pml-mpi/feedback`` JSONL log of runtime-measured collective times.
+* :mod:`~repro.adapt.drift` — windowed regret replay of recent
+  feedback through the shipped model vs the oracle-from-measurements,
+  with Page–Hinkley change detection on the regret stream.
+* :mod:`~repro.adapt.challenger` — warm-start re-fit on the existing
+  dataset plus feedback rows, producing a candidate bundle with
+  lineage metadata.
+* :mod:`~repro.adapt.gate` — shadow evaluation of the challenger
+  behind :class:`~repro.smpi.guard.GuardedSelector`, a sign-test
+  promotion decision, a crash-safe promotion transaction, and
+  automatic demotion back to the champion.
+* :mod:`~repro.adapt.loop` — the ``pml-mpi adapt`` state machine
+  tying the above together (one-shot and ``--watch`` sidecar modes).
+"""
+
+from .challenger import merge_feedback, train_challenger
+from .drift import DriftMonitor, PageHinkley
+from .feedback import (
+    FEEDBACK_FORMAT,
+    FEEDBACK_VERSION,
+    FeedbackLog,
+    FeedbackRecord,
+    record_from_decision,
+)
+from .gate import ChampionChallengerGate, ShadowReport, shadow_evaluate, sign_test_p
+from .loop import VERDICTS, AdaptConfig, AdaptReport, AdaptationLoop
+
+__all__ = [
+    "FEEDBACK_FORMAT",
+    "FEEDBACK_VERSION",
+    "AdaptConfig",
+    "AdaptReport",
+    "AdaptationLoop",
+    "ChampionChallengerGate",
+    "DriftMonitor",
+    "FeedbackLog",
+    "FeedbackRecord",
+    "PageHinkley",
+    "ShadowReport",
+    "VERDICTS",
+    "merge_feedback",
+    "record_from_decision",
+    "shadow_evaluate",
+    "sign_test_p",
+    "train_challenger",
+]

@@ -1,0 +1,95 @@
+"""Challenger training: warm-start re-fit on dataset + feedback rows.
+
+When drift fires, the loop re-fits a candidate selector on the union
+of the champion's original training dataset and the recent feedback
+window.  Feedback is the fresher evidence, so it wins configuration
+conflicts: a feedback row *replaces* any base-dataset row for the same
+``(cluster, collective, nodes, ppn, msg_size)`` cell (last write wins,
+mirroring the tuning-table duplicate policy), and novel cells extend
+the grid.  The fit itself rides :func:`repro.core.training.train_model`
+unchanged — including ``n_jobs`` process-pool parallelism via
+:mod:`repro.ml.parallel` — so a challenger is bit-identical to an
+offline model trained on the same merged rows.
+
+Every challenger model carries lineage metadata (parent bundle
+checksum, the feedback tick window, row provenance counts) in
+``TrainedModel.metadata["lineage"]``; the bundle CRC covers model
+payloads, so lineage is checksummed like everything else and survives
+into the daemon's stats view.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.dataset import CollectiveRecord, TuningDataset
+from ..core.inference import PretrainedSelector
+from ..core.training import train_model
+from ..obs.telemetry import get_registry, get_tracer
+from .feedback import FeedbackRecord
+
+__all__ = ["merge_feedback", "train_challenger"]
+
+
+def merge_feedback(base: TuningDataset,
+                   feedback: list[FeedbackRecord]) -> TuningDataset:
+    """Union of base training rows and feedback rows, feedback winning
+    per-configuration conflicts (last write wins within the feedback
+    list too, so later ticks dominate earlier ones)."""
+    merged: dict[tuple, CollectiveRecord] = {}
+    for r in base.records:
+        merged[(r.cluster, r.collective, r.nodes, r.ppn,
+                r.msg_size)] = r
+    for f in feedback:
+        merged[(f.cluster, f.collective, f.nodes, f.ppn,
+                f.msg_size)] = f.to_collective_record()
+    return TuningDataset(list(merged.values()))
+
+
+def train_challenger(base: TuningDataset,
+                     feedback: list[FeedbackRecord],
+                     collectives: list[str] | None = None,
+                     family: str = "rf",
+                     seed: int = 0,
+                     n_jobs: int | None = None,
+                     params: dict[str, Any] | None = None,
+                     parent_checksum: str | None = None
+                     ) -> PretrainedSelector:
+    """Fit a candidate selector on the merged rows.
+
+    ``collectives=None`` trains one model per collective present in
+    the feedback window (the only models drift has evidence against);
+    collectives in the base dataset but absent from feedback keep no
+    challenger model, so the gate falls back to the champion for them
+    and promotion can never regress an unobserved collective.
+    """
+    if collectives is None:
+        seen: dict[str, None] = {}
+        for f in feedback:
+            seen.setdefault(f.collective, None)
+        collectives = list(seen)
+    if not collectives:
+        raise ValueError("no collectives to train a challenger for")
+    merged = merge_feedback(base, feedback)
+    ticks = [f.tick for f in feedback]
+    lineage = {
+        "parent_checksum": parent_checksum,
+        "feedback_rows": len(feedback),
+        "base_rows": len(base),
+        "tick_lo": min(ticks) if ticks else None,
+        "tick_hi": max(ticks) if ticks else None,
+        "seed": seed,
+        "family": family,
+    }
+    tracer = get_tracer()
+    models = {}
+    with tracer.span("adapt.train_challenger",
+                     collectives=",".join(collectives),
+                     rows=len(merged)):
+        for collective in collectives:
+            model = train_model(merged, collective, family=family,
+                                seed=seed, n_jobs=n_jobs, params=params)
+            model.metadata["lineage"] = dict(lineage)
+            models[collective] = model
+    get_registry().counter("adapt.challengers.trained").inc()
+    return PretrainedSelector(models)

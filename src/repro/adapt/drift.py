@@ -1,0 +1,175 @@
+"""Drift detection: windowed regret replay + Page–Hinkley change test.
+
+The monitor replays recent feedback through the *shipped* selector and
+scores each observation's relative regret against the
+oracle-from-measurements (``t_chosen / t_best - 1``, computed entirely
+from the feedback row's measured times — no simulator in the loop).
+The heuristic floor is replayed alongside as a reference: a model
+drifting *below* the floor is the strongest possible signal that the
+training envelope no longer matches reality.
+
+Change detection is the classic one-sided Page–Hinkley test on the
+regret stream: with running mean ``x̄_t``, the cumulative deviation
+``m_t = Σ (x_i - x̄_i - δ)`` drifts downward while regret is stable and
+rises when the stream's mean shifts up; an alarm fires when
+``m_t - min(m_1..m_t)`` exceeds ``λ``.  The test is a pure fold over
+the observations — no clocks, no randomness — so the same window
+always produces the same alarm sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..obs.telemetry import get_registry
+from ..simcluster.machine import Machine
+from ..smpi.heuristics import AlgorithmSelector, MvapichDefaultSelector
+from .feedback import FeedbackRecord
+
+__all__ = ["DriftMonitor", "DriftState", "PageHinkley", "replay_regret"]
+
+
+class PageHinkley:
+    """One-sided Page–Hinkley test for an upward mean shift.
+
+    ``delta`` is the magnitude tolerance (drift smaller than this is
+    ignored); ``threshold`` is the alarm level λ on the PH statistic;
+    ``min_samples`` suppresses alarms before the running mean is
+    meaningful.  :meth:`update` returns True on the observation that
+    raises the alarm, after which the test resets and re-arms.
+    """
+
+    def __init__(self, delta: float = 0.005, threshold: float = 0.5,
+                 min_samples: int = 10) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.reset()
+
+    def reset(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.cum = 0.0       # m_t
+        self.cum_min = 0.0   # min over m_1..m_t
+
+    @property
+    def stat(self) -> float:
+        """The current PH statistic ``m_t - min(m)``."""
+        return self.cum - self.cum_min
+
+    def update(self, x: float) -> bool:
+        self.n += 1
+        self.mean += (x - self.mean) / self.n
+        self.cum += x - self.mean - self.delta
+        self.cum_min = min(self.cum_min, self.cum)
+        if self.n >= self.min_samples and self.stat > self.threshold:
+            self.reset()
+            return True
+        return False
+
+
+def replay_regret(selector: AlgorithmSelector,
+                  machines: dict[tuple[int, int], Machine],
+                  record: FeedbackRecord) -> float:
+    """Relative regret of *selector*'s choice on one feedback row,
+    scored purely from the row's measured times.
+
+    When the selector picks an algorithm the runtime did not measure,
+    the row's *worst* measured time stands in as a pessimistic bound
+    (counted under ``adapt.regret.unmeasured``) — never the simulator,
+    so production monitoring stays grounded in real observations.
+    """
+    machine = machines[(record.nodes, record.ppn)]
+    choice = selector.select(record.collective, machine, record.msg_size)
+    t = record.times.get(choice)
+    if t is None:
+        get_registry().counter("adapt.regret.unmeasured").inc()
+        t = max(record.times.values())
+    return t / record.best_time - 1.0
+
+
+@dataclass
+class DriftState:
+    """One :meth:`DriftMonitor.observe` outcome over a window."""
+
+    rows: int
+    drift: bool
+    drift_at: int | None          # window index of the (last) alarm
+    regret_model: float           # windowed mean regret, shipped model
+    regret_floor: float           # windowed mean regret, heuristic floor
+    ph_stat: float                # PH statistic after the fold
+    regrets: list[float] = field(default_factory=list, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rows": self.rows, "drift": self.drift,
+            "drift_at": self.drift_at,
+            "regret_model": round(self.regret_model, 9),
+            "regret_floor": round(self.regret_floor, 9),
+            "ph_stat": round(self.ph_stat, 9),
+        }
+
+
+class DriftMonitor:
+    """Replays a feedback window through champion + floor and folds
+    the champion's regret stream through Page–Hinkley.
+
+    Stateless across calls by design: :meth:`observe` rebuilds the
+    detector and folds the whole window, so the verdict is a pure
+    function of ``(window contents, detector parameters)`` — two
+    replays of the same log are byte-identical, and no detector state
+    needs crash-safe persistence.
+    """
+
+    def __init__(self, champion: AlgorithmSelector, spec: Any,
+                 floor: AlgorithmSelector | None = None,
+                 delta: float = 0.005, threshold: float = 0.5,
+                 min_samples: int = 10) -> None:
+        self.champion = champion
+        self.spec = spec
+        self.floor = floor if floor is not None \
+            else MvapichDefaultSelector()
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+
+    def observe(self, records: Iterable[FeedbackRecord]) -> DriftState:
+        records = list(records)
+        registry = get_registry()
+        machines: dict[tuple[int, int], Machine] = {}
+        for r in records:
+            key = (r.nodes, r.ppn)
+            if key not in machines:
+                machines[key] = Machine(self.spec, r.nodes, r.ppn)
+        detector = PageHinkley(self.delta, self.threshold,
+                               self.min_samples)
+        model_regrets: list[float] = []
+        floor_sum = 0.0
+        drift = False
+        drift_at: int | None = None
+        for i, r in enumerate(records):
+            reg = replay_regret(self.champion, machines, r)
+            model_regrets.append(reg)
+            floor_sum += replay_regret(self.floor, machines, r)
+            if detector.update(reg):
+                drift = True
+                drift_at = i
+        n = len(records)
+        state = DriftState(
+            rows=n, drift=drift, drift_at=drift_at,
+            regret_model=sum(model_regrets) / n if n else 0.0,
+            regret_floor=floor_sum / n if n else 0.0,
+            ph_stat=detector.stat, regrets=model_regrets)
+        registry.counter("adapt.drift.windows").inc()
+        if drift:
+            registry.counter("adapt.drift.events").inc()
+        registry.gauge("adapt.regret.model").set(state.regret_model)
+        registry.gauge("adapt.regret.floor").set(state.regret_floor)
+        registry.gauge("adapt.ph.stat").set(state.ph_stat)
+        registry.gauge("adapt.drift.state").set(1.0 if drift else 0.0)
+        return state

@@ -35,7 +35,15 @@ build system:
 ``pml-mpi chaos``
     Soak the runtime guard layer with adversarial queries (malformed
     input, out-of-distribution shapes, fault-injected models, scripted
-    failure storms) and assert its invariants.
+    failure storms) and assert its invariants.  ``--daemon`` soaks the
+    serving daemon; ``--adapt`` soaks the online-adaptation loop
+    (poisoned feedback, drift storms, a deliberately-worse challenger,
+    mid-promotion SIGKILL).
+``pml-mpi adapt``
+    Run the online-adaptation loop once (or as a ``--watch`` sidecar):
+    ingest runtime feedback, detect regret drift, train and
+    shadow-evaluate a challenger, and promote/demote through the
+    champion/challenger gate.
 ``pml-mpi report``
     Analyze a trace written by ``--trace``: per-stage wall-clock
     breakdown, counter table, top-N slowest spans.
@@ -189,6 +197,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.adapt:
+        from .core.chaos import run_adapt_chaos
+
+        report = run_adapt_chaos(seed=args.seed,
+                                 progress=not args.quiet)
+        print(report.describe())
+        return 0 if report.ok else 1
     if args.daemon:
         from .core.chaos import run_daemon_chaos
 
@@ -208,6 +223,43 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                        progress=not args.quiet)
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def cmd_adapt(args: argparse.Namespace) -> int:
+    from .adapt import AdaptConfig, AdaptationLoop
+    from .core.resilience import LockTimeoutError
+
+    config = AdaptConfig(
+        cluster=args.cluster,
+        bundle_path=args.bundle,
+        feedback_path=args.feedback,
+        state_dir=args.state_dir,
+        dataset_path=args.dataset,
+        window=args.window,
+        ph_delta=args.ph_delta,
+        ph_threshold=args.ph_threshold,
+        min_improvement=args.min_improvement,
+        alpha=args.alpha,
+        probation_rows=args.probation_rows,
+        demote_tolerance=args.demote_tolerance,
+        family=args.family,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        poll_s=args.poll_s,
+    )
+    loop = AdaptationLoop(config)
+    try:
+        if args.watch:
+            reports = loop.watch(
+                max_polls=args.max_polls,
+                on_report=lambda r: print(r.describe(), flush=True))
+            return 0 if reports else 1
+        report = loop.run_once()
+    except LockTimeoutError as exc:
+        print(f"cannot adapt: {exc}", file=sys.stderr)
+        return 1
+    print(report.describe())
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -477,6 +529,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="requests each storm client fires "
                         "(--daemon; default 40)")
+    p.add_argument("--adapt", action="store_true",
+                   help="soak the online-adaptation loop instead: "
+                        "poisoned feedback, drift storms, worse "
+                        "challengers, mid-promotion SIGKILL, "
+                        "determinism replay")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_chaos)
 
@@ -523,6 +580,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max wait for in-flight requests on shutdown "
                         "(default 5)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "adapt", parents=[common],
+        help="run the online-adaptation loop (drift detection + "
+             "champion/challenger rollout)")
+    p.add_argument("cluster", choices=CLUSTER_NAMES)
+    p.add_argument("--bundle", type=Path, required=True,
+                   help="serving bundle (champion) to adapt in place")
+    p.add_argument("--feedback", type=Path, required=True,
+                   metavar="JSONL",
+                   help="pml-mpi/feedback log of runtime-measured "
+                        "collective times")
+    p.add_argument("--state-dir", type=Path, default=Path("adapt_state"),
+                   help="loop state / lock / decision-log directory "
+                        "(default adapt_state)")
+    p.add_argument("--dataset", type=Path, default=None,
+                   help="offline training dataset to warm-start the "
+                        "challenger from (default: feedback only)")
+    p.add_argument("--window", type=int, default=256, metavar="N",
+                   help="feedback rows per drift window (default 256)")
+    p.add_argument("--ph-delta", type=float, default=0.005, metavar="D",
+                   help="Page-Hinkley drift slack (default 0.005)")
+    p.add_argument("--ph-threshold", type=float, default=0.5,
+                   metavar="L",
+                   help="Page-Hinkley alarm threshold (default 0.5)")
+    p.add_argument("--min-improvement", type=float, default=0.02,
+                   metavar="F",
+                   help="regret improvement a challenger must show "
+                        "to be promoted (default 0.02)")
+    p.add_argument("--alpha", type=float, default=0.05, metavar="A",
+                   help="sign-test significance level (default 0.05)")
+    p.add_argument("--probation-rows", type=int, default=20,
+                   metavar="N",
+                   help="post-promotion feedback rows before the "
+                        "challenger is confirmed (default 20)")
+    p.add_argument("--demote-tolerance", type=float, default=0.05,
+                   metavar="F",
+                   help="probation regret regression that triggers "
+                        "auto-demotion (default 0.05)")
+    p.add_argument("--family", default="rf",
+                   choices=("rf", "gradientboost", "knn", "svm"),
+                   help="challenger model family (default rf)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="challenger training seed (decisions are a "
+                        "pure function of seed + feedback)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for challenger training")
+    p.add_argument("--watch", action="store_true",
+                   help="keep polling the feedback log instead of "
+                        "exiting after one pass")
+    p.add_argument("--poll-s", type=float, default=1.0, metavar="S",
+                   help="--watch poll interval (default 1)")
+    p.add_argument("--max-polls", type=int, default=None, metavar="N",
+                   help="stop --watch after N passes (default: run "
+                        "until interrupted)")
+    p.set_defaults(func=cmd_adapt)
 
     p = sub.add_parser(
         "bench", parents=[common],

@@ -695,6 +695,40 @@ def _poll_stats(socket_path: Path, predicate, timeout_s: float = 30.0
     return None
 
 
+#: Counters a ``stats`` probe increments about *itself* — its fresh
+#: connection, plus the request/ok pair bumped in the dispatch
+#: ``finally`` after the response snapshot is built.  The quiescence
+#: comparison must ignore them or two consecutive polls always differ
+#: by exactly the poll's own accounting.
+_STATS_SELF_COUNTERS = frozenset(
+    {"serve.daemon.connections", "serve.daemon.requests",
+     "serve.daemon.ok"})
+
+
+def _poll_quiescent(socket_path: Path, timeout_s: float = 30.0
+                    ) -> dict[str, Any] | None:
+    """Deadline-bounded wait for daemon quiescence: zero in-flight
+    requests and a counter set that stopped moving between two
+    consecutive observations (abandoned deadline batches still count
+    their serve.*/guard.* outcomes after the floored response went
+    out, so a single inflight==0 snapshot is not enough).  The stats
+    probes' own request accounting is excluded from the comparison."""
+    prev: list[dict[str, Any] | None] = [None]
+
+    def workload(s: dict[str, Any]) -> dict[str, Any]:
+        return {k: v for k, v in (s.get("counters") or {}).items()
+                if k not in _STATS_SELF_COUNTERS}
+
+    def settled(s: dict[str, Any]) -> bool:
+        before, prev[0] = prev[0], s
+        if s.get("inflight", 0) != 0:
+            return False
+        return before is not None \
+            and workload(before) == workload(s)
+
+    return _poll_stats(socket_path, settled, timeout_s=timeout_s)
+
+
 def run_daemon_chaos(seed: int = 0, clients: int = 4,
                      requests_per_client: int = 40,
                      progress: bool = False) -> DaemonChaosReport:
@@ -716,7 +750,7 @@ def run_daemon_chaos(seed: int = 0, clients: int = 4,
     import tempfile
     import threading
 
-    from ..serve.client import DaemonClient
+    from ..serve.client import DaemonClient, DaemonError
     from .resilience import atomic_write_text
 
     if clients < 1 or requests_per_client < 1:
@@ -776,7 +810,14 @@ def run_daemon_chaos(seed: int = 0, clients: int = 4,
             t.start()
 
         phase("mid-storm hot-reload (atomic swap to v2)")
-        time.sleep(0.3)  # let the storm develop
+        # Deadline-bounded poll instead of a fixed sleep: swap once the
+        # storm is demonstrably underway (every client has landed at
+        # least one request).  A finished storm also satisfies this —
+        # the swap is still observed through the store's checksum poll.
+        _poll_stats(
+            socket_path,
+            lambda s: s.get("counters", {}).get(
+                "serve.daemon.requests", 0) >= clients)
         os.replace(next_bundle, bundle)
         swapped = _poll_stats(
             socket_path,
@@ -798,9 +839,7 @@ def run_daemon_chaos(seed: int = 0, clients: int = 4,
         report.violations.extend(stats.violations[:copied_violations])
 
         phase("quiescent partition check")
-        time.sleep(1.0)  # abandoned deadline batches finish
-        quiet = _poll_stats(socket_path, lambda s: True,
-                            timeout_s=10.0)
+        quiet = _poll_quiescent(socket_path, timeout_s=30.0)
         if quiet is None:
             report.violations.append("stats unavailable after storm")
         else:
@@ -816,8 +855,21 @@ def run_daemon_chaos(seed: int = 0, clients: int = 4,
                 if result.get("status") != "rejected":
                     report.violations.append(
                         f"corrupt reload not rejected: {result!r}")
-                response = client.select(_valid_queries(
-                    _rng(seed, "post-corrupt"), 4))
+                # The storm may have tripped the admission breaker;
+                # retry through its cooldown (recovery_timeout_s plus
+                # one half-open probe) under a hard deadline instead of
+                # sleeping a fixed interval.
+                queries = _valid_queries(_rng(seed, "post-corrupt"), 4)
+                deadline = time.monotonic() + 30.0
+                while True:
+                    try:
+                        response = client.select(queries)
+                        break
+                    except DaemonError as exc:
+                        if exc.code != "overloaded" \
+                                or time.monotonic() >= deadline:
+                            raise
+                        time.sleep(0.1)
                 _check_select_response(response, 4, "post-corrupt",
                                        stats)
         except Exception as exc:
@@ -948,3 +1000,507 @@ def file_checksum_equal(a: Path, b: Path) -> bool:
         return a.read_bytes() == b.read_bytes()
     except OSError:
         return False
+
+
+# ---------------------------------------------------------------------------
+# Adaptation soak: the online loop under poisoned feedback, drift
+# storms, a deliberately-worse challenger, and mid-promotion SIGKILL
+# ---------------------------------------------------------------------------
+
+#: Degraded network reality for drift injection: heavy background
+#: load, jitter, and halved link width shift the latency/bandwidth
+#: trade-off enough to flip the fastest algorithm on a quarter of the
+#: RI grid (so a model trained on the clean fabric accrues regret).
+DRIFT_CONDITIONS_KW = {"background_load": 0.6, "latency_jitter": 1.0,
+                       "link_width_factor": 0.5}
+
+
+def synthesize_feedback(spec, selector, conditions=None, tick0: int = 0,
+                        repeat: int = 1,
+                        collectives=CHAOS_COLLECTIVES):
+    """Runtime feedback rows for every feasible grid point: *selector*
+    picks as if deployed (it sees the clean machine description), the
+    "fabric" — optionally degraded by *conditions* — measures every
+    algorithm.  Returns ``(records, next_tick)``.
+
+    This is harness/simulation territory (it leans on
+    :func:`measured_time`), which is why it lives here and not in
+    ``repro.adapt``: the production loop only ever reads measured
+    times out of feedback rows.
+    """
+    from ..adapt.feedback import FeedbackRecord
+    from ..simcluster.conditions import machine_with_conditions
+    from ..smpi.tuning import measured_time
+    from .dataset import feasible_configs
+
+    rows = []
+    tick = tick0
+    for _ in range(repeat):
+        for coll in collectives:
+            names = sorted(base.algorithm_names(coll))
+            for nodes, ppn, msg in feasible_configs(spec, coll):
+                machine = Machine(spec, nodes, ppn)
+                fabric = machine_with_conditions(machine, conditions) \
+                    if conditions is not None else machine
+                chosen = selector.select(coll, machine, msg)
+                times = {a: measured_time(fabric, coll, a, msg)
+                         for a in names}
+                rows.append(FeedbackRecord(
+                    cluster=spec.name, collective=coll, nodes=nodes,
+                    ppn=ppn, msg_size=msg, algorithm=chosen,
+                    times=times, tick=tick))
+                tick += 1
+    return rows, tick
+
+
+@dataclass
+class AdaptChaosReport:
+    """Everything one adaptation soak observed."""
+
+    seed: int
+    wall_s: float = 0.0
+    phases: list[str] = field(default_factory=list)
+    verdicts: list[str] = field(default_factory=list)
+    reloads_observed: int = 0
+    decision_log_identical: bool = False
+    counters: dict[str, int] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "wall_s": self.wall_s,
+            "phases": list(self.phases),
+            "verdicts": list(self.verdicts),
+            "reloads_observed": self.reloads_observed,
+            "decision_log_identical": self.decision_log_identical,
+            "counters": dict(self.counters),
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"seed:                 {self.seed}",
+            f"wall:                 {self.wall_s:.2f} s",
+            f"verdict sequence:     {' -> '.join(self.verdicts)}",
+            f"daemon reloads seen:  {self.reloads_observed}",
+            f"decision log replay:  "
+            f"{'byte-identical' if self.decision_log_identical else 'DIVERGED'}",
+        ]
+        for phase in self.phases:
+            lines.append(f"  phase: {phase}")
+        for name in sorted(self.counters):
+            if name.startswith(("adapt.", "guard.champion.",
+                                "guard.challenger.")):
+                lines.append(f"  {name:<36} {self.counters[name]}")
+        for v in self.violations[:20]:
+            lines.append(f"VIOLATION: {v}")
+        if len(self.violations) > 20:
+            lines.append(f"... {len(self.violations) - 20} more")
+        lines.append("ADAPT CHAOS OK" if self.ok
+                     else "ADAPT CHAOS FAILED")
+        return "\n".join(lines)
+
+
+def _guard_namespace_violations(counters: dict[str, int],
+                                namespace: str,
+                                context: str) -> list[str]:
+    """The guard-ladder partition for one counter namespace."""
+    g = {k: counters.get(f"{namespace}.{k}", 0)
+         for k in ("queries", "invalid", "served_model", "remapped",
+                   "ood_fallback", "breaker_fallback",
+                   "error_fallback")}
+    total = (g["invalid"] + g["served_model"] + g["remapped"]
+             + g["ood_fallback"] + g["breaker_fallback"]
+             + g["error_fallback"])
+    if total != g["queries"]:
+        return [f"{context}: {namespace} partition {total} != "
+                f"queries {g['queries']} ({g})"]
+    return []
+
+
+def run_adapt_chaos(seed: int = 0,
+                    progress: bool = False) -> AdaptChaosReport:
+    """End-to-end soak of the online adaptation loop.
+
+    Phases: train champion → boot the real daemon on its bundle →
+    **poisoned feedback** (quarantined, loop survives) → stable
+    feedback (no drift) → **drift storm** (degraded-fabric feedback →
+    Page–Hinkley alarm → challenger trained → shadow win → promotion,
+    observed by the daemon as a hot reload) → probation confirmation →
+    **deliberately-worse challenger** (gate must reject it; then a
+    forced promotion of it must auto-demote on probation regret, with
+    the champion restored and the offender quarantined) →
+    **mid-promotion SIGKILL** (a real subprocess dies between the
+    bundle swap and the transaction commit; recovery restores the
+    champion and quarantines the half-promoted challenger) → a
+    **determinism replay** (the same feedback log folded twice from
+    fresh state writes byte-identical decision logs) → quiescent
+    counter-partition checks over ``adapt.*`` / ``serve.daemon.*`` /
+    both shadow-guard namespaces → graceful drain.
+
+    Violations are recorded, never raised.
+    """
+    import json
+    import shutil
+    import subprocess
+    import sys
+    import tempfile
+
+    from ..adapt import (
+        AdaptConfig,
+        AdaptationLoop,
+        FeedbackLog,
+        VERDICTS,
+    )
+    from ..adapt.gate import ChampionChallengerGate
+    from ..obs.telemetry import MetricsRegistry, use_telemetry
+    from ..serve.client import DaemonClient
+    from ..serve.reload import file_crc32
+    from ..simcluster.conditions import NetworkConditions
+    from .bundle import load_selector, save_selector
+    from .dataset import TuningDataset
+
+    report = AdaptChaosReport(seed=seed)
+    t0 = time.perf_counter()
+    tmp = Path(tempfile.mkdtemp(prefix="pml-adapt-chaos-"))
+    registry = MetricsRegistry()
+    proc = None
+    client_stats = _StormStats()
+
+    def phase(name: str) -> None:
+        report.phases.append(name)
+        if progress:
+            print(f"  phase: {name}")
+
+    def run_and_record(loop) -> Any:
+        r = loop.run_once()
+        report.verdicts.append(r.verdict)
+        return r
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            report.violations.append(message)
+
+    def probe_daemon(socket_path: Path, context: str) -> None:
+        """A few valid selects — any client-visible exception is a
+        violation (the whole point of the guarded rollout)."""
+        try:
+            with DaemonClient(socket_path, timeout_s=30.0) as client:
+                response = client.select(_valid_queries(
+                    _rng(seed, "adapt-probe", context), 4))
+                _check_select_response(response, 4, context,
+                                       client_stats)
+        except Exception as exc:
+            client_stats.violation(
+                f"{context}: client-visible failure "
+                f"{type(exc).__name__}: {exc}")
+
+    def await_serving(socket_path: Path, crc: str | None,
+                      context: str) -> None:
+        """The daemon must converge onto the bundle with this CRC."""
+        got = _poll_stats(
+            socket_path,
+            lambda s: s.get("snapshot", {}).get("checksum") == crc)
+        if got is None:
+            report.violations.append(
+                f"{context}: daemon never converged onto checksum "
+                f"{crc}")
+        else:
+            report.reloads_observed += 1
+
+    try:
+        with use_telemetry(get_tracer(), registry):
+            spec = get_cluster(CHAOS_TRAIN_CLUSTER)
+            conditions = NetworkConditions(**DRIFT_CONDITIONS_KW)
+            bundle = tmp / "bundle.json"
+            dataset_path = tmp / "dataset.jsonl"
+            feedback_path = tmp / "feedback.jsonl"
+            state_dir = tmp / "state"
+            socket_path = tmp / "daemon.sock"
+            ready = tmp / "ready.json"
+            log_path = tmp / "daemon.log"
+
+            phase("train champion bundle + dataset")
+            dataset = collect_dataset(clusters=[spec],
+                                      collectives=CHAOS_COLLECTIVES,
+                                      progress=False)
+            dataset.save(dataset_path)
+            models = {coll: train_model(dataset, coll, seed=seed,
+                                        params={"n_estimators": 8})
+                      for coll in CHAOS_COLLECTIVES}
+            champion = PretrainedSelector(models)
+            save_selector(champion, bundle)
+            champion_bytes = bundle.read_bytes()
+            champion_crc = file_crc32(bundle)
+
+            cfg = AdaptConfig(
+                cluster=CHAOS_TRAIN_CLUSTER, bundle_path=bundle,
+                feedback_path=feedback_path, state_dir=state_dir,
+                dataset_path=dataset_path, window=600,
+                model_params={"n_estimators": 8}, seed=seed,
+                probation_rows=20)
+            loop = AdaptationLoop(cfg)
+            log = FeedbackLog(feedback_path)
+
+            phase("boot daemon on champion")
+            proc = _start_daemon(bundle, socket_path, state_dir / "srv",
+                                 ready, log_path)
+            boot = _wait_ready(ready, proc)
+            if boot is None:
+                report.violations.append(
+                    "daemon never became ready: " + _tail(log_path))
+                return report
+            probe_daemon(socket_path, "post-boot")
+
+            phase("poisoned feedback (quarantine, loop survives)")
+            feedback_path.write_text("{ not json at all\n")
+            r = run_and_record(loop)
+            expect(r.verdict == "no_feedback",
+                   f"poisoned feedback verdict {r.verdict!r}")
+            expect(r.quarantined is not None
+                   and Path(r.quarantined).exists(),
+                   "poisoned feedback was not quarantined")
+            expect(bundle.read_bytes() == champion_bytes,
+                   "poisoned feedback disturbed the serving bundle")
+            probe_daemon(socket_path, "post-poison")
+
+            phase("stable feedback (no drift)")
+            rows, tick = synthesize_feedback(spec, champion,
+                                             conditions=None, tick0=0)
+            log.append(rows)
+            r = run_and_record(loop)
+            expect(r.verdict == "stable",
+                   f"stable feedback verdict {r.verdict!r}")
+            expect(bundle.read_bytes() == champion_bytes,
+                   "stable feedback swapped the bundle")
+
+            phase("drift storm -> challenger -> promotion")
+            rows, tick = synthesize_feedback(spec, champion,
+                                             conditions=conditions,
+                                             tick0=tick, repeat=2)
+            log.append(rows)
+            r = run_and_record(loop)
+            expect(r.verdict == "promoted",
+                   f"drift storm verdict {r.verdict!r}: {r.detail}")
+            expect(bundle.read_bytes() != champion_bytes,
+                   "promotion did not change the serving bundle")
+            expect((state_dir / "champion.backup.json").exists(),
+                   "promotion left no champion backup")
+            promoted_crc = file_crc32(bundle)
+            await_serving(socket_path, promoted_crc, "post-promotion")
+            probe_daemon(socket_path, "post-promotion")
+            try:
+                lineage = load_selector(bundle).models[
+                    CHAOS_COLLECTIVES[0]].metadata.get("lineage")
+                expect(isinstance(lineage, dict)
+                       and lineage.get("parent_checksum")
+                       == champion_crc,
+                       f"promoted bundle lineage wrong: {lineage!r}")
+            except Exception as exc:
+                report.violations.append(
+                    f"promoted bundle unreadable: {exc}")
+
+            phase("probation confirmation")
+            promoted = load_selector(bundle)
+            rows, tick = synthesize_feedback(spec, promoted,
+                                             conditions=conditions,
+                                             tick0=tick)
+            log.append(rows)
+            r = run_and_record(loop)
+            expect(r.verdict == "confirmed",
+                   f"probation verdict {r.verdict!r}: {r.detail}")
+            confirmed_bytes = bundle.read_bytes()
+
+            phase("deliberately-worse challenger: gate must reject")
+            # Labels inverted (1/t): the model learns to pick the
+            # *slowest* algorithm for every cell.
+            from .dataset import CollectiveRecord
+            inverted = TuningDataset([
+                CollectiveRecord(
+                    cluster=f.cluster, collective=f.collective,
+                    nodes=f.nodes, ppn=f.ppn, msg_size=f.msg_size,
+                    times={a: 1.0 / t for a, t in f.times.items()})
+                for f in rows])
+            bad = PretrainedSelector({
+                coll: train_model(inverted, coll, seed=seed,
+                                  params={"n_estimators": 4})
+                for coll in CHAOS_COLLECTIVES})
+            from ..adapt.gate import shadow_evaluate
+            shadow = shadow_evaluate(promoted, bad, rows[-60:], spec)
+            expect(not shadow.promote,
+                   f"gate promoted a worse challenger: "
+                   f"{shadow.to_dict()}")
+            expect(bundle.read_bytes() == confirmed_bytes,
+                   "rejected challenger still changed the bundle")
+
+            phase("forced promotion of worse challenger -> auto-demote")
+            gate = ChampionChallengerGate(bundle, state_dir,
+                                          registry=registry)
+            staged = tmp / "bad-challenger.json"
+            save_selector(bad, staged)
+            gate.promote(staged, tick=tick)
+            # A gamed shadow evaluation would have recorded a rosy
+            # promise; probation must catch the lie on real feedback.
+            (state_dir / "adapt_state.json").write_text(json.dumps(
+                {"phase": "probation", "fence_tick": tick - 1,
+                 "baseline_regret": 0.0}, sort_keys=True,
+                separators=(",", ":")) + "\n")
+            bad_crc = file_crc32(bundle)
+            await_serving(socket_path, bad_crc, "post-forced-promotion")
+            probe_daemon(socket_path, "post-forced-promotion")
+            bad_serving = load_selector(bundle)
+            rows, tick = synthesize_feedback(spec, bad_serving,
+                                             conditions=conditions,
+                                             tick0=tick)
+            log.append(rows)
+            r = run_and_record(loop)
+            expect(r.verdict == "demoted",
+                   f"worse-promotion verdict {r.verdict!r}: {r.detail}")
+            expect(bundle.read_bytes() == confirmed_bytes,
+                   "auto-demotion did not restore the champion")
+            expect(r.demoted is not None
+                   and Path(r.demoted).exists(),
+                   "demoted challenger was not quarantined")
+            await_serving(socket_path, file_crc32(bundle),
+                          "post-demotion")
+            probe_daemon(socket_path, "post-demotion")
+
+            phase("mid-promotion SIGKILL -> recovery")
+            save_selector(bad, staged)
+            src_dir = str(Path(__file__).resolve().parents[2])
+            # The subprocess takes the adapt lock (like a real sidecar
+            # run would), performs the real promote() up to and
+            # including the bundle swap, then SIGKILLs itself — dying
+            # with the transaction uncommitted *and* the lock held.
+            script = (
+                "import os, sys\n"
+                f"sys.path.insert(0, {src_dir!r})\n"
+                "import repro.adapt.gate as g\n"
+                "from repro.core.resilience import FileLock\n"
+                f"lock = FileLock({str(state_dir / 'adapt.lock')!r})\n"
+                "lock.acquire()\n"
+                "real_replace = g.os.replace\n"
+                "def crash_replace(a, b):\n"
+                "    real_replace(a, b)\n"
+                "    os.kill(os.getpid(), 9)\n"
+                "g.os.replace = crash_replace\n"
+                f"gate = g.ChampionChallengerGate({str(bundle)!r}, "
+                f"{str(state_dir)!r})\n"
+                f"gate.promote({str(staged)!r}, tick=10 ** 6)\n")
+            done = subprocess.run([sys.executable, "-c", script],
+                                  env=_daemon_env(), capture_output=True,
+                                  timeout=120)
+            expect(done.returncode == -9,
+                   f"SIGKILL subprocess exited rc={done.returncode}: "
+                   f"{done.stderr.decode(errors='replace')[-200:]}")
+            expect((state_dir / "promotion.json").exists(),
+                   "killed promotion left no sentinel")
+            expect((state_dir / "adapt.lock").exists(),
+                   "killed promotion left no stale lock to break")
+            r = run_and_record(loop)
+            expect(r.verdict == "recovered",
+                   f"post-SIGKILL verdict {r.verdict!r}: {r.detail}")
+            expect(registry.counters().get("adapt.lock.broken", 0) >= 1,
+                   "stale adapt lock was not broken on recovery")
+            expect(bundle.read_bytes() == confirmed_bytes,
+                   "recovery did not restore the champion bundle")
+            expect(not (state_dir / "promotion.json").exists(),
+                   "recovery left the promotion sentinel behind")
+            expect(any(p.name.startswith("bundle.json.corrupt")
+                       for p in tmp.iterdir()),
+                   "half-promoted challenger was not quarantined")
+            await_serving(socket_path, file_crc32(bundle),
+                          "post-recovery")
+            probe_daemon(socket_path, "post-recovery")
+
+            phase("determinism replay (two fresh folds, same log)")
+            digests = []
+            for replica in ("a", "b"):
+                rdir = tmp / f"replica-{replica}"
+                rdir.mkdir()
+                rbundle = rdir / "bundle.json"
+                rbundle.write_bytes(champion_bytes)
+                rcfg = AdaptConfig(
+                    cluster=CHAOS_TRAIN_CLUSTER, bundle_path=rbundle,
+                    feedback_path=feedback_path,
+                    state_dir=rdir / "state",
+                    dataset_path=dataset_path, window=600,
+                    model_params={"n_estimators": 8}, seed=seed,
+                    probation_rows=20)
+                rloop = AdaptationLoop(rcfg)
+                for _ in range(2):
+                    rloop.run_once()
+                digests.append((
+                    (rdir / "state" / "adapt_decisions.jsonl")
+                    .read_bytes(),
+                    rbundle.read_bytes()))
+            report.decision_log_identical = \
+                digests[0][0] == digests[1][0]
+            expect(report.decision_log_identical,
+                   "decision logs diverged between identical replays")
+            expect(digests[0][1] == digests[1][1],
+                   "serving bundles diverged between identical replays")
+
+            phase("counter partitions (adapt / guards / daemon)")
+            counters = registry.counters()
+            report.counters = dict(counters)
+            runs = counters.get("adapt.runs", 0)
+            verdict_sum = sum(
+                counters.get(f"adapt.verdict.{v}", 0)
+                for v in VERDICTS)
+            expect(runs == verdict_sum and runs > 0,
+                   f"adapt.runs {runs} != verdict sum {verdict_sum}")
+            loads = counters.get("adapt.feedback.loads", 0)
+            expect(loads == counters.get("adapt.feedback.ok", 0)
+                   + counters.get("adapt.feedback.quarantined", 0),
+                   "adapt.feedback.loads does not partition")
+            evals = counters.get("adapt.gate.evaluations", 0)
+            expect(evals == counters.get("adapt.gate.accepted", 0)
+                   + counters.get("adapt.gate.rejected", 0),
+                   "adapt.gate.evaluations does not partition")
+            for ns in ("guard.champion", "guard.challenger"):
+                report.violations.extend(_guard_namespace_violations(
+                    counters, ns, "quiescent"))
+            quiet = _poll_quiescent(socket_path, timeout_s=30.0)
+            if quiet is None:
+                report.violations.append(
+                    "daemon stats unavailable at quiescence")
+            else:
+                report.violations.extend(_daemon_partition_violations(
+                    quiet.get("counters", {}), "quiescent",
+                    quiescent=True))
+
+            phase("graceful shutdown (drain)")
+            try:
+                with DaemonClient(socket_path, timeout_s=30.0) as c:
+                    c.shutdown()
+                rc = proc.wait(timeout=30)
+                expect(rc == 0,
+                       f"drained daemon exited rc={rc}: "
+                       + _tail(log_path))
+                proc = None
+            except Exception as exc:
+                report.violations.append(
+                    f"drain failed: {type(exc).__name__}: {exc}")
+
+            report.violations.extend(client_stats.violations)
+            expect(client_stats.invalid == 0,
+                   f"{client_stats.invalid} probe queries answered "
+                   f"invalid")
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        report.wall_s = time.perf_counter() - t0
+        ambient = get_registry()
+        ambient.counter("chaos.adapt.phases").inc(len(report.phases))
+        ambient.counter("chaos.adapt.violations").inc(
+            len(report.violations))
+        shutil.rmtree(tmp, ignore_errors=True)
+    return report

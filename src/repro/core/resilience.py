@@ -219,7 +219,9 @@ def quarantine(path: str | Path) -> Path:
     path = Path(path)
     target = path.with_name(path.name + ".corrupt")
     n = 1
-    while target.exists():
+    # lexists, not exists: a dangling symlink at a candidate name is
+    # still evidence and must not be silently overwritten.
+    while os.path.lexists(target):
         target = path.with_name(f"{path.name}.corrupt.{n}")
         n += 1
     os.replace(path, target)

@@ -98,6 +98,40 @@ def render_report(trace: TraceData, top: int = 10) -> str:
 
     counters = trace.counters()
     gauges = trace.gauges()
+
+    # Adaptation state (when the trace came from `pml-mpi adapt` or a
+    # run with the sidecar attached): drift verdicts and the gate's
+    # promotion ledger, surfaced before the raw counter dump.
+    if any(n.startswith("adapt.") for n in (*counters, *gauges)):
+        lines.append("")
+        lines.append("== adaptation ==")
+        drift_state = gauges.get("adapt.drift.state")
+        phase = gauges.get("adapt.phase")
+        lines.append(
+            f"drift: {'DRIFTING' if drift_state else 'stable'}   "
+            f"phase: "
+            f"{'probation' if phase else 'stable'}   "
+            f"runs: {counters.get('adapt.runs', 0)}")
+        reg_m = gauges.get("adapt.regret.model")
+        reg_f = gauges.get("adapt.regret.floor")
+        reg_c = gauges.get("adapt.regret.challenger")
+        parts = []
+        if reg_m is not None:
+            parts.append(f"model={reg_m:.4f}")
+        if reg_c is not None:
+            parts.append(f"challenger={reg_c:.4f}")
+        if reg_f is not None:
+            parts.append(f"floor={reg_f:.4f}")
+        if parts:
+            lines.append("regret: " + "  ".join(parts))
+        gate = {k: counters[k] for k in
+                ("adapt.gate.promoted", "adapt.gate.demoted",
+                 "adapt.gate.rejected", "adapt.gate.recovered",
+                 "adapt.gate.quarantined") if k in counters}
+        if gate:
+            lines.append("gate: " + "  ".join(
+                f"{k.rsplit('.', 1)[1]}={v}" for k, v in gate.items()))
+
     if counters or gauges:
         lines.append("")
         lines.append("== counters ==")

@@ -459,7 +459,8 @@ class SelectionDaemon:
             protocol=PROTOCOL_VERSION,
             snapshot={"version": snapshot.version,
                       "source": snapshot.source,
-                      "checksum": snapshot.checksum},
+                      "checksum": snapshot.checksum,
+                      "lineage": snapshot.lineage},
             draining=self._draining,
             inflight=self._inflight,
             breaker=self.admission.state,

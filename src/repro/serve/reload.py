@@ -81,6 +81,10 @@ class Snapshot:
     checksum: str | None
     service: SelectionService
     floor: SelectionService
+    #: Adaptation lineage of the loaded bundle (parent checksum,
+    #: feedback window, …) when it was produced by the challenger
+    #: trainer; ``None`` for offline-trained bundles and the floor.
+    lineage: dict[str, Any] | None = None
 
     def describe(self) -> str:
         origin = self.bundle_path if self.source == SOURCE_BUNDLE \
@@ -136,10 +140,16 @@ class SnapshotStore:
             registry=self.registry)
 
     def _build(self, source: str, checksum: str | None) -> Snapshot:
+        lineage = None
         if source == SOURCE_BUNDLE:
             assert self.bundle_path is not None
-            selector = GuardedSelector(load_selector(self.bundle_path),
-                                       registry=self.registry)
+            inner = load_selector(self.bundle_path)
+            for model in inner.models.values():
+                candidate = model.metadata.get("lineage")
+                if isinstance(candidate, dict):
+                    lineage = candidate
+                    break
+            selector = GuardedSelector(inner, registry=self.registry)
             service = SelectionService(
                 selector, self.spec, cache_size=self.cache_size,
                 quantize=self.quantize, registry=self.registry)
@@ -150,7 +160,8 @@ class SnapshotStore:
         self._version += 1
         return Snapshot(version=self._version, source=source,
                         bundle_path=bundle, checksum=checksum,
-                        service=service, floor=self._floor_service())
+                        service=service, floor=self._floor_service(),
+                        lineage=lineage)
 
     # -- lifecycle -------------------------------------------------------
     def boot(self) -> tuple[Snapshot, str | None]:

@@ -139,7 +139,8 @@ class GuardedSelector(AlgorithmSelector):
                  envelopes: dict[str, dict[str, tuple[float, float]]]
                  | None = None,
                  ood_margin_log2: float = 1.0,
-                 registry: MetricsRegistry | None = None) -> None:
+                 registry: MetricsRegistry | None = None,
+                 namespace: str = "guard") -> None:
         self.inner = inner
         self.fallback = fallback if fallback is not None \
             else MvapichDefaultSelector()
@@ -153,12 +154,16 @@ class GuardedSelector(AlgorithmSelector):
         #: this many octaves outside the trained envelope.
         self.ood_margin_log2 = ood_margin_log2
         #: Health counters are registry instruments, one per
-        #: COUNTER_KEYS entry under ``guard.*``.  Defaults to a fresh
-        #: per-instance registry so two guards never share counts;
-        #: pass a registry to aggregate across instances.
+        #: COUNTER_KEYS entry under ``<namespace>.*`` (``guard.*`` by
+        #: default).  Defaults to a fresh per-instance registry so two
+        #: guards never share counts; pass a registry to aggregate
+        #: across instances — and a distinct namespace (e.g.
+        #: ``guard.champion`` / ``guard.challenger``) when two guards
+        #: *must* share one registry without merging their partitions.
         self.registry = registry if registry is not None \
             else MetricsRegistry()
-        self._counters = {k: self.registry.counter(f"guard.{k}")
+        self.namespace = namespace
+        self._counters = {k: self.registry.counter(f"{namespace}.{k}")
                           for k in COUNTER_KEYS}
         #: Most recent decision (diagnostics; ``select`` returns only
         #: the algorithm name to keep the AlgorithmSelector contract).

@@ -9,9 +9,11 @@ import pytest
 
 from repro.core.chaos import (
     CORRUPT_LABEL,
+    AdaptChaosReport,
     ChaosReport,
     DaemonChaosReport,
     FlakySelector,
+    run_adapt_chaos,
     run_chaos,
     run_daemon_chaos,
 )
@@ -99,6 +101,41 @@ class TestDaemonChaosReport:
         assert not report.ok
         assert "DAEMON CHAOS FAILED" in report.describe()
         assert report.to_dict()["violations"] == ["boom"]
+
+
+class TestAdaptChaosReport:
+    def test_report_round_trips_and_flags_violations(self):
+        report = AdaptChaosReport(seed=1)
+        assert report.ok
+        assert "ADAPT CHAOS OK" in report.describe()
+        report.violations.append("boom")
+        assert not report.ok
+        assert "ADAPT CHAOS FAILED" in report.describe()
+        assert report.to_dict()["violations"] == ["boom"]
+
+
+@pytest.mark.chaos
+@pytest.mark.drift
+def test_adapt_soak_full_lifecycle():
+    """The full online-adaptation soak: poisoned feedback quarantined,
+    drift storm detected, a good challenger promoted behind the gate
+    and confirmed through probation, a deliberately-worse challenger
+    rejected, mid-promotion SIGKILL recovered, and the whole decision
+    log byte-identical on replay."""
+    report = run_adapt_chaos(seed=0)
+    assert report.ok, "\n".join(report.violations)
+    assert report.decision_log_identical
+    assert report.reloads_observed >= 1
+    for verdict in ("no_feedback", "promoted", "confirmed", "demoted",
+                    "recovered"):
+        assert verdict in report.verdicts, report.verdicts
+    c = report.counters
+    assert c["adapt.runs"] == sum(
+        v for k, v in c.items() if k.startswith("adapt.verdict."))
+    assert c["adapt.feedback.loads"] == (
+        c["adapt.feedback.ok"] + c["adapt.feedback.quarantined"])
+    assert c["adapt.gate.evaluations"] == (
+        c["adapt.gate.accepted"] + c["adapt.gate.rejected"])
 
 
 @pytest.mark.chaos

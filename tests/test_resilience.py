@@ -188,6 +188,20 @@ class TestAtomicWrites:
         assert names == ["t.json.corrupt", "t.json.corrupt.1",
                          "t.json.corrupt.2"]
 
+    def test_quarantine_steps_over_dangling_symlink(self, tmp_path):
+        # A dangling symlink squatting on the .corrupt name is still
+        # evidence: quarantine must step past it (lexists), never
+        # replace it.
+        f = tmp_path / "t.json"
+        f.write_text("garbage")
+        os.symlink(tmp_path / "vanished", tmp_path / "t.json.corrupt")
+        moved = quarantine(f)
+        assert moved.name == "t.json.corrupt.1"
+        assert moved.read_text() == "garbage"
+        link = tmp_path / "t.json.corrupt"
+        assert os.path.lexists(link) and not link.exists()
+        assert os.readlink(link) == str(tmp_path / "vanished")
+
 
 # ---------------------------------------------------------------------------
 # Corrupt-artifact matrix: each artifact kind x each failure mode
@@ -505,6 +519,50 @@ class TestFileLock:
         blocked = FileLock(lock, timeout_s=0.05, poll_s=0.01)
         with pytest.raises(LockTimeoutError):
             blocked.acquire()
+
+    def test_two_contenders_racing_one_stale_lock(self, tmp_path,
+                                                  monkeypatch):
+        """Two processes find the same dead-owner lock at once.  Both
+        may observe it stale (the TOCTOU window), but only the first
+        break unlinks anything: the second sees a missing file — not
+        stale — so it can never unlink the winner's *fresh* lock."""
+        import repro.core.resilience as resilience
+
+        monkeypatch.setattr(resilience, "fcntl", None)
+        dead_pid = 4242
+        real_pid_alive = FileLock.pid_alive
+        monkeypatch.setattr(
+            FileLock, "pid_alive",
+            staticmethod(lambda pid: False if pid == dead_pid
+                         else real_pid_alive(pid)))
+
+        lock = tmp_path / "x.lock"
+        lock.write_text(json.dumps(
+            {"pid": dead_pid, "acquired_at": 0.0}))
+        a = FileLock(lock, timeout_s=0.5, poll_s=0.01)
+        b = FileLock(lock, timeout_s=0.05, poll_s=0.01)
+
+        # Both contenders pass the staleness check before either acts.
+        assert FileLock.owner_is_stale(lock)
+        assert FileLock.owner_is_stale(lock)
+        assert a.break_stale()
+        assert not b.break_stale()  # missing file: nothing to break
+
+        a.acquire()
+        try:
+            owner = FileLock.read_owner(lock)
+            assert owner is not None and owner["pid"] == os.getpid()
+            # B must now see a live owner and neither break nor steal.
+            assert not FileLock.owner_is_stale(lock)
+            assert not b.break_stale()
+            with pytest.raises(LockTimeoutError):
+                b.acquire()
+            assert FileLock.read_owner(lock)["pid"] == os.getpid()
+        finally:
+            a.release()
+        # With the winner gone, the loser acquires cleanly.
+        b.acquire()
+        b.release()
 
 
 # ---------------------------------------------------------------------------
