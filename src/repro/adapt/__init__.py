@@ -23,7 +23,7 @@ production selection worse than the champion it replaces:
   tying the above together (one-shot and ``--watch`` sidecar modes).
 """
 
-from .challenger import merge_feedback, train_challenger
+from .challenger import graft_champion_models, merge_feedback, train_challenger
 from .drift import DriftMonitor, PageHinkley
 from .feedback import (
     FEEDBACK_FORMAT,
@@ -48,6 +48,7 @@ __all__ = [
     "PageHinkley",
     "ShadowReport",
     "VERDICTS",
+    "graft_champion_models",
     "merge_feedback",
     "record_from_decision",
     "shadow_evaluate",

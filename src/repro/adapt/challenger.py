@@ -28,7 +28,7 @@ from ..core.training import train_model
 from ..obs.telemetry import get_registry, get_tracer
 from .feedback import FeedbackRecord
 
-__all__ = ["merge_feedback", "train_challenger"]
+__all__ = ["graft_champion_models", "merge_feedback", "train_challenger"]
 
 
 def merge_feedback(base: TuningDataset,
@@ -58,10 +58,13 @@ def train_challenger(base: TuningDataset,
     """Fit a candidate selector on the merged rows.
 
     ``collectives=None`` trains one model per collective present in
-    the feedback window (the only models drift has evidence against);
-    collectives in the base dataset but absent from feedback keep no
-    challenger model, so the gate falls back to the champion for them
-    and promotion can never regress an unobserved collective.
+    the feedback window (the only models drift has evidence against).
+    The result covers *only* those collectives — before staging it as
+    the serving bundle, the loop grafts the champion's models for
+    every collective the challenger did not retrain (see
+    :func:`graft_champion_models`), so promotion can never shrink
+    coverage and regress an unobserved collective down to the
+    heuristic floor.
     """
     if collectives is None:
         seen: dict[str, None] = {}
@@ -93,3 +96,28 @@ def train_challenger(base: TuningDataset,
             models[collective] = model
     get_registry().counter("adapt.challengers.trained").inc()
     return PretrainedSelector(models)
+
+
+def graft_champion_models(challenger: PretrainedSelector,
+                          champion: PretrainedSelector
+                          ) -> PretrainedSelector:
+    """Union selector: the challenger's freshly-trained models plus
+    the champion's model for every collective the challenger did not
+    retrain (the challenger wins where both have one).
+
+    Drift only re-fits collectives present in the feedback window, so
+    a raw challenger can cover fewer collectives than the champion it
+    replaces.  Promoting it as-is would drop those models entirely —
+    ``PretrainedSelector.select`` would raise ``KeyError`` and the
+    daemon would serve the heuristic floor (and could trip the circuit
+    breaker) for collectives nobody observed regressing.  Grafting
+    keeps the champion's model serving for them instead; neither
+    shadow evaluation nor probation can score unobserved collectives,
+    so coverage must be preserved structurally, not statistically.
+    """
+    missing = {c: m for c, m in champion.models.items()
+               if c not in challenger.models}
+    if not missing:
+        return challenger
+    get_registry().counter("adapt.challengers.grafted").inc(len(missing))
+    return PretrainedSelector({**missing, **challenger.models})

@@ -7,9 +7,12 @@ selector executed *algorithm* and these per-algorithm times were
 measured".  ``times`` always contains the executed algorithm; when the
 runtime also micro-benchmarked alternatives (the ACCLAiM-style probe),
 their times ride along and sharpen the oracle.  ``tick`` is a logical
-sequence stamp (monotonically non-decreasing, assigned by the
-producer), *not* a wall-clock time — every adaptation decision is a
-pure function of the log contents, so replays are byte-identical.
+sequence stamp (monotonically non-decreasing), *not* a wall-clock
+time — every adaptation decision is a pure function of the log
+contents, so replays are byte-identical.  Producers may assign ticks
+explicitly; records left at the default ``tick=0`` are auto-stamped
+by :meth:`FeedbackLog.append` so the adaptation fence keeps seeing
+fresh rows.
 
 The on-disk format mirrors the trace/dataset artifacts: line 1 is a
 ``{"__meta__": {...}}`` header with format name, schema version,
@@ -23,6 +26,7 @@ quarantines (never deletes) a corrupt log via
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 from dataclasses import dataclass
@@ -32,6 +36,7 @@ from typing import Any
 from ..core.dataset import CollectiveRecord
 from ..core.resilience import (
     CorruptArtifactError,
+    FileLock,
     StaleArtifactError,
     atomic_write_text,
     checksum_lines,
@@ -191,10 +196,25 @@ class FeedbackLog:
     old valid log or the new valid log — never a torn one.  Feedback
     volumes here are adaptation windows (hundreds to thousands of
     rows), not traces, so the rewrite is cheap.
+
+    Mutations (``append``, and the quarantine rename inside
+    ``load_or_quarantine``) are serialized through a sibling
+    ``<name>.lock`` :class:`~repro.core.resilience.FileLock`: the
+    atomic write only protects against torn files, so without the
+    lock two concurrent producers' load-merge-rewrite cycles would
+    silently drop each other's records.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path,
+                 lock_timeout_s: float = 10.0) -> None:
         self.path = Path(path)
+        self.lock_path = self.path.with_name(self.path.name + ".lock")
+        self.lock_timeout_s = lock_timeout_s
+
+    def _lock(self) -> FileLock:
+        # Contended lock: leave the file in place on release
+        # (unlinking a contended flock file opens a two-holders race).
+        return FileLock(self.lock_path, timeout_s=self.lock_timeout_s)
 
     # -- reading ---------------------------------------------------------
     def load(self) -> list[FeedbackRecord]:
@@ -259,12 +279,13 @@ class FeedbackLog:
         """
         registry = get_registry()
         registry.counter("adapt.feedback.loads").inc()
-        try:
-            records = self.load()
-        except (CorruptArtifactError, StaleArtifactError):
-            registry.counter("adapt.feedback.quarantined").inc()
-            moved = quarantine(self.path)
-            return [], moved
+        with self._lock():
+            try:
+                records = self.load()
+            except (CorruptArtifactError, StaleArtifactError):
+                registry.counter("adapt.feedback.quarantined").inc()
+                moved = quarantine(self.path)
+                return [], moved
         registry.counter("adapt.feedback.ok").inc()
         return records, None
 
@@ -274,17 +295,35 @@ class FeedbackLog:
 
         The existing log is loaded strictly first — appending to a
         corrupt log raises rather than laundering garbage under a
-        fresh checksum.
+        fresh checksum.  The load-merge-rewrite runs under the log's
+        file lock so concurrent producers cannot lose each other's
+        records.
+
+        Records carrying the default ``tick=0`` on a non-empty log (or
+        after another default-tick record in the same batch) are
+        auto-stamped with the next monotonic tick: the adaptation
+        fence filters on ``tick > fence_tick``, so a producer that
+        never manages ticks would otherwise have every row after the
+        first batch silently dropped as already-judged.  An explicit
+        non-zero tick is always kept as given.
         """
-        existing = self.load()
-        merged = existing + [
-            validate_record(r.to_dict()) for r in records]
-        body = [_record_line(r) for r in merged]
-        header = json.dumps({"__meta__": {
-            "format": FEEDBACK_FORMAT, "version": FEEDBACK_VERSION,
-            "records": len(body), "crc32": checksum_lines(body),
-        }}, sort_keys=True, separators=(",", ":")) + "\n"
-        atomic_write_text(self.path, header + "".join(body))
+        with self._lock():
+            existing = self.load()
+            last = max((r.tick for r in existing), default=-1)
+            stamped = []
+            for r in records:
+                v = validate_record(r.to_dict())
+                if v.tick == 0 and last >= 0:
+                    v = dataclasses.replace(v, tick=last + 1)
+                stamped.append(v)
+                last = max(last, v.tick)
+            merged = existing + stamped
+            body = [_record_line(r) for r in merged]
+            header = json.dumps({"__meta__": {
+                "format": FEEDBACK_FORMAT, "version": FEEDBACK_VERSION,
+                "records": len(body), "crc32": checksum_lines(body),
+            }}, sort_keys=True, separators=(",", ":")) + "\n"
+            atomic_write_text(self.path, header + "".join(body))
         get_registry().counter("adapt.feedback.appended").inc(len(records))
         return self.path
 

@@ -28,6 +28,7 @@ existing :class:`~repro.serve.reload.SnapshotStore` checksum poll.
 
 from __future__ import annotations
 
+import errno
 import json
 import math
 import os
@@ -212,7 +213,18 @@ class ChampionChallengerGate:
                           json.dumps(sentinel, sort_keys=True,
                                      separators=(",", ":")) + "\n")
         atomic_write_bytes(self.backup_path, champ_bytes)
-        os.replace(challenger_path, self.serving_path)
+        try:
+            os.replace(challenger_path, self.serving_path)
+        except OSError as exc:
+            # The staged challenger lives in state_dir while the
+            # serving bundle is an arbitrary user path; on different
+            # filesystems the rename raises EXDEV.  Degrade to an
+            # atomic same-directory write of the challenger bytes.
+            if exc.errno != errno.EXDEV:
+                raise
+            atomic_write_bytes(self.serving_path,
+                               challenger_path.read_bytes())
+            challenger_path.unlink(missing_ok=True)
         self.sentinel_path.unlink()
         self.registry.counter("adapt.gate.promoted").inc()
 

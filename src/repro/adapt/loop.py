@@ -40,12 +40,13 @@ from typing import Any
 
 from ..core.bundle import load_selector, save_selector
 from ..core.dataset import TuningDataset
+from ..core.inference import PretrainedSelector
 from ..core.resilience import ArtifactError, FileLock, atomic_write_text
 from ..hwmodel import get_cluster
 from ..obs.telemetry import get_registry, get_tracer
 from ..smpi.guard import GuardedSelector
 from ..smpi.heuristics import MvapichDefaultSelector
-from .challenger import train_challenger
+from .challenger import graft_champion_models, train_challenger
 from .drift import DriftMonitor, DriftState
 from .feedback import FeedbackLog
 from .gate import ChampionChallengerGate, ShadowReport, shadow_evaluate
@@ -224,6 +225,19 @@ class AdaptationLoop:
                 f"base dataset unusable ({type(exc).__name__}), "
                 f"training on feedback only")
 
+    def _demote_safe(self, reason: str) -> tuple[Path | None, str]:
+        """``gate.demote`` that cannot crash the sidecar: a missing
+        champion backup (quarantined, cleaned up, or a hand-edited
+        ``phase=probation`` state file) degrades to keeping the
+        serving bundle, returning ``(None, explanation)`` instead of
+        letting ``FileNotFoundError`` escape ``run_once``."""
+        try:
+            return self.gate.demote(reason), "champion restored"
+        except FileNotFoundError:
+            get_registry().counter("adapt.gate.demote_unrestorable").inc()
+            return None, ("champion backup missing, serving bundle "
+                          "kept; resetting to stable")
+
     def _champion(self) -> GuardedSelector | None:
         try:
             inner = load_selector(self.gate.serving_path)
@@ -330,6 +344,14 @@ class AdaptationLoop:
                 phase=state.phase, fence_tick=state.fence_tick,
                 rows=len(window), drift=drift, quarantined=quarantined))
 
+        # Coverage guard: drift only retrains collectives seen in
+        # feedback; the promoted bundle must still serve every
+        # collective the champion did, so graft the champion's models
+        # for the rest *before* the challenger is evaluated or staged.
+        if isinstance(champion.inner, PretrainedSelector):
+            challenger = graft_champion_models(challenger,
+                                               champion.inner)
+
         shadow = shadow_evaluate(
             champion.inner, challenger, heldout, self.spec,
             min_improvement=cfg.min_improvement, alpha=cfg.alpha)
@@ -371,17 +393,18 @@ class AdaptationLoop:
         if promoted is None:
             # Serving bundle unreadable during probation: restore the
             # champion rather than keep an unverifiable promotion.
-            moved = self.gate.demote("serving bundle unreadable "
-                                     "during probation")
+            moved, outcome = self._demote_safe(
+                "serving bundle unreadable during probation")
             state.phase = PHASE_STABLE
             state.baseline_regret = None
             state.fence_tick = max_tick
             return self._finish(state, AdaptReport(
                 verdict="demoted",
                 detail="serving bundle unreadable during probation; "
-                "champion restored",
+                f"{outcome}",
                 phase=state.phase, fence_tick=state.fence_tick,
-                rows=len(window), demoted=str(moved),
+                rows=len(window),
+                demoted=str(moved) if moved is not None else None,
                 quarantined=quarantined))
         monitor = DriftMonitor(promoted, self.spec,
                                delta=cfg.ph_delta,
@@ -392,7 +415,7 @@ class AdaptationLoop:
             if state.baseline_regret is not None else 0.0
         state.fence_tick = max_tick
         if drift.regret_model > baseline + cfg.demote_tolerance:
-            moved = self.gate.demote(
+            moved, outcome = self._demote_safe(
                 f"probation regret {drift.regret_model:.4f} exceeds "
                 f"shadow promise {baseline:.4f} + "
                 f"{cfg.demote_tolerance:.4f}")
@@ -402,9 +425,10 @@ class AdaptationLoop:
                 verdict="demoted",
                 detail=f"probation regret {drift.regret_model:.4f} > "
                 f"promise {baseline:.4f} + tolerance "
-                f"{cfg.demote_tolerance:.4f}; champion restored",
+                f"{cfg.demote_tolerance:.4f}; {outcome}",
                 phase=state.phase, fence_tick=state.fence_tick,
-                rows=len(window), drift=drift, demoted=str(moved),
+                rows=len(window), drift=drift,
+                demoted=str(moved) if moved is not None else None,
                 quarantined=quarantined))
         state.phase = PHASE_STABLE
         state.baseline_regret = None

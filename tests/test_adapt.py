@@ -17,6 +17,7 @@ from repro.adapt import (
     FeedbackLog,
     FeedbackRecord,
     PageHinkley,
+    graft_champion_models,
     merge_feedback,
     record_from_decision,
     shadow_evaluate,
@@ -261,6 +262,35 @@ class TestFeedbackLog:
         with pytest.raises(CorruptArtifactError):
             FeedbackLog(path).append([_record()])
 
+    def test_append_auto_stamps_default_ticks(self, tmp_path):
+        # A producer that never manages ticks must still produce rows
+        # the fence (tick > fence_tick) can see: every default-tick
+        # record after the first gets a fresh monotonic tick.
+        log = FeedbackLog(tmp_path / "fb.jsonl")
+        log.append([_record(), _record(msg_size=2048)])
+        assert [r.tick for r in log.load()] == [0, 1]
+        log.append([_record(msg_size=4096)])
+        assert [r.tick for r in log.load()] == [0, 1, 2]
+
+    def test_append_keeps_explicit_ticks(self, tmp_path):
+        log = FeedbackLog(tmp_path / "fb.jsonl")
+        log.append([_record(tick=5)])
+        log.append([_record(tick=9, msg_size=2048)])
+        # ...but a default-tick record on a non-empty log is stamped
+        # past the current high-water mark, never left at 0.
+        log.append([_record(msg_size=4096)])
+        assert [r.tick for r in log.load()] == [5, 9, 10]
+
+    def test_append_blocks_on_held_lock(self, tmp_path):
+        from repro.core.resilience import FileLock, LockTimeoutError
+
+        log = FeedbackLog(tmp_path / "fb.jsonl", lock_timeout_s=0.05)
+        with FileLock(log.lock_path):
+            with pytest.raises(LockTimeoutError):
+                log.append([_record()])
+        log.append([_record()])  # released lock unblocks the producer
+        assert len(log.load()) == 1
+
 
 # ---------------------------------------------------------------------------
 # Page–Hinkley
@@ -473,6 +503,35 @@ class TestTrainChallenger:
         with pytest.raises(ValueError, match="no collectives"):
             train_challenger(TuningDataset([]), [])
 
+    def test_graft_preserves_champion_coverage(self, registry):
+        # Champion serves two collectives; drift feedback only covers
+        # allgather.  The grafted challenger must keep serving bcast
+        # with the champion's model, not drop it to the heuristic
+        # floor via KeyError.
+        bcast_names = sorted(base.algorithm_names("bcast"))
+        bcast_rows = [FeedbackRecord(
+            cluster="RI", collective="bcast", nodes=2, ppn=4,
+            msg_size=1 << (6 + t), algorithm=bcast_names[0],
+            times={bcast_names[0]: 1e-5, bcast_names[1]: 2e-5},
+            tick=t) for t in range(1, 6)]
+        ag_rows = [_record(tick=t, msg_size=1 << (6 + t))
+                   for t in range(1, 6)]
+        params = {"n_estimators": 4}
+        champion = train_challenger(TuningDataset([]),
+                                    ag_rows + bcast_rows, params=params)
+        assert set(champion.models) == {"allgather", "bcast"}
+        challenger = train_challenger(TuningDataset([]), ag_rows,
+                                      params=params)
+        assert set(challenger.models) == {"allgather"}
+        grafted = graft_champion_models(challenger, champion)
+        assert set(grafted.models) == {"allgather", "bcast"}
+        assert grafted.models["allgather"] is challenger.models[
+            "allgather"]
+        assert grafted.models["bcast"] is champion.models["bcast"]
+        assert registry.counters()["adapt.challengers.grafted"] == 1
+        # Full coverage is a no-op (and no spurious counter).
+        assert graft_champion_models(champion, challenger) is champion
+
 
 # ---------------------------------------------------------------------------
 # Champion/challenger gate transaction
@@ -570,6 +629,30 @@ class TestGateTransaction:
             gate.demote("nothing to restore")
         assert serving.read_text() == "CHAMPION"
 
+    def test_promote_falls_back_on_cross_device_rename(
+            self, tmp_path, registry, monkeypatch):
+        import errno
+        import os as os_mod
+
+        serving, gate = self._gate(tmp_path, registry)
+        staged = tmp_path / "challenger.json"
+        staged.write_text("CHALLENGER")
+        real_replace = os_mod.replace
+
+        def exdev_on_swap(src, dst, *a, **kw):
+            if str(src) == str(staged) and str(dst) == str(serving):
+                raise OSError(errno.EXDEV,
+                              "Invalid cross-device link", str(src))
+            return real_replace(src, dst, *a, **kw)
+
+        monkeypatch.setattr(os_mod, "replace", exdev_on_swap)
+        gate.promote(staged, tick=3)
+        assert serving.read_text() == "CHALLENGER"
+        assert gate.backup_path.read_text() == "CHAMPION"
+        assert not gate.sentinel_path.exists()
+        assert not staged.exists()
+        assert registry.counters()["adapt.gate.promoted"] == 1
+
 
 # ---------------------------------------------------------------------------
 # AdaptationLoop state machine (no training needed)
@@ -657,6 +740,30 @@ class TestAdaptationLoopVerdicts:
         assert report.phase == "stable"
         assert (tmp_path / "bundle.json").read_text() == "CHAMPION"
         assert registry.counters()["adapt.verdict.demoted"] == 1
+
+    def test_probation_missing_backup_resets_without_crashing(
+            self, tmp_path, registry):
+        # phase=probation but champion.backup.json is gone (quarantined
+        # or hand-edited state): run_once must emit a verdict, not let
+        # gate.demote's FileNotFoundError kill the --watch sidecar.
+        loop = _loop(tmp_path, probation_rows=2)
+        loop.state_dir.mkdir(parents=True)
+        loop.state_path.write_text(json.dumps(
+            {"phase": "probation", "fence_tick": -1,
+             "baseline_regret": 0.0}))
+        (tmp_path / "bundle.json").write_text("{ regressed garbage")
+        FeedbackLog(loop.feedback.path).append(
+            [_record(tick=i) for i in range(3)])
+        report = loop.run_once()
+        assert report.verdict == "demoted"
+        assert report.phase == "stable"
+        assert report.demoted is None
+        assert "backup missing" in report.detail
+        # Serving bundle kept: there was nothing to restore from.
+        assert (tmp_path / "bundle.json").read_text() \
+            == "{ regressed garbage"
+        c = registry.counters()
+        assert c["adapt.gate.demote_unrestorable"] == 1
 
     def test_recovery_runs_before_everything_else(self, tmp_path,
                                                   registry):
