@@ -19,6 +19,13 @@ harness in ``--quick`` mode on this machine, and fails when the
   default still fails hard when the columnar path silently degrades to
   scalar-equivalent cost (speedup ~1).
 
+The ``flight_recorder_overhead`` entry is gated the same way: the
+committed ``overhead_frac`` must stay under ``--max-overhead`` (the
+< 5 % acceptance bar for recording on the hot serving path), and the
+quick re-run must stay under a derated multiple of that bar — the
+absolute overhead is a tiny per-block cost, so the noisy quick run
+gets headroom rather than the committed figure's exact ceiling.
+
 Exit codes: 0 = gate passed, 1 = regression detected, 2 = missing or
 invalid results file.
 """
@@ -34,12 +41,15 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.core.bench import run_benchmarks, validate_bench_file  # noqa: E402
 
 ENTRY = "serve_batch_columnar"
+RECORDER_ENTRY = "flight_recorder_overhead"
 
 
-def _entry_config(results: dict, source: str) -> dict:
-    entry = results.get(ENTRY)
+def _entry_config(results: dict, source: str,
+                  entry_name: str = ENTRY) -> dict:
+    entry = results.get(entry_name)
     if entry is None:
-        print(f"bench-check: FAIL: {source} has no {ENTRY!r} entry")
+        print(f"bench-check: FAIL: {source} has no "
+              f"{entry_name!r} entry")
         raise SystemExit(2)
     return entry["config"]
 
@@ -55,6 +65,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="fraction of the committed speedup the "
                              "quick re-run must reach (default: "
                              "%(default)s)")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="ceiling for the committed flight-recorder "
+                             "overhead fraction (default: %(default)s)")
+    parser.add_argument("--overhead-headroom", type=float, default=3.0,
+                        help="multiple of --max-overhead the quick "
+                             "re-run may reach before failing "
+                             "(default: %(default)s)")
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker processes for the bench selector "
                              "fit (default: %(default)s)")
@@ -78,6 +95,14 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"committed speedup_vs_serve_batch {committed_speedup!r} "
             f"is below the {args.min_speedup:g}x acceptance floor")
+    rcfg = _entry_config(committed, args.results, RECORDER_ENTRY)
+    committed_overhead = rcfg.get("overhead_frac")
+    if not isinstance(committed_overhead, (int, float)) \
+            or committed_overhead >= args.max_overhead:
+        failures.append(
+            f"committed flight-recorder overhead_frac "
+            f"{committed_overhead!r} is not under the "
+            f"{args.max_overhead:.0%} ceiling")
     if failures:
         for f in failures:
             print(f"bench-check: FAIL: {f}")
@@ -85,6 +110,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"bench-check: committed {ENTRY}: "
           f"{committed_speedup:.2f}x, identical_to_scalar=true")
+    print(f"bench-check: committed {RECORDER_ENTRY}: "
+          f"{committed_overhead:+.2%}")
     print("bench-check: running quick benchmark ...")
     fresh = run_benchmarks(quick=True, jobs=args.jobs, progress=True)
     fcfg = _entry_config(fresh, "the quick bench run")
@@ -102,6 +129,16 @@ def main(argv: list[str] | None = None) -> int:
             f"quick run speedup {fresh_speedup:.2f}x fell below "
             f"{floor:.2f}x ({args.derate:g} x committed "
             f"{committed_speedup:.2f}x)")
+    fresh_overhead = _entry_config(
+        fresh, "the quick bench run", RECORDER_ENTRY)["overhead_frac"]
+    ceiling = args.overhead_headroom * args.max_overhead
+    print(f"bench-check: quick run recorder overhead "
+          f"{fresh_overhead:+.2%} (ceiling {ceiling:.0%})")
+    if fresh_overhead >= ceiling:
+        failures.append(
+            f"quick run flight-recorder overhead {fresh_overhead:.2%} "
+            f"reached the {ceiling:.0%} ceiling "
+            f"({args.overhead_headroom:g} x {args.max_overhead:.0%})")
     if failures:
         for f in failures:
             print(f"bench-check: FAIL: {f}")

@@ -15,6 +15,14 @@
 #
 # Invariants: zero raised client exceptions, internal == 0, and the
 # daemon/serve/guard counter partitions hold.  Exit 1 on any violation.
+# The soak also drives the live introspection plane: a mid-storm
+# scrape loop (protocol-v2 `metrics`/`tail`/`health`) whose Prometheus
+# partition must reconcile inside every scrape.
+#
+# A second stage then boots a daemon directly and exercises the
+# observability surface the way an operator would: `pml-mpi top
+# --once` against the live socket, plus a raw `metrics` scrape checked
+# for the exposition-format markers CI dashboards depend on.
 #
 # Run from anywhere: scripts/daemon_smoke.sh
 # HARD_TIMEOUT_S (default 600) bounds the whole stage; a hung daemon
@@ -40,5 +48,65 @@ if grep -q "VIOLATION:" "$workdir/daemon_chaos.out"; then
     echo "daemon soak recorded violations" >&2
     exit 1
 fi
+# The soak must have answered introspection scrapes mid-storm.
+if grep -q "scrapes answered:   0" "$workdir/daemon_chaos.out"; then
+    echo "daemon soak answered zero introspection scrapes" >&2
+    exit 1
+fi
+
+echo "== observability stage: metrics scrape + top --once =="
+bundle="$workdir/bundle.json"
+socket="$workdir/daemon.sock"
+python - "$bundle" <<'PY'
+import sys
+from repro.core.chaos import _train_chaos_bundle
+_train_chaos_bundle(sys.argv[1], seed=0)
+PY
+timeout --kill-after=30 "$HARD_TIMEOUT_S" \
+    python -m repro.cli serve RI \
+    --bundle "$bundle" \
+    --state-dir "$workdir/state" \
+    --socket "$socket" \
+    --ready-file "$workdir/ready.json" \
+    >"$workdir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -f "$workdir/ready.json" ] && break
+    sleep 0.2
+done
+[ -f "$workdir/ready.json" ] || {
+    echo "daemon never became ready:" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+}
+
+# One operator frame against the live socket (the CI-friendly mode).
+python -m repro.cli top --socket "$socket" --once \
+    | tee "$workdir/top.out"
+grep -q "pml-mpi top — serving" "$workdir/top.out"
+grep -q "health: " "$workdir/top.out"
+grep -q "flight recorder: " "$workdir/top.out"
+
+# A raw scrape must carry the exposition markers scrapers key on.
+python - "$socket" <<'PY' | tee "$workdir/metrics.out"
+import sys
+from repro.serve.client import DaemonClient
+with DaemonClient(sys.argv[1]) as client:
+    body = client.metrics()["body"]
+    health = client.health()
+sys.stdout.write(body)
+assert health["verdict"] in ("ok", "warn", "page"), health
+PY
+grep -q "# TYPE pml_serve_daemon_requests_total counter" \
+    "$workdir/metrics.out"
+grep -q 'le="+Inf"' "$workdir/metrics.out"
+
+python - "$socket" <<'PY'
+import sys
+from repro.serve.client import DaemonClient
+with DaemonClient(sys.argv[1]) as client:
+    client.shutdown()
+PY
+wait "$serve_pid"
 
 echo "DAEMON SMOKE OK"

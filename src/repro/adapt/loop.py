@@ -43,6 +43,7 @@ from ..core.dataset import TuningDataset
 from ..core.inference import PretrainedSelector
 from ..core.resilience import ArtifactError, FileLock, atomic_write_text
 from ..hwmodel import get_cluster
+from ..obs.live import get_recorder
 from ..obs.telemetry import get_registry, get_tracer
 from ..smpi.guard import GuardedSelector
 from ..smpi.heuristics import MvapichDefaultSelector
@@ -207,6 +208,16 @@ class AdaptationLoop:
         registry.gauge("adapt.phase").set(
             1.0 if state.phase == PHASE_PROBATION else 0.0)
         registry.gauge("adapt.fence_tick").set(float(state.fence_tick))
+        # Publish the verdict into the ambient flight recorder so an
+        # in-process observer (a daemon hosting the loop, or a test)
+        # sees promotions/demotions next to the requests they affect;
+        # cross-process observers tail the decision log instead.
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.record(
+                "adapt", verdict=report.verdict, phase=report.phase,
+                fence_tick=report.fence_tick, rows=report.rows,
+                detail=report.detail[:200])
         self._save_state(state)
         self._log_decision(state, report)
         return report

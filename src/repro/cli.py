@@ -264,8 +264,17 @@ def cmd_adapt(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from .core.resilience import LockTimeoutError
+    from .obs.slo import DEFAULT_SLOS, load_slos
     from .serve.daemon import DaemonConfig, SelectionDaemon
 
+    if args.slo is not None:
+        try:
+            slos = load_slos(args.slo)
+        except ValueError as exc:
+            print(f"cannot start: {exc}", file=sys.stderr)
+            return 1
+    else:
+        slos = DEFAULT_SLOS
     state_dir = args.state_dir
     config = DaemonConfig(
         spec=get_cluster(args.cluster),
@@ -281,6 +290,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         reload_poll_s=args.reload_poll_s,
         drain_timeout_s=args.drain_timeout_s,
         ready_file=args.ready_file,
+        recorder_capacity=args.recorder_capacity,
+        slos=slos,
+        adapt_log=args.adapt_log,
     )
     daemon = SelectionDaemon(config)
     try:
@@ -297,6 +309,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"({c['ok']} ok, {c['deadline_floor']} deadline-floored, "
           f"{c['overloaded']} shed, {c['reloads']} reloads)")
     return rc
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .serve.client import DaemonError
+    from .serve.top import run_top
+
+    try:
+        return run_top(str(args.socket), interval_s=args.interval,
+                       iterations=args.iterations, once=args.once)
+    except (OSError, DaemonError, ValueError) as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -579,7 +603,32 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="S",
                    help="max wait for in-flight requests on shutdown "
                         "(default 5)")
+    p.add_argument("--recorder-capacity", type=int, default=256,
+                   metavar="N",
+                   help="flight-recorder ring size — the history the "
+                        "'tail' op can return (default 256)")
+    p.add_argument("--slo", type=Path, default=None, metavar="JSON",
+                   help="SLO config file (JSON list of specs) for the "
+                        "'health' op; default: built-in daemon SLOs")
+    p.add_argument("--adapt-log", type=Path, default=None,
+                   metavar="JSONL",
+                   help="adapt sidecar decision log to surface as "
+                        "flight-recorder 'adapt' events")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "top", parents=[verbose],
+        help="live view of a running daemon (rates, percentiles, "
+             "SLO burn, flight-recorder tail)")
+    p.add_argument("--socket", type=Path, required=True, metavar="PATH",
+                   help="the daemon's Unix socket")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (CI / scripting)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="refresh interval (default 1)")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="stop after N frames (default: until ^C)")
+    p.set_defaults(func=cmd_top, trace=None)
 
     p = sub.add_parser(
         "adapt", parents=[common],
@@ -718,19 +767,37 @@ def _configure_logging(verbosity: int) -> None:
     """Attach a stderr handler to the ``repro`` logger for -v/-vv.
 
     Library users are untouched (the package root carries a
-    ``NullHandler``); repeated CLI invocations in one process reuse
-    the handler instead of stacking duplicates.
+    ``NullHandler``).  Idempotent across repeated in-process CLI
+    invocations: exactly one CLI handler ever exists — duplicates
+    (e.g. from forked/embedded callers that copied the logger config)
+    are removed, and the surviving handler is *re-bound* to the
+    current ``sys.stderr`` each run, so a harness that swaps stderr
+    between invocations (pytest's capture does) never leaves the
+    handler writing to a closed stream or logging each line twice.
     """
     if verbosity <= 0:
         return
     logger = logging.getLogger("repro")
     logger.setLevel(logging.INFO if verbosity == 1 else logging.DEBUG)
-    if not any(getattr(h, "_pml_cli", False) for h in logger.handlers):
-        handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(logging.Formatter(
-            "%(levelname)s %(name)s: %(message)s"))
-        handler._pml_cli = True  # type: ignore[attr-defined]
-        logger.addHandler(handler)
+    cli_handlers = [h for h in logger.handlers
+                    if getattr(h, "_pml_cli", False)]
+    for duplicate in cli_handlers[1:]:
+        logger.removeHandler(duplicate)
+    if cli_handlers:
+        handler = cli_handlers[0]
+        if isinstance(handler, logging.StreamHandler):
+            try:
+                handler.setStream(sys.stderr)
+            except (ValueError, OSError):
+                # setStream flushes the *old* stream first; if the
+                # harness already closed it, swap directly.
+                handler.stream = sys.stderr
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        "%(levelname)s %(name)s: %(message)s"))
+    handler._pml_cli = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
 
 
 def main(argv: list[str] | None = None) -> int:

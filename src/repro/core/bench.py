@@ -357,6 +357,68 @@ def _batch_selection_benchmark(selector, repeats: int, n_queries: int,
     }
 
 
+def _flight_recorder_benchmark(selector, repeats: int, n_queries: int,
+                               block: int = 64) -> dict[str, dict]:
+    """Columnar serving with the flight recorder enabled vs disabled.
+
+    The observability acceptance bar: recording one structured event
+    per served block must cost < 5 % on the hot path.  The stream is
+    served in daemon-sized blocks (one ``select_block`` — and thus one
+    ``record()`` — per *block*, not per query), and the two sides are
+    timed interleaved so machine noise hits both equally.  Overhead is
+    reported as ``on/off - 1``; small negative values are timer noise.
+    """
+    from ..obs.live import FlightRecorder, use_recorder
+    from ..serve import SelectionQuery, SelectionService
+    from ..smpi.guard import GuardedSelector
+
+    spec = get_cluster(BENCH_CLUSTER)
+    rng = np.random.default_rng(1)
+    shapes = [(int(nodes), int(ppn))
+              for nodes in spec.node_counts
+              for ppn in spec.ppn_values if nodes * ppn >= 2]
+    queries = []
+    for _ in range(n_queries):
+        nodes, ppn = shapes[int(rng.integers(len(shapes)))]
+        exp = int(rng.integers(6, 21))
+        msg = int(2 ** exp + rng.integers(0, 2 ** exp))
+        queries.append(SelectionQuery(BENCH_COLLECTIVE, nodes, ppn, msg))
+    blocks = [queries[i:i + block]
+              for i in range(0, len(queries), block)]
+
+    def serve_blocks():
+        # Cold service per repeat, warm across blocks — the daemon's
+        # shape: one long-lived service, many small batches.
+        service = SelectionService(GuardedSelector(selector), spec,
+                                   cache_size=len(queries),
+                                   quantize=False)
+        for chunk in blocks:
+            service.select_block(chunk)
+
+    def enabled():
+        with use_recorder(FlightRecorder(capacity=256)):
+            serve_blocks()
+
+    on_s, off_s = _best_of_paired([enabled, serve_blocks],
+                                  max(repeats, 5))
+    overhead = (on_s / off_s - 1.0) if off_s > 0 else 0.0
+    return {
+        "flight_recorder_overhead": {
+            "wall_s": on_s,
+            "config": {
+                "cluster": spec.name,
+                "collective": BENCH_COLLECTIVE,
+                "n_queries": len(queries),
+                "block": block,
+                "blocks": len(blocks),
+                "capacity": 256,
+                "base_wall_s": off_s,
+                "overhead_frac": overhead,
+            },
+        },
+    }
+
+
 def run_benchmarks(quick: bool = False, jobs: int = 4, repeats: int = 3,
                    lookups: int | None = None,
                    progress: bool = False) -> dict[str, dict]:
@@ -405,6 +467,10 @@ def run_benchmarks(quick: bool = False, jobs: int = 4, repeats: int = 3,
     with tracer.span("bench.serve_batch", queries=n_queries):
         results.update(_batch_selection_benchmark(
             selector, repeats, n_queries, scalar_queries))
+    note("flight-recorder overhead (columnar blocks)")
+    with tracer.span("bench.flight_recorder", queries=n_queries):
+        results.update(_flight_recorder_benchmark(
+            selector, repeats, n_queries))
     return results
 
 

@@ -387,6 +387,7 @@ class DaemonChaosReport:
     shed: int = 0
     invalid_decisions: int = 0
     reloads_observed: int = 0
+    scrapes: int = 0
     phases: list[str] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
@@ -407,6 +408,7 @@ class DaemonChaosReport:
             "shed": self.shed,
             "invalid_decisions": self.invalid_decisions,
             "reloads_observed": self.reloads_observed,
+            "scrapes": self.scrapes,
             "phases": list(self.phases),
             "counters": dict(self.counters),
             "violations": list(self.violations),
@@ -425,6 +427,7 @@ class DaemonChaosReport:
             f"shed (overloaded):  {self.shed}",
             f"invalid decisions:  {self.invalid_decisions}",
             f"reloads observed:   {self.reloads_observed}",
+            f"scrapes answered:   {self.scrapes}",
         ]
         for phase in self.phases:
             lines.append(f"  phase: {phase}")
@@ -729,6 +732,98 @@ def _poll_quiescent(socket_path: Path, timeout_s: float = 30.0
     return _poll_stats(socket_path, settled, timeout_s=timeout_s)
 
 
+#: Terminal counters of the daemon partition; in any internally
+#: consistent Prometheus scrape their ``_total`` samples must sum to
+#: ``pml_serve_daemon_requests_total`` exactly (the exposition is
+#: rendered synchronously on the dispatch thread).
+_DAEMON_TERMINALS = ("ok", "deadline_floor", "bad_request",
+                     "overloaded", "draining", "internal")
+
+
+def _scrape_once(client: Any, context: str, stats: _StormStats) -> bool:
+    """One observation of the live introspection plane: ``metrics``,
+    ``tail`` and ``health`` over an existing connection.
+
+    Checks the scrape-under-storm invariants: the Prometheus export
+    must parse, its daemon-partition totals must reconcile *within the
+    single scrape* (terminal counters sum to requests, zero internal
+    errors), the tail must be a bounded list of well-formed events,
+    and the health verdict must come from the closed set.  Returns
+    True when the three ops all answered (violations may still have
+    been recorded about their payloads)."""
+    from ..obs.expo import parse_prometheus
+    from ..obs.live import EVENT_KINDS
+
+    try:
+        metrics = client.metrics()
+        tail = client.tail(16)
+        health = client.health()
+    except Exception as exc:
+        stats.violation(f"{context}: introspection op failed "
+                        f"{type(exc).__name__}: {exc}")
+        return False
+    try:
+        samples = parse_prometheus(metrics.get("body", ""))
+    except ValueError as exc:
+        stats.violation(f"{context}: unparseable exposition: {exc}")
+        return True
+    requests = samples.get("pml_serve_daemon_requests_total", 0)
+    terminals = {k: samples.get(f"pml_serve_daemon_{k}_total", 0)
+                 for k in _DAEMON_TERMINALS}
+    if sum(terminals.values()) != requests:
+        stats.violation(
+            f"{context}: exposition partition {terminals} does not "
+            f"sum to requests {requests}")
+    if terminals["internal"]:
+        stats.violation(f"{context}: exposition shows "
+                        f"{terminals['internal']} internal errors")
+    events = tail.get("events")
+    if not isinstance(events, list) or len(events) > 16:
+        stats.violation(
+            f"{context}: tail did not return a bounded event list: "
+            f"{type(events).__name__}")
+    else:
+        for event in events:
+            if event.get("kind") not in EVENT_KINDS \
+                    or not isinstance(event.get("tick"), int):
+                stats.violation(
+                    f"{context}: malformed tail event {event!r}")
+                break
+        if tail.get("total", 0) < len(events):
+            stats.violation(
+                f"{context}: tail total {tail.get('total')} < "
+                f"{len(events)} returned events")
+    if health.get("verdict") not in ("ok", "warn", "page"):
+        stats.violation(f"{context}: health verdict "
+                        f"{health.get('verdict')!r} not in closed set")
+    return True
+
+
+def _scrape_worker(socket_path: Path, stop: Any, stats: _StormStats,
+                   counted: list[int]) -> None:
+    """Scrape loop run alongside the client storm: fresh connection
+    per iteration (a scraper reconnects, it does not hold a socket
+    open across reloads), counting only scrapes where all three ops
+    answered.  Connection refusals are tolerated — the daemon may be
+    shedding — but an accepted connection must answer."""
+    from ..serve.client import DaemonClient
+
+    i = 0
+    while not stop.is_set():
+        i += 1
+        try:
+            client = DaemonClient(socket_path, timeout_s=30.0)
+        except OSError:
+            time.sleep(0.05)
+            continue
+        try:
+            if _scrape_once(client, f"scrape {i}", stats):
+                counted[0] += 1
+        finally:
+            client.close()
+        time.sleep(0.02)
+
+
 def run_daemon_chaos(seed: int = 0, clients: int = 4,
                      requests_per_client: int = 40,
                      progress: bool = False) -> DaemonChaosReport:
@@ -750,6 +845,7 @@ def run_daemon_chaos(seed: int = 0, clients: int = 4,
     import tempfile
     import threading
 
+    from ..obs.expo import parse_prometheus
     from ..serve.client import DaemonClient, DaemonError
     from .resilience import atomic_write_text
 
@@ -809,6 +905,15 @@ def run_daemon_chaos(seed: int = 0, clients: int = 4,
         for t in threads:
             t.start()
 
+        phase("mid-storm scrape loop (metrics/tail/health)")
+        scrape_stop = threading.Event()
+        scrape_count = [0]
+        scraper = threading.Thread(
+            target=_scrape_worker,
+            args=(socket_path, scrape_stop, stats, scrape_count),
+            name="scraper")
+        scraper.start()
+
         phase("mid-storm hot-reload (atomic swap to v2)")
         # Deadline-bounded poll instead of a fixed sleep: swap once the
         # storm is demonstrably underway (every client has landed at
@@ -830,6 +935,13 @@ def run_daemon_chaos(seed: int = 0, clients: int = 4,
 
         for t in threads:
             t.join()
+        scrape_stop.set()
+        scraper.join()
+        report.scrapes = scrape_count[0]
+        if report.scrapes < 1:
+            report.violations.append(
+                "no introspection scrape was answered during the "
+                "storm window")
         report.requests_sent = stats.sent
         report.ok_responses = stats.ok
         report.deadline_floored = stats.floored
@@ -846,6 +958,37 @@ def run_daemon_chaos(seed: int = 0, clients: int = 4,
             report.violations.extend(_daemon_partition_violations(
                 quiet.get("counters", {}), "post-storm",
                 quiescent=True))
+
+        phase("quiescent exposition cross-check")
+        # At quiescence the Prometheus export must agree *exactly* with
+        # the stats counters: over one connection, a `metrics` scrape
+        # issued right after `stats` sees precisely the stats request's
+        # own accounting (+1 request, +1 ok) on top of the snapshot,
+        # because the exposition is rendered on the dispatch thread
+        # before the scrape's own increments land.
+        try:
+            with DaemonClient(socket_path, timeout_s=30.0) as client:
+                before = client.stats().get("counters", {})
+                body = client.metrics().get("body", "")
+                samples = parse_prometheus(body)
+                expect = {
+                    "requests": before.get(
+                        "serve.daemon.requests", 0) + 1,
+                    "ok": before.get("serve.daemon.ok", 0) + 1}
+                for key in ("requests", *_DAEMON_TERMINALS):
+                    want = expect.get(key, before.get(
+                        f"serve.daemon.{key}", 0))
+                    got = samples.get(
+                        f"pml_serve_daemon_{key}_total", 0)
+                    if got != want:
+                        report.violations.append(
+                            f"quiescent scrape: exposition "
+                            f"serve.daemon.{key} = {got}, stats "
+                            f"imply {want}")
+        except Exception as exc:
+            report.violations.append(
+                f"quiescent exposition cross-check failed: "
+                f"{type(exc).__name__}: {exc}")
 
         phase("corrupt-bundle swap (reload must reject)")
         atomic_write_text(bundle, '{"broken')
@@ -920,6 +1063,14 @@ def run_daemon_chaos(seed: int = 0, clients: int = 4,
                     _daemon_partition_violations(
                         client.stats().get("counters", {}),
                         "post-restart", quiescent=True))
+                # The introspection plane must come back with the
+                # process: a scrape burst against the restarted
+                # daemon, same invariants as the mid-storm loop.
+                for j in range(3):
+                    if _scrape_once(client,
+                                    f"post-restart scrape {j}",
+                                    stats):
+                        report.scrapes += 1
         except Exception as exc:
             report.violations.append(
                 f"restarted daemon unusable: "

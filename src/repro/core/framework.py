@@ -265,12 +265,31 @@ def diagnose_artifact(path: str | Path) -> ArtifactCheck:
         return ArtifactCheck(str(path), "unknown", "unknown",
                              "not a PML-MPI artifact")
     try:
-        loader()
+        artifact = loader()
     except StaleArtifactError as exc:
         return ArtifactCheck(str(path), kind, "stale", str(exc))
     except (ArtifactError, FileNotFoundError) as exc:
         return ArtifactCheck(str(path), kind, "corrupt", str(exc))
-    return ArtifactCheck(str(path), kind, "ok")
+    detail = _trace_slo_detail(artifact) if kind == "trace" else ""
+    return ArtifactCheck(str(path), kind, "ok", detail)
+
+
+def _trace_slo_detail(trace) -> str:
+    """SLO compliance summary for a valid trace (empty when the trace
+    carries none of the serving plane's instruments).  Violations are
+    surfaced in the check detail, not as errors: a faithfully recorded
+    bad day is a healthy artifact."""
+    from ..obs.slo import DEFAULT_SLOS, evaluate_compliance
+    histograms = {name: {int(e): c for e, c in h["buckets"].items()}
+                  for name, h in trace.histograms().items()}
+    rows = [evaluate_compliance(spec, trace.counters(), histograms)
+            for spec in DEFAULT_SLOS]
+    rows = [row for row in rows if row["total"]]
+    return "; ".join(
+        f"SLO {row['name']} "
+        f"{'met' if row['met'] else 'VIOLATED'} "
+        f"({row['compliance']:.4f} vs {row['objective']:.3f})"
+        for row in rows)
 
 
 def doctor_directory(directory: str | Path,

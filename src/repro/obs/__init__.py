@@ -34,25 +34,59 @@ from .trace_io import (
     load_trace,
 )
 from .report import render_report, slowest_spans, stage_breakdown
+from .live import (
+    Event,
+    FlightRecorder,
+    get_recorder,
+    quantiles,
+    quantiles_from_buckets,
+    set_recorder,
+    use_recorder,
+)
+from .expo import parse_prometheus, prometheus_name, render_prometheus
+from .slo import (
+    DEFAULT_SLOS,
+    BurnWindow,
+    SloSpec,
+    SloTracker,
+    evaluate_compliance,
+    load_slos,
+)
 
 __all__ = [
+    "BurnWindow",
     "Counter",
+    "DEFAULT_SLOS",
+    "Event",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "SloSpec",
+    "SloTracker",
     "TRACE_FORMAT",
     "TRACE_VERSION",
     "TraceData",
     "Tracer",
+    "evaluate_compliance",
     "export_trace",
+    "get_recorder",
     "get_registry",
     "get_tracer",
+    "load_slos",
     "load_trace",
+    "parse_prometheus",
+    "prometheus_name",
+    "quantiles",
+    "quantiles_from_buckets",
+    "render_prometheus",
     "render_report",
+    "set_recorder",
     "set_registry",
     "set_tracer",
     "slowest_spans",
     "stage_breakdown",
+    "use_recorder",
     "use_telemetry",
 ]

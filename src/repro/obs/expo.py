@@ -1,0 +1,153 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+Renders every registered instrument in the Prometheus text exposition
+format (version 0.0.4) so any scraper — or ``curl`` through a socket
+relay — can consume ``serve.daemon.*`` / ``guard.*`` / ``adapt.*``
+without bespoke tooling:
+
+* **Counters** become ``pml_<name>_total`` with ``# TYPE ... counter``.
+* **Gauges** become ``pml_<name>`` with ``# TYPE ... gauge``.
+* **Histograms** become the canonical triplet: cumulative
+  ``pml_<name>_bucket{le="..."}`` series (the fixed log2 upper bounds,
+  plus the underflow bound ``0`` and the closing ``+Inf``),
+  ``pml_<name>_sum`` and ``pml_<name>_count``.
+
+The rendering is *total and deterministic*: metric names are
+sanitized with a fixed rule (dots and hyphens to underscores), series
+are emitted in sorted-name order, and float formatting uses
+``repr`` — two renders of equal registries are byte-identical.  The
+chaos soak relies on this plus one stronger property enforced by the
+daemon: the ``metrics`` op renders synchronously on the event-loop
+thread, where every ``serve.daemon.*`` counter is incremented, so one
+exposition is an internally consistent snapshot and the request
+partition invariant holds *inside every scrape*, not just at
+quiescence.
+
+:func:`parse_prometheus` is the matching reader used by the chaos
+scraper, ``pml-mpi top`` and the tests; it understands exactly what
+:func:`render_prometheus` emits.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from .telemetry import Counter, Gauge, Histogram, MetricsRegistry
+from .live import bucket_bounds
+
+__all__ = [
+    "METRIC_PREFIX",
+    "parse_prometheus",
+    "prometheus_name",
+    "render_prometheus",
+]
+
+#: Namespace prefix on every exported series.
+METRIC_PREFIX = "pml"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SAMPLE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'      # metric name
+    r'(?:\{([^}]*)\})?'                  # optional label set
+    r'\s+(\S+)$')                        # value
+
+
+def prometheus_name(name: str) -> str:
+    """The exported series name for registry metric *name*.
+
+    Dots (the registry's namespace separator) and any other character
+    outside the Prometheus grammar map to ``_``; the ``pml`` prefix
+    keeps the repro's series from colliding with anything else a
+    scraper already collects.
+    """
+    candidate = f"{METRIC_PREFIX}_{_SANITIZE.sub('_', name)}"
+    if not _NAME_OK.match(candidate):  # e.g. a leading digit after pml_
+        candidate = _SANITIZE.sub("_", candidate)
+    return candidate
+
+
+def _fmt(value: float) -> str:
+    """Deterministic sample-value formatting (ints stay integral)."""
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(base: str, hist: Histogram) -> list[str]:
+    # Snapshot under the histogram's own lock so count/sum/buckets are
+    # mutually consistent even while worker threads observe.
+    with hist._lock:
+        buckets = dict(hist.buckets)
+        count = hist.count
+        total = hist.total
+    lines = []
+    cumulative = 0
+    for exp in sorted(buckets):
+        cumulative += buckets[exp]
+        le = _fmt(bucket_bounds(exp)[1])
+        lines.append(f'{base}_bucket{{le="{le}"}} {cumulative}')
+    lines.append(f'{base}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{base}_sum {_fmt(total)}")
+    lines.append(f"{base}_count {count}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry as Prometheus exposition text."""
+    # Copy the instrument table under the registry lock: the daemon
+    # renders on its event loop while reload/worker threads may still
+    # be registering instruments.
+    with registry._lock:
+        metrics = dict(registry._metrics)
+    out: list[str] = []
+    for record_name in sorted(metrics):
+        metric = metrics[record_name]
+        base = prometheus_name(record_name)
+        if isinstance(metric, Counter):
+            name = f"{base}_total"
+            out.append(f"# HELP {name} Counter {record_name}")
+            out.append(f"# TYPE {name} counter")
+            out.append(f"{name} {int(metric.value)}")
+        elif isinstance(metric, Gauge):
+            out.append(f"# HELP {base} Gauge {record_name}")
+            out.append(f"# TYPE {base} gauge")
+            out.append(f"{base} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            out.append(f"# HELP {base} Histogram {record_name} "
+                       f"(fixed log2 buckets)")
+            out.append(f"# TYPE {base} histogram")
+            out.extend(_histogram_lines(base, metric))
+        else:  # pragma: no cover - registry enforces the closed set
+            raise TypeError(
+                f"unknown metric type {type(metric).__name__}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def parse_prometheus(text: str) -> dict[str, Any]:
+    """Parse exposition text back into ``{series: value}``.
+
+    Unlabeled samples key by series name; labeled samples (histogram
+    buckets) key by ``name{labels}`` verbatim.  Comment and blank
+    lines are skipped.  Raises ``ValueError`` on a malformed sample
+    line — the chaos scraper treats that as a violation, not noise.
+    """
+    samples: dict[str, Any] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(
+                f"malformed exposition line {lineno}: {line!r}")
+        name, labels, raw = match.groups()
+        key = f"{name}{{{labels}}}" if labels is not None else name
+        if key in samples:
+            raise ValueError(
+                f"duplicate exposition series {key!r} (line {lineno})")
+        value = float(raw)
+        samples[key] = int(value) if value.is_integer() else value
+    return samples

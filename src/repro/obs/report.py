@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from .live import quantiles_from_buckets
+from .slo import DEFAULT_SLOS, evaluate_compliance
 from .trace_io import TraceData
 
 __all__ = ["render_report", "slowest_spans", "span_path",
@@ -132,6 +134,26 @@ def render_report(trace: TraceData, top: int = 10) -> str:
             lines.append("gate: " + "  ".join(
                 f"{k.rsplit('.', 1)[1]}={v}" for k, v in gate.items()))
 
+    histograms = trace.histograms()
+    hist_views = {name: {int(e): c for e, c in h["buckets"].items()}
+                  for name, h in histograms.items()}
+
+    # SLO compliance over the whole recorded history, for traces that
+    # carry the serving plane's instruments (same specs the daemon's
+    # live `health` op evaluates with burn-rate windows).
+    slo_rows = [evaluate_compliance(spec, counters, hist_views)
+                for spec in DEFAULT_SLOS]
+    slo_rows = [row for row in slo_rows if row["total"]]
+    if slo_rows:
+        lines.append("")
+        lines.append("== SLO compliance (whole trace) ==")
+        for row in slo_rows:
+            lines.append(
+                f"{row['name']:<26} objective {row['objective']:.3f}  "
+                f"compliance {row['compliance']:.4f}  "
+                f"budget {row['budget_remaining']:+7.2f}  "
+                f"[{'met' if row['met'] else 'VIOLATED'}]")
+
     if counters or gauges:
         lines.append("")
         lines.append("== counters ==")
@@ -141,17 +163,19 @@ def render_report(trace: TraceData, top: int = 10) -> str:
         for name in sorted(gauges):
             lines.append(f"{name:<{width}}  {gauges[name]:g}")
 
-    histograms = trace.histograms()
     if histograms:
         lines.append("")
         lines.append("== histograms (log2 buckets) ==")
         for name in sorted(histograms):
             h = histograms[name]
             mean = h["sum"] / h["count"] if h["count"] else 0.0
+            p = quantiles_from_buckets(hist_views[name])
             buckets = ", ".join(
                 f"<=2^{e}: {h['buckets'][e]}"
                 for e in sorted(h["buckets"], key=int))
-            lines.append(f"{name}: count={h['count']} mean={mean:g}")
+            lines.append(f"{name}: count={h['count']} mean={mean:g} "
+                         f"p50={p[0.5]:g} p95={p[0.95]:g} "
+                         f"p99={p[0.99]:g}")
             lines.append(f"  {buckets}")
 
     if trace.spans:

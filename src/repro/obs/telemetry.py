@@ -40,12 +40,16 @@ from typing import Any, Callable, Iterator
 __all__ = [
     "Counter",
     "Gauge",
+    "HIST_MAX_EXP",
+    "HIST_MIN_EXP",
     "Histogram",
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "UNDERFLOW_EXP",
     "get_registry",
     "get_tracer",
+    "log2_bucket",
     "set_registry",
     "set_tracer",
     "use_telemetry",
@@ -56,6 +60,12 @@ __all__ = [
 #: the exported bucket keys are always drawn from a fixed finite set).
 HIST_MIN_EXP = -40
 HIST_MAX_EXP = 64
+
+#: Dedicated bucket for non-positive observations (a zero-length span,
+#: a clock-skew-negative duration).  Kept *outside* the log2 range so
+#: they can never be confused with genuinely tiny positive values in
+#: the 2**HIST_MIN_EXP bucket.
+UNDERFLOW_EXP = HIST_MIN_EXP - 1
 
 #: Attribute values allowed on spans (JSON scalars only, so export is
 #: total and deterministic).
@@ -250,11 +260,17 @@ def log2_bucket(value: float) -> int:
 
     A positive value lands in the bucket with the smallest upper bound
     ``2**e >= value`` (so bucket *e* covers ``(2**(e-1), 2**e]``);
-    non-positive values land in the bottom bucket.  Exponents are
-    clamped to ``[HIST_MIN_EXP, HIST_MAX_EXP]``.
+    non-positive values and NaN land in the dedicated
+    :data:`UNDERFLOW_EXP` bucket so a zero or clock-skew-negative
+    duration is never mistaken for a genuinely tiny positive one.
+    ``+inf`` clamps to the top bucket — it is *large*, and must never
+    be counted as fast by threshold comparisons.  Positive exponents
+    are clamped to ``[HIST_MIN_EXP, HIST_MAX_EXP]``.
     """
-    if value <= 0.0 or not math.isfinite(value):
-        return HIST_MIN_EXP
+    if value <= 0.0 or math.isnan(value):
+        return UNDERFLOW_EXP
+    if math.isinf(value):
+        return HIST_MAX_EXP
     _, e = math.frexp(value)  # value = m * 2**e with 0.5 <= m < 1
     if value == math.ldexp(1.0, e - 1):  # exact power of two: own bucket
         e -= 1

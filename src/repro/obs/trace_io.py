@@ -167,18 +167,30 @@ def export_trace(path: str | Path, tracer: Tracer | None = None,
     records are kept: new span ids are re-based past the old ones and
     metrics merge by name.  An existing *corrupt* file raises instead
     of being silently clobbered — quarantine or delete it first.
+
+    The load→rebase→merge→rewrite cycle runs under a sibling file
+    lock (``<path>.lock``), so two processes finishing with the same
+    ``--trace`` file at the same time serialize: both runs' spans and
+    metrics land in the final trace instead of the slower writer
+    resurrecting the pre-merge file it loaded before the faster one
+    wrote.  The lock file stays in place on release (unlinking a
+    contended lock opens a two-holders race — same rule as the
+    feedback log).
     """
     path = Path(path)
+    res = _resilience()
     tracer = tracer if tracer is not None else get_tracer()
     registry = registry if registry is not None else get_registry()
     spans = tracer.export_spans()
     metrics = registry.export_metrics()
-    if append and path.exists():
-        previous = load_trace(path)
-        spans = _rebase_spans(previous.spans, spans)
-        metrics = _merge_metrics(previous.metrics, metrics)
-    return _resilience().atomic_write_text(path,
-                                           encode_trace(spans, metrics))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with res.FileLock(path.with_name(path.name + ".lock"),
+                      timeout_s=30.0):
+        if append and path.exists():
+            previous = load_trace(path)
+            spans = _rebase_spans(previous.spans, spans)
+            metrics = _merge_metrics(previous.metrics, metrics)
+        return res.atomic_write_text(path, encode_trace(spans, metrics))
 
 
 # ---------------------------------------------------------------------------

@@ -37,9 +37,13 @@ class DaemonClient:
                  timeout_s: float = 30.0) -> None:
         self.socket_path = str(socket_path)
         self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout_s)
-        self._sock.connect(self.socket_path)
-        self._file = self._sock.makefile("rwb")
+        try:
+            self._sock.settimeout(timeout_s)
+            self._sock.connect(self.socket_path)
+            self._file = self._sock.makefile("rwb")
+        except BaseException:
+            self._sock.close()
+            raise
         self._next_id = 1
 
     # -- plumbing --------------------------------------------------------
@@ -73,6 +77,21 @@ class DaemonClient:
 
     def reload(self) -> dict[str, Any]:
         return self.request("reload")
+
+    def metrics(self) -> dict[str, Any]:
+        """Prometheus exposition text in the ``body`` field."""
+        return self.request("metrics")
+
+    def tail(self, n: int | None = None) -> dict[str, Any]:
+        """The newest flight-recorder events (``events`` field)."""
+        fields: dict[str, Any] = {}
+        if n is not None:
+            fields["n"] = n
+        return self.request("tail", **fields)
+
+    def health(self) -> dict[str, Any]:
+        """The daemon's SLO burn-rate verdict (``verdict`` field)."""
+        return self.request("health")
 
     def shutdown(self) -> dict[str, Any]:
         return self.request("shutdown")

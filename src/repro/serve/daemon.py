@@ -63,9 +63,13 @@ from ..core.resilience import (
     quarantine,
 )
 from ..hwmodel.specs import ClusterSpec
+from ..obs.expo import render_prometheus
+from ..obs.live import FlightRecorder, quantiles, set_recorder
+from ..obs.slo import DEFAULT_SLOS, SloSpec, SloTracker
 from ..obs.telemetry import get_registry, get_tracer
 from .protocol import (
     DEFAULT_MAX_BATCH,
+    DEFAULT_TAIL_EVENTS,
     PROTOCOL_VERSION,
     ProtocolError,
     Request,
@@ -126,6 +130,14 @@ class DaemonConfig:
     drain_timeout_s: float = 5.0
     ready_file: Path | None = None
     lock_timeout_s: float = 2.0
+    #: Flight-recorder ring size (the ``tail`` op's visible history).
+    recorder_capacity: int = 256
+    #: Live SLOs evaluated by the ``health`` op.
+    slos: tuple[SloSpec, ...] = DEFAULT_SLOS
+    #: Adaptation decision log (``adapt_decisions.jsonl``) to surface
+    #: as ``adapt`` flight-recorder events; the sidecar writes it from
+    #: another process, so the daemon tails it on the reload poll.
+    adapt_log: Path | None = None
 
 
 def _consume_result(future: concurrent.futures.Future) -> None:
@@ -155,6 +167,11 @@ class SelectionDaemon:
             for k in DAEMON_COUNTER_KEYS + DAEMON_AUX_KEYS}
         self._request_s = self.registry.histogram(
             "serve.daemon.request_s")
+        self.recorder = FlightRecorder(
+            capacity=config.recorder_capacity)
+        self.slo = SloTracker(config.slos, registry=self.registry)
+        self._prev_recorder: FlightRecorder | None = None
+        self._adapt_log_pos = 0
         self._lock: FileLock | None = None
         self._booted = False
         self._draining = False
@@ -223,6 +240,16 @@ class SelectionDaemon:
                     pass
         self.sentinel_path.unlink(missing_ok=True)
         self._booted = True
+        # The daemon owns its process: its recorder becomes ambient so
+        # service-level instrumentation (select_block events) lands in
+        # the same ring the ``tail`` op serves.  Restored in _cleanup
+        # for in-process test runs.
+        self._prev_recorder = set_recorder(self.recorder)
+        current = self.store.current()
+        self.recorder.record(
+            "lifecycle", what="boot", snapshot=current.version,
+            source=current.source,
+            fallback=error is not None)
         return self
 
     def _recover_boot_sentinel(self) -> None:
@@ -261,6 +288,8 @@ class SelectionDaemon:
     def initiate_drain(self) -> None:
         """Stop admitting work; callable from signal handlers, the
         shutdown op, or tests (must run on the event-loop thread)."""
+        if not self._draining:
+            self.recorder.record("lifecycle", what="drain")
         self._draining = True
         if self._drain_event is not None:
             self._drain_event.set()
@@ -320,22 +349,85 @@ class SelectionDaemon:
         }))
 
     async def _reload_loop(self) -> None:
-        """Poll the bundle checksum; swap on change (see reload.py)."""
+        """Poll the bundle checksum; swap on change (see reload.py).
+
+        The poll tick doubles as the daemon's observability heartbeat:
+        each pass snapshots the SLO tracker (so burn-rate windows have
+        history even between ``health`` calls) and tails the adapt
+        sidecar's decision log into the flight recorder.
+        """
         loop = asyncio.get_running_loop()
         while True:
             await asyncio.sleep(self.config.reload_poll_s)
+            self.slo.tick()
+            self._tail_adapt_log()
             try:
                 result = await loop.run_in_executor(
                     self._reload_pool, self.store.poll)
             except asyncio.CancelledError:
                 raise
-            except Exception:
+            except Exception as exc:
                 self._counters["reload_rejected"].inc()
+                self.recorder.record(
+                    "reload", status="rejected",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    version=self.store.current().version)
                 continue
             if result.status == "reloaded":
                 self._counters["reloads"].inc()
             elif result.status == "rejected":
                 self._counters["reload_rejected"].inc()
+            if result.status != "unchanged":
+                self.recorder.record(
+                    "reload", status=result.status,
+                    version=self.store.current().version)
+
+    def _tail_adapt_log(self) -> None:
+        """Surface new adapt-decision lines as ``adapt`` events.
+
+        Bounded (256 KiB per tick) and total: unreadable files, a
+        truncated/rotated log, partial trailing lines and non-JSON
+        lines are all tolerated — the recorder shows what it can and
+        the daemon never stumbles over its sidecar.
+        """
+        path = self.config.adapt_log
+        if path is None:
+            return
+        try:
+            size = path.stat().st_size
+            if size < self._adapt_log_pos:  # truncated or rotated
+                self._adapt_log_pos = 0
+            if size == self._adapt_log_pos:
+                return
+            with path.open("rb") as fh:
+                fh.seek(self._adapt_log_pos)
+                chunk = fh.read(
+                    min(size - self._adapt_log_pos, 256 * 1024))
+        except OSError:
+            return
+        end = chunk.rfind(b"\n")
+        if end < 0:  # no complete line yet
+            return
+        self._adapt_log_pos += end + 1
+        for line in chunk[:end].split(b"\n"):
+            try:
+                record = json.loads(line)
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self.recorder.record(
+                    "adapt", verdict="unparseable",
+                    detail=line[:120].decode("utf-8", "replace"))
+                continue
+            if not isinstance(record, dict):
+                continue
+            fence = record.get("fence_tick")
+            if isinstance(fence, bool) or not isinstance(fence, int):
+                fence = 0
+            self.recorder.record(
+                "adapt",
+                verdict=str(record.get("verdict", "?")),
+                phase=str(record.get("phase", "?")),
+                fence_tick=fence,
+                detail=str(record.get("detail", ""))[:200])
 
     # -- connections -----------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -413,6 +505,13 @@ class SelectionDaemon:
                         t0: float) -> None:
         t1 = time.perf_counter()
         self._request_s.observe(t1 - t0)
+        self.recorder.record(
+            "request", op=op, status=status,
+            ms=round((t1 - t0) * 1e3, 3))
+        if status == "internal":
+            # The never-raises contract was violated: emit a distinct
+            # error event so a kind-filtered tail surfaces it.
+            self.recorder.record("error", code="internal", op=op)
         if self.tracer.enabled:
             # Handlers interleave on the event loop, so per-request
             # spans are built as records and adopted via merge() — the
@@ -434,6 +533,39 @@ class SelectionDaemon:
                 draining=self._draining), "ok"
         if request.op == "stats":
             return self._stats_response(request), "ok"
+        if request.op == "metrics":
+            # Rendered synchronously on the event-loop thread — the
+            # thread every serve.daemon.* counter is bumped on — so one
+            # exposition is an internally consistent snapshot and the
+            # request partition invariant holds inside every scrape
+            # (this request itself is not counted until its dispatch
+            # finishes).
+            return ok_response(
+                request.id, protocol=PROTOCOL_VERSION,
+                format="prometheus/0.0.4",
+                body=render_prometheus(self.registry)), "ok"
+        if request.op == "tail":
+            n = request.n if request.n is not None \
+                else DEFAULT_TAIL_EVENTS
+            return ok_response(
+                request.id, protocol=PROTOCOL_VERSION,
+                events=self.recorder.tail(n),
+                total=self.recorder.total,
+                dropped=self.recorder.dropped,
+                capacity=self.recorder.capacity), "ok"
+        if request.op == "health":
+            self.slo.tick()
+            report = self.slo.evaluate()
+            current = self.store.current()
+            p = quantiles(self._request_s)
+            return ok_response(
+                request.id, protocol=PROTOCOL_VERSION,
+                verdict=report["verdict"], slos=report["slos"],
+                snapshot=current.version, draining=self._draining,
+                breaker=self.admission.state,
+                request_s={"count": self._request_s.count,
+                           "p50": p[0.5], "p95": p[0.95],
+                           "p99": p[0.99]}), "ok"
         if request.op == "shutdown":
             self.initiate_drain()
             return ok_response(request.id, draining=True), "ok"
@@ -449,6 +581,10 @@ class SelectionDaemon:
                 self._counters["reloads"].inc()
             elif result.status == "rejected":
                 self._counters["reload_rejected"].inc()
+            if result.status != "unchanged":
+                self.recorder.record(
+                    "reload", status=result.status,
+                    version=self.store.current().version)
             return ok_response(request.id, **result.to_dict()), "ok"
         return await self._handle_select(request)
 
@@ -536,6 +672,9 @@ class SelectionDaemon:
         if self._lock is not None:
             self._lock.release()
             self._lock = None
+        if self._prev_recorder is not None:
+            set_recorder(self._prev_recorder)
+            self._prev_recorder = None
 
     @property
     def counters(self) -> dict[str, int]:

@@ -14,6 +14,18 @@ Requests::
     {"id": 3, "op": "stats"}
     {"id": 4, "op": "reload"}
     {"id": 5, "op": "shutdown"}
+    {"id": 6, "op": "metrics"}
+    {"id": 7, "op": "tail", "n": 32}
+    {"id": 8, "op": "health"}
+
+Protocol **v2** added the three introspection ops (all answered even
+while draining — an operator must be able to watch a drain):
+``metrics`` returns the whole registry as Prometheus exposition text
+(``body``), ``tail`` returns the newest ``n`` flight-recorder events
+(``n`` optional, capped at :data:`MAX_TAIL_EVENTS` so the response
+stays bounded), and ``health`` returns the daemon's SLO burn-rate
+verdict (``ok`` / ``warn`` / ``page``).  v1 clients are unaffected:
+no v1 request or response shape changed.
 
 Responses are ``{"id": ..., "ok": true, ...}`` on success or
 ``{"id": ..., "ok": false, "error": {"code": ..., "detail": ...}}``
@@ -52,8 +64,10 @@ from .service import SelectionQuery
 
 __all__ = [
     "DEFAULT_MAX_BATCH",
+    "DEFAULT_TAIL_EVENTS",
     "ERROR_CODES",
     "MAX_LINE_BYTES",
+    "MAX_TAIL_EVENTS",
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",
@@ -64,7 +78,8 @@ __all__ = [
     "parse_request",
 ]
 
-PROTOCOL_VERSION = 1
+#: v2: introspection ops ``metrics`` / ``tail`` / ``health``.
+PROTOCOL_VERSION = 2
 
 #: A request line longer than this is rejected before JSON parsing —
 #: the daemon's read buffer is bounded, so a hostile client cannot
@@ -74,7 +89,12 @@ MAX_LINE_BYTES = 1 << 20
 #: Default cap on queries per ``select`` request.
 DEFAULT_MAX_BATCH = 10_000
 
-OPS = ("select", "ping", "stats", "reload", "shutdown")
+#: ``tail`` response bounds: default and hard cap on events returned.
+DEFAULT_TAIL_EVENTS = 32
+MAX_TAIL_EVENTS = 512
+
+OPS = ("select", "ping", "stats", "reload", "shutdown",
+       "metrics", "tail", "health")
 
 ERROR_CODES = ("bad-request", "overloaded", "draining", "internal")
 
@@ -104,6 +124,7 @@ class Request:
     op: str
     records: tuple[dict, ...] = field(default_factory=tuple)
     deadline_ms: float | None = None
+    n: int | None = None
 
     @property
     def queries(self) -> tuple[SelectionQuery, ...]:
@@ -177,6 +198,17 @@ def parse_request(line: str | bytes,
                 f"got {deadline_ms!r}")
         deadline_ms = float(deadline_ms)
 
+    n: int | None = None
+    if op == "tail":
+        raw_n = record.get("n")
+        if raw_n is not None:
+            if isinstance(raw_n, bool) or not isinstance(raw_n, int) \
+                    or not 1 <= raw_n <= MAX_TAIL_EVENTS:
+                raise ProtocolError(
+                    f"tail n must be an integer in "
+                    f"[1, {MAX_TAIL_EVENTS}], got {raw_n!r}")
+            n = raw_n
+
     records: tuple[dict, ...] = ()
     if op == "select":
         raw = record.get("queries")
@@ -188,7 +220,7 @@ def parse_request(line: str | bytes,
                 f"batch of {len(raw)} exceeds max_batch={max_batch}")
         records = tuple(_check_query(i, r) for i, r in enumerate(raw))
     return Request(id=req_id, op=op, records=records,
-                   deadline_ms=deadline_ms)
+                   deadline_ms=deadline_ms, n=n)
 
 
 def encode(payload: dict[str, Any]) -> bytes:

@@ -41,6 +41,7 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..hwmodel.specs import ClusterSpec
+from ..obs.live import get_recorder
 from ..obs.telemetry import MetricsRegistry, get_tracer
 from ..simcluster.machine import Machine
 from ..smpi.guard import GuardedSelector
@@ -433,10 +434,21 @@ class SelectionService:
             plan = None if blk.needs_scalar else self._plan_block(blk)
             if plan is None:
                 qlist = [SelectionQuery(*row) for row in zip(*blk.cols)]
-                return DecisionBlock.from_decisions(
+                out = DecisionBlock.from_decisions(
                     blk.cols, self._select_batch_locked(qlist))
-            with get_tracer().span("serve.batch", queries=blk.n):
-                return self._execute_block(blk, plan)
+            else:
+                with get_tracer().span("serve.batch", queries=blk.n):
+                    out = self._execute_block(blk, plan)
+        # Flight-recorder hook, at batch granularity (one event per
+        # block, outside the batch lock).  The ambient recorder is
+        # disabled outside a daemon, so the offline paths pay one
+        # attribute check; the enabled-vs-disabled delta is the
+        # bench-gated flight_recorder_overhead entry.
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.record("request", op="select_block",
+                            queries=blk.n)
+        return out
 
     def _plan_block(self, blk: QueryBlock) -> tuple | None:
         """Pure dedup planning (no counters, no cache traffic).

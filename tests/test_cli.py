@@ -315,3 +315,103 @@ class TestTraceAndReport:
 
     def test_verbose_flag_accepted_after_subcommand(self, capsys):
         assert main(["info", "RI", "-vv"]) == 0
+
+    def test_report_metrics_only_trace_says_no_spans(self, tmp_path,
+                                                     capsys):
+        # Regression: a trace holding metrics but zero spans (e.g. a
+        # traced command whose spans were all filtered) must render a
+        # clean report, not crash or print an empty stage table.
+        from repro.obs.telemetry import MetricsRegistry, Tracer
+        from repro.obs.trace_io import export_trace
+
+        path = tmp_path / "metrics_only.jsonl"
+        registry = MetricsRegistry()
+        registry.counter("serve.queries").inc(5)
+        registry.histogram("serve.batch_s").observe(0.25)
+        export_trace(path, Tracer(enabled=False), registry,
+                     append=False)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "(no spans recorded)" in out
+        assert "serve.queries" in out
+        assert "slowest spans" not in out
+
+    def test_report_renders_slo_compliance_for_daemon_traces(
+            self, tmp_path, capsys):
+        from repro.obs.telemetry import MetricsRegistry, Tracer
+        from repro.obs.trace_io import export_trace
+
+        path = tmp_path / "daemon.jsonl"
+        registry = MetricsRegistry()
+        registry.counter("serve.daemon.requests").inc(100)
+        registry.counter("serve.daemon.internal").inc(10)
+        export_trace(path, Tracer(enabled=False), registry,
+                     append=False)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO compliance" in out
+        assert "daemon-availability" in out
+        assert "VIOLATED" in out  # 10% internal vs 95% objective
+
+
+class TestLoggingIdempotent:
+    @pytest.fixture(autouse=True)
+    def _clean_repro_logger(self):
+        import logging
+
+        logger = logging.getLogger("repro")
+        yield logger
+        for handler in list(logger.handlers):
+            if getattr(handler, "_pml_cli", False):
+                logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+
+    def test_repeated_verbose_runs_keep_one_handler(
+            self, _clean_repro_logger, capsys):
+        # Regression: repeated in-process `-v` invocations (a REPL, a
+        # test harness, the daemon respawning the CLI) must not stack
+        # handlers — each stacked handler multiplies every log line.
+        import sys as real_sys
+
+        logger = _clean_repro_logger
+        for _ in range(3):
+            assert main(["info", "RI", "-v"]) == 0
+        handlers = [h for h in logger.handlers
+                    if getattr(h, "_pml_cli", False)]
+        assert len(handlers) == 1
+        # Re-bound to the *current* stderr (pytest swaps it per test).
+        assert handlers[0].stream is real_sys.stderr
+
+    def test_stray_duplicate_handlers_are_swept(
+            self, _clean_repro_logger, capsys):
+        import logging
+
+        logger = _clean_repro_logger
+        for _ in range(2):
+            stray = logging.StreamHandler()
+            stray._pml_cli = True
+            logger.addHandler(stray)
+        assert main(["info", "RI", "-v"]) == 0
+        handlers = [h for h in logger.handlers
+                    if getattr(h, "_pml_cli", False)]
+        assert len(handlers) == 1
+
+
+class TestTopCommand:
+    def test_unreachable_socket_is_a_clean_error(self, tmp_path,
+                                                 capsys):
+        rc = main(["top", "--socket", str(tmp_path / "none.sock"),
+                   "--once"])
+        assert rc == 1
+        assert "top:" in capsys.readouterr().err
+
+
+class TestServeSloFlag:
+    def test_invalid_slo_config_refuses_to_start(self, tmp_path,
+                                                 capsys):
+        bad = tmp_path / "slo.json"
+        bad.write_text("[]")
+        rc = main(["serve", "RI", "--state-dir",
+                   str(tmp_path / "state"), "--slo", str(bad)])
+        assert rc == 1
+        assert "cannot start" in capsys.readouterr().err

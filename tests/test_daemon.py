@@ -81,10 +81,23 @@ class TestProtocol:
         assert req.queries[0].collective == "allgather"
 
     @pytest.mark.parametrize("op", ("ping", "stats", "reload",
-                                    "shutdown"))
+                                    "shutdown", "metrics", "tail",
+                                    "health"))
     def test_parse_control_ops(self, op):
         req = parse_request(json.dumps({"id": "a", "op": op}))
         assert req.op == op and req.queries == ()
+
+    def test_parse_tail_n(self):
+        req = parse_request(json.dumps({"id": 1, "op": "tail",
+                                        "n": 5}))
+        assert req.n == 5
+        assert parse_request(
+            json.dumps({"id": 1, "op": "tail"})).n is None
+
+    @pytest.mark.parametrize("n", (0, -1, 513, True, "five", 2.5))
+    def test_tail_n_out_of_bounds_rejected(self, n):
+        with pytest.raises(ProtocolError, match="n must be"):
+            parse_request(json.dumps({"id": 1, "op": "tail", "n": n}))
 
     def test_bytes_input_accepted(self):
         req = parse_request(b'{"id": 1, "op": "ping"}')
@@ -399,7 +412,7 @@ class TestDaemonEndToEnd:
     def test_ping_stats_select_roundtrip(self, running_daemon):
         with DaemonClient(running_daemon.config.socket_path) as client:
             pong = client.ping()
-            assert pong["protocol"] == 1 and not pong["draining"]
+            assert pong["protocol"] == 2 and not pong["draining"]
 
             response = client.select(VALID)
             decisions = response["decisions"]
@@ -419,6 +432,116 @@ class TestDaemonEndToEnd:
                 counters[f"serve.daemon.{k}"]
                 for k in DAEMON_COUNTER_KEYS if k != "requests")
             assert partition == counters["serve.daemon.requests"]
+
+    def test_metrics_scrape_is_partition_consistent(
+            self, running_daemon):
+        from repro.obs.expo import parse_prometheus
+
+        with DaemonClient(running_daemon.config.socket_path) as client:
+            client.select(VALID)
+            client.ping()
+            scrape = client.metrics()
+            assert scrape["format"] == "prometheus/0.0.4"
+            samples = parse_prometheus(scrape["body"])
+        requests = samples["pml_serve_daemon_requests_total"]
+        assert requests >= 2
+        terminals = sum(
+            samples[f"pml_serve_daemon_{k}_total"]
+            for k in DAEMON_COUNTER_KEYS if k != "requests")
+        # The exposition renders before the scrape's own accounting,
+        # so the partition reconciles inside the scrape itself.
+        assert terminals == requests
+        assert 'pml_serve_daemon_request_s_bucket{le="+Inf"}' \
+            in samples
+
+    def test_tail_returns_bounded_recent_events(self, running_daemon):
+        from repro.obs.live import EVENT_KINDS
+
+        with DaemonClient(running_daemon.config.socket_path) as client:
+            client.select(VALID)
+            client.select(VALID)
+            tail = client.tail()
+            assert tail["capacity"] \
+                == running_daemon.config.recorder_capacity
+            events = tail["events"]
+            assert 0 < len(events) <= 32
+            assert tail["total"] >= len(events)
+            # Far under capacity, so nothing has been evicted yet.
+            assert tail["dropped"] == 0
+            for event in events:
+                assert event["kind"] in EVENT_KINDS
+                assert isinstance(event["tick"], int)
+            # Boot marker first, then the served requests.
+            assert events[0]["kind"] == "lifecycle"
+            assert any(e["kind"] == "request"
+                       and e["op"] == "select" for e in events)
+            assert len(client.tail(1)["events"]) == 1
+
+    def test_tail_n_rejected_over_the_wire(self, running_daemon):
+        with DaemonClient(running_daemon.config.socket_path) as client:
+            with pytest.raises(DaemonError) as err:
+                client.tail(0)
+            assert err.value.code == "bad-request"
+            client.ping()  # connection survives
+
+    def test_health_reports_verdict_and_percentiles(
+            self, running_daemon):
+        with DaemonClient(running_daemon.config.socket_path) as client:
+            client.select(VALID)
+            health = client.health()
+        assert health["verdict"] == "ok"
+        assert health["snapshot"] == 1
+        assert health["draining"] is False
+        assert health["breaker"] == "closed"
+        names = [slo["name"] for slo in health["slos"]]
+        assert names == ["daemon-request-latency",
+                         "daemon-availability"]
+        for slo in health["slos"]:
+            assert slo["verdict"] in ("ok", "warn", "page")
+            assert slo["windows"]
+        request_s = health["request_s"]
+        assert request_s["count"] >= 1
+        assert 0.0 <= request_s["p50"] <= request_s["p95"] \
+            <= request_s["p99"]
+
+    def test_introspection_answered_while_draining(
+            self, running_daemon):
+        with DaemonClient(running_daemon.config.socket_path) as client:
+            client.select(VALID)
+            running_daemon._draining = True
+            try:
+                assert "body" in client.metrics()
+                assert client.tail()["events"]
+                health = client.health()
+                assert health["draining"] is True
+                with pytest.raises(DaemonError) as err:
+                    client.select(VALID)
+                assert err.value.code == "draining"
+            finally:
+                running_daemon._draining = False
+
+    def test_top_once_renders_live_frame(self, running_daemon):
+        import io
+
+        from repro.serve.top import poll_once, render_panel, run_top
+
+        with DaemonClient(running_daemon.config.socket_path) as client:
+            client.select(VALID)
+        out = io.StringIO()
+        assert run_top(str(running_daemon.config.socket_path),
+                       once=True, out=out) == 0
+        frame = out.getvalue()
+        assert "pml-mpi top — serving" in frame
+        assert "health: OK" in frame
+        assert "flight recorder:" in frame
+        assert "daemon-availability" in frame
+        # A second observation gives the renderer a request rate.
+        first = poll_once(str(running_daemon.config.socket_path))
+        with DaemonClient(running_daemon.config.socket_path) as client:
+            client.select(VALID)
+        second = poll_once(str(running_daemon.config.socket_path))
+        panel = render_panel(second, previous=first, elapsed_s=2.0)
+        assert "/s" in panel and "n/a" not in panel
 
     def test_semantic_junk_becomes_invalid_decisions(
             self, running_daemon):

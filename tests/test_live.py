@@ -1,0 +1,422 @@
+"""Tests for the live introspection plane: flight recorder ring,
+streaming quantiles, Prometheus exposition, and SLO burn-rate
+evaluation."""
+
+import math
+
+import pytest
+
+from repro.obs.expo import (
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+)
+from repro.obs.live import (
+    EVENT_KINDS,
+    FlightRecorder,
+    bucket_bounds,
+    get_recorder,
+    quantiles,
+    quantiles_from_buckets,
+    use_recorder,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    BurnWindow,
+    SloSpec,
+    SloTracker,
+    evaluate_compliance,
+    load_slos,
+    worst_verdict,
+)
+from repro.obs.telemetry import (
+    HIST_MIN_EXP,
+    UNDERFLOW_EXP,
+    MetricsRegistry,
+)
+
+
+def fake_clock(start=0.0):
+    """Deterministic monotonic clock: start, start+1, ..."""
+    tick = [start]
+
+    def clock():
+        t = tick[0]
+        tick[0] += 1.0
+        return t
+
+    return clock
+
+
+class TestFlightRecorder:
+    def test_deterministic_under_fake_clock(self):
+        def run():
+            recorder = FlightRecorder(capacity=4, clock=fake_clock())
+            recorder.record("request", op="select", status="ok")
+            recorder.record("reload", status="swapped", version=2)
+            return recorder.tail()
+
+        assert run() == run()
+        tail = run()
+        assert [e["tick"] for e in tail] == [1, 2]
+        assert [e["t"] for e in tail] == [0.0, 1.0]
+        assert tail[0] == {"kind": "request", "tick": 1, "t": 0.0,
+                           "op": "select", "status": "ok"}
+
+    def test_ring_evicts_but_tick_survives(self):
+        recorder = FlightRecorder(capacity=3, clock=fake_clock())
+        for i in range(5):
+            recorder.record("request", i=i)
+        assert len(recorder) == 3
+        assert recorder.total == 5
+        assert recorder.dropped == 2
+        tail = recorder.tail()
+        assert [e["tick"] for e in tail] == [3, 4, 5]
+        assert [e["i"] for e in tail] == [2, 3, 4]
+
+    def test_tail_n_bounds(self):
+        recorder = FlightRecorder(capacity=8, clock=fake_clock())
+        for i in range(4):
+            recorder.record("request", i=i)
+        assert [e["i"] for e in recorder.tail(2)] == [2, 3]
+        assert recorder.tail(0) == []
+        assert len(recorder.tail(100)) == 4
+        with pytest.raises(ValueError, match=">= 0"):
+            recorder.tail(-1)
+
+    def test_unknown_kind_and_non_scalar_field_rejected(self):
+        recorder = FlightRecorder(capacity=2, clock=fake_clock())
+        with pytest.raises(ValueError, match="unknown event kind"):
+            recorder.record("surprise")
+        with pytest.raises(TypeError, match="JSON scalar"):
+            recorder.record("request", payload=[1, 2])
+        assert recorder.total == 0
+
+    def test_disabled_recorder_records_nothing(self):
+        recorder = FlightRecorder(capacity=2, clock=fake_clock(),
+                                  enabled=False)
+        assert recorder.record("request") is None
+        assert recorder.tail() == [] and recorder.total == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_ambient_default_disabled_and_scoped_install(self):
+        ambient = get_recorder()
+        assert ambient.enabled is False
+        with use_recorder() as recorder:
+            assert get_recorder() is recorder and recorder.enabled
+            recorder.record("lifecycle", what="test")
+        assert get_recorder() is ambient
+        assert ambient.total == 0
+
+    def test_event_kinds_closed_set(self):
+        recorder = FlightRecorder(capacity=8, clock=fake_clock())
+        for kind in EVENT_KINDS:
+            assert recorder.record(kind) is not None
+
+
+class TestBucketBounds:
+    def test_underflow_collapses_to_zero(self):
+        assert bucket_bounds(UNDERFLOW_EXP) == (0.0, 0.0)
+
+    def test_bottom_in_range_bucket_starts_at_zero(self):
+        lower, upper = bucket_bounds(HIST_MIN_EXP)
+        assert lower == 0.0 and upper == 2.0 ** HIST_MIN_EXP
+
+    def test_regular_bucket(self):
+        assert bucket_bounds(3) == (4.0, 8.0)
+        assert bucket_bounds(-2) == (0.125, 0.25)
+
+
+class TestQuantiles:
+    def test_empty_histogram_estimates_zero(self):
+        assert quantiles_from_buckets({}) == {0.5: 0.0, 0.95: 0.0,
+                                              0.99: 0.0}
+
+    def test_linear_interpolation_within_bucket(self):
+        # Four observations in bucket 0 = (0.5, 1.0]: the median rank
+        # (2 of 4) sits halfway through the bucket.
+        estimates = quantiles_from_buckets({0: 4}, qs=(0.5, 1.0))
+        assert estimates[0.5] == pytest.approx(0.75)
+        assert estimates[1.0] == pytest.approx(1.0)
+
+    def test_rank_crosses_buckets(self):
+        estimates = quantiles_from_buckets({0: 1, 1: 1}, qs=(0.5, 1.0))
+        assert estimates[0.5] == pytest.approx(1.0)
+        assert estimates[1.0] == pytest.approx(2.0)
+
+    def test_quantiles_are_monotone_in_q(self):
+        buckets = {-3: 7, -1: 2, 4: 1, 9: 3}
+        estimates = quantiles_from_buckets(
+            buckets, qs=(0.1, 0.5, 0.9, 0.99, 1.0))
+        values = [estimates[q] for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert values == sorted(values)
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            quantiles_from_buckets({0: 1}, qs=(0.0,))
+        with pytest.raises(ValueError, match="quantile"):
+            quantiles_from_buckets({0: 1}, qs=(1.5,))
+
+    def test_live_histogram_wrapper(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (0.6, 0.7, 0.8, 0.9):
+            h.observe(v)
+        assert quantiles(h, qs=(0.5,))[0.5] == pytest.approx(0.75)
+
+    def test_underflow_observations_estimate_zero(self):
+        estimates = quantiles_from_buckets({UNDERFLOW_EXP: 10},
+                                           qs=(0.5, 0.99))
+        assert estimates == {0.5: 0.0, 0.99: 0.0}
+
+
+class TestExposition:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.daemon.requests").inc(7)
+        registry.gauge("adapt.phase").set(1.5)
+        h = registry.histogram("serve.daemon.request_s")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        h.observe(0.0)  # underflow bucket
+        return registry
+
+    def test_render_is_deterministic(self):
+        assert render_prometheus(self._registry()) \
+            == render_prometheus(self._registry())
+
+    def test_counter_gauge_histogram_series(self):
+        text = render_prometheus(self._registry())
+        assert "# TYPE pml_serve_daemon_requests_total counter" in text
+        assert "pml_serve_daemon_requests_total 7" in text
+        assert "# TYPE pml_adapt_phase gauge" in text
+        assert "pml_adapt_phase 1.5" in text
+        assert "# TYPE pml_serve_daemon_request_s histogram" in text
+        assert 'pml_serve_daemon_request_s_bucket{le="+Inf"} 4' in text
+        # The underflow bucket exports as the le="0" bound.
+        assert 'pml_serve_daemon_request_s_bucket{le="0"} 1' in text
+        assert "pml_serve_daemon_request_s_count 4" in text
+
+    def test_histogram_buckets_are_cumulative_and_monotone(self):
+        text = render_prometheus(self._registry())
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("pml_serve_daemon_request_s_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)
+        assert counts[-1] == 4  # +Inf equals count
+
+    def test_parse_round_trip(self):
+        registry = self._registry()
+        samples = parse_prometheus(render_prometheus(registry))
+        assert samples["pml_serve_daemon_requests_total"] == 7
+        assert samples["pml_adapt_phase"] == 1.5
+        assert samples[
+            'pml_serve_daemon_request_s_bucket{le="+Inf"}'] == 4
+        assert samples["pml_serve_daemon_request_s_sum"] \
+            == pytest.approx(0.6)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+    def test_parse_rejects_malformed_and_duplicate_lines(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus("this is { not a sample\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_prometheus("pml_x 1\npml_x 2\n")
+
+    def test_name_sanitization(self):
+        assert prometheus_name("serve.daemon.ok") \
+            == "pml_serve_daemon_ok"
+        assert prometheus_name("weird-name!x") == "pml_weird_name_x"
+
+
+class TestSloSpec:
+    def test_validation_matrix(self):
+        with pytest.raises(ValueError, match="kind"):
+            SloSpec(name="x", kind="throughput", objective=0.9)
+        with pytest.raises(ValueError, match="objective"):
+            SloSpec(name="x", kind="error_rate", objective=1.0,
+                    total="t", bad=("b",))
+        with pytest.raises(ValueError, match="threshold_s"):
+            SloSpec(name="x", kind="latency", objective=0.9,
+                    histogram="h")
+        with pytest.raises(ValueError, match="bad"):
+            SloSpec(name="x", kind="error_rate", objective=0.9,
+                    total="t")
+
+    def test_latency_counting_is_conservative_on_boundaries(self):
+        # Threshold 0.25 = 2**-2 is exactly a bucket upper bound, so
+        # counting is exact: 0.25 lands in the (0.125, 0.25] bucket
+        # (good); 0.3 lands in (0.25, 0.5] (bad).
+        spec = SloSpec(name="lat", kind="latency", objective=0.99,
+                       histogram="h", threshold_s=0.25)
+        h = MetricsRegistry().histogram("h")
+        for v in (0.1, 0.25, 0.3):
+            h.observe(v)
+        good, total = spec.sample({}, {"h": dict(h.buckets)})
+        assert (good, total) == (2, 3)
+
+    def test_error_rate_sample(self):
+        spec = SloSpec(name="avail", kind="error_rate", objective=0.95,
+                       total="req", bad=("shed", "internal"))
+        good, total = spec.sample(
+            {"req": 100, "shed": 3, "internal": 1}, {})
+        assert (good, total) == (96, 100)
+
+    def test_evaluate_compliance(self):
+        spec = SloSpec(name="avail", kind="error_rate", objective=0.9,
+                       total="req", bad=("shed",))
+        row = evaluate_compliance(spec, {"req": 100, "shed": 20}, {})
+        assert row["met"] is False
+        assert row["compliance"] == pytest.approx(0.8)
+        assert row["budget_remaining"] == pytest.approx(-1.0)
+        empty = evaluate_compliance(spec, {}, {})
+        assert empty["met"] is True and empty["total"] == 0
+
+    def test_default_slos_reference_daemon_instruments(self):
+        names = {spec.name for spec in DEFAULT_SLOS}
+        assert names == {"daemon-request-latency",
+                         "daemon-availability"}
+        latency = next(s for s in DEFAULT_SLOS if s.kind == "latency")
+        # A power-of-two threshold keeps boundary counting exact.
+        assert math.log2(latency.threshold_s).is_integer()
+
+
+class TestBurnWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="severity"):
+            BurnWindow(60.0, 5.0, 2.0, "fatal")
+        with pytest.raises(ValueError, match="short_s"):
+            BurnWindow(5.0, 60.0, 2.0, "warn")
+        with pytest.raises(ValueError, match="factor"):
+            BurnWindow(60.0, 5.0, 0.0, "warn")
+
+    def test_worst_verdict(self):
+        assert worst_verdict([]) == "ok"
+        assert worst_verdict(["ok", "warn", "ok"]) == "warn"
+        assert worst_verdict(["warn", "page"]) == "page"
+        with pytest.raises(ValueError, match="unknown verdict"):
+            worst_verdict(["fine"])
+
+
+class TestSloTracker:
+    def _drive(self, registry, tracker, now, seconds, good, bad):
+        req = registry.counter("req")
+        shed = registry.counter("shed")
+        for _ in range(seconds):
+            now[0] += 1.0
+            req.inc(good + bad)
+            if bad:
+                shed.inc(bad)
+            tracker.tick()
+
+    def _tracker(self, registry, now, windows):
+        spec = SloSpec(name="avail", kind="error_rate", objective=0.9,
+                       total="req", bad=("shed",))
+        return SloTracker((spec,), registry=registry,
+                          clock=lambda: now[0], windows=windows)
+
+    def test_healthy_traffic_is_ok(self):
+        registry, now = MetricsRegistry(), [0.0]
+        tracker = self._tracker(
+            registry, now,
+            (BurnWindow(60.0, 5.0, 4.0, "page"),))
+        self._drive(registry, tracker, now, seconds=20, good=10, bad=0)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == "ok"
+        slo = verdict["slos"][0]
+        assert slo["compliance"] == 1.0
+        assert all(w["burn_long"] == 0.0 for w in slo["windows"])
+
+    def test_burst_fires_page_and_warn(self):
+        registry, now = MetricsRegistry(), [0.0]
+        tracker = self._tracker(
+            registry, now,
+            (BurnWindow(60.0, 5.0, 4.0, "page"),
+             BurnWindow(60.0, 30.0, 2.0, "warn")))
+        # 10 s of clean traffic, then 10 s of 100% shed.  The short
+        # window (last 5 s, all shed) burns at 1.0/0.1 = 10x; the long
+        # window clamps to the oldest *sample*, so its delta spans
+        # ticks 2..20 — 100 bad of 190 total.
+        self._drive(registry, tracker, now, seconds=10, good=10, bad=0)
+        self._drive(registry, tracker, now, seconds=10, good=0, bad=10)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == "page"
+        slo = verdict["slos"][0]
+        page, warn = slo["windows"]
+        assert page["firing"] and warn["firing"]
+        assert page["burn_long"] == pytest.approx((100 / 190) / 0.1)
+        assert page["burn_short"] == pytest.approx(10.0)
+
+    def test_long_window_guards_against_stale_burst(self):
+        # A burst that *ended* long ago still shows in the clamped
+        # long window but not the short one — no page, because both
+        # windows must fire.
+        registry, now = MetricsRegistry(), [0.0]
+        tracker = self._tracker(
+            registry, now,
+            (BurnWindow(60.0, 5.0, 4.0, "page"),))
+        self._drive(registry, tracker, now, seconds=5, good=0, bad=10)
+        self._drive(registry, tracker, now, seconds=50, good=10, bad=0)
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == "ok"
+        window = verdict["slos"][0]["windows"][0]
+        assert window["burn_short"] == 0.0
+        assert not window["firing"]
+
+    def test_empty_history_is_ok(self):
+        registry, now = MetricsRegistry(), [0.0]
+        tracker = self._tracker(
+            registry, now, (BurnWindow(60.0, 5.0, 4.0, "page"),))
+        verdict = tracker.evaluate()
+        assert verdict["verdict"] == "ok"
+        assert verdict["slos"][0]["total"] == 0
+
+    def test_tracker_without_registry_raises_on_tick(self):
+        tracker = SloTracker((DEFAULT_SLOS[0],), registry=None,
+                             clock=fake_clock())
+        with pytest.raises(RuntimeError, match="no registry"):
+            tracker.tick()
+
+
+class TestLoadSlos:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            '[{"name": "lat", "kind": "latency", "objective": 0.99,'
+            ' "histogram": "h", "threshold_s": 0.25},'
+            ' {"name": "avail", "kind": "error_rate",'
+            ' "objective": 0.95, "total": "req", "bad": ["shed"]}]')
+        specs = load_slos(path)
+        assert [s.name for s in specs] == ["lat", "avail"]
+        assert specs[1].bad == ("shed",)
+
+    @pytest.mark.parametrize("payload,match", [
+        ("{}", "non-empty JSON list"),
+        ("[]", "non-empty JSON list"),
+        ("not json", "cannot read"),
+        ('[{"name": "x", "kind": "latency", "objective": 0.9,'
+         ' "histogram": "h", "threshold_s": 0.1, "extra": 1}]',
+         "unknown"),
+        ('[{"name": "x", "kind": "error_rate", "objective": 0.9,'
+         ' "total": "t", "bad": "shed"}]', "list of counter names"),
+        ('[{"name": "x", "kind": "latency", "objective": 0.9}]',
+         "entry 0"),
+        ('[{"name": "x", "kind": "error_rate", "objective": 0.9,'
+         ' "total": "t", "bad": ["b"]},'
+         ' {"name": "x", "kind": "error_rate", "objective": 0.9,'
+         ' "total": "t", "bad": ["b"]}]', "duplicate names"),
+    ])
+    def test_rejection_matrix(self, tmp_path, payload, match):
+        path = tmp_path / "slo.json"
+        path.write_text(payload)
+        with pytest.raises(ValueError, match=match):
+            load_slos(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_slos(tmp_path / "absent.json")

@@ -10,6 +10,7 @@ from repro.obs.report import render_report, slowest_spans, stage_breakdown
 from repro.obs.telemetry import (
     HIST_MAX_EXP,
     HIST_MIN_EXP,
+    UNDERFLOW_EXP,
     MetricsRegistry,
     Tracer,
     get_registry,
@@ -127,13 +128,34 @@ class TestMetrics:
         (3.5, 2),
         (1.0, 0),
         (0.5, -1),
-        (0.0, HIST_MIN_EXP),
-        (-7.0, HIST_MIN_EXP),
+        (0.0, UNDERFLOW_EXP),
+        (-7.0, UNDERFLOW_EXP),
+        (float("nan"), UNDERFLOW_EXP),
+        (float("inf"), HIST_MAX_EXP),
         (2.0 ** 100, HIST_MAX_EXP),
         (2.0 ** -100, HIST_MIN_EXP),
     ])
     def test_log2_bucket_boundaries(self, value, expected):
         assert log2_bucket(value) == expected
+
+    def test_non_positive_observations_get_their_own_bucket(self):
+        """Regression: zero and negative observations used to share
+        the ``2**HIST_MIN_EXP`` bucket with genuinely tiny positive
+        values, silently counting clock-skew artifacts as the fastest
+        real measurements.  They now land in a dedicated underflow
+        bucket outside the log2 range."""
+        h = MetricsRegistry().histogram("h")
+        h.observe(0.0)
+        h.observe(-3.0)
+        h.observe(2.0 ** -100)
+        assert h.buckets == {UNDERFLOW_EXP: 2, HIST_MIN_EXP: 1}
+        assert UNDERFLOW_EXP < HIST_MIN_EXP
+
+    def test_underflow_bucket_survives_export_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(-1.0)
+        b.merge_records(a.export_metrics())
+        assert b.histogram("h").buckets == {UNDERFLOW_EXP: 1}
 
     def test_histogram_counts_and_sum(self):
         h = MetricsRegistry().histogram("h")
@@ -203,6 +225,49 @@ class TestTraceExport:
         assert [s["id"] for s in trace.spans] == [1, 2]
         assert trace.counters() == {"queries": 6}
         assert trace.histograms()["sizes"]["count"] == 2
+
+    def test_concurrent_append_from_two_processes(self, tmp_path):
+        """Two real processes appending to the same ``--trace`` file
+        concurrently must interleave cleanly: the export lock turns
+        the load -> rebase -> merge -> write cycle into a critical
+        section, so no span, counter increment, or append generation
+        is ever lost and the result still validates."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        # The children run with tmp_path as cwd, so a relative
+        # PYTHONPATH=src from the pytest invocation would not resolve.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        path = tmp_path / "t.jsonl"
+        script = (
+            "import sys\n"
+            "from repro.obs.telemetry import MetricsRegistry, Tracer\n"
+            "from repro.obs.trace_io import export_trace\n"
+            "tracer = Tracer()\n"
+            "registry = MetricsRegistry()\n"
+            "registry.counter('queries').inc(1)\n"
+            "with tracer.span('stage', worker=sys.argv[2]):\n"
+            "    pass\n"
+            "for _ in range(8):\n"
+            "    export_trace(sys.argv[1], tracer, registry)\n"
+        )
+        procs = [subprocess.Popen(
+            [sys.executable, "-c", script, str(path), str(i)],
+            cwd=tmp_path, env=env, stderr=subprocess.PIPE)
+            for i in range(2)]
+        for p in procs:
+            _, err = p.communicate(timeout=120)
+            assert p.returncode == 0, err.decode()
+        trace = load_trace(path)  # validates checksum + record count
+        assert len(trace.spans) == 16
+        assert trace.counters() == {"queries": 16}
+        ids = [s["id"] for s in trace.spans]
+        assert sorted(ids) == list(range(1, 17))
 
     def test_append_onto_corrupt_trace_raises(self, tmp_path):
         path = tmp_path / "t.jsonl"
