@@ -26,6 +26,14 @@ quick re-run must stay under a derated multiple of that bar — the
 absolute overhead is a tiny per-block cost, so the noisy quick run
 gets headroom rather than the committed figure's exact ceiling.
 
+The ``active_collect`` entry is gated *without* any derating: both
+the committed figures and the quick re-run must spend at most
+``--max-active-ratio`` of the exhaustive sweep's simulated core-hours
+while staying within ``--max-accuracy-gap`` of its test accuracy.
+Campaigns are fully deterministic (simulated measurements, seeded
+acquisition), so these are exact machine-independent facts — any
+violation is a real regression in the acquisition loop, never noise.
+
 Exit codes: 0 = gate passed, 1 = regression detected, 2 = missing or
 invalid results file.
 """
@@ -42,6 +50,26 @@ from repro.core.bench import run_benchmarks, validate_bench_file  # noqa: E402
 
 ENTRY = "serve_batch_columnar"
 RECORDER_ENTRY = "flight_recorder_overhead"
+ACTIVE_ENTRY = "active_collect"
+
+
+def _check_active(cfg: dict, source: str, max_ratio: float,
+                  max_gap: float) -> list[str]:
+    """Gate one ``active_collect`` config; returns failure strings."""
+    failures = []
+    ratio = cfg.get("core_hours_ratio")
+    if not isinstance(ratio, (int, float)) or ratio > max_ratio:
+        failures.append(
+            f"{source} active_collect core_hours_ratio {ratio!r} "
+            f"exceeds the {max_ratio:g} ceiling (active must cost "
+            f"<= {max_ratio:.0%} of the exhaustive sweep)")
+    gap = cfg.get("accuracy_gap")
+    if not isinstance(gap, (int, float)) or gap > max_gap:
+        failures.append(
+            f"{source} active_collect accuracy_gap {gap!r} exceeds "
+            f"the {max_gap:g} ceiling (active must stay within "
+            f"{max_gap:.0%} of exhaustive test accuracy)")
+    return failures
 
 
 def _entry_config(results: dict, source: str,
@@ -72,6 +100,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="multiple of --max-overhead the quick "
                              "re-run may reach before failing "
                              "(default: %(default)s)")
+    parser.add_argument("--max-active-ratio", type=float, default=0.5,
+                        help="ceiling for active-collection core-hours "
+                             "as a fraction of the exhaustive sweep "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-accuracy-gap", type=float, default=0.02,
+                        help="ceiling for the active-vs-exhaustive "
+                             "test-accuracy gap (default: %(default)s)")
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker processes for the bench selector "
                              "fit (default: %(default)s)")
@@ -103,6 +138,10 @@ def main(argv: list[str] | None = None) -> int:
             f"committed flight-recorder overhead_frac "
             f"{committed_overhead!r} is not under the "
             f"{args.max_overhead:.0%} ceiling")
+    acfg = _entry_config(committed, args.results, ACTIVE_ENTRY)
+    failures.extend(_check_active(acfg, "committed",
+                                  args.max_active_ratio,
+                                  args.max_accuracy_gap))
     if failures:
         for f in failures:
             print(f"bench-check: FAIL: {f}")
@@ -112,6 +151,9 @@ def main(argv: list[str] | None = None) -> int:
           f"{committed_speedup:.2f}x, identical_to_scalar=true")
     print(f"bench-check: committed {RECORDER_ENTRY}: "
           f"{committed_overhead:+.2%}")
+    print(f"bench-check: committed {ACTIVE_ENTRY}: "
+          f"{acfg['core_hours_ratio']:.2%} of exhaustive core-hours, "
+          f"accuracy gap {acfg['accuracy_gap']:+.4f}")
     print("bench-check: running quick benchmark ...")
     fresh = run_benchmarks(quick=True, jobs=args.jobs, progress=True)
     fcfg = _entry_config(fresh, "the quick bench run")
@@ -139,6 +181,13 @@ def main(argv: list[str] | None = None) -> int:
             f"quick run flight-recorder overhead {fresh_overhead:.2%} "
             f"reached the {ceiling:.0%} ceiling "
             f"({args.overhead_headroom:g} x {args.max_overhead:.0%})")
+    facfg = _entry_config(fresh, "the quick bench run", ACTIVE_ENTRY)
+    print(f"bench-check: quick run {ACTIVE_ENTRY}: "
+          f"{facfg['core_hours_ratio']:.2%} of exhaustive core-hours, "
+          f"accuracy gap {facfg['accuracy_gap']:+.4f}")
+    failures.extend(_check_active(facfg, "quick run",
+                                  args.max_active_ratio,
+                                  args.max_accuracy_gap))
     if failures:
         for f in failures:
             print(f"bench-check: FAIL: {f}")

@@ -3,6 +3,9 @@
 # WITH fault injection enabled, plus a doctor audit of the artifacts.
 #
 #   collect (20% transient failures, 5% rank stalls, retried)
+#   -> collect --active (uncertainty-driven acquisition: seed ->
+#              rank -> benchmark under a core-hour budget; same-seed
+#              reruns must replay a byte-identical decision log)
 #   -> train  (bundle written atomically, checksummed)
 #   -> tune   (compile-time setup on both clusters, faults injected)
 #   -> corrupt one table, re-tune (quarantine + regenerate rung)
@@ -39,6 +42,22 @@ echo "== collect (fault-injected) =="
 pml collect --clusters RI Ray --collectives allgather alltoall \
     --fault-rate 0.2 --stall-rate 0.05 --retries 8 --quiet \
     --output "$workdir/dataset.jsonl.gz"
+
+echo "== collect --active (uncertainty-driven, budgeted) =="
+pml collect --active --clusters RI --collectives allgather \
+    --batch-size 8 --quiet \
+    --decision-log "$workdir/decisions_a.jsonl" \
+    --output "$workdir/active.jsonl.gz" | tee "$workdir/active.out"
+grep -q "active collection" "$workdir/active.out"
+grep -Eq "stop: (plateau|budget|exhausted|max_rounds)" "$workdir/active.out"
+# Same config again: served from cache, decision log byte-identical.
+pml collect --active --clusters RI --collectives allgather \
+    --batch-size 8 --quiet \
+    --decision-log "$workdir/decisions_b.jsonl" \
+    --output "$workdir/active2.jsonl.gz" | tee "$workdir/active_b.out"
+grep -q "(cached)" "$workdir/active_b.out"
+cmp "$workdir/decisions_a.jsonl" "$workdir/decisions_b.jsonl" \
+    || { echo "active decision log not deterministic" >&2; exit 1; }
 
 echo "== train =="
 pml train "$workdir/bundle.json" --clusters RI Ray
@@ -89,13 +108,18 @@ from repro.core.bench import validate_bench_file
 results = validate_bench_file(sys.argv[1])
 required = {"forest_fit_serial", "forest_fit_parallel",
             "forest_predict_batch", "table_generation", "table_lookup",
-            "serve_batch"}
+            "serve_batch", "active_collect"}
 missing = required - set(results)
 assert not missing, f"bench results missing {sorted(missing)}"
 assert results["forest_fit_parallel"]["config"][
     "bit_identical_to_serial"], "parallel fit diverged from serial"
 assert results["serve_batch"]["config"][
     "identical_to_scalar"], "batched serving diverged from scalar guard"
+active = results["active_collect"]["config"]
+assert active["core_hours_ratio"] <= 0.5, \
+    f"active collection spent {active['core_hours_ratio']:.2%} of exhaustive"
+assert active["accuracy_gap"] <= 0.02, \
+    f"active accuracy gap {active['accuracy_gap']:+.4f} exceeds 2%"
 
 # The validator must actually *fail* on schema-invalid output.
 try:
@@ -152,11 +176,11 @@ done
 [ -f "$workdir/ready.json" ] || { echo "daemon never ready" >&2; exit 1; }
 python - "$workdir/serve_state/daemon.sock" "$workdir/bundle.json" <<'EOF'
 import sys
-from repro.serve import DaemonClient
+from repro.serve import PROTOCOL_VERSION, DaemonClient
 
 socket_path, bundle = sys.argv[1], sys.argv[2]
 with DaemonClient(socket_path) as client:
-    assert client.ping()["protocol"] == 1
+    assert client.ping()["protocol"] == PROTOCOL_VERSION
     response = client.select([
         {"collective": "allgather", "nodes": 2, "ppn": 8,
          "msg_size": 4096},

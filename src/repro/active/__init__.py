@@ -1,0 +1,46 @@
+"""Active-learning data collection (``pml-mpi collect --active``).
+
+Replaces the exhaustive per-cluster benchmark sweep with an
+uncertainty-driven acquisition loop: seed a stratified sample of the
+feasible grid, train the per-collective ensembles on it, score every
+unbenchmarked configuration with RF vote entropy / margin through the
+vectorized ``predict_proba_batch`` path, and benchmark only the top-K
+most informative configs per round — stopping on a validation-accuracy
+plateau or a simulated core-hour budget that is never overshot.
+"""
+
+from .acquire import (
+    Candidate,
+    build_pool,
+    candidate_features,
+    rank_pool,
+    stratified_seed,
+)
+from .budget import (
+    BudgetExceededError,
+    CoreHourLedger,
+    dataset_core_hours,
+    record_core_hours,
+)
+from .loop import (
+    STOP_REASONS,
+    ActiveConfig,
+    ActiveResult,
+    run_active_collection,
+)
+
+__all__ = [
+    "ActiveConfig",
+    "ActiveResult",
+    "BudgetExceededError",
+    "Candidate",
+    "CoreHourLedger",
+    "STOP_REASONS",
+    "build_pool",
+    "candidate_features",
+    "dataset_core_hours",
+    "rank_pool",
+    "record_core_hours",
+    "run_active_collection",
+    "stratified_seed",
+]

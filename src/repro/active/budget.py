@@ -1,0 +1,101 @@
+"""Simulated core-hour accounting for the acquisition loop.
+
+A benchmarked configuration costs what the real campaign would pay for
+it: every candidate algorithm is timed for
+:data:`~repro.smpi.tuning.DEFAULT_ITERATIONS` iterations on
+``nodes * ppn`` ranks, so one record's cost is::
+
+    nodes * ppn * sum(per-algorithm time) * iterations / 3600  core-hours
+
+The ledger enforces two invariants the property tests pin down:
+
+* spending is **monotone** — ``charge`` only ever increases
+  ``spent_core_h``;
+* the budget is **never overshot** — a config whose cost would push
+  spending past the limit is *denied* (and, in the loop, ends the
+  run), it is never partially charged.
+
+Denial is checked *before* charging, which is what makes a smaller
+budget's benchmark schedule a strict prefix of a larger one's: the
+loop walks the same deterministic schedule and simply stops at the
+first config it cannot afford.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..smpi.tuning import DEFAULT_ITERATIONS
+from ..core.dataset import CollectiveRecord
+
+
+def record_core_hours(record: CollectiveRecord,
+                      iterations: int = DEFAULT_ITERATIONS) -> float:
+    """Simulated core-hours one benchmarked configuration consumed."""
+    ranks = record.nodes * record.ppn
+    return ranks * sum(record.times.values()) * iterations / 3600.0
+
+
+def dataset_core_hours(records, iterations: int = DEFAULT_ITERATIONS
+                       ) -> float:
+    """Total simulated core-hours of a benchmark campaign."""
+    return sum(record_core_hours(r, iterations) for r in records)
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a charge would overshoot the ledger's limit."""
+
+
+@dataclass
+class CoreHourLedger:
+    """Monotone core-hour ledger with a hard, never-overshot limit.
+
+    ``limit_core_h=None`` means unlimited (the plateau rule or pool
+    exhaustion must end the run instead).
+    """
+
+    limit_core_h: float | None = None
+    spent_core_h: float = 0.0
+    denied: int = 0
+    #: Spending after each successful charge — the monotone trajectory
+    #: the decision log commits to.
+    history: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.limit_core_h is not None and self.limit_core_h < 0:
+            raise ValueError("budget must be >= 0")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.limit_core_h is None
+
+    def remaining(self) -> float:
+        if self.limit_core_h is None:
+            return float("inf")
+        return max(0.0, self.limit_core_h - self.spent_core_h)
+
+    def can_afford(self, cost_core_h: float) -> bool:
+        if cost_core_h < 0:
+            raise ValueError("cost must be >= 0")
+        if self.limit_core_h is None:
+            return True
+        return self.spent_core_h + cost_core_h <= self.limit_core_h
+
+    def charge(self, cost_core_h: float) -> float:
+        """Charge one config's cost; returns the new total.
+
+        Raises :class:`BudgetExceededError` instead of overshooting —
+        callers must gate on :meth:`can_afford` first (and count the
+        denial via :meth:`deny`).
+        """
+        if not self.can_afford(cost_core_h):
+            raise BudgetExceededError(
+                f"charging {cost_core_h:.6f} core-h would overshoot "
+                f"the {self.limit_core_h:.6f} core-h budget "
+                f"(spent {self.spent_core_h:.6f})")
+        self.spent_core_h += cost_core_h
+        self.history.append(self.spent_core_h)
+        return self.spent_core_h
+
+    def deny(self) -> None:
+        self.denied += 1

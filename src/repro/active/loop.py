@@ -1,0 +1,547 @@
+"""The uncertainty-driven acquisition loop behind ``collect --active``.
+
+Instead of exhaustively sweeping the feasible grid (the growing-
+overhead regime the paper's Fig. 7 argues against), the loop:
+
+1. benchmarks a **stratified seed** of the pool (every job shape
+   represented, message sizes spread across the axis), holding part of
+   it out as a validation slice;
+2. trains the per-collective ensembles on what it has;
+3. scores every unbenchmarked config with **RF vote entropy / margin**
+   through the vectorized ``predict_proba_batch`` path;
+4. benchmarks only the **top-K most informative** configs — through
+   the same fault/retry ladder as the exhaustive campaign;
+5. stops on a **plateau rule** (validation-accuracy delta < ε for R
+   consecutive rounds), a **core-hour budget** (never overshot — the
+   first unaffordable config ends the run), pool exhaustion, or a
+   round cap.
+
+Everything is a pure function of (pool order, run seed), so same-seed
+runs produce byte-identical benchmark schedules and decision logs —
+the differential test suite holds the loop to that, and to within 2 %
+of the exhaustive sweep's test accuracy at a fraction of its simulated
+core-hours.
+
+Results are cached like exhaustive campaigns, under a cache key whose
+suffix encodes the full acquisition trajectory (seed, fractions,
+batch size, budget, plateau rule, model family) — and the key is
+stored uncompressed in the cache header and verified on load, so an
+active run can never alias an exhaustive sweep through a CRC-32
+digest collision.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.dataset import (
+    CollectiveRecord,
+    TuningDataset,
+    benchmark_config,
+    dataset_cache_key,
+    dataset_cache_path,
+    load_cached_dataset,
+)
+from ..core.resilience import TransientCollectionError
+from ..core.training import TrainedModel, train_model
+from ..hwmodel.registry import all_clusters, get_cluster
+from ..hwmodel.specs import ClusterSpec
+from ..obs.telemetry import get_registry, get_tracer
+from ..simcluster.conditions import FaultProfile
+from ..smpi.collectives.base import COLLECTIVES
+from .acquire import (
+    Candidate,
+    build_pool,
+    candidate_features,
+    estimated_core_hours,
+    rank_pool,
+)
+from .acquire import stratified_seed as _stratified_seed
+from .budget import CoreHourLedger, record_core_hours
+
+log = logging.getLogger(__name__)
+
+#: Stop reasons the loop can report.
+STOP_REASONS = ("plateau", "budget", "exhausted", "max_rounds")
+
+
+@dataclass(frozen=True)
+class ActiveConfig:
+    """Knobs of one acquisition run.
+
+    The tuple of values *is* the acquisition trajectory: given a pool,
+    every benchmark the loop schedules follows deterministically from
+    them, which is why :meth:`cache_suffix` serializes them all into
+    the dataset cache key.
+    """
+
+    seed: int = 0
+    #: Fraction of each (cluster, collective, nodes, ppn) group
+    #: benchmarked up front (at least one config per group).
+    seed_fraction: float = 0.2
+    #: Fraction of benchmarked configs held out as the plateau-
+    #: detection validation slice (never trained on).  The slice grows
+    #: with the run: every ``round(1/val_fraction)``-th seed *and*
+    #: acquired config lands in it, so the plateau signal gets finer-
+    #: grained — and stays representative of the acquisition region —
+    #: as rounds accumulate.
+    val_fraction: float = 0.25
+    #: Configs benchmarked per acquisition round (top-K by score).
+    batch_size: int = 16
+    #: Simulated core-hour budget; ``None`` = fall back to
+    #: *budget_fraction*.  An explicit value takes precedence.
+    budget_core_h: float | None = None
+    #: Pool-relative budget: the limit is this fraction of the
+    #: *estimated* cost of benchmarking the whole pool (the analytic
+    #: noise-free model — what a campaign planner knows up front).
+    #: Because the cost-aware ranking defers the expensive tail of the
+    #: pool, a fraction-of-estimate budget stops the run right before
+    #: that tail on *any* pool shape, which makes the default
+    #: configuration portable across pools of wildly different total
+    #: cost (the exhaustive sweep's core-hours are dominated by its
+    #: most expensive few percent of configs).  ``None`` = unlimited
+    #: unless *budget_core_h* is set.
+    budget_fraction: float | None = 0.2
+    #: Plateau rule: stop after *plateau_patience* consecutive rounds
+    #: in which this round's models fail to beat the previous round's
+    #: models by more than *plateau_epsilon* — both evaluated on the
+    #: *same* (current) validation slice.  The paired comparison is
+    #: what makes the rule robust: a raw accuracy series oscillates
+    #: with the slice's composition (one lucky round can set an
+    #: unbeatable best-so-far), while the paired delta isolates what
+    #: the newly acquired configs actually taught the ensemble.
+    plateau_epsilon: float = 0.005
+    plateau_patience: int = 6
+    max_rounds: int = 30
+    #: Cost-sensitivity of the acquisition ranking: candidates order by
+    #: ``entropy / estimated_core_hours ** cost_weight`` (information
+    #: per core-hour).  ``0.0`` ranks by raw vote entropy.
+    cost_weight: float = 1.0
+    #: Model family / size used for acquisition scoring (small on
+    #: purpose: it is retrained every round).
+    family: str = "rf"
+    n_estimators: int = 24
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.seed_fraction <= 1.0:
+            raise ValueError("seed_fraction must be in (0, 1]")
+        if not 0.0 <= self.val_fraction < 1.0:
+            raise ValueError("val_fraction must be in [0, 1)")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.plateau_epsilon < 0:
+            raise ValueError("plateau_epsilon must be >= 0")
+        if self.plateau_patience < 1:
+            raise ValueError("plateau_patience must be >= 1")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.budget_core_h is not None and self.budget_core_h < 0:
+            raise ValueError("budget_core_h must be >= 0")
+        if self.budget_fraction is not None and \
+                not 0.0 < self.budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        if self.cost_weight < 0:
+            raise ValueError("cost_weight must be >= 0")
+
+    def cache_suffix(self) -> str:
+        """Deterministic encoding of the acquisition trajectory."""
+        budget = ("none" if self.budget_core_h is None
+                  else repr(float(self.budget_core_h)))
+        fraction = ("none" if self.budget_fraction is None
+                    else repr(float(self.budget_fraction)))
+        return ("active_seed{0}_sf{1!r}_vf{2!r}_k{3}_b{4}_bf{5}"
+                "_eps{6!r}_p{7}_r{8}_w{9!r}_{10}{11}").format(
+            self.seed, float(self.seed_fraction),
+            float(self.val_fraction), self.batch_size, budget, fraction,
+            float(self.plateau_epsilon), self.plateau_patience,
+            self.max_rounds, float(self.cost_weight), self.family,
+            self.n_estimators)
+
+
+@dataclass
+class ActiveResult:
+    """Everything one acquisition run produced."""
+
+    #: All successfully benchmarked records, in benchmark order
+    #: (seed first, then per-round acquisitions).
+    dataset: TuningDataset
+    #: Benchmark schedule: the (cluster, collective, nodes, ppn, msg)
+    #: keys of every *attempted* config, in execution order.  Dropped
+    #: configs (exhausted fault retries) appear here; budget-denied
+    #: ones never ran and do not.
+    schedule: list[tuple[str, str, int, int, int]]
+    #: Per-round decision log entries (JSON-scalar values only).
+    decisions: list[dict]
+    core_hours: float
+    rounds: int
+    stop_reason: str
+    seeded: int
+    acquired: int
+    dropped: int
+    denied: int
+    val_accuracy: float | None
+    #: Final per-collective models (None on a cache hit — retrain from
+    #: ``dataset`` when needed).
+    models: dict[str, TrainedModel] | None = None
+    cached: bool = False
+    budget_history: list[float] = field(default_factory=list)
+    #: Effective core-hour limit the run enforced (explicit budget, or
+    #: ``budget_fraction`` of the estimated pool cost); None=unlimited.
+    budget_limit: float | None = None
+
+    def decision_log_text(self) -> str:
+        """Canonical byte-form of the decision log: one sorted-key
+        JSON object per line.  Same-seed runs must match byte for
+        byte."""
+        return "".join(json.dumps(d, sort_keys=True) + "\n"
+                       for d in self.decisions)
+
+    def schedule_keys(self) -> list[list]:
+        return [list(k) for k in self.schedule]
+
+    def summary_meta(self) -> dict:
+        """The trajectory summary embedded in the dataset cache."""
+        return {"active": {
+            "schedule": self.schedule_keys(),
+            "decisions": self.decisions,
+            "core_hours": self.core_hours,
+            "rounds": self.rounds,
+            "stop_reason": self.stop_reason,
+            "seeded": self.seeded,
+            "acquired": self.acquired,
+            "dropped": self.dropped,
+            "denied": self.denied,
+            "val_accuracy": self.val_accuracy,
+            "budget_history": self.budget_history,
+            "budget_limit": self.budget_limit,
+        }}
+
+
+def _result_from_cache(dataset: TuningDataset) -> ActiveResult | None:
+    summary = dataset.meta.get("active")
+    if not isinstance(summary, dict):
+        return None
+    try:
+        return ActiveResult(
+            dataset=dataset,
+            schedule=[tuple(k) for k in summary["schedule"]],
+            decisions=list(summary["decisions"]),
+            core_hours=float(summary["core_hours"]),
+            rounds=int(summary["rounds"]),
+            stop_reason=str(summary["stop_reason"]),
+            seeded=int(summary["seeded"]),
+            acquired=int(summary["acquired"]),
+            dropped=int(summary["dropped"]),
+            denied=int(summary["denied"]),
+            val_accuracy=summary["val_accuracy"],
+            models=None,
+            cached=True,
+            budget_history=[float(x) for x
+                            in summary.get("budget_history", [])],
+            budget_limit=summary.get("budget_limit"))
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+class _Runner:
+    """One acquisition run's mutable state."""
+
+    def __init__(self, pool: list[Candidate],
+                 specs: dict[str, ClusterSpec], config: ActiveConfig,
+                 faults: FaultProfile | None,
+                 retry, progress: bool) -> None:
+        self.pool = pool
+        self.specs = specs
+        self.config = config
+        self.faults = faults
+        self.retry = retry
+        self.progress = progress
+        self.registry = get_registry()
+        limit = config.budget_core_h
+        if limit is None and config.budget_fraction is not None:
+            estimate = sum(estimated_core_hours(
+                specs[c.cluster], c.collective, c.nodes, c.ppn,
+                c.msg_size) for c in pool)
+            limit = config.budget_fraction * estimate
+        self.budget_limit = limit
+        self.ledger = CoreHourLedger(limit)
+        self.benchmarked: set[int] = set()
+        self.schedule: list[tuple[str, str, int, int, int]] = []
+        self.records: dict[int, CollectiveRecord] = {}
+        self.order: list[int] = []          # successful benchmark order
+        self.decisions: list[dict] = []
+        self.seeded = self.acquired = self.dropped = 0
+        self.stop_reason: str | None = None
+        self.val_set: set[int] = set()
+        self.val_stride = (0 if config.val_fraction == 0
+                           else max(2, int(round(1.0 / config.val_fraction))))
+
+    def _note(self, msg: str) -> None:
+        if self.progress:
+            print(f"[collect --active] {msg}")
+
+    def bench(self, index: int, phase: str) -> bool:
+        """Benchmark ``pool[index]``; False ends the run (budget)."""
+        cand = self.pool[index]
+        try:
+            record = benchmark_config(
+                self.specs[cand.cluster], cand.collective, cand.nodes,
+                cand.ppn, cand.msg_size, faults=self.faults,
+                retry=self.retry)
+        except TransientCollectionError:
+            self.benchmarked.add(index)
+            self.schedule.append(cand.key)
+            self.dropped += 1
+            self.registry.counter("collect.active.dropped").inc()
+            return True
+        cost = record_core_hours(record)
+        if not self.ledger.can_afford(cost):
+            # The simulator prices a config before committing ranks to
+            # it; an unaffordable config is denied, never half-run.
+            self.ledger.deny()
+            self.registry.counter("collect.active.denied").inc()
+            self.stop_reason = "budget"
+            return False
+        self.ledger.charge(cost)
+        self.benchmarked.add(index)
+        self.schedule.append(cand.key)
+        self.records[index] = record
+        self.order.append(index)
+        if phase == "seed":
+            self.seeded += 1
+            self.registry.counter("collect.active.seeded").inc()
+        else:
+            self.acquired += 1
+            self.registry.counter("collect.active.acquired").inc()
+            # The validation slice keeps growing through acquisition,
+            # so the plateau signal gains resolution round over round.
+            if self.val_stride and \
+                    self.acquired % self.val_stride == 0:
+                self.val_set.add(index)
+        return True
+
+    def run(self) -> ActiveResult:
+        config = self.config
+        seed_indices = _stratified_seed(self.pool, config.seed_fraction,
+                                        config.seed, specs=self.specs)
+        # Validation slice: every stride-th seed position.  Collectives
+        # that would lose *all* their training records to the slice get
+        # them back — every collective must be trainable after seeding.
+        if self.val_stride:
+            self.val_set = {idx for pos, idx in enumerate(seed_indices)
+                            if pos % self.val_stride == 0}
+            for collective in {self.pool[i].collective
+                               for i in seed_indices}:
+                train_left = [i for i in seed_indices
+                              if i not in self.val_set
+                              and self.pool[i].collective == collective]
+                if not train_left:
+                    self.val_set -= {i for i in seed_indices
+                                     if self.pool[i].collective
+                                     == collective}
+        val_set = self.val_set
+
+        self._note(f"seeding {len(seed_indices)} of {len(self.pool)} "
+                   f"configs ({len(val_set)} held out for validation)")
+        with get_tracer().span("collect.active.seed",
+                               configs=len(seed_indices)):
+            for index in seed_indices:
+                if not self.bench(index, "seed"):
+                    break
+
+        rounds = 0
+        val_accuracy: float | None = None
+        plateau_streak = 0
+        models: dict[str, TrainedModel] = {}
+        prev_models: dict[str, TrainedModel] | None = None
+        rounds_counter = self.registry.counter("collect.active.rounds")
+
+        while self.stop_reason is None:
+            if rounds >= config.max_rounds:
+                self.stop_reason = "max_rounds"
+                break
+            rounds += 1
+            rounds_counter.inc()
+            with get_tracer().span("collect.active.round",
+                                   round=rounds) as span:
+                train_records = [self.records[i] for i in self.order
+                                 if i not in val_set]
+                train_ds = TuningDataset(train_records)
+                models = {}
+                for collective in dict.fromkeys(
+                        c.collective for c in self.pool):
+                    if any(r.collective == collective
+                           for r in train_records):
+                        models[collective] = train_model(
+                            train_ds, collective, family=config.family,
+                            seed=config.seed,
+                            params={"n_estimators": config.n_estimators})
+
+                val_accuracy = self._validation_accuracy(models, val_set)
+                if val_accuracy is not None and prev_models is not None:
+                    # Paired delta: last round's models re-scored on
+                    # *this* round's slice, so slice-composition noise
+                    # cancels out of the improvement estimate.
+                    prev_accuracy = self._validation_accuracy(
+                        prev_models, val_set)
+                    if prev_accuracy is not None and \
+                            val_accuracy - prev_accuracy <= \
+                            config.plateau_epsilon:
+                        plateau_streak += 1
+                    else:
+                        plateau_streak = 0
+                prev_models = models
+
+                if plateau_streak >= config.plateau_patience:
+                    self.stop_reason = "plateau"
+                    self._log_round(rounds, val_accuracy,
+                                    len(train_records), [], span)
+                    break
+
+                open_indices = [i for i in range(len(self.pool))
+                                if i not in self.benchmarked]
+                if not open_indices:
+                    self.stop_reason = "exhausted"
+                    self._log_round(rounds, val_accuracy,
+                                    len(train_records), [], span)
+                    break
+
+                ranked = rank_pool(models, self.pool, open_indices,
+                                   self.specs,
+                                   cost_weight=config.cost_weight)
+                batch = ranked[:config.batch_size]
+                taken: list[dict] = []
+                for index, entropy, margin in batch:
+                    if not self.bench(index, "acquire"):
+                        break
+                    taken.append({
+                        "config": list(self.pool[index].key),
+                        "entropy": entropy, "margin": margin,
+                    })
+                self._log_round(rounds, val_accuracy,
+                                len(train_records), taken, span)
+                self._note(
+                    f"round {rounds}: val_acc="
+                    f"{'n/a' if val_accuracy is None else f'{val_accuracy:.3f}'} "
+                    f"acquired {len(taken)} "
+                    f"({self.ledger.spent_core_h:.4f} core-h spent)")
+
+        dataset = TuningDataset([self.records[i] for i in self.order])
+        return ActiveResult(
+            dataset=dataset, schedule=self.schedule,
+            decisions=self.decisions,
+            core_hours=self.ledger.spent_core_h, rounds=rounds,
+            stop_reason=self.stop_reason or "exhausted",
+            seeded=self.seeded, acquired=self.acquired,
+            dropped=self.dropped, denied=self.ledger.denied,
+            val_accuracy=val_accuracy, models=models or None,
+            budget_history=list(self.ledger.history),
+            budget_limit=self.budget_limit)
+
+    def _validation_accuracy(self, models: dict[str, TrainedModel],
+                             val_set: set[int]) -> float | None:
+        val_indices = [i for i in self.order if i in val_set]
+        if not val_indices:
+            return None
+        correct = total = 0
+        by_collective: dict[str, list[int]] = {}
+        for i in val_indices:
+            by_collective.setdefault(
+                self.pool[i].collective, []).append(i)
+        for collective, indices in by_collective.items():
+            model = models.get(collective)
+            if model is None:
+                total += len(indices)
+                continue
+            X = candidate_features(self.pool, indices, self.specs)
+            predicted = model.predict_batch(X)
+            for pred, i in zip(predicted, indices):
+                total += 1
+                if pred == self.records[i].label:
+                    correct += 1
+        if total == 0:
+            return None
+        return correct / total
+
+    def _log_round(self, round_no: int, val_accuracy: float | None,
+                   trained_records: int, taken: list[dict],
+                   span) -> None:
+        entry = {
+            "round": round_no,
+            "val_accuracy": val_accuracy,
+            "trained_records": trained_records,
+            "acquired": taken,
+            "core_hours": self.ledger.spent_core_h,
+            "benchmarked": len(self.schedule),
+            "dropped": self.dropped,
+            "denied": self.ledger.denied,
+        }
+        if self.stop_reason is not None:
+            entry["stop_reason"] = self.stop_reason
+        self.decisions.append(entry)
+        if span is not None:
+            span.attributes["val_accuracy"] = val_accuracy
+            span.attributes["acquired"] = len(taken)
+            span.attributes["core_hours"] = self.ledger.spent_core_h
+
+
+def run_active_collection(clusters: list[ClusterSpec] | None = None,
+                          collectives: tuple[str, ...] = COLLECTIVES,
+                          config: ActiveConfig | None = None,
+                          pool: list[Candidate] | None = None,
+                          faults: FaultProfile | None = None,
+                          retry=None,
+                          cache_dir: str | Path | None = None,
+                          use_cache: bool = True,
+                          progress: bool = False) -> ActiveResult:
+    """Run (or replay from cache) one acquisition campaign.
+
+    ``pool`` restricts the candidate pool to an explicit list — the
+    differential tests use it to run acquisition over one side of a
+    train/test split.  Explicit pools are never cached (their identity
+    is not encodable in the campaign key).
+    """
+    config = config or ActiveConfig()
+    if clusters is None:
+        clusters = all_clusters()
+    explicit_pool = pool is not None
+    if pool is None:
+        pool = build_pool(clusters, collectives)
+    specs: dict[str, ClusterSpec] = {}
+    for cand in pool:
+        if cand.cluster not in specs:
+            specs[cand.cluster] = get_cluster(cand.cluster)
+
+    key = dataset_cache_key(clusters, collectives, faults,
+                            suffix=config.cache_suffix())
+    cache = dataset_cache_path(key, cache_dir)
+    use_cache = use_cache and not explicit_pool
+    if use_cache and cache.exists():
+        dataset = load_cached_dataset(cache, key, progress=progress)
+        if dataset is not None:
+            result = _result_from_cache(dataset)
+            if result is not None:
+                return result
+            # A valid dataset without a trajectory header came from an
+            # exhaustive save; fall through and re-run the loop.
+
+    with get_tracer().span("collect.active.run",
+                           pool=len(pool),
+                           clusters=len(specs)) as span:
+        runner = _Runner(pool, specs, config, faults, retry, progress)
+        result = runner.run()
+        if span is not None:
+            span.attributes["stop_reason"] = result.stop_reason
+            span.attributes["rounds"] = result.rounds
+            span.attributes["core_hours"] = result.core_hours
+    log.info(
+        "active collection: %d/%d configs benchmarked over %d rounds "
+        "(%s), %.4f core-h", len(result.schedule), len(pool),
+        result.rounds, result.stop_reason, result.core_hours)
+    if use_cache:
+        result.dataset.save(cache, cache_key=key,
+                            extra_meta=result.summary_meta())
+    return result

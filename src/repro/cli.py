@@ -4,7 +4,11 @@ Mirrors how the paper's tooling would be driven in an MPI-library
 build system:
 
 ``pml-mpi collect``
-    Run the benchmark campaign and cache the dataset.
+    Run the benchmark campaign and cache the dataset.  ``--active``
+    switches from the exhaustive sweep to the uncertainty-driven
+    acquisition loop (stratified seed, per-round top-K benchmarking,
+    plateau / core-hour-budget stopping) — same cache, fault ladder
+    and telemetry, a fraction of the simulated core-hours.
 ``pml-mpi train``
     Train the shipped per-collective models and write the bundle.
 ``pml-mpi tune``
@@ -67,6 +71,7 @@ import os
 import sys
 from pathlib import Path
 
+from .active import ActiveConfig, run_active_collection
 from .apps.microbench import run_sweep
 from .core.bundle import load_selector, save_selector
 from .core.dataset import collect_dataset
@@ -112,7 +117,51 @@ def _retry_arg(args: argparse.Namespace) -> RetryPolicy | None:
                        jitter=0.0)
 
 
+def _run_active_collect(args: argparse.Namespace) -> int:
+    config = ActiveConfig(
+        seed=args.active_seed,
+        seed_fraction=args.seed_fraction,
+        batch_size=args.batch_size,
+        budget_core_h=args.budget_core_hours,
+        budget_fraction=args.budget_fraction,
+        plateau_epsilon=args.plateau_epsilon,
+        plateau_patience=args.plateau_patience,
+        max_rounds=args.max_rounds,
+        cost_weight=args.cost_weight,
+    )
+    result = run_active_collection(
+        clusters=_clusters_arg(args.clusters),
+        collectives=tuple(args.collectives),
+        config=config,
+        faults=_faults_arg(args),
+        retry=_retry_arg(args),
+        progress=not args.quiet,
+    )
+    dataset = result.dataset
+    budget = ("unlimited" if result.budget_limit is None
+              else f"{result.budget_limit:.4f} core-h")
+    print(f"active collection{' (cached)' if result.cached else ''}: "
+          f"{len(dataset)} records in {result.rounds} rounds "
+          f"(stop: {result.stop_reason})")
+    print(f"  seeded {result.seeded}  acquired {result.acquired}  "
+          f"dropped {result.dropped}  denied {result.denied}")
+    print(f"  spent {result.core_hours:.4f} of {budget}")
+    if result.val_accuracy is not None:
+        print(f"  validation accuracy {result.val_accuracy:.3f}")
+    for label, count in dataset.label_distribution().items():
+        print(f"  {label:<22} {count}")
+    if args.decision_log:
+        args.decision_log.write_text(result.decision_log_text())
+        print(f"decision log written to {args.decision_log}")
+    if args.output:
+        path = dataset.save(args.output)
+        print(f"saved to {path}")
+    return 0
+
+
 def cmd_collect(args: argparse.Namespace) -> int:
+    if args.active:
+        return _run_active_collect(args)
     dataset = collect_dataset(
         clusters=_clusters_arg(args.clusters),
         collectives=tuple(args.collectives),
@@ -475,8 +524,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", type=Path,
                    help="also save the dataset to this path")
     p.add_argument("--workers", type=int, default=None,
-                   help="parallel collection processes")
+                   help="parallel collection processes "
+                        "(exhaustive mode only)")
     p.add_argument("--quiet", action="store_true")
+    g = p.add_argument_group(
+        "active learning",
+        "uncertainty-driven acquisition instead of the exhaustive "
+        "sweep: seed a stratified sample, then benchmark only the "
+        "most informative configs per round")
+    g.add_argument("--active", action="store_true",
+                   help="run the active-learning acquisition loop")
+    g.add_argument("--active-seed", type=int, default=0,
+                   help="acquisition RNG seed (same seed = byte-"
+                        "identical schedule; default 0)")
+    g.add_argument("--seed-fraction", type=float, default=0.2,
+                   metavar="F",
+                   help="stratified seed fraction per job shape "
+                        "(default 0.2)")
+    g.add_argument("--batch-size", type=int, default=16, metavar="K",
+                   help="configs benchmarked per round (default 16)")
+    g.add_argument("--budget-core-hours", type=float, default=None,
+                   metavar="H",
+                   help="hard simulated core-hour budget (never "
+                        "overshot; overrides --budget-fraction)")
+    g.add_argument("--budget-fraction", type=float, default=0.2,
+                   metavar="F",
+                   help="budget as a fraction of the estimated "
+                        "exhaustive-sweep cost (default 0.2)")
+    g.add_argument("--plateau-epsilon", type=float, default=0.005,
+                   metavar="E",
+                   help="min per-round validation-accuracy improvement "
+                        "(default 0.005)")
+    g.add_argument("--plateau-patience", type=int, default=6,
+                   metavar="R",
+                   help="stop after R rounds below epsilon (default 6)")
+    g.add_argument("--max-rounds", type=int, default=30,
+                   help="acquisition round cap (default 30)")
+    g.add_argument("--cost-weight", type=float, default=1.0,
+                   metavar="W",
+                   help="cost-sensitivity of the ranking: entropy / "
+                        "cost**W (0 = raw entropy; default 1.0)")
+    g.add_argument("--decision-log", type=Path, metavar="PATH",
+                   help="write the per-round decision log (one JSON "
+                        "object per line)")
     _add_fault_args(p)
     p.set_defaults(func=cmd_collect)
 

@@ -3,8 +3,11 @@
 Times the operations that dominate PML-MPI's end-to-end cost —
 ensemble training, batch inference, compile-time tuning-table
 generation, runtime table lookup, and batched selection serving (both
-the scalar-ladder batch and the columnar block pipeline) — and writes
-a machine-readable ``BENCH_results.json`` with the schema::
+the scalar-ladder batch and the columnar block pipeline) — plus the
+``active_collect`` entry, which records the simulated core-hours the
+active-learning acquisition loop needs to match the exhaustive
+sweep's accuracy — and writes a machine-readable
+``BENCH_results.json`` with the schema::
 
     { "<benchmark name>": {"wall_s": <float>, "config": {...}} }
 
@@ -419,6 +422,103 @@ def _flight_recorder_benchmark(selector, repeats: int, n_queries: int,
     }
 
 
+def _split_accuracy(train_ds, test_ds, collectives) -> float:
+    """Test accuracy of per-collective models fit on *train_ds*.
+
+    Records are trained in canonical (cluster, collective, nodes, ppn,
+    msg) order so exhaustive and active campaigns — which benchmark
+    the same configs in different orders — fit identical forests."""
+    from .dataset import TuningDataset
+    from .training import train_model
+
+    train_ds = TuningDataset(sorted(
+        train_ds.records,
+        key=lambda r: (r.cluster, r.collective, r.nodes, r.ppn,
+                       r.msg_size)))
+    correct = total = 0
+    for collective in collectives:
+        test = [r for r in test_ds.records
+                if r.collective == collective]
+        if not test:
+            continue
+        total += len(test)
+        if not any(r.collective == collective
+                   for r in train_ds.records):
+            continue
+        model = train_model(train_ds, collective, family="rf", seed=0)
+        sub = TuningDataset(test)
+        predicted = model.predict(sub.feature_matrix())
+        correct += int(np.sum(predicted == sub.labels()))
+    return correct / total if total else 0.0
+
+
+def _active_collect_benchmark(quick: bool) -> dict[str, dict]:
+    """Core-hours-to-accuracy of the active-learning acquisition loop
+    vs the exhaustive sweep it replaces (the paper's growing-overhead
+    argument, quantified).
+
+    Both campaigns are fully deterministic (simulated measurements,
+    seeded acquisition), so the recorded ratios are machine-independent
+    facts about the loop, not timings — ``wall_s`` records how long
+    the acquisition run itself took on this machine.
+    """
+    from ..active import (
+        ActiveConfig,
+        Candidate,
+        dataset_core_hours,
+        run_active_collection,
+    )
+    from .splits import split_dataset
+
+    collectives = (("allgather",) if quick
+                   else ("allgather", "alltoall"))
+    clusters = [get_cluster("RI"), get_cluster("Ray")]
+    full = collect_dataset(clusters=clusters, collectives=collectives,
+                           use_cache=False)
+    train_ds, test_ds = split_dataset(full, "random")
+    pool = [Candidate(r.cluster, r.collective, r.nodes, r.ppn,
+                      r.msg_size) for r in train_ds.records]
+
+    result = None
+
+    def acquire():
+        nonlocal result
+        result = run_active_collection(
+            clusters=clusters, collectives=collectives,
+            config=ActiveConfig(), pool=pool, use_cache=False)
+
+    wall = _time_once(acquire)
+    exhaustive_ch = dataset_core_hours(train_ds.records)
+    exhaustive_acc = _split_accuracy(train_ds, test_ds, collectives)
+    active_acc = _split_accuracy(result.dataset, test_ds, collectives)
+    return {
+        "active_collect": {
+            "wall_s": wall,
+            "config": {
+                "clusters": [s.name for s in clusters],
+                "collectives": list(collectives),
+                "split": "random",
+                "pool_configs": len(pool),
+                "benchmarked": len(result.schedule),
+                "rounds": result.rounds,
+                "stop_reason": result.stop_reason,
+                "exhaustive_core_hours": exhaustive_ch,
+                "active_core_hours": result.core_hours,
+                # The headline pair the CI gate holds the loop to:
+                # spend <= half the core-hours, stay within 2 % of the
+                # exhaustive sweep's test accuracy.
+                "core_hours_ratio": result.core_hours / exhaustive_ch
+                if exhaustive_ch > 0 else float("inf"),
+                "saving_vs_exhaustive": exhaustive_ch / result.core_hours
+                if result.core_hours > 0 else float("inf"),
+                "exhaustive_accuracy": exhaustive_acc,
+                "active_accuracy": active_acc,
+                "accuracy_gap": exhaustive_acc - active_acc,
+            },
+        },
+    }
+
+
 def run_benchmarks(quick: bool = False, jobs: int = 4, repeats: int = 3,
                    lookups: int | None = None,
                    progress: bool = False) -> dict[str, dict]:
@@ -471,6 +571,9 @@ def run_benchmarks(quick: bool = False, jobs: int = 4, repeats: int = 3,
     with tracer.span("bench.flight_recorder", queries=n_queries):
         results.update(_flight_recorder_benchmark(
             selector, repeats, n_queries))
+    note("active-learning collection vs exhaustive sweep")
+    with tracer.span("bench.active_collect"):
+        results.update(_active_collect_benchmark(quick))
     return results
 
 

@@ -86,6 +86,11 @@ class TuningDataset:
     """A list of records plus feature-matrix assembly."""
 
     records: list[CollectiveRecord] = field(default_factory=list)
+    #: Header metadata of the cache file this dataset was loaded from
+    #: (``{}`` for datasets built in memory).  Carries the full
+    #: uncompressed cache key and, for active-learning runs, the
+    #: acquisition trajectory (schedule, decisions, core-hours).
+    meta: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -144,13 +149,22 @@ class TuningDataset:
         return np.array([r.label for r in self.records])
 
     # -- (de)serialization -------------------------------------------------
-    def save(self, path: str | Path) -> Path:
+    def save(self, path: str | Path, cache_key: str | None = None,
+             extra_meta: dict | None = None) -> Path:
         """Atomic write with an embedded checksum header line.
 
         The first line is ``{"__meta__": {...}}`` carrying the dataset
         format/version, record count, and a CRC32 over the record
         lines; a mid-write kill leaves a ``*.tmp`` alongside and the
         previous cache intact.
+
+        ``cache_key`` embeds the *full uncompressed* campaign key the
+        cache was written under — loaders verify it against the key
+        they expect instead of trusting the CRC-32 digest in the file
+        name alone, so two campaigns whose keys collide in the digest
+        can never silently serve each other's records.  ``extra_meta``
+        merges additional header fields (the active-learning loop
+        stores its acquisition trajectory there).
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -159,12 +173,18 @@ class TuningDataset:
             "nodes": r.nodes, "ppn": r.ppn,
             "msg_size": r.msg_size, "times": r.times,
         }) + "\n" for r in self.records]
-        meta = {"__meta__": {
+        header = {
             "format": DATASET_FORMAT,
             "version": DATASET_VERSION,
             "records": len(lines),
             "crc32": checksum_lines(lines),
-        }}
+        }
+        if extra_meta:
+            for k, v in extra_meta.items():
+                header.setdefault(k, v)
+        if cache_key is not None:
+            header["cache_key"] = cache_key
+        meta = {"__meta__": header}
         tmp = tmp_path_for(path)
         with gzip.open(tmp, "wt") as fh:
             fh.write(json.dumps(meta) + "\n")
@@ -195,6 +215,7 @@ class TuningDataset:
             raise CorruptArtifactError(
                 f"cannot read dataset cache {path}: {exc}") from None
         body = lines
+        header: dict = {}
         if lines:
             try:
                 first = json.loads(lines[0])
@@ -208,6 +229,7 @@ class TuningDataset:
                 if not isinstance(meta, dict):
                     raise CorruptArtifactError(
                         f"dataset cache {path} has a malformed header")
+                header = meta
                 version = meta.get("version")
                 if version != DATASET_VERSION:
                     raise StaleArtifactError(
@@ -241,7 +263,7 @@ class TuningDataset:
                     f"malformed: {exc}") from None
             _validate_record(record, path, lineno)
             records.append(record)
-        return cls(records)
+        return cls(records, meta=header)
 
 
 def _validate_record(r: CollectiveRecord, path: Path,
@@ -382,6 +404,87 @@ def _cache_dir(cache_dir: str | Path | None) -> Path:
     return Path.home() / ".cache" / "pml_mpi"
 
 
+def dataset_cache_key(clusters: list[ClusterSpec],
+                      collectives: tuple[str, ...],
+                      faults: FaultProfile | None = None,
+                      suffix: str = "") -> str:
+    """The full, uncompressed campaign cache key.
+
+    Encodes the cluster set, the collectives, any fault profile, and —
+    via *suffix* — the acquisition trajectory of an active-learning
+    run (seed, batch size, budget, plateau rule: the parameters that
+    fully determine which configs get benchmarked, and in what order).
+    The key is stored verbatim in the cache's ``__meta__`` header and
+    verified on load; the CRC-32 digest of it only names the file.
+    """
+    key = "-".join(sorted(c.name.replace(" ", "_") for c in clusters)) \
+        + "-" + "-".join(collectives)
+    if faults is not None and not faults.is_clean:
+        key += "-" + faults.cache_key()
+    if suffix:
+        key += "-" + suffix
+    return key
+
+
+def _cache_digest(key: str) -> int:
+    """CRC-32 digest naming the cache file (collisions are survivable:
+    the full key inside the file is what loaders trust)."""
+    return zlib.crc32(key.encode())
+
+
+def dataset_cache_path(key: str,
+                       cache_dir: str | Path | None = None) -> Path:
+    """Cache-file path for one campaign key."""
+    return _cache_dir(cache_dir) / \
+        f"dataset_v{DATASET_VERSION}_{_cache_digest(key):08x}.jsonl.gz"
+
+
+def load_cached_dataset(cache: Path, expected_key: str,
+                        progress: bool = False) -> TuningDataset | None:
+    """Load one cache file, verifying the *full* stored key.
+
+    Returns ``None`` when the file is absent or was quarantined.  A
+    cache whose ``__meta__`` carries a different campaign key — e.g.
+    an active-learning run whose key collides with an exhaustive
+    sweep's CRC-32 digest — is quarantined exactly like a corrupt one
+    (counted under ``collect.cache_key_mismatch``): the digest in the
+    file name is a lookup hint, never an identity proof.  Pre-key
+    caches (no ``cache_key`` header) are trusted when their records
+    validate, as before.
+    """
+    registry = get_registry()
+    try:
+        dataset = TuningDataset.load(cache)
+    except FileNotFoundError:
+        return None
+    except (CorruptArtifactError, StaleArtifactError) as exc:
+        registry.counter("collect.cache_quarantined").inc()
+        moved = quarantine(cache)
+        log.warning("cache invalid (%s); quarantined to %s",
+                    exc, moved.name)
+        if progress:
+            print(f"[collect] cache invalid ({exc}); "
+                  f"quarantined to {moved.name}, re-collecting")
+        return None
+    stored = dataset.meta.get("cache_key")
+    if stored is not None and stored != expected_key:
+        registry.counter("collect.cache_key_mismatch").inc()
+        registry.counter("collect.cache_quarantined").inc()
+        moved = quarantine(cache)
+        log.warning(
+            "cache %s belongs to campaign %r, expected %r (digest "
+            "collision); quarantined to %s", cache.name, stored,
+            expected_key, moved.name)
+        if progress:
+            print(f"[collect] cache key mismatch (digest collision); "
+                  f"quarantined to {moved.name}, re-collecting")
+        return None
+    registry.counter("collect.cache_hits").inc()
+    log.info("dataset cache hit: %s (%d records)", cache.name,
+             len(dataset))
+    return dataset
+
+
 def _collect_chunk(spec: ClusterSpec, collective: str,
                    faults: FaultProfile | None = None,
                    retry: RetryPolicy | None = None
@@ -440,29 +543,12 @@ def collect_dataset(clusters: list[ClusterSpec] | None = None,
     """
     if clusters is None:
         clusters = all_clusters()
-    key = "-".join(sorted(c.name.replace(" ", "_") for c in clusters)) \
-        + "-" + "-".join(collectives)
-    if faults is not None and not faults.is_clean:
-        key += "-" + faults.cache_key()
-    digest = zlib.crc32(key.encode())
-    cache = _cache_dir(cache_dir) / \
-        f"dataset_v{DATASET_VERSION}_{digest:08x}.jsonl.gz"
+    key = dataset_cache_key(clusters, collectives, faults)
+    cache = dataset_cache_path(key, cache_dir)
     registry = get_registry()
     if use_cache and cache.exists():
-        try:
-            dataset = TuningDataset.load(cache)
-        except (CorruptArtifactError, StaleArtifactError) as exc:
-            registry.counter("collect.cache_quarantined").inc()
-            moved = quarantine(cache)
-            log.warning("cache invalid (%s); quarantined to %s",
-                        exc, moved.name)
-            if progress:
-                print(f"[collect] cache invalid ({exc}); "
-                      f"quarantined to {moved.name}, re-collecting")
-        else:
-            registry.counter("collect.cache_hits").inc()
-            log.info("dataset cache hit: %s (%d records)",
-                     cache.name, len(dataset))
+        dataset = load_cached_dataset(cache, key, progress=progress)
+        if dataset is not None:
             return dataset
 
     chunks = [(spec, collective) for spec in clusters
@@ -502,5 +588,5 @@ def collect_dataset(clusters: list[ClusterSpec] | None = None,
                   f"exhausted retries")
     dataset = TuningDataset(records)
     if use_cache:
-        dataset.save(cache)
+        dataset.save(cache, cache_key=key)
     return dataset

@@ -52,6 +52,7 @@ from .resilience import (
     RUNG_REGENERATED,
     ArtifactCheck,
     ArtifactError,
+    CorruptArtifactError,
     FileLock,
     HealthReport,
     RetryPolicy,
@@ -257,6 +258,11 @@ def diagnose_artifact(path: str | Path) -> ArtifactCheck:
             lambda: TuningTable.load(path).validate()
     elif name.endswith((".jsonl.gz", ".gz")):
         kind, loader = "dataset-cache", lambda: TuningDataset.load(path)
+    elif name.endswith(".jsonl") and "decisions" in name:
+        # Decision logs (active collection, select-batch, adapt) are
+        # headerless sorted-key JSON lines, replayed byte-for-byte by
+        # determinism checks — not traces, which carry a __meta__ row.
+        kind, loader = "decision-log", lambda: _load_decision_log(path)
     elif name.endswith(".jsonl"):
         kind, loader = "trace", lambda: load_trace(path)
     elif name.endswith(".json"):
@@ -272,6 +278,26 @@ def diagnose_artifact(path: str | Path) -> ArtifactCheck:
         return ArtifactCheck(str(path), kind, "corrupt", str(exc))
     detail = _trace_slo_detail(artifact) if kind == "trace" else ""
     return ArtifactCheck(str(path), kind, "ok", detail)
+
+
+def _load_decision_log(path: Path) -> list[dict]:
+    """Strict decision-log load: every line must be one JSON object."""
+    import json
+
+    rows = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CorruptArtifactError(
+                f"decision log {path}: line {lineno} is not JSON "
+                f"({exc})") from exc
+        if not isinstance(row, dict):
+            raise CorruptArtifactError(
+                f"decision log {path}: line {lineno} is not a JSON "
+                f"object")
+        rows.append(row)
+    return rows
 
 
 def _trace_slo_detail(trace) -> str:

@@ -121,6 +121,17 @@ class TrainedModel:
     def predict_proba(self, X_full: np.ndarray) -> np.ndarray:
         return self.model.predict_proba(self._prepare(X_full))
 
+    def predict_proba_batch(self, X_full: np.ndarray) -> np.ndarray:
+        """Class probabilities through the model's vectorized batch
+        path (the PackedTrees arena for the ensembles) — bit-identical
+        to :meth:`predict_proba`.  The active-learning loop scores
+        whole candidate pools through this in one traversal."""
+        X = self._prepare(X_full)
+        batch = getattr(self.model, "predict_proba_batch", None)
+        if batch is not None:
+            return batch(X)
+        return self.model.predict_proba(X)
+
     def accuracy(self, dataset: TuningDataset) -> float:
         return accuracy_score(dataset.labels(),
                               self.predict(dataset.feature_matrix()))

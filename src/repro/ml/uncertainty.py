@@ -1,0 +1,85 @@
+"""Ensemble-uncertainty measures for active learning.
+
+The acquisition loop (:mod:`repro.active`) scores every unbenchmarked
+configuration with the ensemble's predictive uncertainty and benchmarks
+only the most informative ones.  Both measures operate on the
+``(n, n_classes)`` probability matrix that
+``predict_proba_batch`` already produces through the vectorized
+PackedTrees arena, so scoring a whole candidate pool is one batched
+traversal, never a per-config Python loop.
+
+* :func:`vote_entropy` — Shannon entropy of the averaged class vote,
+  the classical query-by-committee disagreement measure.  High entropy
+  means the trees split their votes across algorithms.
+* :func:`prediction_margin` — top-1 minus top-2 probability.  A small
+  margin flags configurations sitting on a decision boundary (exactly
+  the message-size crossovers the tuning tables care about).
+* :func:`acquisition_order` — the deterministic ranking the loop uses:
+  entropy descending, margin ascending as the tie-break, original
+  index last so equal-uncertainty candidates keep pool order and the
+  schedule is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_proba(proba: np.ndarray) -> np.ndarray:
+    proba = np.asarray(proba, dtype=np.float64)
+    if proba.ndim != 2:
+        raise ValueError(
+            f"probability matrix must be 2-D, got shape {proba.shape}")
+    if proba.size and (np.any(proba < -1e-9) or np.any(~np.isfinite(proba))):
+        raise ValueError("probabilities must be finite and non-negative")
+    return proba
+
+
+def vote_entropy(proba: np.ndarray) -> np.ndarray:
+    """Per-row Shannon entropy (nats) of a probability matrix.
+
+    Rows that do not sum to one (e.g. a degenerate single-class model)
+    are normalized first; zero entries contribute zero, by the usual
+    ``0 * log 0 = 0`` convention.
+    """
+    proba = _check_proba(proba)
+    if len(proba) == 0:
+        return np.zeros(0)
+    totals = proba.sum(axis=1, keepdims=True)
+    safe = np.where(totals > 0, totals, 1.0)
+    p = proba / safe
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(p > 0, p * np.log(p), 0.0)
+    return -terms.sum(axis=1)
+
+
+def prediction_margin(proba: np.ndarray) -> np.ndarray:
+    """Per-row top-1 minus top-2 probability (small = uncertain).
+
+    A single-class matrix has no runner-up; its margin is the top
+    probability itself, which correctly ranks it as maximally
+    confident.
+    """
+    proba = _check_proba(proba)
+    if len(proba) == 0:
+        return np.zeros(0)
+    if proba.shape[1] == 1:
+        return proba[:, 0].copy()
+    part = np.partition(proba, proba.shape[1] - 2, axis=1)
+    return part[:, -1] - part[:, -2]
+
+
+def acquisition_order(proba: np.ndarray) -> np.ndarray:
+    """Indices of the rows most worth benchmarking, best first.
+
+    Primary key: vote entropy, descending.  Tie-break: margin,
+    ascending.  Final tie-break: row index, ascending — so the ranking
+    is a pure function of the probability matrix and two runs over the
+    same pool yield byte-identical schedules.
+    """
+    proba = _check_proba(proba)
+    entropy = vote_entropy(proba)
+    margin = prediction_margin(proba)
+    # np.lexsort sorts ascending by the *last* key first; negate the
+    # entropy so the highest-disagreement rows come out in front.
+    return np.lexsort((np.arange(len(proba)), margin, -entropy))
